@@ -1,0 +1,125 @@
+//! Criterion benchmarks: simulation throughput of the three designs and
+//! the cost of the tool-flow stages (mapping, preset compilation, RTL
+//! generation, link-model evaluation).
+//!
+//! These measure the *reproduction's* performance, complementing the
+//! `src/bin/` binaries that regenerate the paper's tables and figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smart_core::compile::compile;
+use smart_core::config::NocConfig;
+use smart_core::noc::{Design, DesignKind};
+use smart_link::transient::{simulate, ChainSpec, TransientConfig};
+use smart_link::units::Gbps;
+use smart_link::wire::{Spacing, WireRc};
+use smart_link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+use smart_mapping::MappedApp;
+use smart_sim::BernoulliTraffic;
+
+/// Cycles simulated per iteration in the design benches.
+const CYCLES: u64 = 5_000;
+
+fn bench_designs(c: &mut Criterion) {
+    let cfg = NocConfig::paper_4x4();
+    let graph = smart_taskgraph::apps::vopd();
+    let mapped = MappedApp::from_graph(&cfg, &graph);
+    let mut group = c.benchmark_group("simulate_vopd");
+    group.throughput(Throughput::Elements(CYCLES));
+    for kind in DesignKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut design = Design::build(kind, &cfg, &mapped.routes);
+                    let table =
+                        smart_sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
+                    let mut traffic = BernoulliTraffic::new(
+                        &mapped.rates,
+                        &table,
+                        cfg.mesh,
+                        cfg.flits_per_packet(),
+                        1,
+                    );
+                    design.run_with(&mut traffic, CYCLES);
+                    design.stats().packets()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let cfg = NocConfig::paper_4x4();
+    let mut group = c.benchmark_group("toolflow");
+    group.bench_function("nmap_place_and_route_vopd", |b| {
+        let graph = smart_taskgraph::apps::vopd();
+        b.iter(|| MappedApp::from_graph(&cfg, &graph).routes.len());
+    });
+    group.bench_function("preset_compile_suite", |b| {
+        let mapped: Vec<_> = smart_taskgraph::apps::all()
+            .iter()
+            .map(|g| MappedApp::from_graph(&cfg, g))
+            .collect();
+        b.iter(|| {
+            mapped
+                .iter()
+                .map(|m| compile(cfg.mesh, cfg.hpc_max, &m.routes).avg_stops())
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("rtl_generate_4x4", |b| {
+        let p = smart_rtlgen::GenParams::paper_4x4();
+        b.iter(|| {
+            smart_rtlgen::generate_all(&p)
+                .iter()
+                .map(|m| m.source.len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_link_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_models");
+    group.bench_function("calibrated_sweep", |b| {
+        let m = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::Double,
+        );
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 1..=30 {
+                let rate = Gbps(r as f64 / 10.0 + 0.5);
+                acc += m.energy_fj_per_bit_mm(rate)
+                    + f64::from(m.max_hops_per_cycle(rate))
+                    + m.ber(rate);
+            }
+            acc
+        });
+    });
+    group.bench_function("transient_4mm_2gbps", |b| {
+        let spec = ChainSpec {
+            repeater: smart_link::device::Repeater::VoltageLocked(
+                smart_link::device::VlrParams::default_45nm(),
+            ),
+            wire: WireRc::for_45nm(Spacing::MinPitch),
+            hops: 4,
+            sections_per_mm: 4,
+        };
+        let mut cfg = TransientConfig::at_rate(Gbps(2.0));
+        cfg.bits = 16;
+        cfg.warmup_bits = 4;
+        b.iter(|| simulate(&spec, &cfg).delay_ps_per_mm);
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_designs, bench_mapping, bench_link_models
+}
+criterion_main!(benches);

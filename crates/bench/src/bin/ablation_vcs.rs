@@ -1,0 +1,63 @@
+//! Ablation over the flow-control resources of Table II: virtual
+//! channels per port and buffer depth. The paper fixes 2 VCs × 10
+//! flits; this sweep shows how sensitive each design's latency is to
+//! that choice (VCT requires depth ≥ packet, so depth sweeps start
+//! at 8).
+//!
+//! ```text
+//! cargo run --release -p smart-bench --bin ablation_vcs
+//! ```
+
+use smart_bench::{geomean, run_mapped, RunPlan};
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_mapping::MappedApp;
+
+fn suite_latency(cfg: &NocConfig, kind: DesignKind, plan: &RunPlan) -> f64 {
+    let mut lats = Vec::new();
+    for graph in smart_taskgraph::apps::all() {
+        let mapped = MappedApp::from_graph(cfg, &graph);
+        lats.push(run_mapped(cfg, &mapped, kind, plan).avg_latency);
+    }
+    geomean(&lats)
+}
+
+fn main() {
+    let plan = RunPlan::quick();
+    let base = NocConfig::paper_4x4();
+
+    println!("VC-count sweep (10-flit buffers), geomean latency over the suite:");
+    println!("{:>6} {:>10} {:>10}", "VCs", "Mesh", "SMART");
+    for vcs in [1usize, 2, 3, 4] {
+        let cfg = NocConfig {
+            vcs_per_port: vcs,
+            ..base.clone()
+        };
+        let mesh = suite_latency(&cfg, DesignKind::Mesh, &plan);
+        let smart = suite_latency(&cfg, DesignKind::Smart, &plan);
+        let marker = if vcs == 2 { "  <- Table II" } else { "" };
+        println!("{vcs:>6} {mesh:>10.2} {smart:>10.2}{marker}");
+    }
+
+    println!();
+    println!("Buffer-depth sweep (2 VCs), geomean latency over the suite:");
+    println!("{:>6} {:>10} {:>10}", "depth", "Mesh", "SMART");
+    for depth in [8usize, 10, 12, 16] {
+        let cfg = NocConfig {
+            vc_depth: depth,
+            ..base.clone()
+        };
+        let mesh = suite_latency(&cfg, DesignKind::Mesh, &plan);
+        let smart = suite_latency(&cfg, DesignKind::Smart, &plan);
+        let marker = if depth == 10 { "  <- Table II" } else { "" };
+        println!("{depth:>6} {mesh:>10.2} {smart:>10.2}{marker}");
+    }
+
+    println!(
+        "\nExpected shape: at the paper's low task-graph loads, latency is\n\
+         dominated by pipeline stops, so both sweeps are nearly flat — the\n\
+         2 VC x 10 flit point buys correctness (VCT packet fit + deadlock\n\
+         headroom), not speed. VC starvation only bites at 1 VC, where a\n\
+         single in-flight packet per endpoint serializes trains."
+    );
+}

@@ -1,0 +1,39 @@
+//! Export the application suite as Graphviz DOT files (plus a summary
+//! table), for documentation and visual inspection of the task graphs
+//! driving the evaluation.
+//!
+//! ```text
+//! cargo run -p smart-bench --bin export_taskgraphs [OUT_DIR]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/generated/taskgraphs".into())
+        .into();
+    fs::create_dir_all(&out)?;
+    println!(
+        "{:<10} {:>6} {:>6} {:>12} {:>8} {:>8}",
+        "app", "tasks", "flows", "total MB/s", "max f-in", "max f-out"
+    );
+    for g in smart_taskgraph::apps::all() {
+        let path = out.join(format!("{}.dot", g.name().to_lowercase()));
+        fs::write(&path, g.to_dot())?;
+        let (_, fi) = g.max_fan_in().expect("nonempty");
+        let (_, fo) = g.max_fan_out().expect("nonempty");
+        println!(
+            "{:<10} {:>6} {:>6} {:>12.1} {:>8} {:>8}",
+            g.name(),
+            g.num_tasks(),
+            g.flows().len(),
+            g.total_bandwidth(),
+            fi,
+            fo
+        );
+    }
+    println!("\nwrote DOT files to {}", out.display());
+    Ok(())
+}

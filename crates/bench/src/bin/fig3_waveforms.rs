@@ -1,0 +1,47 @@
+//! Regenerates **Fig 3**: simulated waveforms at 6.8 Gb/s for (a) the
+//! full-swing repeated link and (b) the low-swing voltage-locked link.
+//!
+//! ```text
+//! cargo run -p smart-bench --bin fig3_waveforms
+//! ```
+
+use smart_link::device::{FullSwingParams, Repeater, VlrParams};
+use smart_link::transient::{simulate, ChainSpec, TransientConfig};
+use smart_link::units::Gbps;
+use smart_link::wire::{Spacing, WireRc};
+
+fn main() {
+    let rate = Gbps(6.8);
+    println!("Fig 3: simulated waveforms at {rate} (probe: end of hop 2 of 4)");
+    for (label, repeater) in [
+        (
+            "(a) full-swing",
+            Repeater::FullSwing(FullSwingParams::default_45nm()),
+        ),
+        (
+            "(b) low-swing (VLR)",
+            Repeater::VoltageLocked(VlrParams::default_45nm()),
+        ),
+    ] {
+        let spec = ChainSpec {
+            repeater,
+            wire: WireRc::for_45nm(Spacing::MinPitch),
+            hops: 4,
+            sections_per_mm: 5,
+        };
+        let out = simulate(&spec, &TransientConfig::waveform(rate));
+        let wave = &out.waveforms[1];
+        println!("\n{label}:");
+        print!("{}", wave.ascii_plot(12, 76));
+        let (lo, hi) = out.far_swing;
+        println!(
+            "swing at far end: {lo:.3} .. {hi:.3}  |  delay {:.0} ps/mm  |  {:.0} fJ/b/mm",
+            out.delay_ps_per_mm, out.energy_fj_per_bit_mm
+        );
+    }
+    println!(
+        "\nPaper shape: (a) swings rail-to-rail with slow edges; (b) is locked\n\
+         near the inverter threshold with transient overshoots and faster\n\
+         effective propagation (60 vs 100 ps/mm measured on the chip)."
+    );
+}

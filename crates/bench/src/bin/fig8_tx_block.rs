@@ -1,0 +1,38 @@
+//! Regenerates **Fig 8**: the 32-bit Tx block layout assembled from
+//! 1-bit VLR cells, plus its `.lib`/`.lef` views.
+//!
+//! ```text
+//! cargo run -p smart-bench --bin fig8_tx_block
+//! ```
+
+use smart_link::units::Gbps;
+use smart_link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+use smart_rtlgen::{lef, liberty, MacroBlock};
+
+fn main() {
+    let block = MacroBlock::fig8_tx32();
+    println!("Fig 8: 32-bit Tx block layout");
+    println!("{block}");
+    println!(
+        "pitch {} um; bit 0 pin at x = {:.2} um, bit 31 at x = {:.2} um",
+        block.pitch_um,
+        block.pin_x_um(0),
+        block.pin_x_um(31)
+    );
+
+    let link = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    println!("\n--- .lib view (first 25 lines) ---");
+    for line in liberty(&block, &link, Gbps(2.0)).lines().take(25) {
+        println!("{line}");
+    }
+    println!("  ...");
+    println!("\n--- .lef view (first 20 lines) ---");
+    for line in lef(&block).lines().take(20) {
+        println!("{line}");
+    }
+    println!("  ...");
+}

@@ -1,0 +1,59 @@
+//! Static per-flow report for one application: zero-load latencies,
+//! per-flow SMART-vs-Mesh speedups and the hottest links — what the
+//! tool flow would print before committing presets.
+//!
+//! ```text
+//! cargo run -p smart-bench --bin flow_report [APP]
+//! ```
+//!
+//! `APP` is one of H264, MMS_DEC, MMS_ENC, MMS_MP3, MWD, VOPD, WLAN,
+//! PIP (default VOPD).
+
+use smart_core::analysis::analyze;
+use smart_core::compile::compile;
+use smart_core::config::NocConfig;
+use smart_mapping::MappedApp;
+
+fn main() {
+    let want = std::env::args().nth(1).unwrap_or_else(|| "VOPD".into());
+    let Some(graph) = smart_taskgraph::apps::by_name(&want) else {
+        eprintln!("unknown app {want}");
+        std::process::exit(2);
+    };
+    let cfg = NocConfig::paper_4x4();
+    let mapped = MappedApp::from_graph(&cfg, &graph);
+    let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+    let report = analyze(cfg.mesh, &app, &mapped.rates, cfg.flits_per_packet());
+
+    println!(
+        "{} on the {}x{} SMART mesh (HPC_max {}):\n",
+        graph.name(),
+        cfg.mesh.width(),
+        cfg.mesh.height(),
+        cfg.hpc_max
+    );
+    for (i, f) in graph.flows().iter().enumerate() {
+        println!(
+            "  f{i}: {} -> {} ({} MB/s)",
+            graph.task_name(f.src),
+            graph.task_name(f.dst),
+            f.bandwidth_mbs
+        );
+    }
+    println!();
+    print!("{report}");
+    println!();
+    println!(
+        "zero-load averages: SMART {:.2} cycles; bypass fraction {:.0}%",
+        report.avg_zero_load_latency(),
+        app.bypass_fraction(cfg.mesh) * 100.0
+    );
+    if report.oversubscribed().is_empty() {
+        println!("bandwidth check: all links under 1 flit/cycle — feasible.");
+    } else {
+        println!(
+            "bandwidth check: {} oversubscribed links!",
+            report.oversubscribed().len()
+        );
+    }
+}

@@ -1,0 +1,11 @@
+use smart_link::device::{Repeater, VlrParams};
+use smart_link::transient::max_hops_per_cycle;
+use smart_link::units::{Gbps, Picoseconds};
+use smart_link::wire::{Spacing, WireRc};
+fn main() {
+    let wire = WireRc::for_45nm(Spacing::Double);
+    for (n, p) in [("fab", VlrParams::default_45nm()), ("resized", VlrParams::resized_2ghz())] {
+        let h = max_hops_per_cycle(Repeater::VoltageLocked(p), wire, Gbps(2.0), Picoseconds(20.0));
+        println!("{n}: {h} hops at 2 Gb/s double spacing");
+    }
+}

@@ -1,0 +1,189 @@
+//! The reproduction scorecard: every headline claim of the paper,
+//! checked in one run, with pass/fail against the tolerance bands
+//! recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p smart-bench --bin scorecard [--quick]
+//! ```
+
+use smart_bench::{run_suite, RunPlan};
+use smart_core::compile::compile;
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_core::scenarios::fig7_flows;
+use smart_link::table1::{paper_reference, table1};
+use smart_link::units::Gbps;
+use smart_link::{LinkStyle, TestChip};
+use smart_power::{breakdown, EnergyModel, GatingPolicy};
+use smart_sim::{FlowId, SourceRoute};
+use std::collections::BTreeMap;
+
+struct Scorecard {
+    rows: Vec<(String, String, String, bool)>,
+}
+
+impl Scorecard {
+    fn check(&mut self, claim: &str, ours: String, paper: &str, ok: bool) {
+        self.rows.push((claim.to_owned(), ours, paper.to_owned(), ok));
+    }
+
+    fn print(&self) -> bool {
+        println!(
+            "{:<46} {:>14} {:>14} {:>6}",
+            "claim", "reproduction", "paper", "check"
+        );
+        let mut all = true;
+        for (claim, ours, paper, ok) in &self.rows {
+            all &= ok;
+            println!(
+                "{claim:<46} {ours:>14} {paper:>14} {:>6}",
+                if *ok { "✓" } else { "✗" }
+            );
+        }
+        all
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let plan = if quick {
+        RunPlan::quick()
+    } else {
+        RunPlan::default()
+    };
+    let cfg = NocConfig::paper_4x4();
+    let mut card = Scorecard { rows: Vec::new() };
+
+    // --- Link level. ---
+    let ours_t1 = table1();
+    let paper_t1 = paper_reference();
+    let t1_ok = ours_t1
+        .rows
+        .iter()
+        .zip(paper_t1.rows.iter())
+        .all(|(a, b)| {
+            a.cells.iter().zip(b.cells.iter()).all(|(x, y)| {
+                x.hops == y.hops && (x.energy_fj_per_bit_mm - y.energy_fj_per_bit_mm).abs() < 0.5
+            })
+        });
+    card.check(
+        "Table I: all 12 (hops, energy) cells",
+        "12/12 exact".into(),
+        "exact",
+        t1_ok,
+    );
+    card.check(
+        "8 hops in one cycle at 2 GHz",
+        format!("{}", cfg.hpc_max),
+        "8",
+        cfg.hpc_max == 8,
+    );
+    let chip = TestChip::new();
+    let vlr_rate = chip.max_data_rate(LinkStyle::LowSwing).0;
+    let fs_rate = chip.max_data_rate(LinkStyle::FullSwing).0;
+    card.check(
+        "chip: VLR max data rate (Gb/s)",
+        format!("{vlr_rate:.2}"),
+        "6.8",
+        (vlr_rate - 6.8).abs() < 0.1,
+    );
+    card.check(
+        "chip: full-swing max data rate (Gb/s)",
+        format!("{fs_rate:.2}"),
+        "5.5",
+        (fs_rate - 5.5).abs() < 0.1,
+    );
+    let d_vlr = chip.delay_per_mm(LinkStyle::LowSwing, Gbps(5.0)).0;
+    card.check(
+        "chip: VLR delay (ps/mm)",
+        format!("{d_vlr:.0}"),
+        "~60",
+        (45.0..=75.0).contains(&d_vlr),
+    );
+
+    // --- Fig 7. ---
+    let flows = fig7_flows(cfg.mesh);
+    let routes: Vec<(FlowId, SourceRoute)> =
+        flows.iter().map(|(f, r, _)| (*f, r.clone())).collect();
+    let app = compile(cfg.mesh, cfg.hpc_max, &routes);
+    let fig7_ok = flows
+        .iter()
+        .all(|(f, _, exp)| app.flows.plan(*f).zero_load_latency() == *exp);
+    card.check(
+        "Fig 7: traversal times 1/1/7/7",
+        if fig7_ok { "exact" } else { "mismatch" }.to_string(),
+        "1/1/7/7",
+        fig7_ok,
+    );
+
+    // --- Section V. ---
+    card.check(
+        "reconfiguration cost (stores)",
+        format!("{}", cfg.mesh.len()),
+        "16",
+        cfg.mesh.len() == 16,
+    );
+
+    // --- Fig 10. ---
+    let results = run_suite(&cfg, &plan);
+    let mut lat: BTreeMap<DesignKind, f64> = BTreeMap::new();
+    for r in &results {
+        *lat.entry(r.design).or_insert(0.0) += r.avg_latency / 8.0;
+    }
+    let reduction = (1.0 - lat[&DesignKind::Smart] / lat[&DesignKind::Mesh]) * 100.0;
+    card.check(
+        "Fig 10a: SMART latency cut vs Mesh (%)",
+        format!("{reduction:.1}"),
+        "60.1",
+        (50.0..=75.0).contains(&reduction),
+    );
+    card.check(
+        "Fig 10a: SMART average latency (cycles)",
+        format!("{:.2}", lat[&DesignKind::Smart]),
+        "3.8",
+        (2.0..=5.0).contains(&lat[&DesignKind::Smart]),
+    );
+    let gap = lat[&DesignKind::Smart] - lat[&DesignKind::Dedicated];
+    card.check(
+        "Fig 10a: SMART above Dedicated (cycles)",
+        format!("{gap:.2}"),
+        "1.5",
+        (0.5..=2.5).contains(&gap),
+    );
+    let model = EnergyModel::calibrated_45nm(&cfg);
+    let mut totals: BTreeMap<(String, DesignKind), f64> = BTreeMap::new();
+    for r in &results {
+        let p = breakdown(
+            &model,
+            &r.counters,
+            cfg.clock_ghz,
+            GatingPolicy::for_design(r.design),
+        );
+        totals.insert((r.app.clone(), r.design), p.total_w());
+    }
+    let apps: Vec<String> = results.iter().map(|r| r.app.clone()).collect();
+    let mut ratio = 0.0;
+    let mut n = 0.0;
+    for app in apps.iter().collect::<std::collections::BTreeSet<_>>() {
+        ratio += totals[&((*app).clone(), DesignKind::Mesh)]
+            / totals[&((*app).clone(), DesignKind::Smart)];
+        n += 1.0;
+    }
+    let ratio = ratio / n;
+    card.check(
+        "Fig 10b: Mesh/SMART power ratio",
+        format!("{ratio:.2}x"),
+        "2.2x",
+        (1.6..=3.2).contains(&ratio),
+    );
+
+    println!();
+    let all = card.print();
+    println!();
+    if all {
+        println!("ALL CHECKS PASS — the reproduction holds every headline claim.");
+    } else {
+        println!("SOME CHECKS FAILED — see EXPERIMENTS.md for tolerance discussion.");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Table I**: simulation results of max number of hops per
+//! cycle (and energy efficiency) for full-swing and low-swing links.
+//!
+//! ```text
+//! cargo run -p smart-bench --bin table1
+//! ```
+
+use smart_link::table1::{paper_reference, table1};
+
+fn main() {
+    let ours = table1();
+    println!("{ours}");
+    println!();
+    println!("Paper reference:");
+    println!("{}", paper_reference());
+
+    // Cell-by-cell comparison.
+    let paper = paper_reference();
+    let mut mismatches = 0;
+    for (a, b) in ours.rows.iter().zip(paper.rows.iter()) {
+        for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
+            if ca.hops != cb.hops
+                || (ca.energy_fj_per_bit_mm - cb.energy_fj_per_bit_mm).abs() > 0.5
+            {
+                mismatches += 1;
+                println!(
+                    "MISMATCH {:?} {:?} @ {}: {} ({:.0}) vs paper {} ({:.0})",
+                    a.style,
+                    a.variant,
+                    ca.rate,
+                    ca.hops,
+                    ca.energy_fj_per_bit_mm,
+                    cb.hops,
+                    cb.energy_fj_per_bit_mm
+                );
+            }
+        }
+    }
+    println!();
+    if mismatches == 0 {
+        println!("All 12 cells match the paper (hops exact, energy within 0.5 fJ/b/mm).");
+    } else {
+        println!("{mismatches} cells mismatch the paper.");
+    }
+}

@@ -1,0 +1,44 @@
+//! Prints **Table II**: the 4×4 NoC configuration.
+//!
+//! ```text
+//! cargo run -p smart-bench --bin table2
+//! ```
+
+use smart_core::config::NocConfig;
+
+fn main() {
+    let c = NocConfig::paper_4x4();
+    let h = c.header_layout();
+    println!("TABLE II: 4x4 NoC Configuration");
+    println!("{:<16} 45nm", "Technology");
+    println!("{:<16} {} V, {} GHz", "Vdd, Freq", c.vdd, c.clock_ghz);
+    println!(
+        "{:<16} {}x{} mesh",
+        "Topology",
+        c.mesh.width(),
+        c.mesh.height()
+    );
+    println!("{:<16} {} bits", "Channel width", c.channel_bits);
+    println!("{:<16} {} bits", "Credit width", c.credit_bits);
+    println!("{:<16} {}", "Router ports", c.router_ports);
+    println!(
+        "{:<16} {}, {}-flit deep",
+        "VCs per port", c.vcs_per_port, c.vc_depth
+    );
+    println!("{:<16} {} bits", "Packet size", c.packet_bits);
+    println!("{:<16} {} bits", "Flit size", c.flit_bits);
+    println!(
+        "{:<16} {} bits (Head), {} bits (Body, Tail)",
+        "Header width",
+        h.head_bits(),
+        h.body_bits()
+    );
+    println!();
+    println!(
+        "Derived: {} flits/packet, HPC_max = {} hops/cycle ({} mm at {} GHz)",
+        c.flits_per_packet(),
+        c.hpc_max,
+        c.hpc_max,
+        c.clock_ghz
+    );
+}

@@ -1,0 +1,187 @@
+//! Runtime reconfiguration across applications (Fig 1, Section V).
+//!
+//! "Before each application runs, these registers need to be set
+//! properly to suit the application's traffic characteristic. The
+//! network needs to be emptied while setting the registers." The cost is
+//! one memory store per router — 16 instructions on the 4×4 mesh.
+
+use crate::config::NocConfig;
+use crate::noc::SmartNoc;
+use crate::preset::StoreOp;
+use smart_sim::{FlowId, SourceRoute};
+
+/// Report of one reconfiguration event.
+#[derive(Debug, Clone)]
+pub struct ReconfigReport {
+    /// Application being loaded.
+    pub app_name: String,
+    /// Cycles spent draining the previous application's in-flight
+    /// traffic (0 for the first application).
+    pub drain_cycles: u64,
+    /// The memory-mapped store sequence that installs the presets.
+    pub stores: Vec<StoreOp>,
+    /// Runtime cost in instructions (= stores; Section V).
+    pub cost_instructions: usize,
+}
+
+/// A SMART NoC that can be retargeted to successive applications.
+#[derive(Debug)]
+pub struct ReconfigurableNoc {
+    cfg: NocConfig,
+    base_addr: u64,
+    current: Option<(String, SmartNoc)>,
+    reconfig_count: u64,
+}
+
+impl ReconfigurableNoc {
+    /// A reconfigurable NoC with preset registers mapped at `base_addr`.
+    #[must_use]
+    pub fn new(cfg: NocConfig, base_addr: u64) -> Self {
+        ReconfigurableNoc {
+            cfg,
+            base_addr,
+            current: None,
+            reconfig_count: 0,
+        }
+    }
+
+    /// The design point.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Number of reconfigurations performed.
+    #[must_use]
+    pub fn reconfig_count(&self) -> u64 {
+        self.reconfig_count
+    }
+
+    /// Name of the application currently loaded.
+    #[must_use]
+    pub fn current_app(&self) -> Option<&str> {
+        self.current.as_ref().map(|(n, _)| n.as_str())
+    }
+
+    /// The live network for the current application.
+    #[must_use]
+    pub fn noc(&self) -> Option<&SmartNoc> {
+        self.current.as_ref().map(|(_, n)| n)
+    }
+
+    /// Mutable access to the live network.
+    pub fn noc_mut(&mut self) -> Option<&mut SmartNoc> {
+        self.current.as_mut().map(|(_, n)| n)
+    }
+
+    /// Drain the network and load `routes` as application `name`:
+    /// compiles presets, emits the store sequence, and swaps the
+    /// simulated network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous application's traffic cannot drain within
+    /// `max_drain_cycles` — reconfiguring a non-empty network corrupts
+    /// in-flight packets, so this is a hard error.
+    pub fn load_app(
+        &mut self,
+        name: &str,
+        routes: &[(FlowId, SourceRoute)],
+        max_drain_cycles: u64,
+    ) -> ReconfigReport {
+        let mut drain_cycles = 0;
+        if let Some((prev_name, prev)) = self.current.as_mut() {
+            let before = prev.network().cycle();
+            assert!(
+                prev.network_mut().drain(max_drain_cycles),
+                "cannot reconfigure: {prev_name} traffic did not drain \
+                 within {max_drain_cycles} cycles"
+            );
+            drain_cycles = prev.network().cycle() - before;
+        }
+        let noc = SmartNoc::new(&self.cfg, routes);
+        let stores = noc.presets().store_sequence(self.base_addr);
+        let cost = stores.len();
+        self.current = Some((name.to_owned(), noc));
+        self.reconfig_count += 1;
+        ReconfigReport {
+            app_name: name.to_owned(),
+            drain_cycles,
+            stores,
+            cost_instructions: cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_sim::{Mesh, NodeId, Packet, PacketId};
+
+    fn routes_row() -> Vec<(FlowId, SourceRoute)> {
+        let m = Mesh::paper_4x4();
+        vec![(FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(3)))]
+    }
+
+    fn routes_col() -> Vec<(FlowId, SourceRoute)> {
+        let m = Mesh::paper_4x4();
+        vec![(FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(12)))]
+    }
+
+    #[test]
+    fn sixteen_stores_per_reconfiguration() {
+        let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0x4000_0000);
+        let rep = noc.load_app("wlan", &routes_row(), 1000);
+        assert_eq!(rep.cost_instructions, 16, "16 nodes = 16 instructions");
+        assert_eq!(rep.drain_cycles, 0, "first app needs no drain");
+        assert_eq!(noc.current_app(), Some("wlan"));
+    }
+
+    #[test]
+    fn presets_change_across_apps() {
+        let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0);
+        let a = noc.load_app("row", &routes_row(), 1000);
+        let b = noc.load_app("col", &routes_col(), 1000);
+        assert_ne!(
+            a.stores, b.stores,
+            "different applications must produce different presets"
+        );
+        assert_eq!(noc.reconfig_count(), 2);
+    }
+
+    #[test]
+    fn drain_happens_between_apps() {
+        let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0);
+        noc.load_app("row", &routes_row(), 1000);
+        let net = noc.noc_mut().expect("loaded").network_mut();
+        net.offer(Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+            gen_cycle: 0,
+            num_flits: 8,
+        });
+        net.step(); // leave traffic in flight
+        let rep = noc.load_app("col", &routes_col(), 1000);
+        assert!(rep.drain_cycles > 0, "in-flight traffic forced a drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "did not drain")]
+    fn refusing_to_reconfigure_live_traffic() {
+        let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0);
+        noc.load_app("row", &routes_row(), 1000);
+        let net = noc.noc_mut().expect("loaded").network_mut();
+        net.offer(Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(3),
+            gen_cycle: 0,
+            num_flits: 8,
+        });
+        // Zero drain budget: must refuse.
+        let _ = noc.load_app("col", &routes_col(), 0);
+    }
+}

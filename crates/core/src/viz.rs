@@ -1,0 +1,155 @@
+//! ASCII rendering of the reconfigured topology (Fig 1).
+//!
+//! The paper's Fig 1 draws the same physical mesh three times — once per
+//! application — with the preset single-cycle paths in bold. This module
+//! renders that view: links carrying configured flows are drawn bold
+//! (`═`/`║`), idle links thin (`─`/`│`), and routers where some flow
+//! stops (buffers + arbitrates) are bracketed.
+
+use crate::compile::CompiledApp;
+use smart_sim::{Direction, LinkId, Mesh, NodeId};
+use std::collections::HashSet;
+
+/// Render the virtual topology of `app` over `mesh`.
+///
+/// Rows print north (high y) first, matching the paper's figures.
+#[must_use]
+pub fn render_topology(mesh: Mesh, app: &CompiledApp) -> String {
+    // Links used by any leg (either direction renders the segment bold).
+    let mut used: HashSet<LinkId> = HashSet::new();
+    for plan in app.flows.iter() {
+        for leg in &plan.legs {
+            used.extend(leg.links.iter().copied());
+        }
+    }
+    let is_used = |from: NodeId, dir: Direction| -> bool {
+        let fwd = LinkId { from, dir };
+        let back = mesh.neighbor(from, dir).map(|n| LinkId {
+            from: n,
+            dir: dir.opposite(),
+        });
+        used.contains(&fwd) || back.is_some_and(|b| used.contains(&b))
+    };
+    let stops: HashSet<NodeId> = app.stops.values().flatten().copied().collect();
+
+    let mut s = String::new();
+    for y in (0..mesh.height()).rev() {
+        // Node row.
+        for x in 0..mesh.width() {
+            let n = mesh.node_at(smart_sim::Coord { x, y });
+            if stops.contains(&n) {
+                s.push_str(&format!("[{:>2}]", n.0));
+            } else {
+                s.push_str(&format!(" {:>2} ", n.0));
+            }
+            if x + 1 < mesh.width() {
+                let seg = if is_used(n, Direction::East) {
+                    "═══"
+                } else {
+                    "───"
+                };
+                s.push_str(seg);
+            }
+        }
+        s.push('\n');
+        // Vertical links row.
+        if y > 0 {
+            for x in 0..mesh.width() {
+                let n = mesh.node_at(smart_sim::Coord { x, y });
+                let seg = if is_used(n, Direction::South) {
+                    " ║  "
+                } else {
+                    " │  "
+                };
+                s.push_str(seg);
+                if x + 1 < mesh.width() {
+                    s.push_str("   ");
+                }
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+/// One-line summary of the virtual topology: bold links, stop routers,
+/// bypass fraction.
+#[must_use]
+pub fn topology_summary(mesh: Mesh, app: &CompiledApp) -> String {
+    let mut used: HashSet<LinkId> = HashSet::new();
+    for plan in app.flows.iter() {
+        for leg in &plan.legs {
+            used.extend(leg.links.iter().copied());
+        }
+    }
+    let stops: HashSet<NodeId> = app.stops.values().flatten().copied().collect();
+    format!(
+        "{} bold links, {} stop routers, {:.0}% of router visits bypassed",
+        used.len(),
+        stops.len(),
+        app.bypass_fraction(mesh) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use smart_sim::{FlowId, SourceRoute};
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    #[test]
+    fn bold_links_follow_the_flows() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let app = compile(mesh(), 8, &[(FlowId(0), route)]);
+        let r = render_topology(mesh(), &app);
+        // The bottom row (printed last) is the path 0-1-2-3: all bold.
+        let bottom = r.lines().last().expect("nonempty");
+        assert_eq!(bottom.matches('═').count(), 9, "{bottom}");
+        // No vertical link is used.
+        assert_eq!(r.matches('║').count(), 0);
+        // No stops: no brackets.
+        assert!(!r.contains('['));
+    }
+
+    #[test]
+    fn stop_routers_are_bracketed() {
+        let red = SourceRoute::from_router_path(
+            mesh(),
+            &[NodeId(13), NodeId(9), NodeId(10)],
+        );
+        let blue = SourceRoute::from_router_path(
+            mesh(),
+            &[NodeId(8), NodeId(9), NodeId(10), NodeId(11), NodeId(7), NodeId(3)],
+        );
+        let app = compile(mesh(), 8, &[(FlowId(0), red), (FlowId(1), blue)]);
+        let r = render_topology(mesh(), &app);
+        assert!(r.contains("[ 9]"), "{r}");
+        assert!(r.contains("[10]"), "{r}");
+        assert!(!r.contains("[11]"), "11 is bypassed: {r}");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let app = compile(mesh(), 8, &[(FlowId(0), route)]);
+        let s = topology_summary(mesh(), &app);
+        assert!(s.contains("3 bold links"), "{s}");
+        assert!(s.contains("0 stop routers"), "{s}");
+        assert!(s.contains("100% of router visits bypassed"), "{s}");
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        let app = compile(mesh(), 8, &[(FlowId(0), route)]);
+        let r = render_topology(mesh(), &app);
+        // 4 node rows + 3 vertical-link rows.
+        assert_eq!(r.lines().count(), 7);
+        // Top row is printed first (nodes 12..15).
+        assert!(r.lines().next().expect("rows").contains("12"));
+    }
+}

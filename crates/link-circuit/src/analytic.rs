@@ -1,0 +1,556 @@
+//! Calibrated analytic link model — the model the rest of the workspace
+//! consumes.
+//!
+//! Table I of the paper reports, for each circuit variant and swing style,
+//! the **maximum number of 1 mm hops a signal can traverse in one cycle**
+//! and the **energy per bit per mm** at data rates from 1 to 5.5 Gb/s.
+//! Those numbers come from the authors' extracted (post-layout) SPICE
+//! simulations, which we cannot re-run; instead this module inverts the
+//! published table into per-variant *segment delay* and *energy* curves:
+//!
+//! * segment delay `t(R)` is anchored so that
+//!   `floor((UI − t_setup)/t(R))` reproduces the published hop counts
+//!   exactly, with piecewise-linear interpolation between anchors;
+//! * energy `e(R) = c0 + c1·R + c2/R` is fitted exactly through the
+//!   published points — the `c2/R` term captures static-current
+//!   amortization (dominant for the VLR at low rates) and `c1` the mild
+//!   swing-vs-rate dependence;
+//! * a [`MarginModel`] calibrated on the chip's
+//!   maximum data rates provides BER and `max_data_rate` queries.
+//!
+//!
+//! [`MarginModel`]: crate::ber::MarginModel
+//! The independent switch-level model in [`crate::transient`] cross-checks
+//! the trends (see this crate's integration tests).
+
+use crate::ber::MarginModel;
+use crate::units::{FemtojoulesPerBitMm, Gbps, Millimeters, Picoseconds, Volts};
+
+pub use crate::wire::Spacing as WireSpacing;
+
+/// Swing style of the repeated link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkStyle {
+    /// Conventional rail-to-rail repeaters.
+    FullSwing,
+    /// Clockless low-swing voltage-locked repeaters (the SMART link).
+    LowSwing,
+}
+
+impl LinkStyle {
+    /// Short label used in tables ("Full-swing" / "Low-swing").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkStyle::FullSwing => "Full-swing",
+            LinkStyle::LowSwing => "Low-swing",
+        }
+    }
+}
+
+/// Circuit sizing variant (Table I footnotes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitVariant {
+    /// The circuit as fabricated on the 45 nm SOI test chip (optimized for
+    /// maximum data rate). Table I's `∗∗` rows use this sizing with 2×
+    /// wire spacing; the Section III chip measurements use it at minimum
+    /// DRC pitch.
+    Fabricated,
+    /// Transistors resized (smaller) and wires spaced 2× for a 2 GHz
+    /// system clock — the SMART NoC design point. Table I's `∗` rows.
+    Resized2GHz,
+}
+
+/// One published calibration point: at `rate`, the link makes `hops` hops
+/// per cycle at `energy` fJ/b/mm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Anchor {
+    rate: Gbps,
+    hops: u32,
+    energy: FemtojoulesPerBitMm,
+}
+
+/// Flip-flop setup + clock-q margin charged against each cycle before
+/// link propagation, ps.
+const T_SETUP_PS: f64 = 20.0;
+
+/// Measured min-pitch to 2×-spacing delay ratio (the chip measured
+/// 60 ps/mm low-swing and 100 ps/mm full-swing at min pitch; the same
+/// circuits at 2× spacing anchor near 30/51 ps/mm).
+const MIN_PITCH_DELAY_FACTOR: f64 = 2.0;
+/// Capacitance-driven energy scale from 2× spacing to min pitch
+/// (210 fF/mm vs 125 fF/mm, tempered by the rate-independent share).
+const MIN_PITCH_ENERGY_FACTOR: f64 = 1.6;
+
+/// Calibrated delay/energy/BER model for one (style, variant, spacing)
+/// combination.
+///
+/// ```
+/// use smart_link::{CalibratedLinkModel, CircuitVariant, Gbps, LinkStyle, WireSpacing};
+///
+/// let m = CalibratedLinkModel::new(
+///     LinkStyle::LowSwing,
+///     CircuitVariant::Resized2GHz,
+///     WireSpacing::Double,
+/// );
+/// // Table I, 2 Gb/s column.
+/// assert_eq!(m.max_hops_per_cycle(Gbps(2.0)), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalibratedLinkModel {
+    style: LinkStyle,
+    variant: CircuitVariant,
+    spacing: WireSpacing,
+    /// (rate, segment delay) anchors, ascending by rate.
+    delay_anchors: Vec<(Gbps, Picoseconds)>,
+    /// Energy fit e(R) = c0 + c1·R + c2/R.
+    energy_coeffs: [f64; 3],
+    margin: MarginModel,
+}
+
+impl CalibratedLinkModel {
+    /// Build the model for a (style, variant, spacing) combination.
+    ///
+    /// All twelve Table I cells are reproduced exactly
+    /// (`Double` spacing). `Fabricated`+`MinPitch` is calibrated directly
+    /// to the Section III chip measurements (60/100 ps/mm; 608 fJ/b at
+    /// 6.8 Gb/s, 687/765 fJ/b at 5.5 Gb/s over 10 mm) — note the paper's
+    /// chip energies are *lower* than its wide-spacing Table I
+    /// simulations, so no capacitance scaling could connect the two; we
+    /// honour the measurements. `Resized2GHz`+`MinPitch` is a documented
+    /// extrapolation (delay ×2, energy ×1.6 from the 2×-spacing anchors,
+    /// the ratios the chip itself exhibits for delay).
+    #[must_use]
+    pub fn new(style: LinkStyle, variant: CircuitVariant, spacing: WireSpacing) -> Self {
+        let margin = margin_model(style);
+        if variant == CircuitVariant::Fabricated && spacing == WireSpacing::MinPitch {
+            let (delay, energy_anchors): (f64, Vec<(f64, f64)>) = match style {
+                // Chip: ~60 ps/mm; 687 fJ/b @ 5.5 and 608 fJ/b @ 6.8 over 10 mm.
+                LinkStyle::LowSwing => (60.0, vec![(5.5, 68.7), (6.8, 60.8)]),
+                // Chip: ~100 ps/mm; 765 fJ/b @ 5.5 over 10 mm.
+                LinkStyle::FullSwing => (100.0, vec![(5.5, 76.5)]),
+            };
+            let energy_coeffs = fit_energy_points(&energy_anchors);
+            return CalibratedLinkModel {
+                style,
+                variant,
+                spacing,
+                delay_anchors: vec![(Gbps(5.0), Picoseconds(delay))],
+                energy_coeffs,
+                margin,
+            };
+        }
+        let anchors = published_anchors(style, variant);
+        let (delay_scale, energy_scale) = match spacing {
+            WireSpacing::Double => (1.0, 1.0),
+            WireSpacing::MinPitch => (MIN_PITCH_DELAY_FACTOR, MIN_PITCH_ENERGY_FACTOR),
+        };
+        let delay_anchors: Vec<(Gbps, Picoseconds)> = anchors
+            .iter()
+            .map(|a| {
+                let ui = a.rate.bit_time().0;
+                // Mid-band inversion: the delay that puts the published hop
+                // count in the middle of its floor() bucket.
+                let t = (ui - T_SETUP_PS) / (a.hops as f64 + 0.5);
+                (a.rate, Picoseconds(t * delay_scale))
+            })
+            .collect();
+        let energy_coeffs = fit_energy(&anchors, energy_scale);
+        CalibratedLinkModel {
+            style,
+            variant,
+            spacing,
+            delay_anchors,
+            energy_coeffs,
+            margin,
+        }
+    }
+
+    /// The swing style this model was built for.
+    #[must_use]
+    pub fn style(&self) -> LinkStyle {
+        self.style
+    }
+
+    /// The circuit variant this model was built for.
+    #[must_use]
+    pub fn variant(&self) -> CircuitVariant {
+        self.variant
+    }
+
+    /// The wire spacing this model was built for.
+    #[must_use]
+    pub fn spacing(&self) -> WireSpacing {
+        self.spacing
+    }
+
+    /// Per-hop (per-mm) propagation delay at `rate`, interpolated from
+    /// the calibration anchors.
+    #[must_use]
+    pub fn delay_ps_per_mm(&self, rate: Gbps) -> Picoseconds {
+        let pts = &self.delay_anchors;
+        if rate.0 <= pts[0].0 .0 {
+            return pts[0].1;
+        }
+        if rate.0 >= pts[pts.len() - 1].0 .0 {
+            return pts[pts.len() - 1].1;
+        }
+        for w in pts.windows(2) {
+            let (r0, t0) = w[0];
+            let (r1, t1) = w[1];
+            if rate.0 >= r0.0 && rate.0 <= r1.0 {
+                let f = (rate.0 - r0.0) / (r1.0 - r0.0);
+                return Picoseconds(t0.0 + f * (t1.0 - t0.0));
+            }
+        }
+        unreachable!("anchors are sorted and cover the clamped range")
+    }
+
+    /// Maximum number of 1 mm hops traversable in a single cycle at
+    /// `rate` (one bit per wire per cycle, so the clock period is the
+    /// unit interval). This is Table I's headline quantity and the
+    /// NoC-level `HPC_max`.
+    #[must_use]
+    pub fn max_hops_per_cycle(&self, rate: Gbps) -> u32 {
+        let ui = rate.bit_time().0;
+        let t = self.delay_ps_per_mm(rate).0;
+        let budget = ui - T_SETUP_PS;
+        if budget <= 0.0 {
+            return 0;
+        }
+        (budget / t).floor() as u32
+    }
+
+    /// Furthest distance reachable in a single cycle of a `clock_ghz`
+    /// system clock.
+    #[must_use]
+    pub fn single_cycle_range(&self, clock_ghz: f64) -> Millimeters {
+        Millimeters(f64::from(self.max_hops_per_cycle(Gbps(clock_ghz))))
+    }
+
+    /// Energy per bit per mm at `rate` (Table I's parenthesized figure).
+    #[must_use]
+    pub fn energy_fj_per_bit_mm(&self, rate: Gbps) -> f64 {
+        let [c0, c1, c2] = self.energy_coeffs;
+        c0 + c1 * rate.0 + c2 / rate.0
+    }
+
+    /// Energy for one bit over `length`, fJ.
+    #[must_use]
+    pub fn energy_fj_per_bit(&self, rate: Gbps, length: Millimeters) -> f64 {
+        self.energy_fj_per_bit_mm(rate) * length.0
+    }
+
+    /// Average power (mW) for a continuous bit stream at `rate` over
+    /// `length` of link.
+    #[must_use]
+    pub fn power_mw(&self, rate: Gbps, length: Millimeters) -> f64 {
+        // fJ/bit × Gbit/s = µW; /1000 → mW.
+        self.energy_fj_per_bit(rate, length) * rate.0 * 1e-3
+    }
+
+    /// Bit error rate at `rate`.
+    #[must_use]
+    pub fn ber(&self, rate: Gbps) -> f64 {
+        self.margin.ber(rate)
+    }
+
+    /// Highest data rate sustaining `ber_target`.
+    #[must_use]
+    pub fn max_data_rate(&self, ber_target: f64) -> Gbps {
+        self.margin.max_rate(ber_target)
+    }
+}
+
+/// Published Table I / Section III anchors for each (style, variant), at
+/// the spacing the paper reports them (2× for Table I, min pitch for the
+/// chip-measurement-derived `Fabricated` low-rate extension).
+fn published_anchors(style: LinkStyle, variant: CircuitVariant) -> Vec<Anchor> {
+    let a = |rate: f64, hops: u32, energy: f64| Anchor {
+        rate: Gbps(rate),
+        hops,
+        energy: FemtojoulesPerBitMm(energy),
+    };
+    match (style, variant) {
+        // Table I `∗` rows: resized + 2× spacing, 1–3 Gb/s.
+        (LinkStyle::FullSwing, CircuitVariant::Resized2GHz) => {
+            vec![a(1.0, 13, 103.0), a(2.0, 6, 95.0), a(3.0, 4, 84.0)]
+        }
+        (LinkStyle::LowSwing, CircuitVariant::Resized2GHz) => {
+            vec![a(1.0, 16, 128.0), a(2.0, 8, 104.0), a(3.0, 6, 87.0)]
+        }
+        // Table I `∗∗` rows: fabricated sizing + 2× spacing, 4–5.5 Gb/s.
+        (LinkStyle::FullSwing, CircuitVariant::Fabricated) => {
+            vec![a(4.0, 4, 98.0), a(5.0, 3, 89.0), a(5.5, 3, 85.0)]
+        }
+        (LinkStyle::LowSwing, CircuitVariant::Fabricated) => {
+            vec![a(4.0, 7, 132.0), a(5.0, 6, 107.0), a(5.5, 5, 96.0)]
+        }
+    }
+}
+
+/// Exact fit of `e(R) = c0 + c1·R + c2/R` through up to three anchors
+/// (fewer anchors zero the higher terms), then scaled by `energy_scale`.
+fn fit_energy(anchors: &[Anchor], energy_scale: f64) -> [f64; 3] {
+    let pts: Vec<(f64, f64)> = anchors
+        .iter()
+        .map(|a| (a.rate.0, a.energy.0 * energy_scale))
+        .collect();
+    fit_energy_points(&pts)
+}
+
+/// Exact fit of `e(R) = c0 + c1·R + c2/R` through raw `(rate, energy)`
+/// points.
+fn fit_energy_points(pts: &[(f64, f64)]) -> [f64; 3] {
+    match pts.len() {
+        0 => [0.0; 3],
+        1 => [pts[0].1, 0.0, 0.0],
+        2 => {
+            // c0 + c2/R through two points.
+            let (r0, e0) = pts[0];
+            let (r1, e1) = pts[1];
+            let c2 = (e0 - e1) / (1.0 / r0 - 1.0 / r1);
+            let c0 = e0 - c2 / r0;
+            [c0, 0.0, c2]
+        }
+        _ => {
+            // Solve the 3×3 system for (c0, c1, c2).
+            let mut m = [[0.0_f64; 4]; 3];
+            for (i, (r, e)) in pts.iter().take(3).enumerate() {
+                m[i] = [1.0, *r, 1.0 / *r, *e];
+            }
+            gauss3(&mut m)
+        }
+    }
+}
+
+/// Gaussian elimination on a 3×4 augmented matrix.
+fn gauss3(m: &mut [[f64; 4]; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&a, &b| {
+                m[a][col]
+                    .abs()
+                    .partial_cmp(&m[b][col].abs())
+                    .expect("matrix entries are finite")
+            })
+            .expect("non-empty range");
+        m.swap(col, pivot);
+        assert!(
+            m[col][col].abs() > 1e-12,
+            "singular calibration system (duplicate anchor rates?)"
+        );
+        for row in 0..3 {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (k, cell) in m[row].iter_mut().enumerate().skip(col) {
+                    *cell -= f * pivot_row[k];
+                }
+            }
+        }
+    }
+    [m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]]
+}
+
+/// Margin models calibrated on the Section III chip maxima: the VLR runs
+/// to 6.8 Gb/s and the full-swing chain to 5.5 Gb/s, both at BER < 10⁻⁹.
+fn margin_model(style: LinkStyle) -> MarginModel {
+    match style {
+        LinkStyle::LowSwing => MarginModel::calibrated(
+            Volts(0.125),
+            Picoseconds(60.0),
+            Volts(0.012),
+            Gbps(6.8),
+            1e-9,
+        ),
+        LinkStyle::FullSwing => MarginModel::calibrated(
+            Volts(0.45),
+            Picoseconds(110.0),
+            Volts(0.012),
+            Gbps(5.5),
+            1e-9,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(style: LinkStyle, variant: CircuitVariant) -> CalibratedLinkModel {
+        CalibratedLinkModel::new(style, variant, WireSpacing::Double)
+    }
+
+    #[test]
+    fn table1_hops_reproduced_exactly() {
+        let cases = [
+            (LinkStyle::FullSwing, CircuitVariant::Resized2GHz, vec![(1.0, 13), (2.0, 6), (3.0, 4)]),
+            (LinkStyle::LowSwing, CircuitVariant::Resized2GHz, vec![(1.0, 16), (2.0, 8), (3.0, 6)]),
+            (LinkStyle::FullSwing, CircuitVariant::Fabricated, vec![(4.0, 4), (5.0, 3), (5.5, 3)]),
+            (LinkStyle::LowSwing, CircuitVariant::Fabricated, vec![(4.0, 7), (5.0, 6), (5.5, 5)]),
+        ];
+        for (style, variant, expect) in cases {
+            let m = model(style, variant);
+            for (rate, hops) in expect {
+                assert_eq!(
+                    m.max_hops_per_cycle(Gbps(rate)),
+                    hops,
+                    "{style:?} {variant:?} at {rate} Gb/s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_energy_reproduced_exactly() {
+        let cases = [
+            (LinkStyle::FullSwing, CircuitVariant::Resized2GHz, vec![(1.0, 103.0), (2.0, 95.0), (3.0, 84.0)]),
+            (LinkStyle::LowSwing, CircuitVariant::Resized2GHz, vec![(1.0, 128.0), (2.0, 104.0), (3.0, 87.0)]),
+            (LinkStyle::FullSwing, CircuitVariant::Fabricated, vec![(4.0, 98.0), (5.0, 89.0), (5.5, 85.0)]),
+            (LinkStyle::LowSwing, CircuitVariant::Fabricated, vec![(4.0, 132.0), (5.0, 107.0), (5.5, 96.0)]),
+        ];
+        for (style, variant, expect) in cases {
+            let m = model(style, variant);
+            for (rate, energy) in expect {
+                let got = m.energy_fj_per_bit_mm(Gbps(rate));
+                assert!(
+                    (got - energy).abs() < 1e-6,
+                    "{style:?} {variant:?} at {rate} Gb/s: {got} vs {energy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_headline_number() {
+        // "At 2 GHz, 8-hop (8 mm) link can be traversed in a cycle at
+        // 104 fJ/b/mm."
+        let m = model(LinkStyle::LowSwing, CircuitVariant::Resized2GHz);
+        assert_eq!(m.max_hops_per_cycle(Gbps(2.0)), 8);
+        assert_eq!(m.single_cycle_range(2.0), Millimeters(8.0));
+        assert!((m.energy_fj_per_bit_mm(Gbps(2.0)) - 104.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn low_swing_beats_full_swing_everywhere() {
+        for &(variant, rates) in &[
+            (CircuitVariant::Resized2GHz, [1.0, 1.5, 2.0, 2.5, 3.0]),
+            (CircuitVariant::Fabricated, [4.0, 4.5, 5.0, 5.25, 5.5]),
+        ] {
+            let ls = model(LinkStyle::LowSwing, variant);
+            let fs = model(LinkStyle::FullSwing, variant);
+            for &r in &rates {
+                assert!(
+                    ls.max_hops_per_cycle(Gbps(r)) >= fs.max_hops_per_cycle(Gbps(r)),
+                    "at {r} Gb/s"
+                );
+                assert!(ls.delay_ps_per_mm(Gbps(r)) < fs.delay_ps_per_mm(Gbps(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn hops_decrease_with_rate() {
+        let m = model(LinkStyle::LowSwing, CircuitVariant::Resized2GHz);
+        let mut prev = u32::MAX;
+        for r in [1.0, 1.5, 2.0, 2.5, 3.0] {
+            let h = m.max_hops_per_cycle(Gbps(r));
+            assert!(h <= prev, "hops must not increase with rate");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn min_pitch_is_slower_and_hungrier() {
+        // The Resized2GHz min-pitch model is the documented ×2 delay /
+        // ×1.6 energy extrapolation of the 2×-spacing anchors.
+        let wide = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::Double,
+        );
+        let tight = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::MinPitch,
+        );
+        let r = Gbps(2.0);
+        assert!(tight.delay_ps_per_mm(r) > wide.delay_ps_per_mm(r));
+        assert!(tight.energy_fj_per_bit_mm(r) > wide.energy_fj_per_bit_mm(r));
+        assert!(tight.max_hops_per_cycle(r) < wide.max_hops_per_cycle(r));
+    }
+
+    #[test]
+    fn fabricated_min_pitch_honours_chip_energy() {
+        // 687 fJ/b over 10 mm at 5.5 Gb/s and 608 fJ/b at 6.8 Gb/s.
+        let m = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Fabricated,
+            WireSpacing::MinPitch,
+        );
+        let e55 = m.energy_fj_per_bit(Gbps(5.5), Millimeters(10.0));
+        let e68 = m.energy_fj_per_bit(Gbps(6.8), Millimeters(10.0));
+        assert!((e55 - 687.0).abs() < 1.0, "got {e55}");
+        assert!((e68 - 608.0).abs() < 1.0, "got {e68}");
+    }
+
+    #[test]
+    fn min_pitch_delay_matches_chip_measurements() {
+        // The chip measured ~60 ps/mm (VLR) and ~100 ps/mm (full-swing)
+        // at min DRC pitch.
+        let ls = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Fabricated,
+            WireSpacing::MinPitch,
+        );
+        let fs = CalibratedLinkModel::new(
+            LinkStyle::FullSwing,
+            CircuitVariant::Fabricated,
+            WireSpacing::MinPitch,
+        );
+        let dls = ls.delay_ps_per_mm(Gbps(5.0)).0;
+        let dfs = fs.delay_ps_per_mm(Gbps(5.0)).0;
+        assert!((45.0..=75.0).contains(&dls), "VLR {dls} ps/mm vs ~60");
+        assert!((85.0..=115.0).contains(&dfs), "FS {dfs} ps/mm vs ~100");
+    }
+
+    #[test]
+    fn max_data_rate_matches_chip() {
+        let ls = model(LinkStyle::LowSwing, CircuitVariant::Fabricated);
+        let fs = model(LinkStyle::FullSwing, CircuitVariant::Fabricated);
+        assert!((ls.max_data_rate(1e-9).0 - 6.8).abs() < 0.1);
+        assert!((fs.max_data_rate(1e-9).0 - 5.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn ber_threshold_behaviour() {
+        let m = model(LinkStyle::LowSwing, CircuitVariant::Fabricated);
+        assert!(m.ber(Gbps(6.0)) < 1e-9, "below max rate the link is clean");
+        assert!(m.ber(Gbps(7.5)) > 1e-9, "above max rate errors appear");
+    }
+
+    #[test]
+    fn power_matches_energy_times_rate() {
+        let m = model(LinkStyle::LowSwing, CircuitVariant::Resized2GHz);
+        let p = m.power_mw(Gbps(2.0), Millimeters(8.0));
+        // 104 fJ/b/mm × 8 mm × 2 Gb/s = 1.664 mW.
+        assert!((p - 1.664).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_anchors() {
+        let m = model(LinkStyle::LowSwing, CircuitVariant::Resized2GHz);
+        let d1 = m.delay_ps_per_mm(Gbps(1.0)).0;
+        let d15 = m.delay_ps_per_mm(Gbps(1.5)).0;
+        let d2 = m.delay_ps_per_mm(Gbps(2.0)).0;
+        assert!((d1 >= d15 && d15 >= d2) || (d1 <= d15 && d15 <= d2));
+    }
+
+    #[test]
+    fn extrapolation_clamps() {
+        let m = model(LinkStyle::LowSwing, CircuitVariant::Resized2GHz);
+        assert_eq!(m.delay_ps_per_mm(Gbps(0.5)), m.delay_ps_per_mm(Gbps(1.0)));
+        assert_eq!(m.delay_ps_per_mm(Gbps(9.0)), m.delay_ps_per_mm(Gbps(3.0)));
+    }
+}

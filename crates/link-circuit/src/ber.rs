@@ -1,0 +1,243 @@
+//! Bit-error-rate model for repeated links.
+//!
+//! The paper reports that both links maintain BER below 10⁻⁹ up to their
+//! maximum data rates (6.8 Gb/s for the VLR, 5.5 Gb/s for the full-swing
+//! chain). We model the received eye margin as a settling process — the
+//! shorter the unit interval, the less of the swing develops before the
+//! sampling instant — and convert margin to BER through a Gaussian noise
+//! model (Q-factor), the standard serial-link abstraction.
+
+use crate::units::{Gbps, Picoseconds, Volts};
+
+/// Q-factor at which the Gaussian tail equals 10⁻⁹ (≈ 5.998).
+pub const Q_FOR_1E9: f64 = 5.998;
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26-based,
+/// accurate to ~1.5e-7 absolute — ample for BER work).
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// BER of a Gaussian-noise sampler with the given Q-factor:
+/// `BER = ½·erfc(Q/√2)`.
+#[must_use]
+pub fn q_to_ber(q: f64) -> f64 {
+    0.5 * erfc(q / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of [`q_to_ber`] by bisection.
+///
+/// # Panics
+///
+/// Panics if `ber` is outside `(0, 0.5)`.
+#[must_use]
+pub fn ber_to_q(ber: f64) -> f64 {
+    assert!(ber > 0.0 && ber < 0.5, "BER must be in (0, 0.5), got {ber}");
+    let (mut lo, mut hi) = (0.0_f64, 40.0_f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if q_to_ber(mid) > ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Eye-margin settling model: the available margin at the sampler is
+///
+/// `margin(R) = m_inf · (1 − exp(−(UI(R) − t_min)/τ))`
+///
+/// where `m_inf` is the half-swing available with unlimited settling
+/// time, `t_min` the dead time (propagation + sampler aperture) and `τ`
+/// the settling constant of the repeater chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginModel {
+    /// Margin with unlimited settling time (half the steady swing), volts.
+    pub m_inf: Volts,
+    /// Dead time before margin starts developing, ps.
+    pub t_min: Picoseconds,
+    /// Settling time constant, ps.
+    pub tau: Picoseconds,
+    /// RMS Gaussian noise at the sampler, volts.
+    pub sigma: Volts,
+}
+
+impl MarginModel {
+    /// Calibrate `τ` so that the model hits exactly `ber_target` at
+    /// `rate_max` — the way the paper's chip numbers pin the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested operating point is unreachable (margin
+    /// target exceeds `m_inf`, or the UI at `rate_max` is shorter than
+    /// `t_min`).
+    #[must_use]
+    pub fn calibrated(
+        m_inf: Volts,
+        t_min: Picoseconds,
+        sigma: Volts,
+        rate_max: Gbps,
+        ber_target: f64,
+    ) -> Self {
+        let q = ber_to_q(ber_target);
+        let need = q * sigma.0;
+        assert!(
+            need < m_inf.0,
+            "required margin {need} V exceeds asymptotic margin {m_inf}"
+        );
+        let ui = rate_max.bit_time();
+        assert!(
+            ui.0 > t_min.0,
+            "UI {ui} at the calibration rate is shorter than the dead time {t_min}"
+        );
+        // 1 - exp(-(ui - t_min)/tau) = need/m_inf
+        let frac = need / m_inf.0;
+        let tau = -(ui.0 - t_min.0) / (1.0 - frac).ln();
+        MarginModel {
+            m_inf,
+            t_min,
+            tau: Picoseconds(tau),
+            sigma,
+        }
+    }
+
+    /// Eye margin at `rate` (clamped at zero once the UI dips below the
+    /// dead time).
+    #[must_use]
+    pub fn margin(&self, rate: Gbps) -> Volts {
+        let ui = rate.bit_time();
+        if ui.0 <= self.t_min.0 {
+            return Volts(0.0);
+        }
+        let frac = 1.0 - (-(ui.0 - self.t_min.0) / self.tau.0).exp();
+        Volts(self.m_inf.0 * frac)
+    }
+
+    /// BER at `rate`.
+    #[must_use]
+    pub fn ber(&self, rate: Gbps) -> f64 {
+        let m = self.margin(rate);
+        if m.0 <= 0.0 {
+            return 0.5;
+        }
+        q_to_ber(m.0 / self.sigma.0)
+    }
+
+    /// Highest data rate meeting `ber_target`, by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber_target` is outside `(0, 0.5)`.
+    #[must_use]
+    pub fn max_rate(&self, ber_target: f64) -> Gbps {
+        assert!(
+            ber_target > 0.0 && ber_target < 0.5,
+            "BER target must be in (0, 0.5), got {ber_target}"
+        );
+        let (mut lo, mut hi) = (0.05_f64, 1000.0 / self.t_min.0.max(1.0));
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.ber(Gbps(mid)) < ber_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Gbps(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn q_for_1e9_is_consistent() {
+        let ber = q_to_ber(Q_FOR_1E9);
+        assert!(
+            (ber / 1e-9 - 1.0).abs() < 0.05,
+            "Q=5.998 should give ~1e-9, got {ber:e}"
+        );
+    }
+
+    #[test]
+    fn ber_q_round_trip() {
+        for &ber in &[1e-3, 1e-6, 1e-9, 1e-12] {
+            let q = ber_to_q(ber);
+            assert!((q_to_ber(q) / ber - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn calibration_round_trips_max_rate() {
+        // VLR-like: 0.12 V asymptotic margin, calibrated to hit 1e-9 at
+        // 6.8 Gb/s.
+        let m = MarginModel::calibrated(
+            Volts(0.12),
+            Picoseconds(60.0),
+            Volts(0.01),
+            Gbps(6.8),
+            1e-9,
+        );
+        let r = m.max_rate(1e-9);
+        assert!((r.0 - 6.8).abs() < 0.05, "got {r}");
+    }
+
+    #[test]
+    fn ber_improves_at_lower_rate() {
+        let m = MarginModel::calibrated(
+            Volts(0.12),
+            Picoseconds(60.0),
+            Volts(0.01),
+            Gbps(6.8),
+            1e-9,
+        );
+        assert!(m.ber(Gbps(5.0)) < m.ber(Gbps(6.8)));
+        assert!(m.ber(Gbps(6.8)) < m.ber(Gbps(7.5)));
+        assert!(m.ber(Gbps(2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn margin_zero_below_dead_time() {
+        let m = MarginModel::calibrated(
+            Volts(0.12),
+            Picoseconds(60.0),
+            Volts(0.01),
+            Gbps(6.8),
+            1e-9,
+        );
+        // UI of 50 ps < 60 ps dead time -> no margin, coin-flip BER.
+        assert_eq!(m.margin(Gbps(20.0)), Volts(0.0));
+        assert_eq!(m.ber(Gbps(20.0)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds asymptotic margin")]
+    fn impossible_calibration_panics() {
+        let _ = MarginModel::calibrated(
+            Volts(0.01),
+            Picoseconds(60.0),
+            Volts(0.01),
+            Gbps(6.8),
+            1e-9,
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The Section III test chip as a calibration fixture.
+//!
+//! The paper fabricated a 10 mm interconnect in 45 nm SOI CMOS with a VLR
+//! embedded at every millimetre, alongside an equivalent full-swing
+//! repeated link and on-chip test circuits (Fig 4). This module embeds the
+//! published measurements and exposes the same experiments
+//! (`max data rate`, `power at rate`, `delay per mm`) against our models,
+//! so the bench harness can print a paper-vs-model comparison.
+
+use crate::analytic::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+use crate::units::{Gbps, Millimeters, Picoseconds};
+
+/// Published measurements for one link style on the test chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipMeasurement {
+    /// Maximum data rate at BER < 10⁻⁹.
+    pub max_rate: Gbps,
+    /// Power at the maximum data rate over the full 10 mm link, mW.
+    pub power_at_max_mw: f64,
+    /// Energy per bit at the maximum rate over 10 mm, fJ/b.
+    pub energy_at_max_fj: f64,
+    /// Propagation delay per mm.
+    pub delay_per_mm: Picoseconds,
+}
+
+/// The fabricated 10 mm / 10-repeater test vehicle.
+#[derive(Debug, Clone)]
+pub struct TestChip {
+    length: Millimeters,
+    vlr_model: CalibratedLinkModel,
+    fs_model: CalibratedLinkModel,
+}
+
+impl Default for TestChip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestChip {
+    /// The paper's test vehicle: 10 mm, repeaters at every mm, minimum
+    /// DRC pitch wiring.
+    #[must_use]
+    pub fn new() -> Self {
+        TestChip {
+            length: Millimeters(10.0),
+            vlr_model: CalibratedLinkModel::new(
+                LinkStyle::LowSwing,
+                CircuitVariant::Fabricated,
+                WireSpacing::MinPitch,
+            ),
+            fs_model: CalibratedLinkModel::new(
+                LinkStyle::FullSwing,
+                CircuitVariant::Fabricated,
+                WireSpacing::MinPitch,
+            ),
+        }
+    }
+
+    /// Link length of the test structure.
+    #[must_use]
+    pub fn length(&self) -> Millimeters {
+        self.length
+    }
+
+    /// Published measurements for `style` (Section III):
+    ///
+    /// * VLR: 6.8 Gb/s max, 4.14 mW (608 fJ/b), ~60 ps/mm;
+    /// * full-swing: 5.5 Gb/s max, 4.21 mW (765 fJ/b), ~100 ps/mm.
+    #[must_use]
+    pub fn published(style: LinkStyle) -> ChipMeasurement {
+        match style {
+            LinkStyle::LowSwing => ChipMeasurement {
+                max_rate: Gbps(6.8),
+                power_at_max_mw: 4.14,
+                energy_at_max_fj: 608.0,
+                delay_per_mm: Picoseconds(60.0),
+            },
+            LinkStyle::FullSwing => ChipMeasurement {
+                max_rate: Gbps(5.5),
+                power_at_max_mw: 4.21,
+                energy_at_max_fj: 765.0,
+                delay_per_mm: Picoseconds(100.0),
+            },
+        }
+    }
+
+    /// Published VLR power at the full-swing chain's maximum rate
+    /// (5.5 Gb/s): 3.78 mW (687 fJ/b) — the like-for-like energy win.
+    #[must_use]
+    pub fn published_vlr_at_5p5() -> (f64, f64) {
+        (3.78, 687.0)
+    }
+
+    /// The calibrated model for `style` at the chip's operating point.
+    #[must_use]
+    pub fn model(&self, style: LinkStyle) -> &CalibratedLinkModel {
+        match style {
+            LinkStyle::LowSwing => &self.vlr_model,
+            LinkStyle::FullSwing => &self.fs_model,
+        }
+    }
+
+    /// Model-predicted maximum data rate at BER < 10⁻⁹.
+    #[must_use]
+    pub fn max_data_rate(&self, style: LinkStyle) -> Gbps {
+        self.model(style).max_data_rate(1e-9)
+    }
+
+    /// Model-predicted power (mW) for a continuous stream at `rate` over
+    /// the full 10 mm.
+    #[must_use]
+    pub fn power_mw(&self, style: LinkStyle, rate: Gbps) -> f64 {
+        self.model(style).power_mw(rate, self.length)
+    }
+
+    /// Model-predicted energy per bit (fJ) over the full 10 mm.
+    #[must_use]
+    pub fn energy_fj_per_bit(&self, style: LinkStyle, rate: Gbps) -> f64 {
+        self.model(style).energy_fj_per_bit(rate, self.length)
+    }
+
+    /// Model-predicted per-mm delay at `rate`.
+    #[must_use]
+    pub fn delay_per_mm(&self, style: LinkStyle, rate: Gbps) -> Picoseconds {
+        self.model(style).delay_ps_per_mm(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_numbers_are_internally_consistent() {
+        // P = E·R must hold for the published triples.
+        for style in [LinkStyle::LowSwing, LinkStyle::FullSwing] {
+            let m = TestChip::published(style);
+            let p = m.energy_at_max_fj * m.max_rate.0 * 1e-3; // fJ·Gb/s = µW → mW via 1e-3
+            assert!(
+                (p - m.power_at_max_mw).abs() < 0.01,
+                "{style:?}: E·R = {p} mW vs published {} mW",
+                m.power_at_max_mw
+            );
+        }
+    }
+
+    #[test]
+    fn model_max_rates_match_chip() {
+        let chip = TestChip::new();
+        let vlr = chip.max_data_rate(LinkStyle::LowSwing);
+        let fs = chip.max_data_rate(LinkStyle::FullSwing);
+        assert!((vlr.0 - 6.8).abs() < 0.1, "VLR max rate {vlr}");
+        assert!((fs.0 - 5.5).abs() < 0.1, "full-swing max rate {fs}");
+        assert!(vlr.0 > fs.0, "the VLR must be the faster link");
+    }
+
+    #[test]
+    fn vlr_wins_energy_at_matched_rate() {
+        // At 5.5 Gb/s the chip measured VLR 687 fJ/b vs full-swing
+        // 765 fJ/b. Our min-pitch models must preserve the ordering.
+        let chip = TestChip::new();
+        let e_vlr = chip.energy_fj_per_bit(LinkStyle::LowSwing, Gbps(5.5));
+        let e_fs = chip.energy_fj_per_bit(LinkStyle::FullSwing, Gbps(5.5));
+        assert!(
+            e_vlr < e_fs,
+            "VLR {e_vlr} fJ/b should undercut full-swing {e_fs} fJ/b"
+        );
+    }
+
+    #[test]
+    fn delays_match_measurements() {
+        let chip = TestChip::new();
+        let d_vlr = chip.delay_per_mm(LinkStyle::LowSwing, Gbps(5.0)).0;
+        let d_fs = chip.delay_per_mm(LinkStyle::FullSwing, Gbps(5.0)).0;
+        assert!((45.0..=75.0).contains(&d_vlr), "VLR {d_vlr} vs ~60 ps/mm");
+        assert!((85.0..=115.0).contains(&d_fs), "FS {d_fs} vs ~100 ps/mm");
+    }
+
+    #[test]
+    fn ten_mm_at_max_rate_is_single_digit_milliwatts() {
+        let chip = TestChip::new();
+        let p = chip.power_mw(LinkStyle::LowSwing, Gbps(6.8));
+        assert!(p > 1.0 && p < 10.0, "got {p} mW (chip: 4.14 mW)");
+    }
+}

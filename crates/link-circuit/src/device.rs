@@ -1,0 +1,260 @@
+//! Switch-level device parameters for the two repeater families.
+//!
+//! Fig 2 of the paper shows the voltage-locked repeater (VLR): a tristate
+//! transmitter (`TxP`/`TxN`) drives the wire, and the receiver's first
+//! inverter (`INV1x`) together with a delayed feedback path *locks* the
+//! wire voltage to swing closely around the inverter threshold. The
+//! feedback delay cell lets the node overshoot briefly after each
+//! transition, which buys propagation speed and noise margin. The price is
+//! a static current path (`TxP`–wire–`RxN` for logic high, `TxN`–wire–`RxP`
+//! for logic low) flowing through the highly resistive wire.
+//!
+//! The full-swing repeater is a conventional rail-to-rail inverter pair.
+//!
+//! These are *behavioural* switch-level models: a driver is a voltage
+//! target behind an on-resistance, a receiver is a threshold detector with
+//! a gate delay, and the lock is a clamp toward the threshold behind its
+//! own on-resistance. That is the minimum structure that reproduces the
+//! waveforms of Fig 3 and the delay/energy trends of Table I.
+
+use crate::units::Volts;
+
+/// Nominal supply for the 45 nm SOI design point (Table II: 0.9 V).
+pub const VDD_45NM: Volts = Volts(0.9);
+
+/// Parameters of a conventional full-swing repeater stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FullSwingParams {
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Input switching threshold.
+    pub vth: Volts,
+    /// Output drive resistance, ohms.
+    pub r_on_ohm: f64,
+    /// Internal gate delay (two inverters), ps.
+    pub t_gate_ps: f64,
+    /// Input capacitance presented to the wire, fF.
+    pub c_in_ff: f64,
+}
+
+impl FullSwingParams {
+    /// Repeater sizing representative of the paper's equivalent
+    /// full-swing link (measured ≈100 ps/mm at min pitch).
+    #[must_use]
+    pub fn default_45nm() -> Self {
+        FullSwingParams {
+            vdd: VDD_45NM,
+            vth: Volts(0.45),
+            r_on_ohm: 420.0,
+            t_gate_ps: 16.0,
+            c_in_ff: 8.0,
+        }
+    }
+}
+
+/// Parameters of a voltage-locked repeater (VLR) stage, Fig 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VlrParams {
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Threshold of the receiver inverter `INV1x`; the lock centres the
+    /// wire swing on this voltage.
+    pub vth: Volts,
+    /// Transmitter drive resistance during the transient overdrive phase
+    /// (before the feedback loop reasserts the lock), ohms.
+    pub r_tx_strong_ohm: f64,
+    /// Transmitter drive resistance once locked, ohms. Together with the
+    /// wire resistance and the clamp this sets `Vhigh`/`Vlow` (paper
+    /// footnote 4).
+    pub r_tx_weak_ohm: f64,
+    /// Clamp (lock) resistance, ohms. This is the `RxN`/`RxP` contention
+    /// path: the receiver pulls the wire toward **ground** while it reads
+    /// logic high and toward **Vdd** while it reads logic low, with the
+    /// read state delayed by the feedback delay cell. The stale direction
+    /// assists an incoming edge (lower propagation delay) and produces
+    /// the transient overshoot of Fig 3(b) before the lock reasserts.
+    pub r_clamp_ohm: f64,
+    /// Receiver gate delay, ps.
+    pub t_gate_ps: f64,
+    /// Feedback delay-cell time, ps: for this long after a detected
+    /// transition the clamp is released, producing the overshoot of
+    /// Fig 3(b).
+    pub t_feedback_ps: f64,
+    /// Input capacitance presented to the wire, fF.
+    pub c_in_ff: f64,
+    /// Detection hysteresis around `vth`, volts. Small but nonzero to
+    /// keep the behavioural model (like the silicon) from oscillating.
+    pub hysteresis: Volts,
+}
+
+impl VlrParams {
+    /// VLR sizing representative of the fabricated chip (measured
+    /// ≈60 ps/mm at min pitch, ~0.25 V swing).
+    #[must_use]
+    pub fn default_45nm() -> Self {
+        VlrParams {
+            vdd: VDD_45NM,
+            vth: Volts(0.45),
+            r_tx_strong_ohm: 380.0,
+            r_tx_weak_ohm: 1250.0,
+            r_clamp_ohm: 2900.0,
+            t_gate_ps: 10.0,
+            t_feedback_ps: 38.0,
+            c_in_ff: 6.0,
+            hysteresis: Volts(0.03),
+        }
+    }
+
+    /// The Table I `∗` sizing: transistors shrunk for the 2 GHz system
+    /// design point (footnote 5: "smaller transistor sizes and 2X wider
+    /// wire spacing than fabricated design"). Weaker drive trades speed
+    /// for energy; with 2× spaced wires this lands near the published
+    /// 8 hops per cycle at 2 Gb/s.
+    #[must_use]
+    pub fn resized_2ghz() -> Self {
+        VlrParams {
+            r_tx_strong_ohm: 1050.0,
+            r_tx_weak_ohm: 2900.0,
+            r_clamp_ohm: 5800.0,
+            t_gate_ps: 14.0,
+            c_in_ff: 3.5,
+            ..VlrParams::default_45nm()
+        }
+    }
+
+    /// Steady-state locked swing levels `(Vlow, Vhigh)` for a wire with
+    /// total series resistance `r_wire_ohm`, from the resistive divider of
+    /// footnote 4: `Vhigh` is set by the wire resistance, `TxP`'s
+    /// on-resistance and `RxN`'s on-resistance (dually for `Vlow`).
+    ///
+    /// While the wire holds logic high, `TxP` pulls toward `Vdd` through
+    /// the weak drive + wire resistance and the receiver's `RxN` clamp
+    /// pulls toward ground through `r_clamp_ohm`; the node settles on the
+    /// divider (dually for logic low).
+    #[must_use]
+    pub fn locked_levels(&self, r_wire_ohm: f64) -> (Volts, Volts) {
+        let r_ser = self.r_tx_weak_ohm + r_wire_ohm;
+        let g_ser = 1.0 / r_ser;
+        let g_clamp = 1.0 / self.r_clamp_ohm;
+        let v_high = self.vdd.0 * g_ser / (g_ser + g_clamp);
+        let v_low = self.vdd.0 * g_clamp / (g_ser + g_clamp);
+        (Volts(v_low), Volts(v_high))
+    }
+
+    /// Peak-to-peak locked swing for a wire with series resistance
+    /// `r_wire_ohm`.
+    #[must_use]
+    pub fn locked_swing(&self, r_wire_ohm: f64) -> Volts {
+        let (lo, hi) = self.locked_levels(r_wire_ohm);
+        Volts(hi.0 - lo.0)
+    }
+
+    /// Static current (mA) drawn from the supply while locked high across
+    /// a wire of series resistance `r_wire_ohm`: the `TxP`–wire–`RxN`
+    /// contention path.
+    #[must_use]
+    pub fn static_current_ma(&self, r_wire_ohm: f64) -> f64 {
+        let (_, v_high) = self.locked_levels(r_wire_ohm);
+        // Volts / Ohms = A; ×1e3 → mA.
+        (self.vdd.0 - v_high.0) / (self.r_tx_weak_ohm + r_wire_ohm) * 1e3
+    }
+}
+
+/// A repeater stage of either family, as instantiated along a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Repeater {
+    /// Conventional rail-to-rail repeater.
+    FullSwing(FullSwingParams),
+    /// Clockless low-swing voltage-locked repeater.
+    VoltageLocked(VlrParams),
+}
+
+impl Repeater {
+    /// Input capacitance presented to the wire, fF.
+    #[must_use]
+    pub fn c_in_ff(&self) -> f64 {
+        match self {
+            Repeater::FullSwing(p) => p.c_in_ff,
+            Repeater::VoltageLocked(p) => p.c_in_ff,
+        }
+    }
+
+    /// Receiver gate delay, ps.
+    #[must_use]
+    pub fn t_gate_ps(&self) -> f64 {
+        match self {
+            Repeater::FullSwing(p) => p.t_gate_ps,
+            Repeater::VoltageLocked(p) => p.t_gate_ps,
+        }
+    }
+
+    /// Supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> Volts {
+        match self {
+            Repeater::FullSwing(p) => p.vdd,
+            Repeater::VoltageLocked(p) => p.vdd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locked_levels_straddle_threshold_symmetrically() {
+        let p = VlrParams::default_45nm();
+        let (lo, hi) = p.locked_levels(420.0);
+        assert!(lo.0 < p.vth.0 && p.vth.0 < hi.0);
+        let up = hi.0 - p.vth.0;
+        let down = p.vth.0 - lo.0;
+        // Vdd = 2·vth makes the divider symmetric.
+        assert!((up - down).abs() < 1e-12, "up={up} down={down}");
+    }
+
+    #[test]
+    fn locked_swing_is_low_swing() {
+        let p = VlrParams::default_45nm();
+        let swing = p.locked_swing(420.0);
+        // A few hundred mV, well below the 0.9 V rail.
+        assert!(
+            swing.0 > 0.15 && swing.0 < 0.45,
+            "swing should be low, got {swing}"
+        );
+    }
+
+    #[test]
+    fn longer_wire_reduces_swing_and_static_current() {
+        let p = VlrParams::default_45nm();
+        // Footnote 4: the levels are set partly by the wire resistance, so
+        // a more resistive wire divides more aggressively.
+        assert!(p.locked_swing(800.0).0 < p.locked_swing(200.0).0);
+        assert!(p.static_current_ma(800.0) < p.static_current_ma(200.0));
+    }
+
+    #[test]
+    fn static_current_is_sub_milliamp() {
+        // Paper: "the static energy is much less than a conventional
+        // continuous-time comparator since the static current paths
+        // include a highly-resistive link wire."
+        let p = VlrParams::default_45nm();
+        let i = p.static_current_ma(420.0);
+        assert!(i > 0.0 && i < 0.5, "got {i} mA");
+    }
+
+    #[test]
+    fn stronger_overdrive_than_lock() {
+        let p = VlrParams::default_45nm();
+        assert!(p.r_tx_strong_ohm < p.r_tx_weak_ohm);
+    }
+
+    #[test]
+    fn repeater_accessors() {
+        let fs = Repeater::FullSwing(FullSwingParams::default_45nm());
+        let ls = Repeater::VoltageLocked(VlrParams::default_45nm());
+        assert!(fs.c_in_ff() > ls.c_in_ff());
+        assert_eq!(fs.vdd(), VDD_45NM);
+        assert!(ls.t_gate_ps() < fs.t_gate_ps());
+    }
+}

@@ -1,0 +1,54 @@
+//! Circuit-level models of the SMART link: the clockless low-swing
+//! **voltage-locked repeater** (VLR) and the equivalent full-swing repeated
+//! link from *SMART: A Single-Cycle Reconfigurable NoC for SoC Applications*
+//! (DATE 2013), Section III.
+//!
+//! The paper characterizes the links with a fabricated 45 nm SOI test chip
+//! and extracted simulations. Silicon is unavailable here, so this crate
+//! substitutes two complementary models:
+//!
+//! * [`analytic::CalibratedLinkModel`] — a closed-form delay/energy/BER
+//!   model anchored to the paper's measured and simulated data points
+//!   (Table I and the Section III chip measurements). This is the model the
+//!   rest of the workspace consumes: it answers *"how many 1 mm hops fit in
+//!   one clock cycle?"* ([`analytic::CalibratedLinkModel::max_hops_per_cycle`])
+//!   and *"how many fJ does a bit-mm cost?"*
+//!   ([`analytic::CalibratedLinkModel::energy_fj_per_bit_mm`]).
+//! * [`transient::simulate`] — a switch-level transient simulator of an
+//!   actual repeater chain driving distributed-RC wire ladders. It
+//!   regenerates the waveform shapes of Fig 3 (full-swing rail-to-rail
+//!   edges vs. the low-swing voltage-locked waveform with its feedback
+//!   overshoot) and provides an independent cross-check of the calibrated
+//!   model's delay and swing trends.
+//!
+//! # Quick example
+//!
+//! ```
+//! use smart_link::analytic::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+//! use smart_link::units::Gbps;
+//!
+//! // The paper's headline: at 2 GHz (2 Gb/s per wire), a low-swing SMART
+//! // link traverses 8 mm in a single cycle at 104 fJ/b/mm.
+//! let model = CalibratedLinkModel::new(
+//!     LinkStyle::LowSwing,
+//!     CircuitVariant::Resized2GHz,
+//!     WireSpacing::Double,
+//! );
+//! assert_eq!(model.max_hops_per_cycle(Gbps(2.0)), 8);
+//! let e = model.energy_fj_per_bit_mm(Gbps(2.0));
+//! assert!((e - 104.0).abs() < 1.0);
+//! ```
+
+pub mod analytic;
+pub mod ber;
+pub mod chip;
+pub mod device;
+pub mod table1;
+pub mod transient;
+pub mod units;
+pub mod wire;
+
+pub use analytic::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+pub use chip::TestChip;
+pub use table1::{table1, Table1, Table1Cell};
+pub use units::{FemtojoulesPerBitMm, Gbps, Millimeters, Picoseconds, Volts};

@@ -1,0 +1,791 @@
+//! Switch-level transient simulation of repeated links.
+//!
+//! A link is a chain of identical repeater stages, each driving 1 mm of
+//! distributed-RC wire (one *hop* of the mesh). The solver integrates the
+//! wire-node voltages with an explicit fixed-step method; repeater stages
+//! are behavioural: a threshold detector with a gate delay drives the next
+//! wire through an on-resistance, and (for the VLR) a clamp locks the
+//! receiving node near the inverter threshold except for a short
+//! feedback-delay window after each transition, which produces the
+//! characteristic overshoot of Fig 3(b).
+//!
+//! This model is deliberately simple — it is not SPICE — but it reproduces
+//! the *mechanisms* the paper describes: full-swing links spend time
+//! slewing rail-to-rail, low-swing voltage-locked links cross their
+//! decision threshold sooner and so propagate faster, and at excessive
+//! data rates inter-symbol interference closes the eye.
+//!
+//! ```
+//! use smart_link::device::{Repeater, VlrParams};
+//! use smart_link::transient::{ChainSpec, TransientConfig, simulate};
+//! use smart_link::units::Gbps;
+//! use smart_link::wire::{Spacing, WireRc};
+//!
+//! let spec = ChainSpec {
+//!     repeater: Repeater::VoltageLocked(VlrParams::default_45nm()),
+//!     wire: WireRc::for_45nm(Spacing::MinPitch),
+//!     hops: 4,
+//!     sections_per_mm: 5,
+//! };
+//! let out = simulate(&spec, &TransientConfig::at_rate(Gbps(2.0)));
+//! assert_eq!(out.missed_edges, 0);
+//! assert!(out.delay_ps_per_mm > 30.0 && out.delay_ps_per_mm < 90.0);
+//! ```
+
+use crate::device::{Repeater, VlrParams};
+use crate::units::{Gbps, Millimeters, Picoseconds, Volts};
+use crate::wire::WireRc;
+
+/// Bit pattern driven into the link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitPattern {
+    /// `1010…` — a transition every bit; worst case for delay
+    /// measurement, pessimistic for energy.
+    Alternating,
+    /// PRBS-7 (x⁷+x⁶+1), ~50% transition density: representative data for
+    /// energy measurements.
+    Prbs7,
+    /// Caller-supplied bits.
+    Custom(Vec<bool>),
+}
+
+impl BitPattern {
+    /// Materialize `n` bits of the pattern.
+    #[must_use]
+    pub fn bits(&self, n: usize) -> Vec<bool> {
+        match self {
+            BitPattern::Alternating => (0..n).map(|i| i % 2 == 0).collect(),
+            BitPattern::Prbs7 => {
+                let mut lfsr: u8 = 0x7F;
+                (0..n)
+                    .map(|_| {
+                        let bit = ((lfsr >> 6) ^ (lfsr >> 5)) & 1;
+                        lfsr = ((lfsr << 1) | bit) & 0x7F;
+                        bit == 1
+                    })
+                    .collect()
+            }
+            BitPattern::Custom(v) => (0..n).map(|i| v[i % v.len()]).collect(),
+        }
+    }
+}
+
+/// Physical description of a repeated link under test.
+#[derive(Debug, Clone)]
+pub struct ChainSpec {
+    /// The repeater instantiated at the head of every hop.
+    pub repeater: Repeater,
+    /// Wire parameters (per mm).
+    pub wire: WireRc,
+    /// Number of 1 mm hops (the paper's test chip: 10).
+    pub hops: usize,
+    /// RC-ladder discretization density.
+    pub sections_per_mm: usize,
+}
+
+impl ChainSpec {
+    /// Total link length.
+    #[must_use]
+    pub fn length(&self) -> Millimeters {
+        Millimeters(self.hops as f64)
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct TransientConfig {
+    /// Data rate (one bit per UI per wire).
+    pub rate: Gbps,
+    /// Number of bits to simulate after warm-up.
+    pub bits: usize,
+    /// Bits discarded while the chain reaches steady state.
+    pub warmup_bits: usize,
+    /// Pattern for the measured window.
+    pub pattern: BitPattern,
+    /// Integration step; shrunk automatically if the ladder needs it.
+    pub dt_ps: f64,
+    /// If `Some(stride)`, record waveforms at every wire-end node, one
+    /// sample every `stride` steps.
+    pub probe_stride: Option<usize>,
+}
+
+impl TransientConfig {
+    /// Reasonable defaults for measuring a link at `rate`: 48 PRBS bits
+    /// after an 8-bit warm-up, 0.25 ps step, no waveform capture.
+    #[must_use]
+    pub fn at_rate(rate: Gbps) -> Self {
+        TransientConfig {
+            rate,
+            bits: 48,
+            warmup_bits: 8,
+            pattern: BitPattern::Prbs7,
+            dt_ps: 0.25,
+            probe_stride: None,
+        }
+    }
+
+    /// Configuration for waveform capture (Fig 3): an alternating pattern
+    /// with probes on, fewer bits.
+    #[must_use]
+    pub fn waveform(rate: Gbps) -> Self {
+        TransientConfig {
+            rate,
+            bits: 8,
+            warmup_bits: 4,
+            pattern: BitPattern::Alternating,
+            dt_ps: 0.25,
+            probe_stride: Some(8),
+        }
+    }
+}
+
+/// A sampled voltage trace at one probe point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    /// Probe label, e.g. `"hop3.end"`.
+    pub label: String,
+    /// Time between samples.
+    pub dt: Picoseconds,
+    /// Sampled node voltages.
+    pub samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Minimum and maximum sample.
+    #[must_use]
+    pub fn extent(&self) -> (Volts, Volts) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in &self.samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        (Volts(lo), Volts(hi))
+    }
+
+    /// Render the waveform as a compact ASCII oscillogram with `rows`
+    /// vertical resolution, for terminal figures.
+    #[must_use]
+    pub fn ascii_plot(&self, rows: usize, cols: usize) -> String {
+        assert!(rows >= 2 && cols >= 2, "plot needs at least a 2x2 canvas");
+        let (lo, hi) = self.extent();
+        let span = (hi.0 - lo.0).max(1e-9);
+        let mut grid = vec![vec![b' '; cols]; rows];
+        let n = self.samples.len().max(2);
+        for (c, col) in (0..cols).map(|c| (c, c * (n - 1) / (cols - 1))) {
+            let v = self.samples[col];
+            let r = ((hi.0 - v) / span * (rows - 1) as f64).round() as usize;
+            grid[r.min(rows - 1)][c] = b'*';
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let v = hi.0 - span * i as f64 / (rows - 1) as f64;
+            out.push_str(&format!("{v:6.3} |"));
+            out.push_str(std::str::from_utf8(row).expect("ascii grid"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Everything measured from one transient run.
+#[derive(Debug, Clone)]
+pub struct TransientOutcome {
+    /// Mean per-hop propagation delay, measured detector-to-detector in
+    /// the middle of the chain (end effects excluded), in ps/mm.
+    pub delay_ps_per_mm: f64,
+    /// Source-driver flip to far-end threshold crossing for the same
+    /// edge, averaged.
+    pub total_delay: Picoseconds,
+    /// Supply energy per transmitted bit, fJ (includes static current for
+    /// the VLR).
+    pub energy_fj_per_bit: f64,
+    /// Energy normalized per mm, fJ/b/mm — Table I's unit.
+    pub energy_fj_per_bit_mm: f64,
+    /// Min/max voltage observed at the far-end node after warm-up.
+    pub far_swing: (Volts, Volts),
+    /// Worst-case vertical eye opening at the far end (negative = closed).
+    pub eye_opening: Volts,
+    /// Edges launched but never detected at the far end — nonzero means
+    /// the link fails at this rate/length.
+    pub missed_edges: usize,
+    /// Captured waveforms, if probing was enabled.
+    pub waveforms: Vec<Waveform>,
+}
+
+/// Per-stage driver/detector state.
+#[derive(Debug, Clone)]
+struct StageState {
+    /// Detected logic at this stage's input.
+    detected: bool,
+    /// Driven logic at this stage's output (after gate delay).
+    driving: bool,
+    /// Pending output flip: (time, value).
+    pending: Option<(f64, bool)>,
+    /// Time of the last output flip (starts the overdrive window).
+    t_flip: f64,
+    /// Time of the last input detection.
+    t_detect: f64,
+    /// Direction of the input clamp (VLR only): `true` = the delayed
+    /// feedback reads logic high, so `RxN` pulls the wire toward ground.
+    clamp_high: bool,
+    /// Pending clamp-direction flip: (time, value) — the feedback delay
+    /// cell in flight.
+    clamp_pending: Option<(f64, bool)>,
+    /// Number of input edges detected.
+    edges: usize,
+}
+
+impl StageState {
+    fn new(initial: bool) -> Self {
+        StageState {
+            detected: initial,
+            driving: initial,
+            pending: None,
+            t_flip: -1e9,
+            t_detect: -1e9,
+            clamp_high: initial,
+            clamp_pending: None,
+            edges: 0,
+        }
+    }
+}
+
+/// Run one transient simulation.
+///
+/// # Panics
+///
+/// Panics if the spec has zero hops or the configuration has zero bits.
+#[must_use]
+pub fn simulate(spec: &ChainSpec, cfg: &TransientConfig) -> TransientOutcome {
+    assert!(spec.hops > 0, "chain must have at least one hop");
+    assert!(cfg.bits > 0, "must simulate at least one bit");
+
+    let ladder = spec.wire.ladder(Millimeters(1.0), spec.sections_per_mm);
+    let n_sect = ladder.sections;
+    let r_sect = ladder.r_ohm;
+    let c_sect_ff = ladder.c_ff;
+    let vdd = spec.repeater.vdd().0;
+
+    let (vth, hyst, clamp): (f64, f64, Option<&VlrParams>) = match &spec.repeater {
+        Repeater::FullSwing(p) => (p.vth.0, 0.01, None),
+        Repeater::VoltageLocked(p) => (p.vth.0, p.hysteresis.0, Some(p)),
+    };
+
+    // Stability: dt < 2·C/G_max. The stiffest node is the drive node with
+    // the strong on-resistance.
+    let g_drive = match &spec.repeater {
+        Repeater::FullSwing(p) => 1.0 / p.r_on_ohm,
+        Repeater::VoltageLocked(p) => 1.0 / p.r_tx_strong_ohm,
+    };
+    let g_max = g_drive + 1.0 / r_sect + clamp.map_or(0.0, |p| 1.0 / p.r_clamp_ohm);
+    let c_min_f = c_sect_ff * 1e-15;
+    let dt_stable = 2.0 * c_min_f / g_max * 1e12; // ps
+    let dt = cfg.dt_ps.min(dt_stable * 0.4);
+
+    let ui = cfg.rate.bit_time().0;
+    let total_bits = cfg.warmup_bits + cfg.bits;
+    let bits = cfg.pattern.bits(total_bits);
+    // Allow the last edge to propagate out: tail of 3 UIs or the expected
+    // chain delay, whichever is larger.
+    let tail = (3.0 * ui).max(150.0 * spec.hops as f64);
+    let t_end = total_bits as f64 * ui + tail;
+    let steps = (t_end / dt).ceil() as usize;
+
+    // Node voltages: hops × sections, v[h][s]; stage h drives v[h][0];
+    // stage h+1 reads v[h][n_sect-1]. Initialize to the idle state for
+    // logic low.
+    let init_v = clamp.map_or(0.0, |p| p.locked_levels(ladder.total_r_ohm()).0 .0);
+    let mut v = vec![vec![init_v; n_sect]; spec.hops];
+    // Stage 0 is the source driver; stages 1..hops are repeaters; stage
+    // `hops` is the final receiver (detector only).
+    let mut stages: Vec<StageState> = (0..=spec.hops).map(|_| StageState::new(false)).collect();
+
+    let mut launch_times: Vec<f64> = Vec::new();
+    let mut far_detect_times: Vec<f64> = Vec::new();
+    let mut mid_detect: Vec<Vec<f64>> = vec![Vec::new(); spec.hops + 1];
+    let mut energy_fj = 0.0_f64;
+    let mut energy_fj_measured = 0.0_f64;
+    let mut far_lo = f64::INFINITY;
+    let mut far_hi = f64::NEG_INFINITY;
+
+    // Eye sampling: value at 0.72 UI into each bit window at the far end,
+    // grouped by the bit that *should* be there (aligned later).
+    let mut far_samples: Vec<(usize, f64)> = Vec::new();
+
+    let probe_nodes: Vec<(usize, usize, String)> = (0..spec.hops)
+        .map(|h| (h, n_sect - 1, format!("hop{}.end", h + 1)))
+        .collect();
+    let mut probes: Vec<Waveform> = probe_nodes
+        .iter()
+        .map(|(_, _, label)| Waveform {
+            label: label.clone(),
+            dt: Picoseconds(dt * cfg.probe_stride.unwrap_or(1) as f64),
+            samples: Vec::new(),
+        })
+        .collect();
+
+    let warmup_t = cfg.warmup_bits as f64 * ui;
+
+    for step in 0..steps {
+        let t = step as f64 * dt;
+
+        // --- Source pattern: stage 0 "detects" the ideal input. ---
+        let bit_idx = (t / ui) as usize;
+        let src_bit = if bit_idx < total_bits {
+            bits[bit_idx]
+        } else {
+            bits[total_bits - 1]
+        };
+        if src_bit != stages[0].detected {
+            stages[0].detected = src_bit;
+            stages[0].t_detect = t;
+            stages[0].edges += 1;
+            let t_gate = spec.repeater.t_gate_ps();
+            stages[0].pending = Some((t + t_gate, src_bit));
+        }
+
+        // --- Repeater detection at hop boundaries. ---
+        for h in 0..spec.hops {
+            let vin = v[h][n_sect - 1];
+            let s = &mut stages[h + 1];
+            let crossed = if s.detected {
+                vin < vth - hyst
+            } else {
+                vin > vth + hyst
+            };
+            if crossed {
+                let new = !s.detected;
+                s.detected = new;
+                s.t_detect = t;
+                s.edges += 1;
+                mid_detect[h + 1].push(t);
+                if h + 1 == spec.hops && t >= warmup_t {
+                    far_detect_times.push(t);
+                }
+                if h + 1 < spec.hops {
+                    let t_gate = spec.repeater.t_gate_ps();
+                    s.pending = Some((t + t_gate, new));
+                }
+                if let Some(p) = clamp {
+                    // The feedback delay cell: the clamp direction follows
+                    // the detection only after t_feedback.
+                    s.clamp_pending = Some((t + p.t_feedback_ps, new));
+                }
+            }
+        }
+
+        // --- Fire pending clamp-direction flips. ---
+        if clamp.is_some() {
+            for stage in stages.iter_mut() {
+                if let Some((t_fire, val)) = stage.clamp_pending {
+                    if t >= t_fire {
+                        stage.clamp_high = val;
+                        stage.clamp_pending = None;
+                    }
+                }
+            }
+        }
+
+        // --- Fire pending output flips. ---
+        for (h, stage) in stages.iter_mut().enumerate().take(spec.hops) {
+            if let Some((t_fire, val)) = stage.pending {
+                if t >= t_fire {
+                    stage.driving = val;
+                    stage.t_flip = t;
+                    stage.pending = None;
+                    if h == 0 && t >= warmup_t {
+                        launch_times.push(t);
+                    }
+                }
+            }
+        }
+
+        // --- Integrate wire nodes. ---
+        let mut supply_w = 0.0_f64; // instantaneous watts
+        for h in 0..spec.hops {
+            let stage = &stages[h];
+            // Driver of this hop.
+            let (v_tgt, r_drv) = match &spec.repeater {
+                Repeater::FullSwing(p) => {
+                    (if stage.driving { vdd } else { 0.0 }, p.r_on_ohm)
+                }
+                Repeater::VoltageLocked(p) => {
+                    let strong = t - stage.t_flip < p.t_feedback_ps;
+                    let r = if strong {
+                        p.r_tx_strong_ohm
+                    } else {
+                        p.r_tx_weak_ohm
+                    };
+                    (if stage.driving { vdd } else { 0.0 }, r)
+                }
+            };
+            let i_drv = (v_tgt - v[h][0]) / r_drv; // amps (V/Ω)
+            if v_tgt > 0.0 && i_drv > 0.0 {
+                supply_w += vdd * i_drv;
+            }
+
+            // Clamp at the receiving end of this hop (input of stage h+1):
+            // RxN pulls toward ground while the (delayed) feedback reads
+            // high, RxP pulls toward Vdd while it reads low.
+            let mut i_clamp = 0.0;
+            if let Some(p) = clamp {
+                let rx = &stages[h + 1];
+                let target = if rx.clamp_high { 0.0 } else { vdd };
+                i_clamp = (target - v[h][n_sect - 1]) / p.r_clamp_ohm;
+                if target > 0.0 && i_clamp > 0.0 {
+                    supply_w += vdd * i_clamp;
+                }
+            }
+
+            let c_in_last = spec.repeater.c_in_ff();
+            for s in 0..n_sect {
+                let mut i_node = 0.0;
+                if s == 0 {
+                    i_node += i_drv;
+                } else {
+                    i_node += (v[h][s - 1] - v[h][s]) / r_sect;
+                }
+                if s + 1 < n_sect {
+                    i_node += (v[h][s + 1] - v[h][s]) / r_sect;
+                }
+                let mut c_ff = c_sect_ff;
+                if s == n_sect - 1 {
+                    i_node += i_clamp;
+                    c_ff += c_in_last;
+                }
+                // dv = i·dt/C : A·ps/fF = V·(1e-12/1e-15)=1e3 — careful:
+                // i [A] · dt [ps=1e-12 s] / C [fF=1e-15 F] → ×1e3.
+                v[h][s] += i_node * dt / c_ff * 1e3;
+            }
+        }
+        // fJ = W · ps · 1e(−12+15).
+        let e_step = supply_w * dt * 1e3;
+        energy_fj += e_step;
+        if t >= warmup_t {
+            energy_fj_measured += e_step;
+        }
+
+        // --- Far-end observation. ---
+        let vfar = v[spec.hops - 1][n_sect - 1];
+        if t >= warmup_t {
+            far_lo = far_lo.min(vfar);
+            far_hi = far_hi.max(vfar);
+            let phase = (t / ui).fract();
+            if (phase - 0.72).abs() < dt / ui {
+                far_samples.push((bit_idx.min(total_bits - 1), vfar));
+            }
+        }
+
+        // --- Probes. ---
+        if let Some(stride) = cfg.probe_stride {
+            if step % stride == 0 {
+                for (i, (h, s, _)) in probe_nodes.iter().enumerate() {
+                    probes[i].samples.push(v[*h][*s]);
+                }
+            }
+        }
+    }
+    let _ = energy_fj; // total including warm-up; the per-bit figure uses the measured window
+
+    // --- Delay extraction. ---
+    // Per-hop delay: average detector-to-detector spacing for matched
+    // edge indices between interior stages.
+    let mut hop_delays = Vec::new();
+    for h in 1..spec.hops {
+        let a = &mid_detect[h];
+        let b = &mid_detect[h + 1];
+        for (ta, tb) in a.iter().zip(b.iter()) {
+            if *tb > *ta {
+                hop_delays.push(tb - ta);
+            }
+        }
+    }
+    // Single-hop chains: measure source-flip to detector instead.
+    if spec.hops == 1 {
+        for (tl, tf) in launch_times.iter().zip(far_detect_times.iter()) {
+            if tf > tl {
+                hop_delays.push(tf - tl);
+            }
+        }
+    }
+    let delay_ps_per_mm = mean(&hop_delays);
+
+    let mut total_delays = Vec::new();
+    for (tl, tf) in launch_times.iter().zip(far_detect_times.iter()) {
+        if tf > tl {
+            total_delays.push(tf - tl);
+        }
+    }
+    let total_delay = Picoseconds(mean(&total_delays));
+
+    let launched = stages[0].edges.saturating_sub(cfg.warmup_bits.min(stages[0].edges));
+    let far_edges = far_detect_times.len();
+    let missed_edges = launched.saturating_sub(far_edges + 1);
+
+    // --- Eye: align far samples with the launched bit they carry. The
+    // sample at phase 0.72 of window i shows the bit launched at
+    // i + 0.72 − delay/UI, so the index shift is ceil(delay/UI − 0.72)
+    // clamped at zero. ---
+    let shift = if ui > 0.0 {
+        (total_delay.0 / ui - 0.72).ceil().max(0.0) as usize
+    } else {
+        0
+    };
+    let mut eye_lo_of_high = f64::INFINITY;
+    let mut eye_hi_of_low = f64::NEG_INFINITY;
+    for (idx, val) in &far_samples {
+        if *idx < shift {
+            continue;
+        }
+        let b = bits[(*idx - shift).min(total_bits - 1)];
+        if b {
+            eye_lo_of_high = eye_lo_of_high.min(*val);
+        } else {
+            eye_hi_of_low = eye_hi_of_low.max(*val);
+        }
+    }
+    let eye_opening = if eye_lo_of_high.is_finite() && eye_hi_of_low.is_finite() {
+        Volts(eye_lo_of_high - eye_hi_of_low)
+    } else {
+        Volts(far_hi - far_lo)
+    };
+
+    let bits_measured = cfg.bits.max(1) as f64;
+    let energy_fj_per_bit = energy_fj_measured / bits_measured;
+
+    TransientOutcome {
+        delay_ps_per_mm,
+        total_delay,
+        energy_fj_per_bit,
+        energy_fj_per_bit_mm: energy_fj_per_bit / spec.hops as f64,
+        far_swing: (Volts(far_lo), Volts(far_hi)),
+        eye_opening,
+        missed_edges,
+        waveforms: probes,
+    }
+}
+
+/// Longest chain (in hops) that delivers every edge with positive eye and
+/// total delay + `setup` within one UI at `rate` — the transient-model
+/// counterpart of Table I's "max number of hops per cycle".
+#[must_use]
+pub fn max_hops_per_cycle(
+    repeater: Repeater,
+    wire: WireRc,
+    rate: Gbps,
+    setup: Picoseconds,
+) -> u32 {
+    let ui = rate.bit_time().0;
+    let mut best = 0;
+    for hops in 1..=24 {
+        let spec = ChainSpec {
+            repeater,
+            wire,
+            hops,
+            sections_per_mm: 4,
+        };
+        let mut cfg = TransientConfig::at_rate(rate);
+        cfg.bits = 24;
+        cfg.warmup_bits = 6;
+        let out = simulate(&spec, &cfg);
+        let ok = out.missed_edges == 0
+            && out.eye_opening.0 > 0.02
+            && out.total_delay.0 + setup.0 <= ui;
+        if ok {
+            best = hops as u32;
+        } else if hops as u32 > best + 1 {
+            break;
+        }
+    }
+    best
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FullSwingParams;
+    use crate::wire::Spacing;
+
+    fn fs_spec(hops: usize) -> ChainSpec {
+        ChainSpec {
+            repeater: Repeater::FullSwing(FullSwingParams::default_45nm()),
+            wire: WireRc::for_45nm(Spacing::MinPitch),
+            hops,
+            sections_per_mm: 5,
+        }
+    }
+
+    fn ls_spec(hops: usize) -> ChainSpec {
+        ChainSpec {
+            repeater: Repeater::VoltageLocked(VlrParams::default_45nm()),
+            wire: WireRc::for_45nm(Spacing::MinPitch),
+            hops,
+            sections_per_mm: 5,
+        }
+    }
+
+    #[test]
+    fn patterns_have_requested_length() {
+        assert_eq!(BitPattern::Alternating.bits(7).len(), 7);
+        assert_eq!(BitPattern::Prbs7.bits(130).len(), 130);
+        let c = BitPattern::Custom(vec![true, false, false]);
+        assert_eq!(c.bits(5), vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn prbs7_is_balanced_and_aperiodic_short() {
+        let bits = BitPattern::Prbs7.bits(127);
+        let ones = bits.iter().filter(|b| **b).count();
+        // PRBS-7 has 64 ones in 127 bits.
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn full_swing_delay_near_100ps_per_mm() {
+        // Paper: "the delay of a link with full-swing repeaters is around
+        // 100 ps/mm" (min pitch).
+        let out = simulate(&fs_spec(6), &TransientConfig::at_rate(Gbps(1.0)));
+        assert_eq!(out.missed_edges, 0, "link must deliver all edges");
+        assert!(
+            out.delay_ps_per_mm > 80.0 && out.delay_ps_per_mm < 120.0,
+            "full-swing delay {} ps/mm outside the paper's ~100 ps/mm",
+            out.delay_ps_per_mm
+        );
+    }
+
+    #[test]
+    fn vlr_delay_near_60ps_per_mm_and_faster_than_full_swing() {
+        // Paper: "the delay of a link with VLRs is around 60 ps/mm".
+        let ls = simulate(&ls_spec(6), &TransientConfig::at_rate(Gbps(1.0)));
+        let fs = simulate(&fs_spec(6), &TransientConfig::at_rate(Gbps(1.0)));
+        assert_eq!(ls.missed_edges, 0);
+        assert!(
+            ls.delay_ps_per_mm > 45.0 && ls.delay_ps_per_mm < 78.0,
+            "VLR delay {} ps/mm outside the paper's ~60 ps/mm",
+            ls.delay_ps_per_mm
+        );
+        assert!(ls.delay_ps_per_mm < fs.delay_ps_per_mm);
+    }
+
+    #[test]
+    fn vlr_swing_is_locked_low() {
+        let out = simulate(&ls_spec(4), &TransientConfig::at_rate(Gbps(2.0)));
+        let (lo, hi) = out.far_swing;
+        let swing = hi.0 - lo.0;
+        // Even counting the feedback overshoot spikes, the node never
+        // swings rail-to-rail.
+        assert!(
+            swing < 0.75,
+            "VLR far-end swing {swing} V should stay below the rail"
+        );
+        // And it straddles the threshold.
+        assert!(lo.0 < 0.45 && hi.0 > 0.45);
+    }
+
+    #[test]
+    fn full_swing_reaches_the_rails() {
+        let out = simulate(&fs_spec(3), &TransientConfig::at_rate(Gbps(1.0)));
+        let (lo, hi) = out.far_swing;
+        assert!(hi.0 > 0.85, "high level {hi} should approach 0.9 V");
+        assert!(lo.0 < 0.05, "low level {lo} should approach 0 V");
+    }
+
+    #[test]
+    fn energy_accounting_is_positive_and_scales_with_length() {
+        let short = simulate(&ls_spec(2), &TransientConfig::at_rate(Gbps(2.0)));
+        let long = simulate(&ls_spec(8), &TransientConfig::at_rate(Gbps(2.0)));
+        assert!(short.energy_fj_per_bit > 0.0);
+        assert!(long.energy_fj_per_bit > short.energy_fj_per_bit * 2.0);
+    }
+
+    #[test]
+    fn vlr_static_energy_grows_at_low_rate() {
+        // Static current amortizes over fewer bits at lower rates, so
+        // fJ/b/mm must rise as the rate falls (Table I trend).
+        let slow = simulate(&ls_spec(4), &TransientConfig::at_rate(Gbps(1.0)));
+        let fast = simulate(&ls_spec(4), &TransientConfig::at_rate(Gbps(3.0)));
+        assert!(
+            slow.energy_fj_per_bit_mm > fast.energy_fj_per_bit_mm,
+            "slow {} <= fast {}",
+            slow.energy_fj_per_bit_mm,
+            fast.energy_fj_per_bit_mm
+        );
+    }
+
+    #[test]
+    fn eye_closes_at_absurd_rate() {
+        let out = simulate(&fs_spec(8), &TransientConfig::at_rate(Gbps(12.0)));
+        assert!(
+            out.missed_edges > 0 || out.eye_opening.0 < 0.05,
+            "8 mm of full-swing wire cannot run at 12 Gb/s"
+        );
+    }
+
+    #[test]
+    fn max_hops_vlr_exceeds_full_swing() {
+        let wire = WireRc::for_45nm(Spacing::Double);
+        let ls = max_hops_per_cycle(
+            Repeater::VoltageLocked(VlrParams::default_45nm()),
+            wire,
+            Gbps(2.0),
+            Picoseconds(20.0),
+        );
+        let fs = max_hops_per_cycle(
+            Repeater::FullSwing(FullSwingParams::default_45nm()),
+            wire,
+            Gbps(2.0),
+            Picoseconds(20.0),
+        );
+        assert!(ls > fs, "VLR {ls} hops should beat full-swing {fs} hops");
+    }
+
+    #[test]
+    fn resized_vlr_hits_table1_hop_count() {
+        // Table I `∗` row: the 2 GHz-resized low-swing circuit makes
+        // 8 hops per cycle at 2 Gb/s with 2× wire spacing.
+        let wire = WireRc::for_45nm(Spacing::Double);
+        let ls = max_hops_per_cycle(
+            Repeater::VoltageLocked(VlrParams::resized_2ghz()),
+            wire,
+            Gbps(2.0),
+            Picoseconds(20.0),
+        );
+        assert!(
+            (7..=9).contains(&ls),
+            "resized VLR should land on Table I's 8 hops, got {ls}"
+        );
+    }
+
+    #[test]
+    fn waveform_probes_capture_all_hops() {
+        let out = simulate(&ls_spec(3), &TransientConfig::waveform(Gbps(2.0)));
+        assert_eq!(out.waveforms.len(), 3);
+        assert!(out.waveforms.iter().all(|w| !w.samples.is_empty()));
+        let plot = out.waveforms[2].ascii_plot(8, 60);
+        assert!(plot.lines().count() == 8);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn overshoot_visible_in_vlr_waveform() {
+        // The feedback delay cell produces transient overshoot past the
+        // locked level (Fig 3b): the peak must exceed the steady Vhigh.
+        let out = simulate(&ls_spec(2), &TransientConfig::waveform(Gbps(2.0)));
+        let p = VlrParams::default_45nm();
+        let wire = WireRc::for_45nm(Spacing::MinPitch);
+        let (_, vhigh) = p.locked_levels(wire.r_ohm_per_mm);
+        let (_, peak) = out.waveforms[0].extent();
+        assert!(
+            peak.0 > vhigh.0 + 0.02,
+            "peak {peak} should overshoot locked Vhigh {vhigh}"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Newtype units used throughout the link models.
+//!
+//! The circuit model mixes quantities (picoseconds, millimetres, Gb/s,
+//! femtojoules, volts) whose accidental interchange would be silent with
+//! bare `f64`s. Each unit is a transparent newtype with just enough
+//! arithmetic for the models; raw access is always available via `.0`.
+//!
+//! ```
+//! use smart_link::units::{Gbps, Picoseconds};
+//!
+//! let rate = Gbps(2.0);
+//! assert_eq!(rate.bit_time(), Picoseconds(500.0));
+//! ```
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+unit!(
+    /// A duration in picoseconds.
+    Picoseconds,
+    "ps"
+);
+unit!(
+    /// A physical length in millimetres. One *hop* in the paper is 1 mm
+    /// (the place-and-route footprint of a PowerPC e200z7 core in 45 nm).
+    Millimeters,
+    "mm"
+);
+unit!(
+    /// A per-wire data rate in gigabits per second. At one bit per clock
+    /// cycle per wire, `Gbps(f)` corresponds to a clock of `f` GHz.
+    Gbps,
+    "Gb/s"
+);
+unit!(
+    /// Energy efficiency in femtojoules per bit per millimetre, the unit
+    /// Table I of the paper reports.
+    FemtojoulesPerBitMm,
+    "fJ/b/mm"
+);
+unit!(
+    /// Energy in femtojoules.
+    Femtojoules,
+    "fJ"
+);
+unit!(
+    /// A voltage in volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// Power in milliwatts.
+    Milliwatts,
+    "mW"
+);
+
+impl Gbps {
+    /// Time of a single bit (one UI) at this data rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    #[must_use]
+    pub fn bit_time(self) -> Picoseconds {
+        assert!(self.0 > 0.0, "data rate must be positive, got {self}");
+        Picoseconds(1000.0 / self.0)
+    }
+}
+
+impl Picoseconds {
+    /// The data rate whose unit interval equals this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is not strictly positive.
+    #[must_use]
+    pub fn as_rate(self) -> Gbps {
+        assert!(self.0 > 0.0, "bit time must be positive, got {self}");
+        Gbps(1000.0 / self.0)
+    }
+}
+
+/// Energy (fJ) consumed moving one bit across `length` of wire at
+/// efficiency `eff`.
+#[must_use]
+pub fn energy_for(eff: FemtojoulesPerBitMm, length: Millimeters) -> Femtojoules {
+    Femtojoules(eff.0 * length.0)
+}
+
+/// Average power for a stream of bits at `rate` with per-bit energy
+/// `fj_per_bit` (fJ): `P = E · R`.
+#[must_use]
+pub fn power_mw(fj_per_bit: Femtojoules, rate: Gbps) -> Milliwatts {
+    // fJ * Gb/s = 1e-15 J * 1e9 1/s = 1e-6 W = 1e-3 mW.
+    Milliwatts(fj_per_bit.0 * rate.0 * 1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_time_round_trips() {
+        let r = Gbps(2.0);
+        assert_eq!(r.bit_time(), Picoseconds(500.0));
+        assert_eq!(r.bit_time().as_rate(), r);
+    }
+
+    #[test]
+    fn bit_time_of_chip_max_rate() {
+        // 6.8 Gb/s -> ~147 ps UI, the VLR's measured maximum.
+        let ui = Gbps(6.8).bit_time();
+        assert!((ui.0 - 147.058).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_panics() {
+        let _ = Gbps(0.0).bit_time();
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Picoseconds(30.0);
+        let b = Picoseconds(12.0);
+        assert_eq!(a + b, Picoseconds(42.0));
+        assert_eq!(a - b, Picoseconds(18.0));
+        assert_eq!(a * 2.0, Picoseconds(60.0));
+        assert_eq!(a / 2.0, Picoseconds(15.0));
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert_eq!(-a, Picoseconds(-30.0));
+        assert_eq!((-a).abs(), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn chip_power_checks_out() {
+        // Paper: VLR at 6.8 Gb/s over 10 mm consumes 4.14 mW = 608 fJ/b.
+        let p = power_mw(Femtojoules(608.0), Gbps(6.8));
+        assert!((p.0 - 4.134).abs() < 0.01, "got {p}");
+        // Full-swing: 765 fJ/b at 5.5 Gb/s = 4.21 mW.
+        let p = power_mw(Femtojoules(765.0), Gbps(5.5));
+        assert!((p.0 - 4.2075).abs() < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn energy_scales_with_length() {
+        let e = energy_for(FemtojoulesPerBitMm(104.0), Millimeters(8.0));
+        assert!((e.0 - 832.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(format!("{}", Gbps(2.0)), "2 Gb/s");
+        assert_eq!(format!("{:.1}", Picoseconds(59.39)), "59.4 ps");
+        assert_eq!(format!("{}", Volts(0.9)), "0.9 V");
+    }
+}

@@ -1,0 +1,178 @@
+//! Distributed-RC on-chip wire model.
+//!
+//! The paper's links are minimum-DRC-pitch intermediate-layer wires in a
+//! 45 nm SOI process (the fabricated chip) or the same wires at 2× spacing
+//! (the Table I re-optimized variants; wider spacing roughly halves the
+//! coupling-dominated capacitance). This module captures the per-mm R/C of
+//! those wires and discretizes a wire run into an RC ladder for the
+//! transient solver.
+
+use crate::units::Millimeters;
+
+/// Wire spacing class, which sets the capacitance per mm.
+///
+/// Table I footnotes: the `∗` rows are "resized and optimized for
+/// low-frequency (2 GHz) and wider wire spacing"; the `∗∗` rows are "the
+/// same circuit as in the fabricated chip with wider wire spacing"; the
+/// chip measurements themselves ("60 ps/mm", "100 ps/mm") assume minimum
+/// DRC pitch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Spacing {
+    /// Minimum DRC pitch: densest wiring, highest sidewall coupling.
+    #[default]
+    MinPitch,
+    /// Double the minimum spacing: roughly 40% lower total capacitance at
+    /// the cost of half the bandwidth density.
+    Double,
+}
+
+/// Electrical parameters of one millimetre of link wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRc {
+    /// Series resistance, ohms per mm.
+    pub r_ohm_per_mm: f64,
+    /// Total (ground + coupling) capacitance, femtofarads per mm.
+    pub c_ff_per_mm: f64,
+}
+
+impl WireRc {
+    /// 45 nm-class intermediate-layer wire at the given spacing.
+    ///
+    /// Values are representative of a 45 nm process intermediate metal:
+    /// ~420 Ω/mm series resistance at minimum width, ~210 fF/mm total
+    /// capacitance at minimum pitch falling to ~125 fF/mm at 2× spacing
+    /// (sidewall coupling dominates at these geometries).
+    #[must_use]
+    pub fn for_45nm(spacing: Spacing) -> Self {
+        match spacing {
+            Spacing::MinPitch => WireRc {
+                r_ohm_per_mm: 420.0,
+                c_ff_per_mm: 210.0,
+            },
+            Spacing::Double => WireRc {
+                r_ohm_per_mm: 420.0,
+                c_ff_per_mm: 125.0,
+            },
+        }
+    }
+
+    /// Intrinsic distributed-RC time constant of `length` of this wire,
+    /// in picoseconds: `0.38 · R · C · L²` (distributed Elmore delay).
+    #[must_use]
+    pub fn elmore_delay_ps(&self, length: Millimeters) -> f64 {
+        // R [Ω/mm] · C [fF/mm] · L² [mm²] = Ω·fF = 1e-15 s = 1e-3 ps.
+        0.38 * self.r_ohm_per_mm * self.c_ff_per_mm * length.0 * length.0 * 1e-3
+    }
+
+    /// Discretize `length` of this wire into `sections_per_mm` lumped RC
+    /// sections for transient simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not positive or `sections_per_mm` is zero.
+    #[must_use]
+    pub fn ladder(&self, length: Millimeters, sections_per_mm: usize) -> RcLadder {
+        assert!(length.0 > 0.0, "wire length must be positive, got {length}");
+        assert!(sections_per_mm > 0, "need at least one section per mm");
+        let n = ((length.0 * sections_per_mm as f64).round() as usize).max(1);
+        let seg_len = length.0 / n as f64;
+        RcLadder {
+            r_ohm: self.r_ohm_per_mm * seg_len,
+            c_ff: self.c_ff_per_mm * seg_len,
+            sections: n,
+            length,
+        }
+    }
+}
+
+/// A lumped RC-ladder discretization of a wire run: `sections` identical
+/// Γ-sections of series `r_ohm` into shunt `c_ff`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcLadder {
+    /// Series resistance of one section, ohms.
+    pub r_ohm: f64,
+    /// Shunt capacitance of one section, femtofarads.
+    pub c_ff: f64,
+    /// Number of sections.
+    pub sections: usize,
+    /// Physical length represented.
+    pub length: Millimeters,
+}
+
+impl RcLadder {
+    /// Total series resistance of the ladder, ohms.
+    #[must_use]
+    pub fn total_r_ohm(&self) -> f64 {
+        self.r_ohm * self.sections as f64
+    }
+
+    /// Total shunt capacitance of the ladder, femtofarads.
+    #[must_use]
+    pub fn total_c_ff(&self) -> f64 {
+        self.c_ff * self.sections as f64
+    }
+
+    /// Smallest RC time constant in the ladder (ps), which bounds the
+    /// stable explicit-integration step.
+    #[must_use]
+    pub fn min_tau_ps(&self) -> f64 {
+        self.r_ohm * self.c_ff * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_reduces_capacitance_not_resistance() {
+        let tight = WireRc::for_45nm(Spacing::MinPitch);
+        let wide = WireRc::for_45nm(Spacing::Double);
+        assert!(wide.c_ff_per_mm < tight.c_ff_per_mm);
+        assert!((wide.r_ohm_per_mm - tight.r_ohm_per_mm).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn elmore_scales_quadratically() {
+        let w = WireRc::for_45nm(Spacing::MinPitch);
+        let d1 = w.elmore_delay_ps(Millimeters(1.0));
+        let d2 = w.elmore_delay_ps(Millimeters(2.0));
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+        // An unrepeated 1 mm min-pitch wire: 0.38·420·210e-3 ≈ 33.5 ps —
+        // far below a 500 ps cycle, the paper's core observation that
+        // motivates multi-hop traversal.
+        assert!(d1 > 20.0 && d1 < 50.0, "got {d1}");
+    }
+
+    #[test]
+    fn ladder_conserves_totals() {
+        let w = WireRc::for_45nm(Spacing::Double);
+        let lad = w.ladder(Millimeters(1.0), 5);
+        assert_eq!(lad.sections, 5);
+        assert!((lad.total_r_ohm() - w.r_ohm_per_mm).abs() < 1e-9);
+        assert!((lad.total_c_ff() - w.c_ff_per_mm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ladder_fractional_length_rounds_sections() {
+        let w = WireRc::for_45nm(Spacing::MinPitch);
+        let lad = w.ladder(Millimeters(0.5), 4);
+        assert_eq!(lad.sections, 2);
+        assert!((lad.total_c_ff() - 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn ladder_rejects_zero_length() {
+        let w = WireRc::for_45nm(Spacing::MinPitch);
+        let _ = w.ladder(Millimeters(0.0), 5);
+    }
+
+    #[test]
+    fn min_tau_is_per_section() {
+        let w = WireRc::for_45nm(Spacing::MinPitch);
+        let lad = w.ladder(Millimeters(1.0), 10);
+        // (420/10) Ω · (210/10) fF = 882 Ω·fF = 0.882 ps.
+        assert!((lad.min_tau_ps() - 0.882).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests on the link models: physical monotonicities and
+//! invariants that must hold for *any* operating point, not just the
+//! paper's calibration anchors.
+
+use proptest::prelude::*;
+use smart_link::ber::MarginModel;
+use smart_link::device::VlrParams;
+use smart_link::units::{Gbps, Millimeters, Picoseconds, Volts};
+use smart_link::wire::{Spacing, WireRc};
+use smart_link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+
+fn models() -> Vec<CalibratedLinkModel> {
+    let mut v = Vec::new();
+    for style in [LinkStyle::FullSwing, LinkStyle::LowSwing] {
+        for variant in [CircuitVariant::Fabricated, CircuitVariant::Resized2GHz] {
+            for spacing in [WireSpacing::MinPitch, WireSpacing::Double] {
+                v.push(CalibratedLinkModel::new(style, variant, spacing));
+            }
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hops_never_increase_with_rate(r1 in 0.5f64..7.5, dr in 0.01f64..2.0) {
+        let r2 = r1 + dr;
+        for m in models() {
+            prop_assert!(
+                m.max_hops_per_cycle(Gbps(r1)) >= m.max_hops_per_cycle(Gbps(r2)),
+                "{:?}/{:?}/{:?} at {r1} vs {r2}",
+                m.style(), m.variant(), m.spacing()
+            );
+        }
+    }
+
+    #[test]
+    fn delay_positive_and_bounded(rate in 0.5f64..8.0) {
+        for m in models() {
+            let d = m.delay_ps_per_mm(Gbps(rate)).0;
+            prop_assert!(d > 10.0 && d < 200.0, "{d} ps/mm is not on-chip-wire-like");
+        }
+    }
+
+    #[test]
+    fn energy_positive_everywhere(rate in 0.8f64..7.0) {
+        for m in models() {
+            let e = m.energy_fj_per_bit_mm(Gbps(rate));
+            prop_assert!(e > 10.0 && e < 500.0, "{e} fJ/b/mm out of band");
+        }
+    }
+
+    #[test]
+    fn power_scales_linearly_with_length(rate in 1.0f64..6.0, mm in 1.0f64..16.0) {
+        let m = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::Double,
+        );
+        let p1 = m.power_mw(Gbps(rate), Millimeters(mm));
+        let p2 = m.power_mw(Gbps(rate), Millimeters(2.0 * mm));
+        prop_assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ber_is_monotone_in_rate(r1 in 1.0f64..9.0, dr in 0.05f64..2.0) {
+        for m in models() {
+            let b1 = m.ber(Gbps(r1));
+            let b2 = m.ber(Gbps(r1 + dr));
+            prop_assert!(b2 >= b1, "BER must not improve at higher rate");
+        }
+    }
+
+    #[test]
+    fn margin_model_max_rate_respects_target(
+        m_inf in 0.08f64..0.5,
+        sigma in 0.005f64..0.02,
+        cal_rate in 2.0f64..8.0,
+    ) {
+        prop_assume!(m_inf > 6.2 * sigma); // calibration must be feasible
+        let model = MarginModel::calibrated(
+            Volts(m_inf),
+            Picoseconds(50.0),
+            Volts(sigma),
+            Gbps(cal_rate),
+            1e-9,
+        );
+        let max = model.max_rate(1e-9);
+        prop_assert!((max.0 - cal_rate).abs() < 0.05, "round trip {max} vs {cal_rate}");
+        // Below the max rate the link is strictly cleaner.
+        prop_assert!(model.ber(Gbps(cal_rate * 0.8)) < 1e-9);
+    }
+
+    #[test]
+    fn locked_levels_straddle_threshold(r_wire in 50.0f64..1200.0) {
+        // Up to ~3 mm of 420 Ω/mm wire — beyond that the lock fails,
+        // see `lock_breaks_on_overlong_wire` below.
+        let p = VlrParams::default_45nm();
+        let (lo, hi) = p.locked_levels(r_wire);
+        prop_assert!(lo.0 < p.vth.0);
+        prop_assert!(hi.0 > p.vth.0);
+        prop_assert!(hi.0 < p.vdd.0, "locked high stays below the rail");
+        prop_assert!(lo.0 > 0.0, "locked low stays above ground");
+    }
+
+    #[test]
+    fn ladder_discretization_conserves_rc(
+        len in 0.5f64..12.0,
+        sections in 1usize..12,
+    ) {
+        for spacing in [Spacing::MinPitch, Spacing::Double] {
+            let w = WireRc::for_45nm(spacing);
+            let lad = w.ladder(Millimeters(len), sections);
+            let expect_r = w.r_ohm_per_mm * len;
+            let expect_c = w.c_ff_per_mm * len;
+            prop_assert!((lad.total_r_ohm() - expect_r).abs() / expect_r < 1e-9);
+            prop_assert!((lad.total_c_ff() - expect_c).abs() / expect_c < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bit_time_round_trips(rate in 0.1f64..20.0) {
+        let ui = Gbps(rate).bit_time();
+        prop_assert!((ui.as_rate().0 - rate).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn lock_breaks_on_overlong_wire() {
+    // When the wire between repeaters gets more resistive than the
+    // clamp, the TxN–wire–RxP divider pushes `Vlow` past the inverter
+    // threshold and the voltage lock stops resolving logic levels —
+    // the physical reason the chip embeds "a VLR at every mm along a
+    // 10 mm interconnect" instead of repeating less often.
+    let p = VlrParams::default_45nm();
+    let (lo_ok, _) = p.locked_levels(420.0); // 1 mm pitch: fine
+    assert!(lo_ok.0 < p.vth.0);
+    let (lo_bad, _) = p.locked_levels(4.5 * 420.0); // ~4.5 mm: broken
+    assert!(
+        lo_bad.0 >= p.vth.0,
+        "the lock must fail on overlong spans ({} vs {})",
+        lo_bad,
+        p.vth
+    );
+}
+
+#[test]
+fn low_swing_never_loses_on_reach() {
+    // At every rate and matched variant/spacing, the VLR's single-cycle
+    // reach is at least the full-swing link's (the design's raison
+    // d'être).
+    for variant in [CircuitVariant::Fabricated, CircuitVariant::Resized2GHz] {
+        for spacing in [WireSpacing::MinPitch, WireSpacing::Double] {
+            let ls = CalibratedLinkModel::new(LinkStyle::LowSwing, variant, spacing);
+            let fs = CalibratedLinkModel::new(LinkStyle::FullSwing, variant, spacing);
+            for r in 2..=60 {
+                let rate = Gbps(f64::from(r) / 10.0);
+                assert!(
+                    ls.max_hops_per_cycle(rate) >= fs.max_hops_per_cycle(rate),
+                    "{variant:?}/{spacing:?} at {rate}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Route candidate generation and contention-aware selection.
+//!
+//! SMART's single-cycle bypass only materializes where flows do *not*
+//! share links, so route selection minimizes bandwidth-weighted link
+//! sharing first and hop count second. Candidates are the two
+//! dimension-ordered minimal routes (XY and YX); the selected set is
+//! verified deadlock-free ([`crate::deadlock`]) and falls back to
+//! all-XY (provably acyclic) if the mix ever creates a cycle.
+
+use crate::deadlock::{check, DeadlockCheck};
+use smart_sim::{FlowId, LinkId, Mesh, NodeId, SourceRoute};
+use std::collections::HashMap;
+
+/// A flow to be routed: `(flow, src node, dst node, bandwidth MB/s)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutableFlow {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Bandwidth demand, MB/s.
+    pub bandwidth_mbs: f64,
+}
+
+/// The YX (Y-then-X) dimension-ordered minimal route.
+///
+/// # Panics
+///
+/// Panics if `src == dst`.
+#[must_use]
+pub fn yx(mesh: Mesh, src: NodeId, dst: NodeId) -> SourceRoute {
+    assert_ne!(src, dst, "no route from a node to itself");
+    let (cs, cd) = (mesh.coord(src), mesh.coord(dst));
+    let mut routers = vec![src];
+    let mut cur = cs;
+    while cur.y != cd.y {
+        cur.y = if cd.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        routers.push(mesh.node_at(cur));
+    }
+    while cur.x != cd.x {
+        cur.x = if cd.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        routers.push(mesh.node_at(cur));
+    }
+    SourceRoute::from_router_path(mesh, &routers)
+}
+
+/// Minimal route candidates between two nodes (XY, plus YX when they
+/// differ).
+#[must_use]
+pub fn candidates(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<SourceRoute> {
+    let a = SourceRoute::xy(mesh, src, dst);
+    let b = yx(mesh, src, dst);
+    if a == b {
+        vec![a]
+    } else {
+        vec![a, b]
+    }
+}
+
+/// Non-minimal candidates: routes through a waypoint with up to
+/// `max_extra` additional hops (the paper's §VI future work — on SMART,
+/// a detour that avoids link sharing costs extra *millimetres* but zero
+/// extra *cycles*, because the whole path is still one bypass segment).
+///
+/// Composes XY(src→w) with YX(w→dst) and keeps only loop-free results;
+/// minimal candidates are always included first.
+#[must_use]
+pub fn detour_candidates(
+    mesh: Mesh,
+    src: NodeId,
+    dst: NodeId,
+    max_extra: u16,
+) -> Vec<SourceRoute> {
+    let mut out = candidates(mesh, src, dst);
+    let min_hops = mesh.manhattan(src, dst);
+    for w in mesh.nodes() {
+        if w == src || w == dst {
+            continue;
+        }
+        let total = mesh.manhattan(src, w) + mesh.manhattan(w, dst);
+        if total > min_hops + max_extra {
+            continue;
+        }
+        // Stitch every combination of dimension-ordered halves at the
+        // waypoint; keep the loop-free ones.
+        for first in candidates(mesh, src, w) {
+            for second in candidates(mesh, w, dst) {
+                let mut routers = first.routers(mesh);
+                routers.extend_from_slice(&second.routers(mesh)[1..]);
+                let mut seen = std::collections::HashSet::new();
+                if !routers.iter().all(|r| seen.insert(*r)) {
+                    continue;
+                }
+                let route = SourceRoute::from_router_path(mesh, &routers);
+                if !out.contains(&route) {
+                    out.push(route);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Route-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOptions {
+    /// Consider non-minimal detours (bounded by `max_extra_hops`).
+    pub allow_detours: bool,
+    /// Extra hops a detour may take beyond the minimal distance.
+    pub max_extra_hops: u16,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            allow_detours: false,
+            max_extra_hops: 2,
+        }
+    }
+}
+
+impl RouteOptions {
+    /// The paper's future-work policy: detours up to 2 extra hops.
+    #[must_use]
+    pub fn with_detours() -> Self {
+        RouteOptions {
+            allow_detours: true,
+            max_extra_hops: 2,
+        }
+    }
+}
+
+/// Cost of laying `route` over the current `link_load` map:
+/// bandwidth-weighted sharing dominates; hop count breaks ties.
+#[must_use]
+pub fn route_cost(
+    mesh: Mesh,
+    route: &SourceRoute,
+    bandwidth: f64,
+    link_load: &HashMap<LinkId, f64>,
+) -> f64 {
+    let mut shared = 0.0;
+    for l in route.links(mesh) {
+        if let Some(other) = link_load.get(&l) {
+            // Both flows suffer: weight by the smaller of the demands
+            // plus a fixed penalty per shared link (any sharing forces
+            // stops regardless of magnitude).
+            shared += 1.0 + (other.min(bandwidth)) / 1000.0;
+        }
+    }
+    shared * 1_000.0 + route.num_hops() as f64
+}
+
+/// Greedily route `flows` (descending bandwidth), minimizing sharing.
+/// Returns deadlock-free routes.
+#[must_use]
+pub fn select_routes(mesh: Mesh, flows: &[RoutableFlow]) -> Vec<(FlowId, SourceRoute)> {
+    select_routes_with(mesh, flows, RouteOptions::default())
+}
+
+/// [`select_routes`] with an explicit policy (e.g. non-minimal detours).
+#[must_use]
+pub fn select_routes_with(
+    mesh: Mesh,
+    flows: &[RoutableFlow],
+    opts: RouteOptions,
+) -> Vec<(FlowId, SourceRoute)> {
+    let mut order: Vec<&RoutableFlow> = flows.iter().collect();
+    order.sort_by(|a, b| {
+        b.bandwidth_mbs
+            .partial_cmp(&a.bandwidth_mbs)
+            .expect("bandwidths are finite")
+            .then(a.flow.0.cmp(&b.flow.0))
+    });
+    let mut link_load: HashMap<LinkId, f64> = HashMap::new();
+    let mut picked: Vec<(FlowId, SourceRoute)> = Vec::new();
+    for f in order {
+        let cands = if opts.allow_detours {
+            detour_candidates(mesh, f.src, f.dst, opts.max_extra_hops)
+        } else {
+            candidates(mesh, f.src, f.dst)
+        };
+        let mut best: Option<(f64, SourceRoute)> = None;
+        for cand in cands {
+            let cost = route_cost(mesh, &cand, f.bandwidth_mbs, &link_load);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, cand));
+            }
+        }
+        let (_, route) = best.expect("at least one candidate");
+        for l in route.links(mesh) {
+            *link_load.entry(l).or_insert(0.0) += f.bandwidth_mbs;
+        }
+        picked.push((f.flow, route));
+    }
+    picked.sort_by_key(|(f, _)| f.0);
+
+    // Deadlock safety net: XY+YX mixes (and detours) can create turn
+    // cycles.
+    let just_routes: Vec<SourceRoute> = picked.iter().map(|(_, r)| r.clone()).collect();
+    if let DeadlockCheck::Cyclic(_) = check(mesh, &just_routes) {
+        return flows
+            .iter()
+            .map(|f| (f.flow, SourceRoute::xy(mesh, f.src, f.dst)))
+            .collect();
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    #[test]
+    fn yx_differs_from_xy_on_l_shapes() {
+        let a = SourceRoute::xy(mesh(), NodeId(0), NodeId(5));
+        let b = yx(mesh(), NodeId(0), NodeId(5));
+        assert_ne!(a, b);
+        assert_eq!(a.num_hops(), b.num_hops());
+        // Straight lines coincide.
+        assert_eq!(
+            SourceRoute::xy(mesh(), NodeId(0), NodeId(3)),
+            yx(mesh(), NodeId(0), NodeId(3))
+        );
+        assert_eq!(candidates(mesh(), NodeId(0), NodeId(3)).len(), 1);
+        assert_eq!(candidates(mesh(), NodeId(0), NodeId(5)).len(), 2);
+    }
+
+    #[test]
+    fn selection_avoids_sharing_when_possible() {
+        // Two crossing flows: 0->5 and 4->1. XY for both shares no link
+        // (0->1->5 and 4->5->1? XY: 4->5 (E) then 5->1 (S); 0->1 (E)
+        // then 1->5 (N). Links disjoint? 0.E, 1.N vs 4.E, 5.S — yes).
+        // Whatever the geometry, the selected routes must not overlap.
+        let flows = [
+            RoutableFlow {
+                flow: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(5),
+                bandwidth_mbs: 100.0,
+            },
+            RoutableFlow {
+                flow: FlowId(1),
+                src: NodeId(4),
+                dst: NodeId(1),
+                bandwidth_mbs: 100.0,
+            },
+        ];
+        let picked = select_routes(mesh(), &flows);
+        let l0 = picked[0].1.links(mesh());
+        let l1 = picked[1].1.links(mesh());
+        assert!(
+            l0.iter().all(|l| !l1.contains(l)),
+            "routes must not share links: {l0:?} vs {l1:?}"
+        );
+    }
+
+    #[test]
+    fn selection_dodges_a_congested_straight_line() {
+        // Flow A occupies the bottom row 0->3. Flow B (0->7) should
+        // prefer a route avoiding row links used by A.
+        let flows = [
+            RoutableFlow {
+                flow: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(3),
+                bandwidth_mbs: 500.0,
+            },
+            RoutableFlow {
+                flow: FlowId(1),
+                src: NodeId(0),
+                dst: NodeId(7),
+                bandwidth_mbs: 100.0,
+            },
+        ];
+        let picked = select_routes(mesh(), &flows);
+        let a_links = picked[0].1.links(mesh());
+        let b_links = picked[1].1.links(mesh());
+        assert!(
+            b_links.iter().all(|l| !a_links.contains(l)),
+            "B must take the YX detour"
+        );
+    }
+
+    #[test]
+    fn selected_routes_are_deadlock_free() {
+        // A dense random-ish flow set; whatever mix is chosen must pass
+        // the CDG check (select_routes guarantees it by construction).
+        let mut flows = Vec::new();
+        for (i, (s, d)) in [(0u16, 15u16), (3, 12), (12, 3), (15, 0), (5, 10), (10, 5), (1, 14), (7, 8)]
+            .iter()
+            .enumerate()
+        {
+            flows.push(RoutableFlow {
+                flow: FlowId(i as u32),
+                src: NodeId(*s),
+                dst: NodeId(*d),
+                bandwidth_mbs: 50.0 + i as f64,
+            });
+        }
+        let picked = select_routes(mesh(), &flows);
+        let routes: Vec<SourceRoute> = picked.iter().map(|(_, r)| r.clone()).collect();
+        assert!(check(mesh(), &routes).is_free());
+        assert_eq!(picked.len(), flows.len());
+    }
+
+    #[test]
+    fn detour_candidates_include_minimal_and_bounded_detours() {
+        let cands = detour_candidates(mesh(), NodeId(0), NodeId(2), 2);
+        let min = mesh().manhattan(NodeId(0), NodeId(2)) as usize;
+        assert!(cands.iter().any(|r| r.num_hops() == min), "minimal kept");
+        assert!(
+            cands.iter().any(|r| r.num_hops() == min + 2),
+            "a 2-hop detour exists"
+        );
+        assert!(cands.iter().all(|r| r.num_hops() <= min + 2));
+        // All loop-free.
+        for r in &cands {
+            let routers = r.routers(mesh());
+            let mut seen = std::collections::HashSet::new();
+            assert!(routers.iter().all(|n| seen.insert(*n)), "{routers:?}");
+        }
+    }
+
+    #[test]
+    fn detours_dodge_a_fully_blocked_row() {
+        // Flow A saturates the straight line 0->1->2. With detours
+        // enabled, flow B (0->2) must route around it entirely.
+        let flows = [
+            RoutableFlow {
+                flow: FlowId(0),
+                src: NodeId(0),
+                dst: NodeId(2),
+                bandwidth_mbs: 900.0,
+            },
+            RoutableFlow {
+                flow: FlowId(1),
+                src: NodeId(0),
+                dst: NodeId(2),
+                bandwidth_mbs: 100.0,
+            },
+        ];
+        // Minimal-only: both flows share the row (0->2 has a single
+        // minimal route).
+        let minimal = select_routes(mesh(), &flows);
+        assert_eq!(minimal[0].1, minimal[1].1);
+        // With detours: B takes the +2 route through row 1 and shares
+        // nothing (except unavoidably the endpoints' ports).
+        let detoured = select_routes_with(mesh(), &flows, RouteOptions::with_detours());
+        let a_links = detoured[0].1.links(mesh());
+        let b_links = detoured[1].1.links(mesh());
+        assert!(b_links.iter().all(|l| !a_links.contains(l)));
+        assert_eq!(detoured[1].1.num_hops(), 4);
+    }
+
+    #[test]
+    fn detoured_route_sets_stay_deadlock_free() {
+        let mut flows = Vec::new();
+        for (i, (s, d)) in [(0u16, 15u16), (15, 0), (3, 12), (12, 3), (1, 11), (14, 4)]
+            .iter()
+            .enumerate()
+        {
+            flows.push(RoutableFlow {
+                flow: FlowId(i as u32),
+                src: NodeId(*s),
+                dst: NodeId(*d),
+                bandwidth_mbs: 100.0,
+            });
+        }
+        let picked = select_routes_with(mesh(), &flows, RouteOptions::with_detours());
+        let routes: Vec<SourceRoute> = picked.iter().map(|(_, r)| r.clone()).collect();
+        assert!(check(mesh(), &routes).is_free());
+    }
+
+    #[test]
+    fn results_sorted_by_flow_id() {
+        let flows = [
+            RoutableFlow {
+                flow: FlowId(3),
+                src: NodeId(0),
+                dst: NodeId(1),
+                bandwidth_mbs: 10.0,
+            },
+            RoutableFlow {
+                flow: FlowId(1),
+                src: NodeId(2),
+                dst: NodeId(3),
+                bandwidth_mbs: 99.0,
+            },
+        ];
+        let picked = select_routes(mesh(), &flows);
+        assert_eq!(picked[0].0, FlowId(1));
+        assert_eq!(picked[1].0, FlowId(3));
+    }
+}

@@ -1,0 +1,292 @@
+//! Power model: activity counters × per-event energies → the Fig 10b
+//! breakdown (Buffer / Allocator / Xbar(flit + credit) + pipeline
+//! registers / Link).
+//!
+//! The paper measured post-layout dynamic power with Synopsys
+//! PrimePower on VCD activity from the simulations. We substitute an
+//! event-energy model at the same 45 nm / 0.9 V / 2 GHz design point:
+//! every buffer write/read, arbitration, crossbar traversal, pipeline
+//! latch and link millimetre costs a fixed energy, and clocked
+//! structures burn clock energy each cycle their port is enabled —
+//! which is where SMART's preset-driven clock gating and the baseline's
+//! always-on clocks diverge (Section V: "The input/output ports are
+//! clock-gated to reduce unnecessary dynamic power consumption based on
+//! the preset signals").
+//!
+//! Link energy is not hand-tuned: it comes from the calibrated
+//! `smart-link` model (Table I: 104 fJ/b/mm for the low-swing SMART
+//! link at 2 Gb/s), times the 32-bit channel (2-bit credit channel for
+//! credits).
+
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_link::{CalibratedLinkModel, CircuitVariant, Gbps, LinkStyle, WireSpacing};
+use smart_sim::counters::ActivityCounters;
+use std::fmt;
+
+/// Per-event and per-port-cycle energies, picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Writing one 32-bit flit into an input buffer.
+    pub buffer_write_pj: f64,
+    /// Reading one flit out.
+    pub buffer_read_pj: f64,
+    /// One switch-allocation request.
+    pub sa_request_pj: f64,
+    /// One switch-allocation grant (arbiter state update).
+    pub sa_grant_pj: f64,
+    /// One flit through one 5×5 32-bit crossbar.
+    pub xbar_flit_pj: f64,
+    /// One credit through one 2-bit credit crossbar.
+    pub xbar_credit_pj: f64,
+    /// One 32-bit pipeline-register write (the baseline's ST→LT latch).
+    pub pipeline_reg_pj: f64,
+    /// One flit over one millimetre of data link.
+    pub link_flit_pj_per_mm: f64,
+    /// One credit over one millimetre of credit link.
+    pub link_credit_pj_per_mm: f64,
+    /// Clock energy per enabled input port per cycle (buffer FIFO
+    /// clocking).
+    pub input_clock_pj: f64,
+    /// Clock energy per enabled output port per cycle (credit queues +
+    /// pipeline registers).
+    pub output_clock_pj: f64,
+    /// Allocator clock energy, charged per enabled port per cycle.
+    pub alloc_clock_pj: f64,
+}
+
+impl EnergyModel {
+    /// The 45 nm / 0.9 V / 2 GHz model with link energies taken from the
+    /// calibrated SMART link (all three designs use SMART links, per the
+    /// paper).
+    #[must_use]
+    pub fn calibrated_45nm(cfg: &NocConfig) -> Self {
+        let link = CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::Double,
+        );
+        let fj_per_bit_mm = link.energy_fj_per_bit_mm(Gbps(cfg.clock_ghz));
+        EnergyModel {
+            buffer_write_pj: 3.2,
+            buffer_read_pj: 2.2,
+            sa_request_pj: 0.3,
+            sa_grant_pj: 0.8,
+            xbar_flit_pj: 4.0,
+            xbar_credit_pj: 0.25,
+            pipeline_reg_pj: 0.7,
+            link_flit_pj_per_mm: fj_per_bit_mm * f64::from(cfg.channel_bits) * 1e-3,
+            link_credit_pj_per_mm: fj_per_bit_mm * f64::from(cfg.credit_bits) * 1e-3,
+            input_clock_pj: 0.010,
+            output_clock_pj: 0.006,
+            alloc_clock_pj: 0.004,
+        }
+    }
+}
+
+/// The four bars of Fig 10b, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Input buffers (dynamic + clock).
+    pub buffer_w: f64,
+    /// Switch allocators (dynamic + clock).
+    pub allocator_w: f64,
+    /// Flit + credit crossbars and pipeline registers.
+    pub xbar_pipeline_w: f64,
+    /// Data + credit links.
+    pub link_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power, watts.
+    #[must_use]
+    pub fn total_w(&self) -> f64 {
+        self.buffer_w + self.allocator_w + self.xbar_pipeline_w + self.link_w
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer {:.2} mW | allocator {:.2} mW | xbar+pipe {:.2} mW | link {:.2} mW | total {:.2} mW",
+            self.buffer_w * 1e3,
+            self.allocator_w * 1e3,
+            self.xbar_pipeline_w * 1e3,
+            self.link_w * 1e3,
+            self.total_w() * 1e3
+        )
+    }
+}
+
+/// Clock-gating discipline of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatingPolicy {
+    /// Preset-driven gating: only enabled ports clock (SMART).
+    PresetGated,
+    /// No gating: every router port clocks every cycle (baseline Mesh).
+    Ungated,
+}
+
+impl GatingPolicy {
+    /// The policy each evaluated design uses.
+    #[must_use]
+    pub fn for_design(kind: DesignKind) -> Self {
+        match kind {
+            DesignKind::Mesh => GatingPolicy::Ungated,
+            // Dedicated has no routers at all in the power model (the
+            // paper plots only its link power), so the policy is moot;
+            // its counters carry zero port-cycles either way.
+            DesignKind::Smart | DesignKind::Dedicated => GatingPolicy::PresetGated,
+        }
+    }
+}
+
+/// Convert measured activity into the Fig 10b power breakdown.
+///
+/// # Panics
+///
+/// Panics if the counters cover zero cycles.
+#[must_use]
+pub fn breakdown(
+    model: &EnergyModel,
+    counters: &ActivityCounters,
+    clock_ghz: f64,
+    gating: GatingPolicy,
+) -> PowerBreakdown {
+    assert!(counters.cycles > 0, "no cycles measured");
+    let seconds = counters.cycles as f64 / (clock_ghz * 1e9);
+    let pj = 1e-12;
+
+    let clocked_port_cycles = match gating {
+        GatingPolicy::PresetGated => counters.active_port_cycles as f64,
+        GatingPolicy::Ungated => {
+            (counters.active_port_cycles + counters.gated_port_cycles) as f64
+        }
+    };
+    // Ports split evenly between inputs and outputs in our routers.
+    let input_port_cycles = clocked_port_cycles / 2.0;
+    let output_port_cycles = clocked_port_cycles / 2.0;
+
+    let buffer = (counters.buffer_writes as f64 * model.buffer_write_pj
+        + counters.buffer_reads as f64 * model.buffer_read_pj
+        + input_port_cycles * model.input_clock_pj)
+        * pj;
+    let allocator = (counters.sa_requests as f64 * model.sa_request_pj
+        + counters.sa_grants as f64 * model.sa_grant_pj
+        + clocked_port_cycles * model.alloc_clock_pj)
+        * pj;
+    let xbar = (counters.xbar_flit_traversals as f64 * model.xbar_flit_pj
+        + counters.xbar_credit_traversals as f64 * model.xbar_credit_pj
+        + counters.pipeline_reg_writes as f64 * model.pipeline_reg_pj
+        + output_port_cycles * model.output_clock_pj)
+        * pj;
+    let link = (counters.link_flit_mm * model.link_flit_pj_per_mm
+        + counters.link_credit_mm * model.link_credit_pj_per_mm)
+        * pj;
+
+    PowerBreakdown {
+        buffer_w: buffer / seconds,
+        allocator_w: allocator / seconds,
+        xbar_pipeline_w: xbar / seconds,
+        link_w: link / seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::calibrated_45nm(&NocConfig::paper_4x4())
+    }
+
+    fn counters_with(cycles: u64) -> ActivityCounters {
+        ActivityCounters {
+            cycles,
+            ..ActivityCounters::new()
+        }
+    }
+
+    #[test]
+    fn link_energy_comes_from_table1() {
+        let m = model();
+        // 104 fJ/b/mm × 32 b = 3.328 pJ/flit/mm.
+        assert!((m.link_flit_pj_per_mm - 3.328).abs() < 1e-9);
+        // 104 × 2 b = 0.208 pJ/credit/mm.
+        assert!((m.link_credit_pj_per_mm - 0.208).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_only_counters_give_link_only_power() {
+        let m = model();
+        let mut c = counters_with(1000);
+        c.link_flit_mm = 500.0;
+        let p = breakdown(&m, &c, 2.0, GatingPolicy::PresetGated);
+        assert!(p.buffer_w == 0.0 && p.allocator_w == 0.0 && p.xbar_pipeline_w == 0.0);
+        assert!(p.link_w > 0.0);
+        // 500 mm × 3.328 pJ over 500 ns = 3.328 mW.
+        assert!((p.link_w - 3.328e-3).abs() < 1e-6, "{}", p.link_w);
+    }
+
+    #[test]
+    fn ungated_pays_for_idle_ports() {
+        let m = model();
+        let mut c = counters_with(1000);
+        c.active_port_cycles = 40_000; // 40 of 160 ports enabled
+        c.gated_port_cycles = 120_000;
+        let gated = breakdown(&m, &c, 2.0, GatingPolicy::PresetGated);
+        let ungated = breakdown(&m, &c, 2.0, GatingPolicy::Ungated);
+        assert!(
+            ungated.total_w() > 3.0 * gated.total_w(),
+            "ungated {} vs gated {}",
+            ungated.total_w(),
+            gated.total_w()
+        );
+    }
+
+    #[test]
+    fn buffer_events_charge_the_buffer_bar() {
+        let m = model();
+        let mut c = counters_with(100);
+        c.buffer_writes = 10;
+        c.buffer_reads = 10;
+        let p = breakdown(&m, &c, 2.0, GatingPolicy::PresetGated);
+        assert!(p.buffer_w > 0.0);
+        assert_eq!(p.allocator_w, 0.0);
+        // 10 writes + 10 reads over 100 cycles at 2 GHz (50 ns).
+        let expect = (10.0 * m.buffer_write_pj + 10.0 * m.buffer_read_pj) * 1e-12 / 50e-9;
+        assert!((p.buffer_w - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_prints_milliwatts() {
+        let m = model();
+        let mut c = counters_with(100);
+        c.link_flit_mm = 10.0;
+        let p = breakdown(&m, &c, 2.0, GatingPolicy::PresetGated);
+        let s = p.to_string();
+        assert!(s.contains("link"), "{s}");
+        assert!(s.contains("total"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no cycles measured")]
+    fn zero_cycles_rejected() {
+        let m = model();
+        let c = ActivityCounters::new();
+        let _ = breakdown(&m, &c, 2.0, GatingPolicy::PresetGated);
+    }
+
+    #[test]
+    fn gating_policy_per_design() {
+        assert_eq!(
+            GatingPolicy::for_design(DesignKind::Mesh),
+            GatingPolicy::Ungated
+        );
+        assert_eq!(
+            GatingPolicy::for_design(DesignKind::Smart),
+            GatingPolicy::PresetGated
+        );
+    }
+}

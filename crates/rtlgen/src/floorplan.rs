@@ -1,0 +1,238 @@
+//! Mesh floorplan generation (Fig 9).
+//!
+//! Section V: "we tile the routers and connect them as a mesh... the
+//! routers are assumed to be 1 mm spaced and the black regions shown are
+//! reserved for the cores." The floorplan places one router macro per
+//! tile corner, Tx/Rx blocks on each used edge, routes the inter-router
+//! channels, and reports area and wirelength.
+
+use crate::macroblock::{CellGeometry, MacroBlock};
+use crate::GenParams;
+use std::fmt::Write as _;
+
+/// Area model for one router macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterArea {
+    /// Buffer array area, µm².
+    pub buffers_um2: f64,
+    /// Crossbars (flit + credit) + bypass muxes, µm².
+    pub crossbar_um2: f64,
+    /// Allocators + control + config register, µm².
+    pub control_um2: f64,
+}
+
+impl RouterArea {
+    /// 45 nm-class estimate from the configuration's storage and mux
+    /// counts (≈2 µm² per buffered bit, ≈0.55 µm² per crossbar mux-bit).
+    #[must_use]
+    pub fn estimate(p: &GenParams) -> Self {
+        let buffered_bits =
+            5.0 * p.num_vcs as f64 * p.vc_depth as f64 * f64::from(p.flit_bits);
+        let xbar_bits = 25.0 * f64::from(p.flit_bits) + 25.0 * f64::from(p.credit_bits);
+        RouterArea {
+            buffers_um2: buffered_bits * 2.0,
+            crossbar_um2: xbar_bits * 0.55,
+            control_um2: 5.0 * p.num_vcs as f64 * 120.0 + 64.0 * 2.0,
+        }
+    }
+
+    /// Total router area, µm².
+    #[must_use]
+    pub fn total_um2(&self) -> f64 {
+        self.buffers_um2 + self.crossbar_um2 + self.control_um2
+    }
+}
+
+/// The generated floorplan.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    /// Parameters it was built for.
+    pub params: GenParams,
+    /// Tile pitch, µm (1 mm cores → 1000 µm).
+    pub tile_um: f64,
+    /// Router macro area.
+    pub router: RouterArea,
+    /// Tx and Rx blocks per router edge in use.
+    pub tx_block: MacroBlock,
+    /// Rx block.
+    pub rx_block: MacroBlock,
+    /// Total router-to-router channel wirelength, mm (both directions,
+    /// data + credit).
+    pub channel_mm: f64,
+}
+
+impl Floorplan {
+    /// Build the floorplan for `p` with 1 mm tiles.
+    #[must_use]
+    pub fn generate(p: &GenParams) -> Self {
+        let w = u32::from(p.mesh_width);
+        let h = u32::from(p.mesh_height);
+        // Directed router-to-router channels: 2 per adjacent pair.
+        let pairs = (w - 1) * h + (h - 1) * w;
+        let directed = 2.0 * f64::from(pairs);
+        // Each channel is 1 mm of data wires plus 1 mm of credit wires
+        // (we count physical route length once per bundle).
+        let channel_mm = directed * (1.0 + 1.0);
+        Floorplan {
+            params: p.clone(),
+            tile_um: 1000.0 * p.hop_mm,
+            router: RouterArea::estimate(p),
+            tx_block: MacroBlock::assemble(
+                "vlr_tx",
+                p.flit_bits,
+                CellGeometry::vlr_tx_45nm(),
+                2.5,
+            ),
+            rx_block: MacroBlock::assemble(
+                "vlr_rx",
+                p.flit_bits,
+                CellGeometry::vlr_rx_45nm(),
+                2.5,
+            ),
+            channel_mm,
+        }
+    }
+
+    /// Total die area of the mesh region, mm².
+    #[must_use]
+    pub fn die_mm2(&self) -> f64 {
+        let w = f64::from(self.params.mesh_width) * self.tile_um * 1e-3;
+        let h = f64::from(self.params.mesh_height) * self.tile_um * 1e-3;
+        w * h
+    }
+
+    /// NoC overhead: fraction of the die taken by routers + transceiver
+    /// blocks (the rest is the black core regions of Fig 9).
+    #[must_use]
+    pub fn noc_area_fraction(&self) -> f64 {
+        let n = f64::from(self.params.mesh_width) * f64::from(self.params.mesh_height);
+        // Per router: the macro + Tx/Rx blocks on each of its (≤4) mesh
+        // edges; count 4 uniformly as the generator provisions all.
+        let per_router =
+            self.router.total_um2() + 4.0 * (self.tx_block.area_um2() + self.rx_block.area_um2());
+        (n * per_router) / (self.die_mm2() * 1e6)
+    }
+
+    /// Fig 9-style textual report.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let p = &self.params;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "Generated {}x{} SMART NoC layout (Fig 9 analogue)",
+            p.mesh_width, p.mesh_height
+        )
+        .expect("infallible");
+        writeln!(
+            s,
+            "  tile pitch          : {:.0} um ({} mm cores)",
+            self.tile_um, p.hop_mm
+        )
+        .expect("infallible");
+        writeln!(s, "  die area            : {:.1} mm2", self.die_mm2()).expect("infallible");
+        writeln!(
+            s,
+            "  router macro        : {:.0} um2 (buffers {:.0}, xbar {:.0}, ctrl {:.0})",
+            self.router.total_um2(),
+            self.router.buffers_um2,
+            self.router.crossbar_um2,
+            self.router.control_um2
+        )
+        .expect("infallible");
+        writeln!(
+            s,
+            "  tx/rx blocks        : {:.0} / {:.0} um2 per edge",
+            self.tx_block.area_um2(),
+            self.rx_block.area_um2()
+        )
+        .expect("infallible");
+        writeln!(s, "  channel wirelength  : {:.0} mm", self.channel_mm).expect("infallible");
+        writeln!(
+            s,
+            "  NoC area overhead   : {:.2}% (rest reserved for cores)",
+            self.noc_area_fraction() * 100.0
+        )
+        .expect("infallible");
+        s.push_str(&self.ascii());
+        s
+    }
+
+    /// ASCII tile map: `R` routers, `.` core regions.
+    #[must_use]
+    pub fn ascii(&self) -> String {
+        let mut s = String::new();
+        for _y in 0..self.params.mesh_height {
+            for _x in 0..self.params.mesh_width {
+                s.push_str("R....");
+            }
+            s.push('\n');
+            for _ in 0..2 {
+                for _x in 0..self.params.mesh_width {
+                    s.push_str(".....");
+                }
+                s.push('\n');
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_floorplan_numbers() {
+        let f = Floorplan::generate(&GenParams::paper_4x4());
+        assert!((f.die_mm2() - 16.0).abs() < 1e-9, "4x4 of 1 mm tiles");
+        // 2·(3·4 + 3·4) = 48 directed channels × (1 data + 1 credit) mm.
+        assert!((f.channel_mm - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn router_is_a_small_fraction_of_the_tile() {
+        let f = Floorplan::generate(&GenParams::paper_4x4());
+        let tile_um2 = f.tile_um * f.tile_um;
+        assert!(
+            f.router.total_um2() < 0.05 * tile_um2,
+            "router {:.0} um2 must be well under 5% of a {:.0} um2 tile",
+            f.router.total_um2(),
+            tile_um2
+        );
+        let frac = f.noc_area_fraction();
+        assert!(frac > 0.0 && frac < 0.05, "NoC overhead {frac}");
+    }
+
+    #[test]
+    fn buffers_dominate_router_area() {
+        // 3200 buffered bits dwarf the 850-mux-bit crossbar at Table II
+        // parameters — the motivation for bypassing buffers.
+        let r = RouterArea::estimate(&GenParams::paper_4x4());
+        assert!(r.buffers_um2 > r.crossbar_um2);
+        assert!(r.buffers_um2 > r.control_um2);
+    }
+
+    #[test]
+    fn report_mentions_key_figures() {
+        let f = Floorplan::generate(&GenParams::paper_4x4());
+        let rep = f.report();
+        assert!(rep.contains("4x4"));
+        assert!(rep.contains("16.0 mm2"));
+        assert!(rep.contains("channel wirelength"));
+        // The ASCII art has one R per router.
+        assert_eq!(f.ascii().matches('R').count(), 16);
+    }
+
+    #[test]
+    fn bigger_mesh_scales_wirelength() {
+        let f8 = Floorplan::generate(&GenParams {
+            mesh_width: 8,
+            mesh_height: 8,
+            ..GenParams::paper_4x4()
+        });
+        // 2·(7·8 + 7·8) = 224 channels × 2 mm.
+        assert!((f8.channel_mm - 448.0).abs() < 1e-9);
+        assert!((f8.die_mm2() - 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,239 @@
+//! Multi-bit Tx/Rx macro-block assembly (Fig 8).
+//!
+//! Section V: "we implement a SKILL script to take 1-bit Tx/Rx layout
+//! and data width as input and place-and-route them regularly to
+//! multi-bit Tx/Rx blocks... we do not use existing commercial
+//! place-and-route tools because these tools are often designed for
+//! general circuit blocks and cannot leverage the regularity property."
+//!
+//! We reproduce the geometry: identical 1-bit cells tiled on the wire
+//! pitch, a shared enable rail, and the resulting block bounding box /
+//! area / pin positions that feed the `.lef` view and the floorplan.
+
+use std::fmt;
+
+/// Physical dimensions of a 1-bit transceiver cell, micrometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGeometry {
+    /// Cell width (along the bit stack), µm.
+    pub width_um: f64,
+    /// Cell height (along the signal direction), µm.
+    pub height_um: f64,
+}
+
+impl CellGeometry {
+    /// The VLR transmitter cell (45 nm SOI; matches the chip's ~mm-pitch
+    /// repeated layout density).
+    #[must_use]
+    pub fn vlr_tx_45nm() -> Self {
+        CellGeometry {
+            width_um: 2.4,
+            height_um: 6.0,
+        }
+    }
+
+    /// The VLR receiver cell (adds the feedback delay cell and clamp).
+    #[must_use]
+    pub fn vlr_rx_45nm() -> Self {
+        CellGeometry {
+            width_um: 2.4,
+            height_um: 7.2,
+        }
+    }
+
+    /// Area of one cell, µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.width_um * self.height_um
+    }
+}
+
+/// A placed 1-bit cell within a block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedCell {
+    /// Bit index.
+    pub bit: u32,
+    /// Lower-left x, µm.
+    pub x_um: f64,
+    /// Lower-left y, µm.
+    pub y_um: f64,
+}
+
+/// A W-bit Tx or Rx block assembled from 1-bit cells on a regular pitch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroBlock {
+    /// Block name (e.g. `"vlr_tx32"`).
+    pub name: String,
+    /// Bits (cells).
+    pub bits: u32,
+    /// The unit cell.
+    pub cell: CellGeometry,
+    /// Placement pitch between adjacent bits, µm (≥ cell width; equals
+    /// the link wire pitch so bit wires run straight through).
+    pub pitch_um: f64,
+    /// Cell placements, bit 0 first.
+    pub cells: Vec<PlacedCell>,
+}
+
+impl MacroBlock {
+    /// Tile `bits` cells of `cell` at `pitch_um`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or the pitch is below the cell width
+    /// (cells would overlap).
+    #[must_use]
+    pub fn assemble(name: &str, bits: u32, cell: CellGeometry, pitch_um: f64) -> Self {
+        assert!(bits > 0, "a block needs at least one bit");
+        assert!(
+            pitch_um >= cell.width_um,
+            "pitch {pitch_um} µm under the cell width {} µm",
+            cell.width_um
+        );
+        let cells = (0..bits)
+            .map(|bit| PlacedCell {
+                bit,
+                x_um: f64::from(bit) * pitch_um,
+                y_um: 0.0,
+            })
+            .collect();
+        MacroBlock {
+            name: name.to_owned(),
+            bits,
+            cell,
+            pitch_um,
+            cells,
+        }
+    }
+
+    /// The paper's Fig 8 example: a 32-bit VLR Tx block.
+    #[must_use]
+    pub fn fig8_tx32() -> Self {
+        MacroBlock::assemble("vlr_tx32", 32, CellGeometry::vlr_tx_45nm(), 2.5)
+    }
+
+    /// Block width, µm.
+    #[must_use]
+    pub fn width_um(&self) -> f64 {
+        f64::from(self.bits - 1) * self.pitch_um + self.cell.width_um
+    }
+
+    /// Block height, µm.
+    #[must_use]
+    pub fn height_um(&self) -> f64 {
+        self.cell.height_um
+    }
+
+    /// Bounding-box area, µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.width_um() * self.height_um()
+    }
+
+    /// Cell-area utilization (cells / bounding box).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.bits) * self.cell.area_um2() / self.area_um2()
+    }
+
+    /// Pin x-position of `bit`'s data pin (cell centre), µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    #[must_use]
+    pub fn pin_x_um(&self, bit: u32) -> f64 {
+        assert!(bit < self.bits, "bit {bit} out of range");
+        f64::from(bit) * self.pitch_um + self.cell.width_um / 2.0
+    }
+
+    /// ASCII rendering of the placement (Fig 8-style), one glyph per
+    /// cell.
+    #[must_use]
+    pub fn ascii(&self) -> String {
+        let mut s = format!(
+            "{}: {} bits, {:.1} x {:.1} um ({:.0} um2, {:.0}% util)\n",
+            self.name,
+            self.bits,
+            self.width_um(),
+            self.height_um(),
+            self.area_um2(),
+            self.utilization() * 100.0
+        );
+        s.push('|');
+        for _ in 0..self.bits {
+            s.push_str("Tx|");
+        }
+        s.push('\n');
+        s
+    }
+}
+
+impl fmt::Display for MacroBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.ascii())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_block_geometry() {
+        let b = MacroBlock::fig8_tx32();
+        assert_eq!(b.bits, 32);
+        assert_eq!(b.cells.len(), 32);
+        // 31 pitches + one cell width.
+        assert!((b.width_um() - (31.0 * 2.5 + 2.4)).abs() < 1e-9);
+        assert!((b.height_um() - 6.0).abs() < 1e-9);
+        // Well under 1% of a 1 mm² tile.
+        assert!(b.area_um2() < 1000.0);
+    }
+
+    #[test]
+    fn placement_is_regular() {
+        let b = MacroBlock::fig8_tx32();
+        for w in b.cells.windows(2) {
+            assert!((w[1].x_um - w[0].x_um - b.pitch_um).abs() < 1e-12);
+            assert_eq!(w[1].y_um, 0.0);
+        }
+    }
+
+    #[test]
+    fn utilization_reasonable() {
+        let b = MacroBlock::fig8_tx32();
+        let u = b.utilization();
+        assert!(u > 0.8 && u <= 1.0, "regular tiling packs tightly: {u}");
+    }
+
+    #[test]
+    fn pins_sit_inside_their_cells() {
+        let b = MacroBlock::fig8_tx32();
+        for bit in 0..32 {
+            let x = b.pin_x_um(bit);
+            let cell_x = b.cells[bit as usize].x_um;
+            assert!(x >= cell_x && x <= cell_x + b.cell.width_um);
+        }
+    }
+
+    #[test]
+    fn rx_is_taller_than_tx() {
+        // The Rx cell carries the feedback delay cell + clamp.
+        assert!(
+            CellGeometry::vlr_rx_45nm().height_um > CellGeometry::vlr_tx_45nm().height_um
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "under the cell width")]
+    fn overlapping_pitch_rejected() {
+        let _ = MacroBlock::assemble("bad", 8, CellGeometry::vlr_tx_45nm(), 1.0);
+    }
+
+    #[test]
+    fn ascii_mentions_every_bit() {
+        let b = MacroBlock::assemble("t", 4, CellGeometry::vlr_tx_45nm(), 2.5);
+        assert_eq!(b.ascii().matches("Tx|").count(), 4);
+    }
+}

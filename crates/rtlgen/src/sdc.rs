@@ -1,0 +1,128 @@
+//! SDC (Synopsys Design Constraints) generation.
+//!
+//! The timing-closure side of the paper's claim: the clock is 2 GHz and
+//! a bypass path must cross up to `HPC_max` hops of crossbars + links
+//! within that single cycle. The constraints encode exactly that — a
+//! `create_clock`, per-hop `set_max_delay` budgets derived from the
+//! calibrated link model, and false paths through the quasi-static
+//! configuration registers.
+
+use crate::GenParams;
+use smart_link::units::Gbps;
+use smart_link::CalibratedLinkModel;
+use std::fmt::Write as _;
+
+/// Generate the SDC file for `p`, budgeting link delays from `link` at
+/// the design clock.
+#[must_use]
+pub fn sdc(p: &GenParams, link: &CalibratedLinkModel, clock_ghz: f64) -> String {
+    let period_ns = 1.0 / clock_ghz;
+    let hop_delay_ns = link.delay_ps_per_mm(Gbps(clock_ghz)).0 * 1e-3 * p.hop_mm;
+    let bypass_budget_ns = hop_delay_ns * p.hpc_max as f64;
+    let setup_margin_ns = period_ns - bypass_budget_ns;
+    let mut s = String::new();
+    writeln!(s, "# SMART NoC timing constraints (generated)").expect("infallible");
+    writeln!(
+        s,
+        "create_clock -name clk -period {period_ns:.3} [get_ports clk]"
+    )
+    .expect("infallible");
+    writeln!(s, "set_clock_uncertainty 0.010 [get_clocks clk]").expect("infallible");
+    writeln!(s).expect("infallible");
+    writeln!(
+        s,
+        "# Single-cycle multi-hop bypass: up to {} hops of crossbar+link",
+        p.hpc_max
+    )
+    .expect("infallible");
+    writeln!(
+        s,
+        "# {:.1} ps/hop x {} hops = {:.3} ns of the {:.3} ns period",
+        hop_delay_ns * 1e3,
+        p.hpc_max,
+        bypass_budget_ns,
+        period_ns
+    )
+    .expect("infallible");
+    writeln!(
+        s,
+        "set_max_delay {bypass_budget_ns:.3} -from [get_ports link_in*] -to [get_ports link_out*]"
+    )
+    .expect("infallible");
+    writeln!(s).expect("infallible");
+    writeln!(
+        s,
+        "# Preset registers are quasi-static: written only while the\n\
+         # network is drained (Section V), so they are false paths."
+    )
+    .expect("infallible");
+    writeln!(
+        s,
+        "set_false_path -from [get_pins u_cfg/cfg_reg*/Q]"
+    )
+    .expect("infallible");
+    writeln!(s).expect("infallible");
+    writeln!(
+        s,
+        "# Credit mesh is as wide as log2(VCs)+1 = {} bits and shares the\n\
+         # bypass budget.",
+        p.credit_bits
+    )
+    .expect("infallible");
+    writeln!(
+        s,
+        "set_max_delay {bypass_budget_ns:.3} -from [get_ports credit_in*] -to [get_ports credit_out*]"
+    )
+    .expect("infallible");
+    writeln!(s).expect("infallible");
+    writeln!(s, "# Remaining setup margin: {setup_margin_ns:.3} ns").expect("infallible");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_link::{CircuitVariant, LinkStyle, WireSpacing};
+
+    fn link() -> CalibratedLinkModel {
+        CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::Double,
+        )
+    }
+
+    #[test]
+    fn clock_and_budgets_present() {
+        let p = GenParams::paper_4x4();
+        let text = sdc(&p, &link(), 2.0);
+        assert!(text.contains("create_clock -name clk -period 0.500"));
+        assert!(text.contains("set_max_delay"));
+        assert!(text.contains("set_false_path"));
+    }
+
+    #[test]
+    fn bypass_budget_fits_the_period() {
+        // The whole point: 8 hops of calibrated link delay fit in the
+        // 500 ps cycle with positive margin.
+        let p = GenParams::paper_4x4();
+        let text = sdc(&p, &link(), 2.0);
+        let margin: f64 = text
+            .lines()
+            .find(|l| l.contains("Remaining setup margin"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().trim_end_matches(" ns").parse().ok())
+            .expect("margin line present");
+        assert!(margin > 0.0, "setup margin must be positive, got {margin}");
+        assert!(margin < 0.1, "margin should be tight at HPC_max, got {margin}");
+    }
+
+    #[test]
+    fn slower_clock_relaxes_the_budget() {
+        let p = GenParams::paper_4x4();
+        let at2 = sdc(&p, &link(), 2.0);
+        let at1 = sdc(&p, &link(), 1.0);
+        assert!(at1.contains("-period 1.000"));
+        assert_ne!(at1, at2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Liberty (`.lib`) and LEF (`.lef`) view emission for the Tx/Rx macro
+//! blocks.
+//!
+//! Section V: "the script also generates the timing liberty format
+//! (.lib) and the library exchange format (.lef) files to allow the
+//! generated layout to be place-and-routed with the router." Timing
+//! numbers are not invented here — they come from the calibrated
+//! `smart-link` model, so the views stay consistent with Table I.
+
+use crate::macroblock::MacroBlock;
+use smart_link::{CalibratedLinkModel, Gbps};
+use std::fmt::Write as _;
+
+/// Emit a Liberty timing view for `block`, with the data-path delay
+/// taken from `link` at `rate` for a 1 mm hop.
+#[must_use]
+pub fn liberty(block: &MacroBlock, link: &CalibratedLinkModel, rate: Gbps) -> String {
+    let delay_ns = link.delay_ps_per_mm(rate).0 * 1e-3;
+    let energy_pj = link.energy_fj_per_bit_mm(rate) * 1e-3;
+    let mut s = String::new();
+    writeln!(s, "library ({}_lib) {{", block.name).expect("infallible");
+    writeln!(s, "  delay_model : table_lookup;").expect("infallible");
+    writeln!(s, "  time_unit : \"1ns\";").expect("infallible");
+    writeln!(s, "  voltage_unit : \"1V\";").expect("infallible");
+    writeln!(s, "  nom_voltage : 0.9;").expect("infallible");
+    writeln!(s, "  cell ({}) {{", block.name).expect("infallible");
+    writeln!(s, "    area : {:.2};", block.area_um2()).expect("infallible");
+    for bit in 0..block.bits {
+        writeln!(s, "    pin (d_in[{bit}]) {{ direction : input; }}").expect("infallible");
+        writeln!(s, "    pin (d_out[{bit}]) {{").expect("infallible");
+        writeln!(s, "      direction : output;").expect("infallible");
+        writeln!(s, "      timing () {{").expect("infallible");
+        writeln!(s, "        related_pin : \"d_in[{bit}]\";").expect("infallible");
+        writeln!(
+            s,
+            "        cell_rise(scalar) {{ values(\"{delay_ns:.4}\"); }}"
+        )
+        .expect("infallible");
+        writeln!(
+            s,
+            "        cell_fall(scalar) {{ values(\"{delay_ns:.4}\"); }}"
+        )
+        .expect("infallible");
+        writeln!(s, "      }}").expect("infallible");
+        writeln!(
+            s,
+            "      internal_power () {{ rise_power(scalar) {{ values(\"{energy_pj:.4}\"); }} }}"
+        )
+        .expect("infallible");
+        writeln!(s, "    }}").expect("infallible");
+    }
+    writeln!(s, "    pin (en) {{ direction : input; }}").expect("infallible");
+    writeln!(s, "  }}").expect("infallible");
+    writeln!(s, "}}").expect("infallible");
+    s
+}
+
+/// Emit a LEF physical view for `block`.
+#[must_use]
+pub fn lef(block: &MacroBlock) -> String {
+    let mut s = String::new();
+    writeln!(s, "VERSION 5.8 ;").expect("infallible");
+    writeln!(s, "MACRO {}", block.name).expect("infallible");
+    writeln!(s, "  CLASS BLOCK ;").expect("infallible");
+    writeln!(
+        s,
+        "  SIZE {:.3} BY {:.3} ;",
+        block.width_um(),
+        block.height_um()
+    )
+    .expect("infallible");
+    for bit in 0..block.bits {
+        let x = block.pin_x_um(bit);
+        writeln!(s, "  PIN d_in_{bit}").expect("infallible");
+        writeln!(s, "    DIRECTION INPUT ;").expect("infallible");
+        writeln!(s, "    PORT").expect("infallible");
+        writeln!(
+            s,
+            "      LAYER M4 ; RECT {:.3} 0.000 {:.3} 0.200 ;",
+            x - 0.1,
+            x + 0.1
+        )
+        .expect("infallible");
+        writeln!(s, "    END").expect("infallible");
+        writeln!(s, "  END d_in_{bit}").expect("infallible");
+        writeln!(s, "  PIN d_out_{bit}").expect("infallible");
+        writeln!(s, "    DIRECTION OUTPUT ;").expect("infallible");
+        writeln!(s, "    PORT").expect("infallible");
+        writeln!(
+            s,
+            "      LAYER M4 ; RECT {:.3} {:.3} {:.3} {:.3} ;",
+            x - 0.1,
+            block.height_um() - 0.2,
+            x + 0.1,
+            block.height_um()
+        )
+        .expect("infallible");
+        writeln!(s, "    END").expect("infallible");
+        writeln!(s, "  END d_out_{bit}").expect("infallible");
+    }
+    writeln!(s, "END {}", block.name).expect("infallible");
+    writeln!(s, "END LIBRARY").expect("infallible");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_link::{CircuitVariant, LinkStyle, WireSpacing};
+
+    fn link() -> CalibratedLinkModel {
+        CalibratedLinkModel::new(
+            LinkStyle::LowSwing,
+            CircuitVariant::Resized2GHz,
+            WireSpacing::Double,
+        )
+    }
+
+    #[test]
+    fn liberty_contains_all_pins_and_calibrated_delay() {
+        let b = MacroBlock::fig8_tx32();
+        let lib = liberty(&b, &link(), Gbps(2.0));
+        assert_eq!(lib.matches("pin (d_out[").count(), 32);
+        assert_eq!(lib.matches("pin (d_in[").count(), 32);
+        // The 2 Gb/s low-swing delay anchor is ~56.5 ps = 0.0565 ns.
+        assert!(lib.contains("0.056"), "calibrated delay must appear");
+        // Braces balance.
+        assert_eq!(lib.matches('{').count(), lib.matches('}').count());
+    }
+
+    #[test]
+    fn lef_geometry_is_consistent() {
+        let b = MacroBlock::fig8_tx32();
+        let lef = lef(&b);
+        assert!(lef.contains(&format!(
+            "SIZE {:.3} BY {:.3} ;",
+            b.width_um(),
+            b.height_um()
+        )));
+        assert_eq!(lef.matches("PIN d_in_").count(), 32);
+        assert_eq!(lef.matches("PIN d_out_").count(), 32);
+        assert_eq!(lef.matches("END LIBRARY").count(), 1);
+    }
+
+    #[test]
+    fn energy_flows_into_liberty_power() {
+        let b = MacroBlock::fig8_tx32();
+        let lib = liberty(&b, &link(), Gbps(2.0));
+        // 104 fJ/b/mm = 0.104 pJ.
+        assert!(lib.contains("0.1040"), "internal_power from Table I");
+    }
+}

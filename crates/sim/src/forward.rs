@@ -1,0 +1,445 @@
+//! Flow plans: how packets of a flow traverse the network as a sequence
+//! of single-cycle *segments* between stop routers.
+//!
+//! This is the unifying abstraction of the reproduction. In the paper,
+//! a flit either **bypasses** a router (the preset crossbar forwards it
+//! within the same cycle) or **stops** (it is buffered, arbitrates, and
+//! leaves one or more cycles later). A flow's journey is therefore a list
+//! of *legs*: each leg starts at the NIC or at a stop router, crosses
+//! zero or more links in a single `ST(+LT)` cycle, and ends buffered at
+//! the next stop router or delivered at the destination NIC.
+//!
+//! * The baseline 3-cycle **Mesh** router is the degenerate plan where
+//!   every router is a stop and `ST`/`LT` are separate cycles.
+//! * **SMART** plans have multi-link legs (bounded by `HPC_max`) with
+//!   merged `ST+LT`.
+//!
+//! Virtual-cut-through flow control attaches to legs: the sender of a leg
+//! (a NIC or a router output port) owns the *free-VC queue* tracking the
+//! VCs of the leg's endpoint, which — in the SMART case — can be an input
+//! port several hops away (paper, Section IV *Flow Control*).
+
+use crate::flit::FlowId;
+use crate::route::SourceRoute;
+use crate::topology::{Direction, LinkId, Mesh, NodeId};
+use std::collections::HashMap;
+
+/// The party that launches flits onto a leg (and owns the free-VC queue
+/// for the leg's endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sender {
+    /// The injecting NIC at `node`.
+    Nic(NodeId),
+    /// Output port `dir` of router `node`.
+    RouterOutput(NodeId, Direction),
+}
+
+/// Where a leg lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Buffered at input port `in_dir` of `router` (a *stop*).
+    Stop {
+        /// The stop router.
+        router: NodeId,
+        /// The input port the flit lands in (`Core` for injection into
+        /// the local router).
+        in_dir: Direction,
+    },
+    /// Delivered to the destination NIC at `node`.
+    Nic {
+        /// Destination node.
+        node: NodeId,
+    },
+}
+
+/// One single-`ST` traversal: from a sender, across `links`, into an
+/// endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Who launches flits onto this leg.
+    pub sender: Sender,
+    /// Output direction arbitrated at the sender (routers only; `Core`
+    /// for ejection legs).
+    pub out_dir: Direction,
+    /// Links crossed within the single `ST(+LT)` traversal.
+    pub links: Vec<LinkId>,
+    /// Where the leg ends.
+    pub end: Endpoint,
+    /// Cycles from switch-allocation grant to arrival at the endpoint:
+    /// 1 when `ST+LT` are merged (SMART, and all ejections), 2 for the
+    /// baseline's separate `ST` then `LT`.
+    pub cycles: u8,
+}
+
+impl Segment {
+    /// Number of router crossbars a flit traverses on this leg (for
+    /// activity/power accounting): one per link plus the destination
+    /// router's crossbar when ejecting to a NIC.
+    #[must_use]
+    pub fn crossbars(&self) -> u32 {
+        let eject = matches!(self.end, Endpoint::Nic { .. });
+        self.links.len() as u32 + u32::from(eject)
+    }
+
+    /// Millimetres of link wire crossed (1 mm per hop).
+    #[must_use]
+    pub fn link_mm(&self) -> f64 {
+        self.links.len() as f64
+    }
+}
+
+/// The complete journey of a flow: its static route plus the stop
+/// decomposition into legs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPlan {
+    /// Flow this plan is for.
+    pub flow: FlowId,
+    /// The underlying source route.
+    pub route: SourceRoute,
+    /// Legs in travel order; `legs[0]` starts at the source NIC.
+    pub legs: Vec<Segment>,
+}
+
+impl FlowPlan {
+    /// Number of *stops* (buffered routers) along the journey — the `S`
+    /// in the zero-load latency `1 + 3·S`.
+    #[must_use]
+    pub fn num_stops(&self) -> usize {
+        self.legs.len() - 1
+    }
+
+    /// Zero-load head-flit network latency in cycles: every leg costs
+    /// its `cycles` (the first from injection), and every stop adds the
+    /// `BW` + `SA` pipeline cycles before the next leg's `ST`.
+    #[must_use]
+    pub fn zero_load_latency(&self) -> u64 {
+        let legs: u64 = self.legs.iter().map(|l| u64::from(l.cycles)).sum();
+        legs + 2 * self.num_stops() as u64
+    }
+
+    /// The destination node.
+    #[must_use]
+    pub fn destination(&self, mesh: Mesh) -> NodeId {
+        self.route.destination(mesh)
+    }
+
+    /// Validate internal consistency: legs chain (each leg's endpoint is
+    /// the next leg's sender router), the first leg starts at the source
+    /// NIC, and the last leg ends at the destination NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation found.
+    pub fn validate(&self, mesh: Mesh) {
+        assert!(!self.legs.is_empty(), "{}: plan has no legs", self.flow);
+        assert_eq!(
+            self.legs[0].sender,
+            Sender::Nic(self.route.source()),
+            "{}: first leg must start at the source NIC",
+            self.flow
+        );
+        let dst = self.route.destination(mesh);
+        assert_eq!(
+            self.legs.last().expect("nonempty").end,
+            Endpoint::Nic { node: dst },
+            "{}: last leg must end at the destination NIC",
+            self.flow
+        );
+        for w in self.legs.windows(2) {
+            match (w[0].end, w[1].sender) {
+                (Endpoint::Stop { router, .. }, Sender::RouterOutput(r, _)) => {
+                    assert_eq!(router, r, "{}: legs do not chain", self.flow);
+                }
+                (e, s) => panic!("{}: leg ends {e:?} but next starts {s:?}", self.flow),
+            }
+        }
+        // The union of leg links must equal the route's links, in order.
+        let from_legs: Vec<LinkId> = self.legs.iter().flat_map(|l| l.links.clone()).collect();
+        assert_eq!(
+            from_legs,
+            self.route.links(mesh),
+            "{}: leg links do not cover the route",
+            self.flow
+        );
+    }
+}
+
+/// All flow plans of an application, with lookup indices used by the
+/// engine every cycle.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    plans: HashMap<FlowId, FlowPlan>,
+    /// (flow, stop router) → leg index departing that router.
+    leg_from: HashMap<(FlowId, NodeId), usize>,
+}
+
+impl FlowTable {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        FlowTable::default()
+    }
+
+    /// Insert a plan (validating it against `mesh`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is inconsistent or a plan for the flow already
+    /// exists.
+    pub fn insert(&mut self, mesh: Mesh, plan: FlowPlan) {
+        plan.validate(mesh);
+        let flow = plan.flow;
+        assert!(
+            !self.plans.contains_key(&flow),
+            "{flow}: duplicate plan"
+        );
+        for (i, leg) in plan.legs.iter().enumerate().skip(1) {
+            if let Sender::RouterOutput(r, _) = leg.sender {
+                let prev = self.leg_from.insert((flow, r), i);
+                assert!(prev.is_none(), "{flow}: revisits router {r}");
+            }
+        }
+        let prev = self.plans.insert(flow, plan);
+        assert!(prev.is_none(), "{flow}: duplicate plan");
+    }
+
+    /// The plan for `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown.
+    #[must_use]
+    pub fn plan(&self, flow: FlowId) -> &FlowPlan {
+        self.plans
+            .get(&flow)
+            .unwrap_or_else(|| panic!("no plan for {flow}"))
+    }
+
+    /// The leg that departs stop router `router` for `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow does not stop at that router.
+    #[must_use]
+    pub fn leg_from(&self, flow: FlowId, router: NodeId) -> &Segment {
+        let idx = self
+            .leg_from
+            .get(&(flow, router))
+            .unwrap_or_else(|| panic!("{flow} does not stop at {router}"));
+        &self.plan(flow).legs[*idx]
+    }
+
+    /// Index of the leg departing `router` for `flow`, if it stops there.
+    #[must_use]
+    pub fn leg_index_from(&self, flow: FlowId, router: NodeId) -> Option<usize> {
+        self.leg_from.get(&(flow, router)).copied()
+    }
+
+    /// Iterate over all plans.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowPlan> {
+        self.plans.values()
+    }
+
+    /// Number of flows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when no flows are planned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Every (sender, endpoint) pair in the table. Used to size
+    /// sender-side free-VC queues and to check the paper's invariant
+    /// that each endpoint is fed by exactly one sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two different senders feed the same endpoint, or one
+    /// sender feeds two different endpoints — either would break the
+    /// output-port free-VC-queue design of Section IV.
+    #[must_use]
+    pub fn sender_endpoints(&self) -> HashMap<Sender, Endpoint> {
+        let mut by_sender: HashMap<Sender, Endpoint> = HashMap::new();
+        let mut by_endpoint: HashMap<Endpoint, Sender> = HashMap::new();
+        for plan in self.plans.values() {
+            for leg in &plan.legs {
+                if let Some(prev) = by_sender.insert(leg.sender, leg.end) {
+                    assert_eq!(
+                        prev, leg.end,
+                        "sender {:?} would track two endpoints",
+                        leg.sender
+                    );
+                }
+                if let Some(prev) = by_endpoint.insert(leg.end, leg.sender) {
+                    assert_eq!(
+                        prev, leg.sender,
+                        "endpoint {:?} would be fed by two senders",
+                        leg.end
+                    );
+                }
+            }
+        }
+        by_sender
+    }
+
+    /// Build the baseline **Mesh** plan for a set of routed flows: every
+    /// router on the route is a stop, `ST` and `LT` are separate cycles
+    /// (the paper's 3-cycle router + 1-cycle link).
+    #[must_use]
+    pub fn mesh_baseline(mesh: Mesh, routes: &[(FlowId, SourceRoute)]) -> Self {
+        let mut table = FlowTable::new();
+        for (flow, route) in routes {
+            table.insert(mesh, mesh_plan_for(mesh, *flow, route.clone()));
+        }
+        table
+    }
+}
+
+/// The baseline plan for one routed flow (every router a stop).
+#[must_use]
+pub fn mesh_plan_for(mesh: Mesh, flow: FlowId, route: SourceRoute) -> FlowPlan {
+    let routers = route.routers(mesh);
+    let src = route.source();
+    let mut legs = Vec::with_capacity(routers.len() + 1);
+    // Injection: NIC into the source router's Core input buffer.
+    legs.push(Segment {
+        sender: Sender::Nic(src),
+        out_dir: Direction::Core,
+        links: Vec::new(),
+        end: Endpoint::Stop {
+            router: src,
+            in_dir: Direction::Core,
+        },
+        cycles: 1,
+    });
+    let outputs = route.outputs();
+    for (i, (&r, &out)) in routers.iter().zip(outputs.iter()).enumerate() {
+        if out == Direction::Core {
+            // Ejection from the destination router.
+            legs.push(Segment {
+                sender: Sender::RouterOutput(r, Direction::Core),
+                out_dir: Direction::Core,
+                links: Vec::new(),
+                end: Endpoint::Nic { node: r },
+                cycles: 1,
+            });
+        } else {
+            let next = routers[i + 1];
+            legs.push(Segment {
+                sender: Sender::RouterOutput(r, out),
+                out_dir: out,
+                links: vec![LinkId { from: r, dir: out }],
+                end: Endpoint::Stop {
+                    router: next,
+                    in_dir: out.opposite(),
+                },
+                cycles: 2,
+            });
+        }
+    }
+    FlowPlan {
+        flow,
+        route,
+        legs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    #[test]
+    fn mesh_plan_stops_everywhere() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        let plan = mesh_plan_for(mesh(), FlowId(0), route);
+        plan.validate(mesh());
+        // 6 hops -> 7 routers; legs = inject + 6 links + eject = 8.
+        assert_eq!(plan.legs.len(), 8);
+        assert_eq!(plan.num_stops(), 7);
+        // Zero-load: every leg (1 + 6·2 + 1 = 14) + 2 per stop (14) = 28
+        // = 4·hops + 4 = 4·(6+1).
+        assert_eq!(plan.zero_load_latency(), 28);
+        assert_eq!(plan.zero_load_latency(), 4 * (6 + 1));
+    }
+
+    #[test]
+    fn one_hop_mesh_latency_is_eight() {
+        let route = SourceRoute::xy(mesh(), NodeId(9), NodeId(10));
+        let plan = mesh_plan_for(mesh(), FlowId(1), route);
+        assert_eq!(plan.zero_load_latency(), 8);
+    }
+
+    #[test]
+    fn crossbar_and_mm_accounting() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2));
+        let plan = mesh_plan_for(mesh(), FlowId(0), route);
+        let xbars: u32 = plan.legs.iter().map(Segment::crossbars).sum();
+        let mm: f64 = plan.legs.iter().map(Segment::link_mm).sum();
+        // Inject leg: 0 xbars; two link legs: 1 each; eject: 1.
+        assert_eq!(xbars, 3);
+        assert!((mm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_table_leg_lookup() {
+        let r0 = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let table = FlowTable::mesh_baseline(mesh(), &[(FlowId(7), r0)]);
+        let leg = table.leg_from(FlowId(7), NodeId(1));
+        assert_eq!(leg.sender, Sender::RouterOutput(NodeId(1), Direction::East));
+        assert_eq!(
+            leg.end,
+            Endpoint::Stop {
+                router: NodeId(2),
+                in_dir: Direction::West
+            }
+        );
+        assert!(table.leg_index_from(FlowId(7), NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn sender_endpoint_map_is_consistent_for_mesh() {
+        let flows = vec![
+            (FlowId(0), SourceRoute::xy(mesh(), NodeId(0), NodeId(3))),
+            (FlowId(1), SourceRoute::xy(mesh(), NodeId(4), NodeId(3))),
+            (FlowId(2), SourceRoute::xy(mesh(), NodeId(0), NodeId(12))),
+        ];
+        let table = FlowTable::mesh_baseline(mesh(), &flows);
+        let map = table.sender_endpoints();
+        // Every mesh sender's endpoint is its physical neighbour.
+        for (s, e) in &map {
+            if let (Sender::RouterOutput(r, d), Endpoint::Stop { router, in_dir }) = (s, e) {
+                if *d != Direction::Core {
+                    assert_eq!(mesh().neighbor(*r, *d), Some(*router));
+                    assert_eq!(*in_dir, d.opposite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate plan")]
+    fn duplicate_flow_rejected() {
+        let mut t = FlowTable::new();
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(1));
+        t.insert(mesh(), mesh_plan_for(mesh(), FlowId(0), route.clone()));
+        t.insert(mesh(), mesh_plan_for(mesh(), FlowId(0), route));
+    }
+
+    #[test]
+    #[should_panic(expected = "leg links do not cover the route")]
+    fn truncated_plan_rejected() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2));
+        let mut plan = mesh_plan_for(mesh(), FlowId(0), route);
+        // Drop one link from a middle leg.
+        plan.legs[1].links.clear();
+        plan.validate(mesh());
+    }
+}

@@ -1,0 +1,612 @@
+//! The synchronous network engine.
+//!
+//! Drives routers and NICs through a deterministic per-cycle schedule:
+//!
+//! 1. apply credit returns scheduled for this cycle;
+//! 2. apply flit arrivals (buffer writes / NIC deliveries);
+//! 3. NIC injection (one flit per NIC per cycle);
+//! 4. switch allocation at every router; granted flits traverse their
+//!    leg (`ST+LT`) and are scheduled to arrive at its end;
+//! 5. accounting (clock gating, cycle counters).
+//!
+//! The engine enforces the SMART preset invariant at runtime: **no two
+//! flits may cross the same link in the same cycle** — if a preset
+//! compiler produced plans that violate single-cycle exclusivity, the
+//! engine panics rather than silently time-multiplexing the wire.
+
+use crate::counters::ActivityCounters;
+use crate::flit::{Flit, Packet, VcId};
+use crate::forward::{Endpoint, FlowTable, Segment, Sender};
+use crate::nic::{Nic, RxEvent};
+use crate::router::Router;
+use crate::stats::SimStats;
+use crate::topology::{LinkId, Mesh, NodeId};
+use crate::trace::{TraceKind, TraceRecord, Tracer};
+use crate::traffic::TrafficSource;
+use std::collections::HashMap;
+
+/// Sizing parameters shared by all designs (Table II defaults via
+/// [`SimConfig::paper_4x4`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Mesh dimensions.
+    pub mesh: Mesh,
+    /// Virtual channels per input port.
+    pub vcs_per_port: usize,
+    /// Flits of buffering per VC.
+    pub vc_depth: usize,
+    /// Flits per packet (packet size / flit size).
+    pub flits_per_packet: u8,
+}
+
+impl SimConfig {
+    /// Table II: 4×4 mesh, 2 VCs × 10 flits, 256-bit packets of 32-bit
+    /// flits.
+    #[must_use]
+    pub fn paper_4x4() -> Self {
+        SimConfig {
+            mesh: Mesh::paper_4x4(),
+            vcs_per_port: 2,
+            vc_depth: 10,
+            flits_per_packet: 8,
+        }
+    }
+
+    /// Validate invariants (virtual cut-through needs whole packets to
+    /// fit in one VC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet cannot fit in a VC buffer.
+    pub fn validate(&self) {
+        assert!(
+            usize::from(self.flits_per_packet) <= self.vc_depth,
+            "virtual cut-through requires vc_depth >= flits_per_packet"
+        );
+        assert!(self.vcs_per_port > 0 && self.flits_per_packet > 0);
+    }
+}
+
+/// Ring-buffer depth for scheduled events (max lookahead is 4 cycles).
+const RING: usize = 16;
+
+/// The simulated network: routers + NICs + in-flight events.
+#[derive(Debug)]
+pub struct Network {
+    cfg: SimConfig,
+    flows: FlowTable,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    /// endpoint → the unique sender whose free-VC queue tracks it.
+    endpoint_sender: HashMap<Endpoint, Sender>,
+    /// endpoint → (crossbars, mm) of its incoming leg, for credit
+    /// activity accounting on the reverse path.
+    endpoint_leg_cost: HashMap<Endpoint, (u32, f64)>,
+    arrivals: Vec<Vec<(Endpoint, Flit)>>,
+    credit_ring: Vec<Vec<(Sender, VcId)>>,
+    cycle: u64,
+    counters: ActivityCounters,
+    stats: SimStats,
+    stats_from: u64,
+    /// Last ST cycle each link carried a flit (single-cycle exclusivity).
+    link_guard: HashMap<LinkId, u64>,
+    /// Flits carried per link since the last counter reset.
+    link_flits: HashMap<LinkId, u64>,
+    enabled_ports: u64,
+    total_ports: u64,
+    tracer: Option<Tracer>,
+}
+
+impl Network {
+    /// Build a network for `flows` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or the flow plans are inconsistent
+    /// (see [`FlowTable::sender_endpoints`]).
+    #[must_use]
+    pub fn new(cfg: SimConfig, flows: FlowTable) -> Self {
+        cfg.validate();
+        let n = cfg.mesh.len();
+        let mut routers: Vec<Router> = cfg
+            .mesh
+            .nodes()
+            .map(|id| Router::new(id, cfg.vcs_per_port, cfg.vc_depth))
+            .collect();
+        let nics: Vec<Nic> = cfg
+            .mesh
+            .nodes()
+            .map(|id| Nic::new(id, cfg.vcs_per_port))
+            .collect();
+
+        // Preset-driven port enables + endpoint bookkeeping.
+        let mut endpoint_leg_cost = HashMap::new();
+        for plan in flows.iter() {
+            for leg in &plan.legs {
+                if let Sender::RouterOutput(r, d) = leg.sender {
+                    routers[r.0 as usize].enable_output(d);
+                }
+                for link in &leg.links {
+                    routers[link.from.0 as usize].enable_output(link.dir);
+                    let to = cfg
+                        .mesh
+                        .neighbor(link.from, link.dir)
+                        .unwrap_or_else(|| panic!("{link} leaves the mesh"));
+                    routers[to.0 as usize].enable_input(link.dir.opposite());
+                }
+                if let Endpoint::Stop { router, in_dir } = leg.end {
+                    routers[router.0 as usize].enable_input(in_dir);
+                }
+                endpoint_leg_cost.insert(leg.end, (leg.crossbars(), leg.link_mm()));
+            }
+        }
+        let endpoint_sender: HashMap<Endpoint, Sender> = flows
+            .sender_endpoints()
+            .into_iter()
+            .map(|(s, e)| (e, s))
+            .collect();
+
+        let enabled_ports: u64 = routers.iter().map(|r| r.enabled_ports() as u64).sum();
+        let total_ports = (n * 10) as u64; // 5 in + 5 out per router
+
+        Network {
+            cfg,
+            flows,
+            routers,
+            nics,
+            endpoint_sender,
+            endpoint_leg_cost,
+            arrivals: vec![Vec::new(); RING],
+            credit_ring: vec![Vec::new(); RING],
+            cycle: 0,
+            counters: ActivityCounters::new(),
+            stats: SimStats::new(),
+            stats_from: 0,
+            link_guard: HashMap::new(),
+            link_flits: HashMap::new(),
+            enabled_ports,
+            total_ports,
+            tracer: None,
+        }
+    }
+
+    /// Record micro-architectural events (up to `capacity` of them) for
+    /// journey logs, VCD dumps and counter cross-validation.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::with_capacity(capacity));
+    }
+
+    /// The tracer, if tracing is enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// The mesh being simulated.
+    #[must_use]
+    pub fn mesh(&self) -> Mesh {
+        self.cfg.mesh
+    }
+
+    /// The flow table in use.
+    #[must_use]
+    pub fn flows(&self) -> &FlowTable {
+        &self.flows
+    }
+
+    /// Current cycle (cycles fully processed).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Activity counters accumulated since the last reset.
+    #[must_use]
+    pub fn counters(&self) -> &ActivityCounters {
+        &self.counters
+    }
+
+    /// Latency statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Only packets *generated* at or after `cycle` contribute to
+    /// latency statistics (warm-up exclusion).
+    pub fn set_stats_from(&mut self, cycle: u64) {
+        self.stats_from = cycle;
+    }
+
+    /// Zero the activity counters (e.g. at the end of warm-up).
+    pub fn reset_counters(&mut self) {
+        self.counters = ActivityCounters::new();
+        self.link_flits.clear();
+    }
+
+    /// Flits carried per link since the last counter reset — the
+    /// utilization heatmap's raw data.
+    #[must_use]
+    pub fn link_flit_counts(&self) -> &HashMap<LinkId, u64> {
+        &self.link_flits
+    }
+
+    /// Queue a generated packet at its source NIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's flow is unknown or its src/dst disagree
+    /// with the flow's route.
+    pub fn offer(&mut self, packet: Packet) {
+        let plan = self.flows.plan(packet.flow);
+        assert_eq!(packet.src, plan.route.source(), "packet src mismatch");
+        assert_eq!(
+            packet.dst,
+            plan.route.destination(self.cfg.mesh),
+            "packet dst mismatch"
+        );
+        self.nics[packet.src.0 as usize].offer(packet);
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let c = self.cycle;
+        let slot = (c % RING as u64) as usize;
+
+        // 1. Credits landing this cycle.
+        let credits = std::mem::take(&mut self.credit_ring[slot]);
+        for (sender, vc) in credits {
+            match sender {
+                Sender::Nic(n) => self.nics[n.0 as usize].credit(vc),
+                Sender::RouterOutput(r, d) => self.routers[r.0 as usize].credit(d, vc),
+            }
+        }
+
+        // 2. Flit arrivals (scheduled for end of cycle c-1).
+        let arrivals = std::mem::take(&mut self.arrivals[slot]);
+        for (end, flit) in arrivals {
+            match end {
+                Endpoint::Stop { router, in_dir } => {
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(TraceRecord {
+                            cycle: c.saturating_sub(1),
+                            flow: flit.flow,
+                            packet: flit.packet,
+                            kind: TraceKind::BufferWrite { router, in_dir },
+                        });
+                    }
+                    self.routers[router.0 as usize].receive(
+                        in_dir,
+                        flit,
+                        c.saturating_sub(1),
+                        &mut self.counters,
+                    );
+                }
+                Endpoint::Nic { node } => {
+                    let arrival_cycle = c - 1;
+                    let gen = flit.gen_cycle;
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(TraceRecord {
+                            cycle: arrival_cycle,
+                            flow: flit.flow,
+                            packet: flit.packet,
+                            kind: TraceKind::Deliver {
+                                node,
+                                head: flit.is_head(),
+                                tail: flit.is_tail(),
+                            },
+                        });
+                    }
+                    let events = self.nics[node.0 as usize].receive(
+                        &flit,
+                        arrival_cycle,
+                        &mut self.counters,
+                    );
+                    for ev in events {
+                        match ev {
+                            RxEvent::Head(flow, lat, srcq) => {
+                                if gen >= self.stats_from {
+                                    self.stats.record_head(flow, lat, srcq);
+                                }
+                            }
+                            RxEvent::Tail(flow, lat, vc) => {
+                                if gen >= self.stats_from {
+                                    self.stats.record_tail(flow, lat);
+                                }
+                                // Credit for the freed NIC reception VC.
+                                self.emit_credit(Endpoint::Nic { node }, vc, c + 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. NIC injection.
+        for i in 0..self.nics.len() {
+            let Some(flit) = self.nics[i].try_inject(c, &mut self.counters) else {
+                continue;
+            };
+            let leg = self.flows.plan(flit.flow).legs[0].clone();
+            debug_assert!(matches!(leg.sender, Sender::Nic(n) if n.0 as usize == i));
+            self.launch(flit, &leg, c);
+        }
+
+        // 4. Switch allocation; ST happens during c + 1.
+        for r in 0..self.routers.len() {
+            let (departures, releases) =
+                self.routers[r].allocate(c, &self.flows, &mut self.counters);
+            let node = NodeId(r as u16);
+            for dep in departures {
+                let leg = self.flows.leg_from(dep.flit.flow, node).clone();
+                assert_eq!(leg.out_dir, dep.out_dir, "plan/grant mismatch at {node}");
+                self.launch(dep.flit, &leg, c + 1);
+            }
+            for rel in releases {
+                let end = Endpoint::Stop {
+                    router: node,
+                    in_dir: rel.in_dir,
+                };
+                // Tail departs the buffer during c+1; the credit crosses
+                // the reverse mesh during c+2 and is usable at c+3.
+                self.emit_credit(end, rel.vc, c + 3);
+            }
+        }
+
+        // 5. Gating + cycle accounting.
+        self.counters.active_port_cycles += self.enabled_ports;
+        self.counters.gated_port_cycles += self.total_ports - self.enabled_ports;
+        self.counters.cycles += 1;
+        self.cycle += 1;
+    }
+
+    /// Launch `flit` onto `leg`, with ST (and the whole link traversal)
+    /// occurring during `st_cycle`.
+    fn launch(&mut self, flit: Flit, leg: &Segment, st_cycle: u64) {
+        // Single-cycle link exclusivity (the preset invariant).
+        for link in &leg.links {
+            let prev = self.link_guard.insert(*link, st_cycle);
+            assert!(
+                prev != Some(st_cycle),
+                "two flits on {link} in cycle {st_cycle}: preset violation"
+            );
+            *self.link_flits.entry(*link).or_insert(0) += 1;
+        }
+        self.counters.xbar_flit_traversals += u64::from(leg.crossbars());
+        self.counters.link_flit_mm += leg.link_mm();
+        if leg.cycles == 2 {
+            self.counters.pipeline_reg_writes += 1;
+        }
+        if let Some(t) = self.tracer.as_mut() {
+            let from = match leg.sender {
+                Sender::Nic(n) | Sender::RouterOutput(n, _) => n,
+            };
+            t.record(TraceRecord {
+                cycle: st_cycle,
+                flow: flit.flow,
+                packet: flit.packet,
+                kind: TraceKind::Launch {
+                    from,
+                    links: leg.links.len() as u8,
+                    crossbars: leg.crossbars() as u8,
+                    mm: leg.link_mm(),
+                },
+            });
+        }
+        let arrival = st_cycle + u64::from(leg.cycles) - 1;
+        let slot = ((arrival + 1) % RING as u64) as usize;
+        self.arrivals[slot].push((leg.end, flit));
+    }
+
+    /// Schedule the credit for a freed VC at `end` back to its sender,
+    /// usable at `apply_cycle`.
+    fn emit_credit(&mut self, end: Endpoint, vc: VcId, apply_cycle: u64) {
+        let sender = *self
+            .endpoint_sender
+            .get(&end)
+            .unwrap_or_else(|| panic!("no sender tracks endpoint {end:?}"));
+        let (xbars, mm) = self.endpoint_leg_cost[&end];
+        self.counters.xbar_credit_traversals += u64::from(xbars);
+        self.counters.link_credit_mm += mm;
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(TraceRecord {
+                cycle: apply_cycle.saturating_sub(2),
+                flow: crate::flit::FlowId(u32::MAX),
+                packet: crate::flit::PacketId(u64::MAX),
+                kind: TraceKind::Credit {
+                    crossbars: xbars as u8,
+                    mm,
+                },
+            });
+        }
+        let slot = (apply_cycle % RING as u64) as usize;
+        self.credit_ring[slot].push((sender, vc));
+    }
+
+    /// Run `cycles` cycles, pulling packets from `traffic` each cycle.
+    pub fn run_with(&mut self, traffic: &mut dyn TrafficSource, cycles: u64) {
+        for _ in 0..cycles {
+            for p in traffic.generate(self.cycle) {
+                self.offer(p);
+            }
+            self.step();
+        }
+    }
+
+    /// `true` when no packet is queued, buffered, or in flight anywhere.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.nics.iter().all(Nic::is_drained)
+            && self.routers.iter().all(Router::is_drained)
+            && self.arrivals.iter().all(Vec::is_empty)
+    }
+
+    /// Step until quiescent, up to `max_cycles`. Returns `true` if the
+    /// network drained (the precondition for reconfiguration, Section V).
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent()
+    }
+
+    /// Injection backlog across all NICs.
+    #[must_use]
+    pub fn total_backlog(&self) -> usize {
+        self.nics.iter().map(Nic::backlog).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlowId, PacketId};
+    use crate::route::SourceRoute;
+    use crate::traffic::ScriptedTraffic;
+
+    fn one_flow_net(src: u16, dst: u16) -> (Network, FlowId) {
+        let cfg = SimConfig::paper_4x4();
+        let flow = FlowId(0);
+        let route = SourceRoute::xy(cfg.mesh, NodeId(src), NodeId(dst));
+        let table = FlowTable::mesh_baseline(cfg.mesh, &[(flow, route)]);
+        (Network::new(cfg, table), flow)
+    }
+
+    fn packet(flow: FlowId, src: u16, dst: u16, gen: u64, n: u8) -> Packet {
+        Packet {
+            id: PacketId(gen),
+            flow,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            gen_cycle: gen,
+            num_flits: n,
+        }
+    }
+
+    #[test]
+    fn mesh_zero_load_latency_matches_formula() {
+        // 1 hop: 8 cycles; 2 hops: 12; 6 hops: 28 (= 4H + 4).
+        for (src, dst, hops) in [(9u16, 10u16, 1u64), (0, 2, 2), (0, 15, 6)] {
+            let (mut net, flow) = one_flow_net(src, dst);
+            net.offer(packet(flow, src, dst, 0, 8));
+            for _ in 0..200 {
+                net.step();
+            }
+            let s = net.stats().flow(flow).expect("packet delivered");
+            assert_eq!(s.packets, 1);
+            assert_eq!(
+                s.avg_head_latency(),
+                (4 * hops + 4) as f64,
+                "{src}->{dst}"
+            );
+            // Tail trails the head by 7 flit cycles at zero load.
+            assert_eq!(s.avg_packet_latency(), (4 * hops + 4 + 7) as f64);
+            assert!(net.is_quiescent());
+        }
+    }
+
+    #[test]
+    fn zero_load_matches_plan_prediction() {
+        let (net, flow) = one_flow_net(3, 12);
+        let plan = net.flows().plan(flow);
+        let (mut net2, _) = one_flow_net(3, 12);
+        net2.offer(packet(flow, 3, 12, 0, 8));
+        for _ in 0..200 {
+            net2.step();
+        }
+        assert_eq!(
+            net2.stats().flow(flow).expect("delivered").avg_head_latency(),
+            plan.zero_load_latency() as f64
+        );
+    }
+
+    #[test]
+    fn back_to_back_packets_share_the_network() {
+        let (mut net, flow) = one_flow_net(0, 3);
+        let mut traffic = ScriptedTraffic::new(
+            vec![(0, flow), (1, flow), (2, flow)],
+            8,
+            net.flows(),
+            net.mesh(),
+        );
+        net.run_with(&mut traffic, 300);
+        assert_eq!(net.counters().packets_delivered, 3);
+        assert_eq!(net.counters().packets_injected, 3);
+        assert!(net.is_quiescent());
+        // Later packets waited (VC reuse + switch hold) but all arrived.
+        let s = net.stats().flow(flow).expect("delivered");
+        assert_eq!(s.packets, 3);
+        assert!(s.head_latency_max >= s.head_latency_min);
+    }
+
+    #[test]
+    fn flit_conservation_under_load() {
+        let (mut net, flow) = one_flow_net(0, 5);
+        for i in 0..20 {
+            net.offer(packet(flow, 0, 5, i, 8));
+        }
+        for _ in 0..2000 {
+            net.step();
+        }
+        assert_eq!(net.counters().packets_injected, 20);
+        assert_eq!(net.counters().packets_delivered, 20);
+        assert_eq!(net.counters().flits_delivered, 160);
+        assert!(net.is_quiescent());
+        assert_eq!(net.counters().packets_in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_detects_quiescence() {
+        let (mut net, flow) = one_flow_net(1, 14);
+        assert!(net.is_quiescent());
+        net.offer(packet(flow, 1, 14, 0, 8));
+        assert!(!net.is_quiescent());
+        assert!(net.drain(500));
+        assert!(net.is_quiescent());
+    }
+
+    #[test]
+    fn counters_track_buffer_and_crossbar_activity() {
+        let (mut net, flow) = one_flow_net(0, 2); // 2 hops
+        net.offer(packet(flow, 0, 2, 0, 8));
+        net.drain(500);
+        let c = net.counters();
+        // 8 flits × 3 stops (routers 0, 1, 2) buffered once each.
+        assert_eq!(c.buffer_writes, 24);
+        assert_eq!(c.buffer_reads, 24);
+        // Crossbars: 2 link legs (1 each) + ejection (1) per flit.
+        assert_eq!(c.xbar_flit_traversals, 24);
+        // Pipeline registers: one per flit per separate-LT leg.
+        assert_eq!(c.pipeline_reg_writes, 16);
+        // Link mm: 2 mm per flit.
+        assert!((c.link_flit_mm - 16.0).abs() < 1e-9);
+        // Credits: 3 VC frees (2 router stops + NIC), each crossing back.
+        assert!(c.xbar_credit_traversals > 0);
+    }
+
+    #[test]
+    fn stats_window_excludes_warmup_packets() {
+        let (mut net, flow) = one_flow_net(0, 1);
+        net.set_stats_from(100);
+        net.offer(packet(flow, 0, 1, 0, 8)); // warm-up packet
+        net.drain(200);
+        assert_eq!(net.stats().packets(), 0);
+        // Advance past the measurement boundary before the late packet.
+        while net.cycle() < 100 {
+            net.step();
+        }
+        let late = packet(flow, 0, 1, net.cycle(), 8);
+        net.offer(late);
+        net.drain(200);
+        assert_eq!(net.stats().packets(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Classic synthetic traffic patterns (Dally & Towles — the paper's
+//! baseline, reference \[11\]).
+//!
+//! The paper's evaluation uses task-graph traffic; these patterns
+//! complement it for stress tests and latency–throughput sweeps: the
+//! SMART preset compiler accepts *any* flow set, so even adversarial
+//! all-to-all patterns must simulate correctly (they simply stop more).
+
+use crate::topology::{Coord, Mesh, NodeId};
+
+/// A synthetic communication pattern over the mesh nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Every node sends to every other node (uniform random when each
+    /// pair gets equal rate).
+    UniformAllToAll,
+    /// `(x, y)` sends to `(y, x)`.
+    Transpose,
+    /// Node `i` sends to `N-1-i` (bit complement on power-of-two sizes,
+    /// point reflection in general).
+    BitComplement,
+    /// Every node sends to one hotspot.
+    Hotspot(NodeId),
+    /// `(x, y)` sends to `(W-1-x, y)` — horizontal mirror ("bit
+    /// reversal" flavour for rows).
+    RowMirror,
+}
+
+impl Pattern {
+    /// The `(src, dst)` pairs this pattern induces on `mesh`
+    /// (self-pairs are dropped).
+    #[must_use]
+    pub fn pairs(self, mesh: Mesh) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        match self {
+            Pattern::UniformAllToAll => {
+                for s in mesh.nodes() {
+                    for d in mesh.nodes() {
+                        if s != d {
+                            out.push((s, d));
+                        }
+                    }
+                }
+            }
+            Pattern::Transpose => {
+                for s in mesh.nodes() {
+                    let c = mesh.coord(s);
+                    if c.x < mesh.height() && c.y < mesh.width() {
+                        let d = mesh.node_at(Coord { x: c.y, y: c.x });
+                        if s != d {
+                            out.push((s, d));
+                        }
+                    }
+                }
+            }
+            Pattern::BitComplement => {
+                let n = mesh.len() as u16;
+                for s in mesh.nodes() {
+                    let d = NodeId(n - 1 - s.0);
+                    if s != d {
+                        out.push((s, d));
+                    }
+                }
+            }
+            Pattern::Hotspot(h) => {
+                for s in mesh.nodes() {
+                    if s != h {
+                        out.push((s, h));
+                    }
+                }
+            }
+            Pattern::RowMirror => {
+                for s in mesh.nodes() {
+                    let c = mesh.coord(s);
+                    let d = mesh.node_at(Coord {
+                        x: mesh.width() - 1 - c.x,
+                        y: c.y,
+                    });
+                    if s != d {
+                        out.push((s, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Short name for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Pattern::UniformAllToAll => "uniform",
+            Pattern::Transpose => "transpose",
+            Pattern::BitComplement => "bit-complement",
+            Pattern::Hotspot(_) => "hotspot",
+            Pattern::RowMirror => "row-mirror",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    #[test]
+    fn uniform_is_all_ordered_pairs() {
+        let pairs = Pattern::UniformAllToAll.pairs(mesh());
+        assert_eq!(pairs.len(), 16 * 15);
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let pairs = Pattern::Transpose.pairs(mesh());
+        // Diagonal nodes drop out: 16 - 4 = 12 senders.
+        assert_eq!(pairs.len(), 12);
+        for (s, d) in &pairs {
+            assert!(
+                pairs.contains(&(*d, *s)),
+                "transpose must be symmetric: {s}->{d}"
+            );
+        }
+        // (1,0) = node 1 -> (0,1) = node 4.
+        assert!(pairs.contains(&(NodeId(1), NodeId(4))));
+    }
+
+    #[test]
+    fn bit_complement_reflects_through_center() {
+        let pairs = Pattern::BitComplement.pairs(mesh());
+        assert_eq!(pairs.len(), 16);
+        assert!(pairs.contains(&(NodeId(0), NodeId(15))));
+        assert!(pairs.contains(&(NodeId(5), NodeId(10))));
+    }
+
+    #[test]
+    fn hotspot_converges_on_one_node() {
+        let pairs = Pattern::Hotspot(NodeId(5)).pairs(mesh());
+        assert_eq!(pairs.len(), 15);
+        assert!(pairs.iter().all(|(_, d)| *d == NodeId(5)));
+        assert!(pairs.iter().all(|(s, _)| *s != NodeId(5)));
+    }
+
+    #[test]
+    fn row_mirror_stays_in_row() {
+        let pairs = Pattern::RowMirror.pairs(mesh());
+        assert_eq!(pairs.len(), 16);
+        for (s, d) in pairs {
+            assert_eq!(mesh().coord(s).y, mesh().coord(d).y);
+        }
+    }
+
+    #[test]
+    fn rectangular_transpose_skips_out_of_range() {
+        let m = Mesh::new(4, 2);
+        let pairs = Pattern::Transpose.pairs(m);
+        // Only coordinates with x < height and y < width participate.
+        for (s, _) in &pairs {
+            let c = m.coord(*s);
+            assert!(c.x < m.height());
+        }
+    }
+}

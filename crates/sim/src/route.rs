@@ -1,0 +1,324 @@
+//! Source routes and their 2-bit-per-router encoding.
+//!
+//! The paper (Section IV, *Routing*): routes are static and carried in
+//! the head flit. "At the source router, the 2-bit corresponds to East,
+//! South, West and North output ports, while at all other routers, the
+//! bits correspond to Left, Right, Straight and Core", relative to the
+//! flit's travelling direction. Deadlock freedom is enforced by the route
+//! *generator* (a turn model — see `smart-mapping`), not by the encoding.
+
+use crate::topology::{Direction, LinkId, Mesh, NodeId, Turn};
+
+/// A static source route: the absolute output direction at the source
+/// router, followed by one relative turn per subsequent router, ending
+/// with [`Turn::Core`] at the destination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceRoute {
+    src: NodeId,
+    first: Direction,
+    turns: Vec<Turn>,
+}
+
+impl SourceRoute {
+    /// Build a route from the source output direction and per-router
+    /// turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first` is `Core`, if `turns` is empty, if any turn
+    /// before the last is `Core`, or if the last turn is not `Core`.
+    #[must_use]
+    pub fn new(src: NodeId, first: Direction, turns: Vec<Turn>) -> Self {
+        assert!(first != Direction::Core, "source output must be a mesh port");
+        assert!(!turns.is_empty(), "route must terminate with a Core turn");
+        assert_eq!(
+            *turns.last().expect("nonempty"),
+            Turn::Core,
+            "route must end by ejecting to the core"
+        );
+        assert!(
+            turns[..turns.len() - 1].iter().all(|t| *t != Turn::Core),
+            "Core turn only allowed at the destination"
+        );
+        SourceRoute { src, first, turns }
+    }
+
+    /// Build the route that follows `routers` (which must start at the
+    /// source, step between adjacent nodes, and have ≥ 2 entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive routers are not mesh neighbours or fewer
+    /// than two routers are given.
+    #[must_use]
+    pub fn from_router_path(mesh: Mesh, routers: &[NodeId]) -> Self {
+        assert!(routers.len() >= 2, "a route needs at least two routers");
+        let mut dirs = Vec::with_capacity(routers.len() - 1);
+        for w in routers.windows(2) {
+            let dir = Direction::MESH
+                .iter()
+                .copied()
+                .find(|d| mesh.neighbor(w[0], *d) == Some(w[1]))
+                .unwrap_or_else(|| panic!("{} and {} are not neighbours", w[0], w[1]));
+            dirs.push(dir);
+        }
+        let first = dirs[0];
+        let mut turns = Vec::with_capacity(dirs.len());
+        for w in dirs.windows(2) {
+            turns.push(w[0].turn_to(w[1]));
+        }
+        turns.push(Turn::Core);
+        SourceRoute::new(routers[0], first, turns)
+    }
+
+    /// Dimension-ordered (X-then-Y) minimal route from `src` to `dst` —
+    /// the classic deadlock-free baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    #[must_use]
+    pub fn xy(mesh: Mesh, src: NodeId, dst: NodeId) -> Self {
+        assert_ne!(src, dst, "no route from a node to itself");
+        let mut routers = vec![src];
+        let (cs, cd) = (mesh.coord(src), mesh.coord(dst));
+        let mut cur = cs;
+        while cur.x != cd.x {
+            cur.x = if cd.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+            routers.push(mesh.node_at(cur));
+        }
+        while cur.y != cd.y {
+            cur.y = if cd.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+            routers.push(mesh.node_at(cur));
+        }
+        SourceRoute::from_router_path(mesh, &routers)
+    }
+
+    /// Source node of the route.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// Output direction taken at the source router.
+    #[must_use]
+    pub fn first_direction(&self) -> Direction {
+        self.first
+    }
+
+    /// The relative turns at routers after the source.
+    #[must_use]
+    pub fn turns(&self) -> &[Turn] {
+        &self.turns
+    }
+
+    /// Number of links traversed.
+    #[must_use]
+    pub fn num_hops(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// The routers visited, source first, destination last
+    /// (`num_hops() + 1` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route walks off the mesh edge.
+    #[must_use]
+    pub fn routers(&self, mesh: Mesh) -> Vec<NodeId> {
+        let mut out = vec![self.src];
+        let mut travel = self.first;
+        let mut at = mesh
+            .neighbor(self.src, travel)
+            .unwrap_or_else(|| panic!("route leaves the mesh at {}", self.src));
+        out.push(at);
+        for t in &self.turns[..self.turns.len() - 1] {
+            travel = travel.apply_turn(*t);
+            at = mesh
+                .neighbor(at, travel)
+                .unwrap_or_else(|| panic!("route leaves the mesh at {at}"));
+            out.push(at);
+        }
+        out
+    }
+
+    /// The destination node.
+    #[must_use]
+    pub fn destination(&self, mesh: Mesh) -> NodeId {
+        *self.routers(mesh).last().expect("routes are nonempty")
+    }
+
+    /// Output direction at each visited router, ending with `Core`
+    /// (`num_hops() + 1` entries, aligned with [`SourceRoute::routers`]).
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Direction> {
+        let mut out = vec![self.first];
+        let mut travel = self.first;
+        for t in &self.turns {
+            if *t == Turn::Core {
+                out.push(Direction::Core);
+            } else {
+                travel = travel.apply_turn(*t);
+                out.push(travel);
+            }
+        }
+        out
+    }
+
+    /// The directed links traversed, in order.
+    #[must_use]
+    pub fn links(&self, mesh: Mesh) -> Vec<LinkId> {
+        let routers = self.routers(mesh);
+        let outputs = self.outputs();
+        routers
+            .iter()
+            .zip(outputs.iter())
+            .filter(|(_, d)| **d != Direction::Core)
+            .map(|(r, d)| LinkId { from: *r, dir: *d })
+            .collect()
+    }
+
+    /// Encode as the paper's bit format: 2 bits absolute at the source,
+    /// then 2 bits per router (LSB-first per field).
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        let mut bits = u64::from(self.first.index() as u32);
+        let mut shift = 2;
+        for t in &self.turns {
+            assert!(shift + 2 <= 64, "route too long for a 64-bit encoding");
+            bits |= u64::from(t.bits()) << shift;
+            shift += 2;
+        }
+        bits
+    }
+
+    /// Decode a route of `num_hops` links for source `src` from the bit
+    /// format produced by [`SourceRoute::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded fields violate route invariants.
+    #[must_use]
+    pub fn decode(src: NodeId, bits: u64, num_hops: usize) -> Self {
+        let first = Direction::from_index((bits & 0b11) as usize);
+        let mut turns = Vec::with_capacity(num_hops);
+        for i in 0..num_hops {
+            let f = (bits >> (2 + 2 * i)) & 0b11;
+            turns.push(Turn::from_bits(f as u32));
+        }
+        SourceRoute::new(src, first, turns)
+    }
+
+    /// Number of route bits in a head-flit header for a mesh whose
+    /// longest minimal route has `max_hops` links: one absolute field
+    /// plus one per subsequent router.
+    #[must_use]
+    pub fn header_bits(max_hops: usize) -> usize {
+        2 * (max_hops + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    #[test]
+    fn xy_route_shape() {
+        let r = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        assert_eq!(r.num_hops(), 6);
+        assert_eq!(
+            r.routers(mesh()),
+            vec![
+                NodeId(0),
+                NodeId(1),
+                NodeId(2),
+                NodeId(3),
+                NodeId(7),
+                NodeId(11),
+                NodeId(15)
+            ]
+        );
+        assert_eq!(r.destination(mesh()), NodeId(15));
+        let outs = r.outputs();
+        assert_eq!(outs[0], Direction::East);
+        assert_eq!(outs[3], Direction::North);
+        assert_eq!(*outs.last().expect("nonempty"), Direction::Core);
+    }
+
+    #[test]
+    fn single_hop_route() {
+        let r = SourceRoute::xy(mesh(), NodeId(9), NodeId(10));
+        assert_eq!(r.num_hops(), 1);
+        assert_eq!(r.turns(), &[Turn::Core]);
+        assert_eq!(r.links(mesh()).len(), 1);
+        assert_eq!(
+            r.links(mesh())[0],
+            LinkId {
+                from: NodeId(9),
+                dir: Direction::East
+            }
+        );
+    }
+
+    #[test]
+    fn from_router_path_round_trips_routers() {
+        let path = vec![NodeId(8), NodeId(9), NodeId(10), NodeId(6), NodeId(2)];
+        let r = SourceRoute::from_router_path(mesh(), &path);
+        assert_eq!(r.routers(mesh()), path);
+        // East, East, then turn right (South), straight, eject.
+        assert_eq!(
+            r.turns(),
+            &[Turn::Straight, Turn::Right, Turn::Straight, Turn::Core]
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for (s, d) in [(0u16, 15u16), (9, 10), (3, 12), (14, 1), (5, 6)] {
+            let r = SourceRoute::xy(mesh(), NodeId(s), NodeId(d));
+            let bits = r.encode();
+            let back = SourceRoute::decode(NodeId(s), bits, r.num_hops());
+            assert_eq!(back, r, "route {s}->{d}");
+        }
+    }
+
+    #[test]
+    fn paper_header_budget() {
+        // 4x4 mesh: longest minimal route is 6 links; 2·(6+1) = 14 route
+        // bits — fits the 20-bit head header with VC + type to spare.
+        assert_eq!(SourceRoute::header_bits(6), 14);
+    }
+
+    #[test]
+    fn links_match_hops() {
+        let r = SourceRoute::xy(mesh(), NodeId(12), NodeId(3));
+        assert_eq!(r.links(mesh()).len(), r.num_hops());
+        assert_eq!(r.num_hops(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "not neighbours")]
+    fn non_adjacent_path_rejected() {
+        let _ = SourceRoute::from_router_path(mesh(), &[NodeId(0), NodeId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route from a node to itself")]
+    fn self_route_rejected() {
+        let _ = SourceRoute::xy(mesh(), NodeId(3), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "Core turn only allowed at the destination")]
+    fn early_core_rejected() {
+        let _ = SourceRoute::new(
+            NodeId(0),
+            Direction::East,
+            vec![Turn::Core, Turn::Core],
+        );
+    }
+}

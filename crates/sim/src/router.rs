@@ -1,0 +1,637 @@
+//! The router: input-port VC buffers, switch allocation with
+//! virtual-cut-through switch hold, and preset-aware output ports.
+//!
+//! The pipeline is the paper's 3-stage organization (Fig 6):
+//!
+//! * **BW** — a flit arriving at the end of cycle *a* is buffer-written
+//!   during *a+1*;
+//! * **SA** — it may arbitrate from cycle *a+2*;
+//! * **ST(+LT)** — on a grant at cycle *g* it traverses the crossbar (and,
+//!   for SMART, the entire multi-hop link segment) during *g+1*.
+//!
+//! Virtual cut-through: a head flit's grant captures the output port and
+//! one free VC at the *endpoint of its leg* (which for SMART may be a
+//! router several hops away); body flits stream behind it; the tail
+//! releases the hold and triggers the credit that frees this router's
+//! input VC back at the upstream sender.
+
+use crate::arbiter::RoundRobin;
+use crate::counters::ActivityCounters;
+use crate::flit::{Flit, VcId};
+use crate::forward::FlowTable;
+use crate::topology::{Direction, NodeId};
+use std::collections::VecDeque;
+
+/// One virtual-channel buffer within an input port.
+#[derive(Debug, Clone, Default)]
+struct VcBuf {
+    /// Buffered flits with their arrival (buffer-write) cycles.
+    queue: VecDeque<(Flit, u64)>,
+    /// `true` while a packet occupies this VC (head arrived, tail not yet
+    /// departed).
+    occupied: bool,
+}
+
+/// An input port: `vcs` virtual channels of `depth` flits each.
+#[derive(Debug, Clone)]
+pub struct InputPort {
+    vcs: Vec<VcBuf>,
+    depth: usize,
+    /// Whether any flow uses this port (preset clock gating).
+    enabled: bool,
+}
+
+impl InputPort {
+    fn new(num_vcs: usize, depth: usize) -> Self {
+        InputPort {
+            vcs: vec![VcBuf::default(); num_vcs],
+            depth,
+            enabled: false,
+        }
+    }
+
+    /// Total buffered flits across VCs.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.vcs.iter().map(|v| v.queue.len()).sum()
+    }
+}
+
+/// An output port: the free-VC queue tracking the leg endpoint, and the
+/// VCT switch-hold state.
+#[derive(Debug, Clone)]
+pub struct OutputPort {
+    /// Free VCs at this port's leg endpoint (possibly multiple hops away
+    /// in SMART).
+    free_vcs: VecDeque<VcId>,
+    /// `(input port, input vc, endpoint vc)` holding the switch until the
+    /// tail passes.
+    held: Option<(usize, usize, VcId)>,
+    /// Output arbiter over `inputs × vcs` requesters.
+    arb: RoundRobin,
+    /// Whether any flow uses this port (preset clock gating).
+    enabled: bool,
+}
+
+impl OutputPort {
+    fn new(num_inputs: usize, num_vcs: usize) -> Self {
+        OutputPort {
+            free_vcs: VecDeque::new(),
+            held: None,
+            arb: RoundRobin::new(num_inputs * num_vcs),
+            enabled: false,
+        }
+    }
+
+    /// Free VCs currently available at the endpoint.
+    #[must_use]
+    pub fn free_vc_count(&self) -> usize {
+        self.free_vcs.len()
+    }
+}
+
+/// A flit leaving this router, with the context the engine needs to
+/// schedule its arrival.
+#[derive(Debug, Clone)]
+pub struct RouterDeparture {
+    /// The flit (its `vc` field already set to the endpoint VC).
+    pub flit: Flit,
+    /// Output direction granted.
+    pub out_dir: Direction,
+}
+
+/// A credit released by a departing tail: the upstream sender of
+/// `in_dir` gets VC `vc` back.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditRelease {
+    /// Input port whose VC was freed.
+    pub in_dir: Direction,
+    /// The freed VC.
+    pub vc: VcId,
+}
+
+/// A router instance.
+#[derive(Debug, Clone)]
+pub struct Router {
+    node: NodeId,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    num_vcs: usize,
+}
+
+impl Router {
+    /// A 5-port router with `num_vcs` VCs of `depth` flits per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs` or `depth` is zero.
+    #[must_use]
+    pub fn new(node: NodeId, num_vcs: usize, depth: usize) -> Self {
+        assert!(num_vcs > 0, "need at least one VC");
+        assert!(depth > 0, "need at least one buffer slot");
+        Router {
+            node,
+            inputs: (0..5).map(|_| InputPort::new(num_vcs, depth)).collect(),
+            outputs: (0..5).map(|_| OutputPort::new(5, num_vcs)).collect(),
+            num_vcs,
+        }
+    }
+
+    /// This router's node id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Mark an input port as used by some flow (ungated), per presets.
+    pub fn enable_input(&mut self, dir: Direction) {
+        self.inputs[dir.index()].enabled = true;
+    }
+
+    /// Mark an output port as used and seed its free-VC queue with the
+    /// endpoint's `num_vcs` VCs.
+    pub fn enable_output(&mut self, dir: Direction) {
+        let o = &mut self.outputs[dir.index()];
+        o.enabled = true;
+        o.free_vcs = (0..self.num_vcs as u8).map(VcId).collect();
+    }
+
+    /// Number of clock-enabled ports (inputs + outputs) for gating
+    /// accounting.
+    #[must_use]
+    pub fn enabled_ports(&self) -> usize {
+        self.inputs.iter().filter(|p| p.enabled).count()
+            + self.outputs.iter().filter(|p| p.enabled).count()
+    }
+
+    /// Occupancy of input port `dir`.
+    #[must_use]
+    pub fn input_occupancy(&self, dir: Direction) -> usize {
+        self.inputs[dir.index()].occupancy()
+    }
+
+    /// Free-VC count at output `dir`'s endpoint.
+    #[must_use]
+    pub fn output_free_vcs(&self, dir: Direction) -> usize {
+        self.outputs[dir.index()].free_vc_count()
+    }
+
+    /// `true` when no flit is buffered anywhere in this router.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.inputs.iter().all(|p| p.occupancy() == 0)
+    }
+
+    /// Return a credit (freed endpoint VC) to output port `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already in the free queue (double-free).
+    pub fn credit(&mut self, dir: Direction, vc: VcId) {
+        let o = &mut self.outputs[dir.index()];
+        assert!(
+            !o.free_vcs.contains(&vc),
+            "{}: double credit for {vc} at output {dir}",
+            self.node
+        );
+        o.free_vcs.push_back(vc);
+        assert!(
+            o.free_vcs.len() <= self.num_vcs,
+            "{}: more credits than VCs at output {dir}",
+            self.node
+        );
+    }
+
+    /// Buffer-write an arriving flit (end-of-cycle `cycle` arrival) into
+    /// input `in_dir`, VC `flit.vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations: missing VC allocation, overflow,
+    /// a head arriving into an occupied VC, or a body arriving into an
+    /// idle one.
+    pub fn receive(
+        &mut self,
+        in_dir: Direction,
+        flit: Flit,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+    ) {
+        let vc = flit
+            .vc
+            .unwrap_or_else(|| panic!("{}: flit arrived without a VC", self.node));
+        let depth = self.inputs[in_dir.index()].depth;
+        let buf = &mut self.inputs[in_dir.index()].vcs[vc.0 as usize];
+        if flit.is_head() {
+            assert!(
+                !buf.occupied && buf.queue.is_empty(),
+                "{}: head of {:?} arrived into occupied {vc} at input {in_dir}",
+                self.node,
+                flit.packet
+            );
+            buf.occupied = true;
+        } else {
+            assert!(
+                buf.occupied,
+                "{}: body/tail arrived into idle {vc} at input {in_dir}",
+                self.node
+            );
+        }
+        assert!(
+            buf.queue.len() < depth,
+            "{}: buffer overflow at input {in_dir} {vc}",
+            self.node
+        );
+        buf.queue.push_back((flit, cycle));
+        counters.buffer_writes += 1;
+    }
+
+    /// Run switch allocation for `cycle` and return departures (flits
+    /// entering ST in cycle `cycle + 1`) plus any credits released by
+    /// departing tails.
+    pub fn allocate(
+        &mut self,
+        cycle: u64,
+        flows: &FlowTable,
+        counters: &mut ActivityCounters,
+    ) -> (Vec<RouterDeparture>, Vec<CreditRelease>) {
+        let nv = self.num_vcs;
+        // Which (input, vc) is SA-eligible this cycle, and toward which
+        // output does its front flit point?
+        let mut want: Vec<Vec<Option<usize>>> = vec![vec![None; nv]; 5];
+        for (p, port) in self.inputs.iter().enumerate() {
+            for (v, buf) in port.vcs.iter().enumerate() {
+                let Some((flit, arrived)) = buf.queue.front() else {
+                    continue;
+                };
+                if arrived + 2 > cycle {
+                    continue; // still in BW or just arrived
+                }
+                let out = if flit.is_head() {
+                    flows.leg_from(flit.flow, self.node).out_dir
+                } else {
+                    // Body/tail follow the hold; find which output holds us.
+                    match self.outputs.iter().position(|o| {
+                        matches!(o.held, Some((hp, hv, _)) if hp == p && hv == v)
+                    }) {
+                        Some(o) => Direction::from_index(o),
+                        None => continue, // head not granted yet
+                    }
+                };
+                want[p][v] = Some(out.index());
+            }
+        }
+
+        // Output-major allocation: held outputs stream their holder; free
+        // outputs arbitrate among eligible heads (needing a free VC).
+        // winners[o] = (input, vc, is_new_head)
+        let mut winners: Vec<Option<(usize, usize, bool)>> = vec![None; 5];
+        for (o, out) in self.outputs.iter_mut().enumerate() {
+            if !out.enabled {
+                continue;
+            }
+            if let Some((hp, hv, _)) = out.held {
+                if want[hp][hv] == Some(o) {
+                    winners[o] = Some((hp, hv, false));
+                }
+                continue;
+            }
+            let mut requests = vec![false; 5 * nv];
+            for (p, row) in want.iter().enumerate() {
+                for (v, w) in row.iter().enumerate() {
+                    if *w == Some(o) {
+                        let (flit, _) = self.inputs[p].vcs[v]
+                            .queue
+                            .front()
+                            .expect("eligible VC has a front flit");
+                        if flit.is_head() && !out.free_vcs.is_empty() {
+                            requests[p * nv + v] = true;
+                            counters.sa_requests += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(g) = out.arb.grant(&requests) {
+                winners[o] = Some((g / nv, g % nv, true));
+            }
+        }
+
+        // Input-port conflict resolution: one flit per input port per
+        // cycle. Held streams take precedence over new heads; ties break
+        // by output index.
+        let mut port_taken = [false; 5];
+        let mut cancel = |winners: &mut Vec<Option<(usize, usize, bool)>>, new_head: bool| {
+            for w in winners.iter_mut() {
+                if let Some((p, _, is_new)) = *w {
+                    if is_new == new_head {
+                        if port_taken[p] {
+                            *w = None;
+                        } else {
+                            port_taken[p] = true;
+                        }
+                    }
+                }
+            }
+        };
+        cancel(&mut winners, false);
+        cancel(&mut winners, true);
+
+        // Execute grants.
+        let mut departures = Vec::new();
+        let mut credits = Vec::new();
+        for (o, w) in winners.iter().enumerate() {
+            let Some((p, v, is_new)) = *w else { continue };
+            let out_dir = Direction::from_index(o);
+            let (mut flit, _) = self.inputs[p].vcs[v]
+                .queue
+                .pop_front()
+                .expect("winner has a front flit");
+            counters.buffer_reads += 1;
+            counters.sa_grants += 1;
+            let endpoint_vc = if is_new {
+                let vc = self.outputs[o]
+                    .free_vcs
+                    .pop_front()
+                    .expect("head grant requires a free VC");
+                self.outputs[o].held = Some((p, v, vc));
+                vc
+            } else {
+                self.outputs[o].held.expect("streaming under a hold").2
+            };
+            flit.vc = Some(endpoint_vc);
+            if flit.is_tail() {
+                self.outputs[o].held = None;
+                let buf = &mut self.inputs[p].vcs[v];
+                assert!(
+                    buf.queue.is_empty(),
+                    "{}: tail departed but flits remain behind it",
+                    self.node
+                );
+                buf.occupied = false;
+                credits.push(CreditRelease {
+                    in_dir: Direction::from_index(p),
+                    vc: VcId(v as u8),
+                });
+            }
+            departures.push(RouterDeparture { flit, out_dir });
+        }
+        (departures, credits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, FlowId, Packet, PacketId};
+    use crate::forward::FlowTable;
+    use crate::route::SourceRoute;
+    use crate::topology::Mesh;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    /// A flow table with a single 2-hop flow 0 -> 2 (baseline plan).
+    fn table() -> FlowTable {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2));
+        FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)])
+    }
+
+    fn packet_flits(n: u8) -> Vec<Flit> {
+        Packet {
+            id: PacketId(1),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            gen_cycle: 0,
+            num_flits: n,
+        }
+        .into_flits(0)
+    }
+
+    fn prepared_router() -> Router {
+        let mut r = Router::new(NodeId(0), 2, 10);
+        r.enable_input(Direction::Core);
+        r.enable_output(Direction::East);
+        r
+    }
+
+    #[test]
+    fn head_waits_two_cycles_before_sa() {
+        let mut r = prepared_router();
+        let flows = table();
+        let mut c = ActivityCounters::new();
+        let mut flits = packet_flits(2);
+        let mut head = flits.remove(0);
+        head.vc = Some(VcId(0));
+        r.receive(Direction::Core, head, 5, &mut c);
+        // SA at cycle 6 is too early (BW happens during 6).
+        let (d, _) = r.allocate(6, &flows, &mut c);
+        assert!(d.is_empty());
+        // SA at cycle 7 grants.
+        let (d, _) = r.allocate(7, &flows, &mut c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].out_dir, Direction::East);
+        assert_eq!(c.sa_grants, 1);
+        assert_eq!(c.buffer_writes, 1);
+        assert_eq!(c.buffer_reads, 1);
+    }
+
+    #[test]
+    fn packet_streams_one_flit_per_cycle_and_tail_releases() {
+        let mut r = prepared_router();
+        let flows = table();
+        let mut c = ActivityCounters::new();
+        // 4-flit packet arrives on consecutive cycles.
+        for (i, mut f) in packet_flits(4).into_iter().enumerate() {
+            f.vc = Some(VcId(0));
+            r.receive(Direction::Core, f, 10 + i as u64, &mut c);
+        }
+        let mut sent = Vec::new();
+        let mut credits = Vec::new();
+        for cycle in 12..=15 {
+            let (d, cr) = r.allocate(cycle, &flows, &mut c);
+            sent.extend(d);
+            credits.extend(cr);
+        }
+        assert_eq!(sent.len(), 4, "one flit per cycle");
+        assert!(sent[0].flit.is_head());
+        assert!(sent[3].flit.is_tail());
+        // All flits carry the same endpoint VC.
+        let vc = sent[0].flit.vc;
+        assert!(sent.iter().all(|d| d.flit.vc == vc));
+        // Tail released exactly one credit for Core/vc0.
+        assert_eq!(credits.len(), 1);
+        assert_eq!(credits[0].in_dir, Direction::Core);
+        assert_eq!(credits[0].vc, VcId(0));
+        assert!(r.is_drained());
+        // Output free VCs: started 2, head took 1, none returned yet.
+        assert_eq!(r.output_free_vcs(Direction::East), 1);
+    }
+
+    #[test]
+    fn no_grant_without_free_vc() {
+        let mut r = prepared_router();
+        let flows = table();
+        let mut c = ActivityCounters::new();
+        // Exhaust both endpoint VCs.
+        let o = &mut r.outputs[Direction::East.index()];
+        o.free_vcs.clear();
+        let mut head = packet_flits(1).remove(0);
+        head.vc = Some(VcId(0));
+        r.receive(Direction::Core, head, 0, &mut c);
+        let (d, _) = r.allocate(10, &flows, &mut c);
+        assert!(d.is_empty(), "head must wait for a credit");
+        // A credit arrives; now it goes.
+        r.credit(Direction::East, VcId(1));
+        let (d, _) = r.allocate(11, &flows, &mut c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].flit.vc, Some(VcId(1)));
+    }
+
+    #[test]
+    fn two_flows_share_output_without_interleaving() {
+        // Two flows, both 0 -> 2, on different VCs: packets must not
+        // interleave on the East output.
+        let mesh = mesh();
+        let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2));
+        let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(3));
+        let flows =
+            FlowTable::mesh_baseline(mesh, &[(FlowId(0), r0), (FlowId(1), r1)]);
+        let mut r = prepared_router();
+        let mut c = ActivityCounters::new();
+        // Packet A (flow 0) into vc0, packet B (flow 1) into vc1, same cycle.
+        for (flow, vc, pid) in [(FlowId(0), VcId(0), 10), (FlowId(1), VcId(1), 11)] {
+            let pkt = Packet {
+                id: PacketId(pid),
+                flow,
+                src: NodeId(0),
+                dst: NodeId(2),
+                gen_cycle: 0,
+                num_flits: 3,
+            };
+            for (i, mut f) in pkt.into_flits(0).into_iter().enumerate() {
+                f.vc = Some(vc);
+                r.receive(Direction::Core, f, i as u64, &mut c);
+            }
+        }
+        let mut order = Vec::new();
+        for cycle in 5..14 {
+            let (d, _) = r.allocate(cycle, &flows, &mut c);
+            for dep in d {
+                order.push((dep.flit.packet, dep.flit.kind));
+            }
+        }
+        assert_eq!(order.len(), 6);
+        // First three flits belong to one packet, next three to the other.
+        let first = order[0].0;
+        assert!(order[..3].iter().all(|(p, _)| *p == first));
+        assert!(order[3..].iter().all(|(p, _)| *p != first));
+        assert_eq!(order[2].1, FlitKind::Tail);
+    }
+
+    #[test]
+    fn held_stream_beats_new_head_on_the_same_input_port() {
+        // One input port feeds two outputs: vc0 streams a packet to East
+        // (hold established), vc1's head wants North. The physical
+        // crossbar input carries one flit per cycle, so while the stream
+        // has flits ready the new head must wait; it proceeds once the
+        // stream's tail has passed.
+        let mesh = Mesh::paper_4x4();
+        // Flow 0: 0 -> 2 (East at router 0); flow 1: 0 -> 4 (North).
+        let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2));
+        let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(4));
+        let flows = FlowTable::mesh_baseline(mesh, &[(FlowId(0), r0), (FlowId(1), r1)]);
+        let mut r = Router::new(NodeId(0), 2, 10);
+        r.enable_input(Direction::Core);
+        r.enable_output(Direction::East);
+        r.enable_output(Direction::North);
+        let mut c = ActivityCounters::new();
+        // Packet A (flow 0, 3 flits) into vc0 at cycles 0..2.
+        let pkt_a = Packet {
+            id: PacketId(1),
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+            gen_cycle: 0,
+            num_flits: 3,
+        };
+        for (i, mut f) in pkt_a.into_flits(0).into_iter().enumerate() {
+            f.vc = Some(VcId(0));
+            r.receive(Direction::Core, f, i as u64, &mut c);
+        }
+        // Packet B (flow 1, 1 flit) into vc1 at cycle 0 as well.
+        let pkt_b = Packet {
+            id: PacketId(2),
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(4),
+            gen_cycle: 0,
+            num_flits: 1,
+        };
+        let mut head_b = pkt_b.into_flits(0).remove(0);
+        head_b.vc = Some(VcId(1));
+        r.receive(Direction::Core, head_b, 0, &mut c);
+
+        let mut order = Vec::new();
+        for cycle in 2..10 {
+            let (d, _) = r.allocate(cycle, &flows, &mut c);
+            for dep in d {
+                order.push((cycle, dep.out_dir, dep.flit.packet));
+            }
+        }
+        // One flit per cycle from the shared Core input.
+        let cycles: Vec<u64> = order.iter().map(|(c, _, _)| *c).collect();
+        let mut dedup = cycles.clone();
+        dedup.dedup();
+        assert_eq!(cycles, dedup, "one flit per input port per cycle");
+        assert_eq!(order.len(), 4, "all four flits depart");
+        // A's first grant happens at cycle 2 (round-robin may admit B's
+        // head first or defer it, but once A's stream holds East it may
+        // not be interleaved with B on the input port).
+        let a_cycles: Vec<u64> = order
+            .iter()
+            .filter(|(_, _, p)| *p == PacketId(1))
+            .map(|(c, _, _)| *c)
+            .collect();
+        assert_eq!(a_cycles.len(), 3);
+        assert!(
+            a_cycles[2] - a_cycles[0] >= 2,
+            "stream keeps its cadence: {a_cycles:?}"
+        );
+        // B's single-flit packet eventually leaves via North.
+        assert!(order
+            .iter()
+            .any(|(_, d, p)| *p == PacketId(2) && *d == Direction::North));
+    }
+
+    #[test]
+    #[should_panic(expected = "double credit")]
+    fn double_credit_panics() {
+        let mut r = prepared_router();
+        r.credit(Direction::East, VcId(0));
+        // VC 0 is already free (enable_output seeded it).
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer overflow")]
+    fn overflow_panics() {
+        let mut r = Router::new(NodeId(0), 1, 2);
+        r.enable_input(Direction::Core);
+        let mut c = ActivityCounters::new();
+        for (i, mut f) in packet_flits(3).into_iter().enumerate() {
+            f.vc = Some(VcId(0));
+            r.receive(Direction::Core, f, i as u64, &mut c);
+        }
+    }
+
+    #[test]
+    fn gating_counts_enabled_ports() {
+        let mut r = Router::new(NodeId(3), 2, 10);
+        assert_eq!(r.enabled_ports(), 0);
+        r.enable_input(Direction::West);
+        r.enable_output(Direction::Core);
+        r.enable_output(Direction::East);
+        assert_eq!(r.enabled_ports(), 3);
+    }
+}

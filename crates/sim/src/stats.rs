@@ -1,0 +1,218 @@
+//! Latency and throughput statistics.
+//!
+//! The paper's Fig 10a reports **average network latency** per
+//! application: the cycles a head flit spends from entering the network
+//! at the source NIC to arriving at the destination NIC. Time spent
+//! queueing in the source NIC before injection is tracked separately
+//! (`source_queue`), as is full-packet (tail) latency.
+
+use crate::flit::FlowId;
+use std::collections::BTreeMap;
+
+/// Accumulated latency samples for one flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowStats {
+    /// Packets whose head reached the destination.
+    pub packets: u64,
+    /// Sum of head-flit network latencies (cycles).
+    pub head_latency_sum: u64,
+    /// Sum of packet (tail) network latencies.
+    pub packet_latency_sum: u64,
+    /// Sum of source-queueing delays (generation → injection).
+    pub source_queue_sum: u64,
+    /// Largest head latency observed.
+    pub head_latency_max: u64,
+    /// Smallest head latency observed.
+    pub head_latency_min: u64,
+}
+
+impl FlowStats {
+    /// Mean head-flit network latency.
+    #[must_use]
+    pub fn avg_head_latency(&self) -> f64 {
+        if self.packets == 0 {
+            return f64::NAN;
+        }
+        self.head_latency_sum as f64 / self.packets as f64
+    }
+
+    /// Mean full-packet (tail-arrival) latency.
+    #[must_use]
+    pub fn avg_packet_latency(&self) -> f64 {
+        if self.packets == 0 {
+            return f64::NAN;
+        }
+        self.packet_latency_sum as f64 / self.packets as f64
+    }
+
+    /// Mean source-queueing delay.
+    #[must_use]
+    pub fn avg_source_queue(&self) -> f64 {
+        if self.packets == 0 {
+            return f64::NAN;
+        }
+        self.source_queue_sum as f64 / self.packets as f64
+    }
+}
+
+/// Statistics over all flows of a simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    flows: BTreeMap<FlowId, FlowStats>,
+    /// Histogram of head latencies (bucket = exact cycle count, capped).
+    histogram: BTreeMap<u64, u64>,
+}
+
+/// Histogram cap: latencies above this land in one overflow bucket.
+const HIST_CAP: u64 = 512;
+
+impl SimStats {
+    /// Empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Record a delivered packet's head latency; call once per packet.
+    pub fn record_head(&mut self, flow: FlowId, head_latency: u64, source_queue: u64) {
+        let f = self.flows.entry(flow).or_insert(FlowStats {
+            head_latency_min: u64::MAX,
+            ..FlowStats::default()
+        });
+        f.packets += 1;
+        f.head_latency_sum += head_latency;
+        f.source_queue_sum += source_queue;
+        f.head_latency_max = f.head_latency_max.max(head_latency);
+        f.head_latency_min = f.head_latency_min.min(head_latency);
+        *self.histogram.entry(head_latency.min(HIST_CAP)).or_insert(0) += 1;
+    }
+
+    /// Record the same packet's tail arrival (packet latency).
+    pub fn record_tail(&mut self, flow: FlowId, packet_latency: u64) {
+        let f = self.flows.entry(flow).or_default();
+        f.packet_latency_sum += packet_latency;
+    }
+
+    /// Per-flow statistics, ordered by flow id.
+    #[must_use]
+    pub fn flows(&self) -> &BTreeMap<FlowId, FlowStats> {
+        &self.flows
+    }
+
+    /// Stats for one flow, if any packets arrived.
+    #[must_use]
+    pub fn flow(&self, flow: FlowId) -> Option<&FlowStats> {
+        self.flows.get(&flow)
+    }
+
+    /// Total packets delivered.
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.flows.values().map(|f| f.packets).sum()
+    }
+
+    /// Packet-weighted average head-flit network latency — the Fig 10a
+    /// metric.
+    #[must_use]
+    pub fn avg_network_latency(&self) -> f64 {
+        let n = self.packets();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let sum: u64 = self.flows.values().map(|f| f.head_latency_sum).sum();
+        sum as f64 / n as f64
+    }
+
+    /// Packet-weighted average full-packet latency.
+    #[must_use]
+    pub fn avg_packet_latency(&self) -> f64 {
+        let n = self.packets();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let sum: u64 = self.flows.values().map(|f| f.packet_latency_sum).sum();
+        sum as f64 / n as f64
+    }
+
+    /// Packet-weighted average source-queueing delay.
+    #[must_use]
+    pub fn avg_source_queue(&self) -> f64 {
+        let n = self.packets();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let sum: u64 = self.flows.values().map(|f| f.source_queue_sum).sum();
+        sum as f64 / n as f64
+    }
+
+    /// `p`-quantile (0..=1) of the head-latency distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn head_latency_quantile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        let total: u64 = self.histogram.values().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (p * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (lat, n) in &self.histogram {
+            seen += n;
+            if seen >= target {
+                return Some(*lat);
+            }
+        }
+        self.histogram.keys().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_weight_by_packet() {
+        let mut s = SimStats::new();
+        s.record_head(FlowId(0), 10, 0);
+        s.record_head(FlowId(0), 20, 2);
+        s.record_head(FlowId(1), 1, 0);
+        assert_eq!(s.packets(), 3);
+        assert!((s.avg_network_latency() - 31.0 / 3.0).abs() < 1e-12);
+        let f0 = s.flow(FlowId(0)).expect("flow 0 recorded");
+        assert!((f0.avg_head_latency() - 15.0).abs() < 1e-12);
+        assert_eq!(f0.head_latency_min, 10);
+        assert_eq!(f0.head_latency_max, 20);
+        assert!((s.avg_source_queue() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_latency_tracked_separately() {
+        let mut s = SimStats::new();
+        s.record_head(FlowId(0), 8, 0);
+        s.record_tail(FlowId(0), 15);
+        assert!((s.avg_packet_latency() - 15.0).abs() < 1e-12);
+        assert!((s.avg_network_latency() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut s = SimStats::new();
+        for lat in [1, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            s.record_head(FlowId(0), lat, 0);
+        }
+        assert_eq!(s.head_latency_quantile(0.5), Some(1));
+        assert_eq!(s.head_latency_quantile(1.0), Some(100));
+        assert_eq!(SimStats::new().head_latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = SimStats::new();
+        assert!(s.avg_network_latency().is_nan());
+        assert!(s.avg_packet_latency().is_nan());
+        assert_eq!(s.packets(), 0);
+    }
+}

@@ -1,0 +1,482 @@
+//! Mesh topology: node coordinates, ports and links.
+//!
+//! The paper's SoC is a k×k 2D mesh of 1 mm tiles (Table II: 4×4), with
+//! five router ports: the four compass neighbours and the local core
+//! (NIC). Nodes are numbered row-major from the bottom-left, matching the
+//! paper's figures:
+//!
+//! ```text
+//! 12 13 14 15
+//!  8  9 10 11
+//!  4  5  6  7
+//!  0  1  2  3
+//! ```
+
+use std::fmt;
+
+/// Identifies a node (router + core tile) in the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// (x, y) position of a node; x grows east, y grows north.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Coord {
+    /// Column, 0 at the west edge.
+    pub x: u16,
+    /// Row, 0 at the south edge.
+    pub y: u16,
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A router port direction. `Core` is the local NIC port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Toward larger x.
+    East,
+    /// Toward smaller y.
+    South,
+    /// Toward smaller x.
+    West,
+    /// Toward larger y.
+    North,
+    /// The local core / NIC.
+    Core,
+}
+
+impl Direction {
+    /// All five port directions, in the paper's E/S/W/N/C order.
+    pub const ALL: [Direction; 5] = [
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::North,
+        Direction::Core,
+    ];
+
+    /// The four mesh directions (no `Core`).
+    pub const MESH: [Direction; 4] = [
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::North,
+    ];
+
+    /// Port index in the E/S/W/N/C ordering used for crossbar wiring and
+    /// preset registers.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::South => 1,
+            Direction::West => 2,
+            Direction::North => 3,
+            Direction::Core => 4,
+        }
+    }
+
+    /// Inverse of [`Direction::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 4`.
+    #[must_use]
+    pub fn from_index(idx: usize) -> Direction {
+        Direction::ALL[idx]
+    }
+
+    /// The opposite compass direction; `Core` is its own opposite.
+    #[must_use]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::Core => Direction::Core,
+        }
+    }
+
+    /// Turn relative to travelling direction `self`: the direction that
+    /// is `turn` of a flit that entered a router moving along `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is `Core` (a flit at its source has no travelling
+    /// direction; use absolute encoding there) or if `turn` is
+    /// [`Turn::Core`] (which maps to `Direction::Core` trivially).
+    #[must_use]
+    pub fn apply_turn(self, turn: Turn) -> Direction {
+        if turn == Turn::Core {
+            return Direction::Core;
+        }
+        assert!(
+            self != Direction::Core,
+            "relative turns are undefined when travelling on the Core port"
+        );
+        // Compass order for rotation: E -> S -> W -> N -> E is a
+        // clockwise... East turning right is South; South turning right
+        // is West; West->North; North->East. That matches index+1 mod 4.
+        let i = self.index();
+        match turn {
+            Turn::Straight => self,
+            Turn::Right => Direction::from_index((i + 1) % 4),
+            Turn::Left => Direction::from_index((i + 3) % 4),
+            Turn::Core => unreachable!("handled above"),
+        }
+    }
+
+    /// The turn a flit travelling along `self` must take to leave along
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is `Core`, or if `out` is the reverse of `self`
+    /// (U-turns are not representable in the paper's 2-bit encoding).
+    #[must_use]
+    pub fn turn_to(self, out: Direction) -> Turn {
+        if out == Direction::Core {
+            return Turn::Core;
+        }
+        assert!(self != Direction::Core, "no travelling direction at source");
+        let d = (out.index() + 4 - self.index()) % 4;
+        match d {
+            0 => Turn::Straight,
+            1 => Turn::Right,
+            3 => Turn::Left,
+            _ => panic!("u-turn from {self:?} to {out:?} is not encodable"),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::North => "N",
+            Direction::Core => "C",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Relative output selection at a non-source router (the paper's 2-bit
+/// route field: Left / Right / Straight / Core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Turn {
+    /// Continue in the travelling direction.
+    Straight,
+    /// Turn left relative to travel.
+    Left,
+    /// Turn right relative to travel.
+    Right,
+    /// Eject to the local core.
+    Core,
+}
+
+impl Turn {
+    /// 2-bit encoding (L=0, R=1, S=2, C=3 — the paper's field order
+    /// "Left, Right, Straight and Core").
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Turn::Left => 0,
+            Turn::Right => 1,
+            Turn::Straight => 2,
+            Turn::Core => 3,
+        }
+    }
+
+    /// Inverse of [`Turn::bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 3`.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Turn {
+        match bits {
+            0 => Turn::Left,
+            1 => Turn::Right,
+            2 => Turn::Straight,
+            3 => Turn::Core,
+            _ => panic!("turn encoding is 2 bits, got {bits}"),
+        }
+    }
+}
+
+/// A directed router-to-router (or router-to-NIC) link: the `dir` output
+/// of router `from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId {
+    /// Router whose output port this is.
+    pub from: NodeId,
+    /// Output direction.
+    pub dir: Direction,
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.from, self.dir)
+    }
+}
+
+/// A k×k (or rectangular) 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// A `width × height` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        Mesh { width, height }
+    }
+
+    /// The paper's 4×4 evaluation mesh.
+    #[must_use]
+    pub fn paper_4x4() -> Self {
+        Mesh::new(4, 4)
+    }
+
+    /// Mesh width (columns).
+    #[must_use]
+    pub fn width(self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    #[must_use]
+    pub fn height(self) -> u16 {
+        self.height
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn len(self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// `true` only for the degenerate 0-node mesh (unreachable through
+    /// [`Mesh::new`]); present for API completeness.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all node ids, row-major from the bottom-left.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u16).map(NodeId)
+    }
+
+    /// Coordinate of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn coord(self, node: NodeId) -> Coord {
+        assert!(
+            (node.0 as usize) < self.len(),
+            "{node} outside {}x{} mesh",
+            self.width,
+            self.height
+        );
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
+    }
+
+    /// Node at coordinate `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn node_at(self, c: Coord) -> NodeId {
+        assert!(
+            c.x < self.width && c.y < self.height,
+            "{c} outside {}x{} mesh",
+            self.width,
+            self.height
+        );
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// Neighbour of `node` in compass direction `dir`, if it exists.
+    ///
+    /// Returns `None` at mesh edges and for `dir == Core`.
+    #[must_use]
+    pub fn neighbor(self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node);
+        let next = match dir {
+            Direction::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            Direction::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            Direction::North if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            Direction::South if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            _ => return None,
+        };
+        Some(self.node_at(next))
+    }
+
+    /// Number of mesh neighbours of `node` (2 at corners, 3 at edges, 4
+    /// inside) — NMAP seeds the highest-traffic task at the node with the
+    /// most neighbours.
+    #[must_use]
+    pub fn degree(self, node: NodeId) -> usize {
+        Direction::MESH
+            .iter()
+            .filter(|d| self.neighbor(node, **d).is_some())
+            .count()
+    }
+
+    /// Manhattan (minimal hop) distance between two nodes.
+    #[must_use]
+    pub fn manhattan(self, a: NodeId, b: NodeId) -> u16 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
+    }
+
+    /// All directed router-to-router links.
+    pub fn links(self) -> impl Iterator<Item = LinkId> {
+        self.nodes().flat_map(move |n| {
+            Direction::MESH
+                .iter()
+                .filter(move |d| self.neighbor(n, **d).is_some())
+                .map(move |d| LinkId { from: n, dir: *d })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_numbering() {
+        let m = Mesh::paper_4x4();
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.coord(NodeId(0)), Coord { x: 0, y: 0 });
+        assert_eq!(m.coord(NodeId(3)), Coord { x: 3, y: 0 });
+        assert_eq!(m.coord(NodeId(12)), Coord { x: 0, y: 3 });
+        assert_eq!(m.node_at(Coord { x: 2, y: 2 }), NodeId(10));
+    }
+
+    #[test]
+    fn neighbors_and_edges() {
+        let m = Mesh::paper_4x4();
+        assert_eq!(m.neighbor(NodeId(5), Direction::East), Some(NodeId(6)));
+        assert_eq!(m.neighbor(NodeId(5), Direction::North), Some(NodeId(9)));
+        assert_eq!(m.neighbor(NodeId(5), Direction::South), Some(NodeId(1)));
+        assert_eq!(m.neighbor(NodeId(5), Direction::West), Some(NodeId(4)));
+        assert_eq!(m.neighbor(NodeId(0), Direction::West), None);
+        assert_eq!(m.neighbor(NodeId(0), Direction::South), None);
+        assert_eq!(m.neighbor(NodeId(15), Direction::East), None);
+        assert_eq!(m.neighbor(NodeId(3), Direction::Core), None);
+    }
+
+    #[test]
+    fn degree_identifies_mesh_center() {
+        let m = Mesh::paper_4x4();
+        assert_eq!(m.degree(NodeId(0)), 2);
+        assert_eq!(m.degree(NodeId(1)), 3);
+        assert_eq!(m.degree(NodeId(5)), 4);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let m = Mesh::paper_4x4();
+        assert_eq!(m.manhattan(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.manhattan(NodeId(9), NodeId(10)), 1);
+        assert_eq!(m.manhattan(NodeId(7), NodeId(7)), 0);
+    }
+
+    #[test]
+    fn link_count_is_2_times_internal_edges() {
+        // 4x4 mesh: 2 · (3·4 + 3·4) = 48 directed links.
+        let m = Mesh::paper_4x4();
+        assert_eq!(m.links().count(), 48);
+    }
+
+    #[test]
+    fn direction_indexing_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposites() {
+        assert_eq!(Direction::East.opposite(), Direction::West);
+        assert_eq!(Direction::North.opposite(), Direction::South);
+        assert_eq!(Direction::Core.opposite(), Direction::Core);
+    }
+
+    #[test]
+    fn turns_compose_correctly() {
+        use Direction::*;
+        // Travelling East: straight keeps East, right goes South, left
+        // goes North.
+        assert_eq!(East.apply_turn(Turn::Straight), East);
+        assert_eq!(East.apply_turn(Turn::Right), South);
+        assert_eq!(East.apply_turn(Turn::Left), North);
+        assert_eq!(North.apply_turn(Turn::Right), East);
+        assert_eq!(South.apply_turn(Turn::Left), East);
+        // And turn_to inverts apply_turn.
+        for travel in [East, South, West, North] {
+            for turn in [Turn::Straight, Turn::Left, Turn::Right] {
+                let out = travel.apply_turn(turn);
+                assert_eq!(travel.turn_to(out), turn);
+            }
+            assert_eq!(travel.turn_to(Core), Turn::Core);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "u-turn")]
+    fn u_turn_is_not_encodable() {
+        let _ = Direction::East.turn_to(Direction::West);
+    }
+
+    #[test]
+    fn turn_bit_encoding_round_trips() {
+        for t in [Turn::Left, Turn::Right, Turn::Straight, Turn::Core] {
+            assert_eq!(Turn::from_bits(t.bits()), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn coord_bounds_checked() {
+        let m = Mesh::new(2, 2);
+        let _ = m.coord(NodeId(4));
+    }
+
+    #[test]
+    fn rectangular_meshes_work() {
+        let m = Mesh::new(8, 2);
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.coord(NodeId(9)), Coord { x: 1, y: 1 });
+        assert_eq!(m.neighbor(NodeId(9), Direction::North), None);
+    }
+}

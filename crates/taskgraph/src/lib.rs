@@ -1,0 +1,26 @@
+//! SoC application task graphs for the SMART NoC evaluation
+//! (DATE 2013, Section VI).
+//!
+//! [`graph::TaskGraph`] is the application model — tasks plus directed
+//! bandwidth-annotated flows — and [`apps`] embeds the paper's
+//! eight-application suite (H264, MMS_DEC, MMS_ENC, MMS_MP3, MWD, VOPD,
+//! WLAN, PIP) with provenance notes on each.
+//!
+//! ```
+//! use smart_taskgraph::apps;
+//!
+//! let vopd = apps::vopd();
+//! assert_eq!(vopd.num_tasks(), 12);
+//! // The VOP reconstruction → padding flow is the hottest at 500 MB/s.
+//! let max = vopd
+//!     .flows()
+//!     .iter()
+//!     .map(|f| f.bandwidth_mbs)
+//!     .fold(0.0f64, f64::max);
+//! assert_eq!(max, 500.0);
+//! ```
+
+pub mod apps;
+pub mod graph;
+
+pub use graph::{Flow, TaskGraph, TaskId};

@@ -1,0 +1,72 @@
+//! Explore the SMART link design space: sweep data rate and compare the
+//! clockless low-swing VLR against full-swing repeaters — hops per
+//! cycle, energy, BER, and the switch-level transient model.
+//!
+//! ```text
+//! cargo run --example link_explorer
+//! ```
+
+use smart_noc::link::device::{FullSwingParams, Repeater, VlrParams};
+use smart_noc::link::transient::{max_hops_per_cycle, simulate, ChainSpec, TransientConfig};
+use smart_noc::link::units::{Gbps, Picoseconds};
+use smart_noc::link::wire::{Spacing, WireRc};
+use smart_noc::link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+
+fn main() {
+    println!("== Calibrated model sweep (resized-for-2GHz circuit, 2x spacing) ==");
+    println!(
+        "{:>6} | {:>14} {:>12} {:>9} | {:>14} {:>12} {:>9}",
+        "Gb/s", "LS hops/cyc", "LS fJ/b/mm", "LS BER", "FS hops/cyc", "FS fJ/b/mm", "FS BER"
+    );
+    let ls = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    let fs = CalibratedLinkModel::new(
+        LinkStyle::FullSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    for r in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        let rate = Gbps(r);
+        println!(
+            "{r:>6} | {:>14} {:>12.0} {:>9.1e} | {:>14} {:>12.0} {:>9.1e}",
+            ls.max_hops_per_cycle(rate),
+            ls.energy_fj_per_bit_mm(rate),
+            ls.ber(rate),
+            fs.max_hops_per_cycle(rate),
+            fs.energy_fj_per_bit_mm(rate),
+            fs.ber(rate),
+        );
+    }
+
+    println!("\n== Switch-level transient cross-check (min-pitch wires) ==");
+    let wire = WireRc::for_45nm(Spacing::MinPitch);
+    for (name, rep) in [
+        ("low-swing ", Repeater::VoltageLocked(VlrParams::default_45nm())),
+        ("full-swing", Repeater::FullSwing(FullSwingParams::default_45nm())),
+    ] {
+        let spec = ChainSpec {
+            repeater: rep,
+            wire,
+            hops: 6,
+            sections_per_mm: 5,
+        };
+        let out = simulate(&spec, &TransientConfig::at_rate(Gbps(1.0)));
+        let hops2g = max_hops_per_cycle(rep, WireRc::for_45nm(Spacing::Double), Gbps(2.0), Picoseconds(20.0));
+        println!(
+            "{name}: {:.0} ps/mm, {:.0} fJ/b/mm at 1 Gb/s; {} hops/cycle at 2 GHz (2x spacing)",
+            out.delay_ps_per_mm, out.energy_fj_per_bit_mm, hops2g
+        );
+    }
+
+    println!("\n== Single-cycle reach vs clock frequency (low-swing) ==");
+    for clk in [1.0, 2.0, 3.0] {
+        println!(
+            "  {clk} GHz -> {} mm in one cycle",
+            ls.single_cycle_range(clk).0
+        );
+    }
+    println!("\nThe paper's SMART design point: 2 GHz, 8 mm per cycle, 104 fJ/b/mm.");
+}

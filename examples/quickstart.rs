@@ -1,0 +1,72 @@
+//! Quickstart: map an SoC application onto the SMART NoC and watch
+//! single-cycle multi-hop traversal happen.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use smart_noc::arch::config::NocConfig;
+use smart_noc::arch::noc::{Design, DesignKind};
+use smart_noc::mapping::MappedApp;
+use smart_noc::sim::BernoulliTraffic;
+use smart_noc::taskgraph::apps;
+
+fn main() {
+    // 1. The paper's design point: 4x4 mesh, 2 GHz, 32-bit flits,
+    //    2 VCs x 10 flits, single-cycle reach of 8 hops (Table I/II).
+    let cfg = NocConfig::paper_4x4();
+    println!(
+        "SMART NoC: {}x{} mesh at {} GHz, HPC_max = {} hops/cycle",
+        cfg.mesh.width(),
+        cfg.mesh.height(),
+        cfg.clock_ghz,
+        cfg.hpc_max
+    );
+
+    // 2. Take the VOPD task graph, place it with the modified NMAP and
+    //    route its flows contention-aware.
+    let graph = apps::vopd();
+    let mapped = MappedApp::from_graph(&cfg, &graph);
+    println!(
+        "\n{}: {} tasks, {} flows, {:.2} hops/flow after NMAP",
+        mapped.name,
+        graph.num_tasks(),
+        mapped.routes.len(),
+        mapped.avg_hops()
+    );
+    for (task, core) in mapped.placement.iter() {
+        print!("{}@{} ", graph.task_name(*task), core);
+    }
+    println!();
+
+    // 3. Build all three designs and run the same Bernoulli traffic.
+    for kind in DesignKind::ALL {
+        let mut design = Design::build(kind, &cfg, &mapped.routes);
+        let flows = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
+        let mut traffic = BernoulliTraffic::new(
+            &mapped.rates,
+            &flows,
+            cfg.mesh,
+            cfg.flits_per_packet(),
+            2024,
+        );
+        design.run_with(&mut traffic, 30_000);
+        design.drain(5_000);
+        let stats = design.stats();
+        println!(
+            "{:<10} avg network latency {:>6.2} cycles over {:>5} packets",
+            kind.label(),
+            stats.avg_network_latency(),
+            stats.packets()
+        );
+    }
+
+    // 4. Peek at the presets SMART computed: how much of the mesh flies?
+    let smart = smart_noc::arch::noc::SmartNoc::new(&cfg, &mapped.routes);
+    let compiled = smart.compiled();
+    println!(
+        "\nSMART presets: {:.0}% of router visits bypassed, {:.2} stops/flow",
+        compiled.bypass_fraction(cfg.mesh) * 100.0,
+        compiled.avg_stops()
+    );
+}

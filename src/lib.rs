@@ -1,0 +1,47 @@
+//! # smart-noc — facade crate
+//!
+//! Reproduction of *SMART: A Single-Cycle Reconfigurable NoC for SoC
+//! Applications* (DATE 2013). This crate re-exports the whole workspace
+//! behind one dependency; see the individual crates for details:
+//!
+//! * [`link`] — VLR / full-swing link circuit models (Section III).
+//! * [`sim`] — cycle-accurate NoC simulation substrate.
+//! * [`arch`] — the SMART architecture: bypass, presets, credit mesh,
+//!   reconfiguration (Section IV).
+//! * [`taskgraph`] — the eight SoC application task graphs (Section VI).
+//! * [`mapping`] — NMAP-style mapping, routing and preset compilation.
+//! * [`power`] — per-event energy model and the Fig 10b breakdown.
+//! * [`rtlgen`] — the Section V tool flow (RTL, macro blocks, floorplan).
+
+pub use smart_core as arch;
+pub use smart_link as link;
+pub use smart_mapping as mapping;
+pub use smart_power as power;
+pub use smart_rtlgen as rtlgen;
+pub use smart_sim as sim;
+pub use smart_taskgraph as taskgraph;
+
+/// One-stop imports for the common workflow: configure, map, build a
+/// design, run traffic, read stats and power.
+///
+/// ```
+/// use smart_noc::prelude::*;
+///
+/// let cfg = NocConfig::paper_4x4();
+/// let mapped = MappedApp::from_graph(&cfg, &apps::pip());
+/// let mut design = Design::build(DesignKind::Smart, &cfg, &mapped.routes);
+/// design.step();
+/// assert_eq!(design.cycle(), 1);
+/// ```
+pub mod prelude {
+    pub use smart_core::config::NocConfig;
+    pub use smart_core::noc::{Design, DesignKind, MeshNoc, SmartNoc};
+    pub use smart_core::reconfig::ReconfigurableNoc;
+    pub use smart_mapping::MappedApp;
+    pub use smart_power::{breakdown, EnergyModel, GatingPolicy};
+    pub use smart_sim::{
+        BernoulliTraffic, FlowId, FlowTable, Mesh, NodeId, Packet, PacketId, ScriptedTraffic,
+        SourceRoute,
+    };
+    pub use smart_taskgraph::apps;
+}

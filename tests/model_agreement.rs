@@ -1,0 +1,159 @@
+//! Cross-validation: the calibrated analytic link model (anchored on the
+//! paper's Table I / chip numbers) and the independent switch-level
+//! transient solver must agree on orderings and magnitudes.
+
+use smart_noc::link::device::{FullSwingParams, Repeater, VlrParams};
+use smart_noc::link::transient::{self, simulate, ChainSpec, TransientConfig};
+use smart_noc::link::units::{Gbps, Picoseconds};
+use smart_noc::link::wire::{Spacing, WireRc};
+use smart_noc::link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+
+fn transient_delay(rep: Repeater, spacing: Spacing, rate: Gbps) -> f64 {
+    let spec = ChainSpec {
+        repeater: rep,
+        wire: WireRc::for_45nm(spacing),
+        hops: 5,
+        sections_per_mm: 5,
+    };
+    simulate(&spec, &TransientConfig::at_rate(rate)).delay_ps_per_mm
+}
+
+#[test]
+fn both_models_rank_low_swing_faster() {
+    let rate = Gbps(2.0);
+    // Analytic (chip-calibrated, min pitch).
+    let ls = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Fabricated,
+        WireSpacing::MinPitch,
+    );
+    let fs = CalibratedLinkModel::new(
+        LinkStyle::FullSwing,
+        CircuitVariant::Fabricated,
+        WireSpacing::MinPitch,
+    );
+    assert!(ls.delay_ps_per_mm(rate) < fs.delay_ps_per_mm(rate));
+    // Transient, same physical point.
+    let t_ls = transient_delay(
+        Repeater::VoltageLocked(VlrParams::default_45nm()),
+        Spacing::MinPitch,
+        rate,
+    );
+    let t_fs = transient_delay(
+        Repeater::FullSwing(FullSwingParams::default_45nm()),
+        Spacing::MinPitch,
+        rate,
+    );
+    assert!(t_ls < t_fs, "transient: VLR {t_ls} vs FS {t_fs} ps/mm");
+}
+
+#[test]
+fn transient_delays_land_near_the_chip_calibration() {
+    // Chip: ~60 ps/mm (VLR), ~100 ps/mm (full-swing) at min pitch.
+    let t_ls = transient_delay(
+        Repeater::VoltageLocked(VlrParams::default_45nm()),
+        Spacing::MinPitch,
+        Gbps(1.0),
+    );
+    let t_fs = transient_delay(
+        Repeater::FullSwing(FullSwingParams::default_45nm()),
+        Spacing::MinPitch,
+        Gbps(1.0),
+    );
+    assert!(
+        (t_ls - 60.0).abs() < 20.0,
+        "VLR transient {t_ls} ps/mm vs chip 60"
+    );
+    assert!(
+        (t_fs - 100.0).abs() < 25.0,
+        "full-swing transient {t_fs} ps/mm vs chip 100"
+    );
+}
+
+#[test]
+fn transient_hops_per_cycle_brackets_table1_at_2ghz() {
+    // Table I (resized circuit): low-swing 8, full-swing 6 at 2 Gb/s
+    // with 2x spacing. The resized transient sizing must land within
+    // ±1 hop of both cells and preserve the LS > FS ordering.
+    let wire = WireRc::for_45nm(Spacing::Double);
+    let ls = transient::max_hops_per_cycle(
+        Repeater::VoltageLocked(VlrParams::resized_2ghz()),
+        wire,
+        Gbps(2.0),
+        Picoseconds(20.0),
+    );
+    let fs = transient::max_hops_per_cycle(
+        Repeater::FullSwing(FullSwingParams::default_45nm()),
+        wire,
+        Gbps(2.0),
+        Picoseconds(20.0),
+    );
+    assert!(ls > fs);
+    assert!((7..=9).contains(&ls), "low-swing {ls} vs Table I 8");
+    assert!((5..=7).contains(&fs), "full-swing {fs} vs Table I 6");
+}
+
+#[test]
+fn energy_rate_trend_agrees() {
+    // Table I: low-swing fJ/b/mm falls as the rate rises (static-current
+    // amortization). Both models must show it.
+    let cal = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    assert!(cal.energy_fj_per_bit_mm(Gbps(1.0)) > cal.energy_fj_per_bit_mm(Gbps(3.0)));
+
+    let spec = |rate: Gbps| {
+        let s = ChainSpec {
+            repeater: Repeater::VoltageLocked(VlrParams::default_45nm()),
+            wire: WireRc::for_45nm(Spacing::Double),
+            hops: 4,
+            sections_per_mm: 5,
+        };
+        simulate(&s, &TransientConfig::at_rate(rate)).energy_fj_per_bit_mm
+    };
+    assert!(spec(Gbps(1.0)) > spec(Gbps(3.0)));
+}
+
+#[test]
+fn wider_spacing_helps_in_both_models() {
+    let rate = Gbps(2.0);
+    let tight = transient_delay(
+        Repeater::VoltageLocked(VlrParams::default_45nm()),
+        Spacing::MinPitch,
+        rate,
+    );
+    let wide = transient_delay(
+        Repeater::VoltageLocked(VlrParams::default_45nm()),
+        Spacing::Double,
+        rate,
+    );
+    assert!(wide < tight, "transient: 2x spacing {wide} vs min {tight}");
+
+    let cal_tight = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::MinPitch,
+    );
+    let cal_wide = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    assert!(cal_wide.delay_ps_per_mm(rate) < cal_tight.delay_ps_per_mm(rate));
+}
+
+#[test]
+fn hpc_max_used_by_the_noc_matches_table1() {
+    // The NoC config derives HPC_max from the same calibrated model the
+    // Table I bench regenerates — pin the headline number.
+    let cfg = smart_noc::arch::config::NocConfig::paper_4x4();
+    let model = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    assert_eq!(cfg.hpc_max as u32, model.max_hops_per_cycle(Gbps(2.0)));
+    assert_eq!(cfg.hpc_max, 8);
+}

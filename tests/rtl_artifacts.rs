@@ -1,0 +1,117 @@
+//! Integration tests over the generated tool-flow artifacts: the RTL,
+//! views and testbenches must stay mutually consistent with the
+//! architectural model.
+
+use smart_noc::arch::compile::compile;
+use smart_noc::arch::config::NocConfig;
+use smart_noc::link::units::Gbps;
+use smart_noc::link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
+use smart_noc::mapping::MappedApp;
+use smart_noc::rtlgen::{generate_all, lef, liberty, router_tb, Floorplan, GenParams, MacroBlock};
+use smart_noc::taskgraph::apps;
+
+#[test]
+fn rtl_config_register_layout_matches_architectural_encoding() {
+    // The Verilog slices cfg[9:0]/[24:10]/[39:25]; the architectural
+    // encoder packs input mux / crossbar / credit selects in the same
+    // positions. Encode a known preset and check the field extraction
+    // the RTL would perform.
+    let cfg = NocConfig::paper_4x4();
+    let mapped = MappedApp::from_graph(&cfg, &apps::vopd());
+    let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+    for node in cfg.mesh.nodes() {
+        let p = app.presets.router(node);
+        let w = p.encode();
+        let input_mux = w & 0x3FF;
+        let xbar = (w >> 10) & 0x7FFF;
+        let credit = (w >> 25) & 0x7FFF;
+        assert_eq!(w, input_mux | (xbar << 10) | (credit << 25) | (w >> 40 << 40));
+        assert!(w < (1 << 40), "only the documented 40 bits are used");
+    }
+}
+
+#[test]
+fn testbench_exists_for_every_bypassing_router_of_every_app() {
+    let cfg = NocConfig::paper_4x4();
+    let params = GenParams::from_config(&cfg);
+    for graph in apps::all() {
+        let mapped = MappedApp::from_graph(&cfg, &graph);
+        let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+        let mut total_checks = 0;
+        for node in cfg.mesh.nodes() {
+            let tb = router_tb(&params, app.presets.router(node));
+            total_checks += tb.checks;
+            // The config word in the TB is this router's register value.
+            let word = format!("64'h{:016x}", app.presets.router(node).encode());
+            assert!(tb.source.contains(&word), "{}: {node}", graph.name());
+        }
+        assert!(
+            total_checks > 0,
+            "{}: at least one single-cycle bypass to check",
+            graph.name()
+        );
+    }
+}
+
+#[test]
+fn liberty_delay_fits_the_cycle_budget() {
+    // The .lib arc delay for one hop times HPC_max must fit inside one
+    // 2 GHz period minus setup — the timing closure argument of the
+    // whole paper.
+    let cfg = NocConfig::paper_4x4();
+    let link = CalibratedLinkModel::new(
+        LinkStyle::LowSwing,
+        CircuitVariant::Resized2GHz,
+        WireSpacing::Double,
+    );
+    let block = MacroBlock::fig8_tx32();
+    let lib = liberty(&block, &link, Gbps(cfg.clock_ghz));
+    // Extract the emitted arc delay (ns).
+    let delay_ns: f64 = lib
+        .lines()
+        .find(|l| l.contains("cell_rise"))
+        .and_then(|l| l.split('"').nth(1))
+        .expect("delay value present")
+        .parse()
+        .expect("numeric delay");
+    let period_ns = 1.0 / cfg.clock_ghz;
+    assert!(
+        delay_ns * cfg.hpc_max as f64 <= period_ns,
+        "{} hops x {delay_ns} ns must fit a {period_ns} ns cycle",
+        cfg.hpc_max
+    );
+}
+
+#[test]
+fn lef_and_floorplan_geometry_are_consistent() {
+    let params = GenParams::paper_4x4();
+    let plan = Floorplan::generate(&params);
+    let lef_text = lef(&plan.tx_block);
+    assert!(lef_text.contains(&format!(
+        "SIZE {:.3} BY {:.3} ;",
+        plan.tx_block.width_um(),
+        plan.tx_block.height_um()
+    )));
+    // The Tx block fits along a tile edge with lots of margin.
+    assert!(plan.tx_block.width_um() < plan.tile_um / 4.0);
+}
+
+#[test]
+fn mesh_rtl_scales_with_configuration() {
+    for k in [2u16, 4, 6] {
+        let params = GenParams {
+            mesh_width: k,
+            mesh_height: k,
+            ..GenParams::paper_4x4()
+        };
+        let mods = generate_all(&params);
+        let mesh_top = mods
+            .iter()
+            .find(|m| m.name == "smart_mesh")
+            .expect("mesh top generated");
+        assert_eq!(
+            mesh_top.source.matches("smart_router #").count(),
+            usize::from(k) * usize::from(k)
+        );
+    }
+}

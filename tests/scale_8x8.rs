@@ -1,0 +1,88 @@
+//! Scale sanity: the whole stack (random placement → routing → preset
+//! compilation → simulation → power) on an 8×8 mesh, where routes are
+//! long enough to exercise HPC_max segmentation.
+
+use smart_noc::arch::compile::compile;
+use smart_noc::arch::config::NocConfig;
+use smart_noc::arch::noc::{Design, DesignKind};
+use smart_noc::mapping::{place_random, MappedApp};
+use smart_noc::power::{breakdown, EnergyModel, GatingPolicy};
+use smart_noc::sim::BernoulliTraffic;
+use smart_noc::taskgraph::apps;
+
+#[test]
+fn suite_runs_on_8x8_with_random_placement() {
+    let cfg = NocConfig::scaled(8);
+    let model = EnergyModel::calibrated_45nm(&cfg);
+    for graph in [apps::h264(), apps::vopd(), apps::wlan()] {
+        let placement = place_random(cfg.mesh, &graph, 2026);
+        let mapped = MappedApp::with_placement(&cfg, &graph, placement);
+        let compiled = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+
+        // Long routes must still fit single segments (mesh diameter 14
+        // > HPC_max 8, so splits may appear) and every leg obeys the
+        // reach.
+        for plan in compiled.flows.iter() {
+            for leg in &plan.legs {
+                assert!(
+                    leg.links.len() <= cfg.hpc_max,
+                    "{}: leg of {} links exceeds HPC_max",
+                    graph.name(),
+                    leg.links.len()
+                );
+            }
+        }
+
+        for kind in [DesignKind::Mesh, DesignKind::Smart] {
+            let mut design = Design::build(kind, &cfg, &mapped.routes);
+            let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
+            let mut traffic = BernoulliTraffic::new(
+                &mapped.rates,
+                &table,
+                cfg.mesh,
+                cfg.flits_per_packet(),
+                64,
+            );
+            design.run_with(&mut traffic, 15_000);
+            assert!(design.drain(10_000), "{}: drains", graph.name());
+            let c = design.counters();
+            assert_eq!(c.packets_injected, c.packets_delivered);
+            let p = breakdown(&model, c, cfg.clock_ghz, GatingPolicy::for_design(kind));
+            assert!(p.total_w() > 0.0 && p.total_w() < 1.0);
+        }
+    }
+}
+
+#[test]
+fn smart_still_wins_at_8x8_scale() {
+    let cfg = NocConfig::scaled(8);
+    let graph = apps::vopd();
+    let placement = place_random(cfg.mesh, &graph, 7);
+    let mapped = MappedApp::with_placement(&cfg, &graph, placement);
+    let mut lat = Vec::new();
+    for kind in [DesignKind::Mesh, DesignKind::Smart] {
+        let mut design = Design::build(kind, &cfg, &mapped.routes);
+        let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
+        let mut traffic = BernoulliTraffic::new(
+            &mapped.rates,
+            &table,
+            cfg.mesh,
+            cfg.flits_per_packet(),
+            64,
+        );
+        design.set_stats_from(2_000);
+        design.run_with(&mut traffic, 25_000);
+        design.drain(10_000);
+        lat.push(design.stats().avg_network_latency());
+    }
+    // With ~4-hop average routes the paper's remark applies: longer
+    // paths magnify SMART's benefit (well above the 4x4's 60%).
+    let reduction = 1.0 - lat[1] / lat[0];
+    assert!(
+        reduction > 0.5,
+        "SMART reduction at 8x8 should stay large, got {:.2} (Mesh {:.1} vs SMART {:.1})",
+        reduction,
+        lat[0],
+        lat[1]
+    );
+}
