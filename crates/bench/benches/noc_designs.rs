@@ -32,8 +32,7 @@ fn bench_designs(c: &mut Criterion) {
             |b, &kind| {
                 b.iter(|| {
                     let mut design = Design::build(kind, &cfg, &mapped.routes);
-                    let table =
-                        smart_sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
+                    let table = smart_sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
                     let mut traffic = BernoulliTraffic::new(
                         &mapped.rates,
                         &table,

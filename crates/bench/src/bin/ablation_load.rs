@@ -14,7 +14,9 @@ use smart_core::noc::{Design, DesignKind};
 use smart_sim::{BernoulliTraffic, FlowId, FlowTable, NodeId, Pattern, SourceRoute};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "transpose".into());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "transpose".into());
     let pattern = match arg.as_str() {
         "transpose" => Pattern::Transpose,
         "mirror" => Pattern::RowMirror,
@@ -47,10 +49,8 @@ fn main() {
         let per_node_flits = load_pct as f64 / 100.0;
         // Rate per flow: nodes inject on all their outgoing flows evenly.
         let flows_per_node = routes.len() as f64 / f64::from(cfg.mesh.len() as u32);
-        let rate =
-            per_node_flits / f64::from(cfg.flits_per_packet()) / flows_per_node;
-        let rates: Vec<(FlowId, f64)> =
-            routes.iter().map(|(f, _)| (*f, rate)).collect();
+        let rate = per_node_flits / f64::from(cfg.flits_per_packet()) / flows_per_node;
+        let rates: Vec<(FlowId, f64)> = routes.iter().map(|(f, _)| (*f, rate)).collect();
 
         print!("{per_node_flits:>22.2}");
         for kind in DesignKind::ALL {

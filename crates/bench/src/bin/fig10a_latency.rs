@@ -39,10 +39,7 @@ fn main() {
     );
     let mut sums = [0.0f64; 3];
     for (app, lat) in &table {
-        println!(
-            "{app:<10} {:>8.2} {:>8.2} {:>10.2}",
-            lat[0], lat[1], lat[2]
-        );
+        println!("{app:<10} {:>8.2} {:>8.2} {:>10.2}", lat[0], lat[1], lat[2]);
         for i in 0..3 {
             sums[i] += lat[i];
         }

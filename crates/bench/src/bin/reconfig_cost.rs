@@ -40,11 +40,7 @@ fn main() {
         }
         println!(
             "{:<10} {:>8} {:>12} {:>14} {:>12.2}",
-            report.app_name,
-            report.cost_instructions,
-            report.drain_cycles,
-            ports,
-            stops
+            report.app_name, report.cost_instructions, report.drain_cycles, ports, stops
         );
     }
     println!();

@@ -24,7 +24,8 @@ struct Scorecard {
 
 impl Scorecard {
     fn check(&mut self, claim: &str, ours: String, paper: &str, ok: bool) {
-        self.rows.push((claim.to_owned(), ours, paper.to_owned(), ok));
+        self.rows
+            .push((claim.to_owned(), ours, paper.to_owned(), ok));
     }
 
     fn print(&self) -> bool {
@@ -57,15 +58,11 @@ fn main() {
     // --- Link level. ---
     let ours_t1 = table1();
     let paper_t1 = paper_reference();
-    let t1_ok = ours_t1
-        .rows
-        .iter()
-        .zip(paper_t1.rows.iter())
-        .all(|(a, b)| {
-            a.cells.iter().zip(b.cells.iter()).all(|(x, y)| {
-                x.hops == y.hops && (x.energy_fj_per_bit_mm - y.energy_fj_per_bit_mm).abs() < 0.5
-            })
-        });
+    let t1_ok = ours_t1.rows.iter().zip(paper_t1.rows.iter()).all(|(a, b)| {
+        a.cells.iter().zip(b.cells.iter()).all(|(x, y)| {
+            x.hops == y.hops && (x.energy_fj_per_bit_mm - y.energy_fj_per_bit_mm).abs() < 0.5
+        })
+    });
     card.check(
         "Table I: all 12 (hops, energy) cells",
         "12/12 exact".into(),

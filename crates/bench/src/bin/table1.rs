@@ -19,8 +19,7 @@ fn main() {
     let mut mismatches = 0;
     for (a, b) in ours.rows.iter().zip(paper.rows.iter()) {
         for (ca, cb) in a.cells.iter().zip(b.cells.iter()) {
-            if ca.hops != cb.hops
-                || (ca.energy_fj_per_bit_mm - cb.energy_fj_per_bit_mm).abs() > 0.5
+            if ca.hops != cb.hops || (ca.energy_fj_per_bit_mm - cb.energy_fj_per_bit_mm).abs() > 0.5
             {
                 mismatches += 1;
                 println!(

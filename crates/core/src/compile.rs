@@ -101,10 +101,7 @@ fn flow_use(mesh: Mesh, flow: FlowId, route: &SourceRoute) -> FlowUse {
 #[must_use]
 pub fn compile(mesh: Mesh, hpc_max: usize, routes: &[(FlowId, SourceRoute)]) -> CompiledApp {
     assert!(hpc_max > 0, "HPC_max must be at least 1");
-    let uses: Vec<FlowUse> = routes
-        .iter()
-        .map(|(f, r)| flow_use(mesh, *f, r))
-        .collect();
+    let uses: Vec<FlowUse> = routes.iter().map(|(f, r)| flow_use(mesh, *f, r)).collect();
 
     // --- Conflict-driven stop inputs. ---
     // (router, input) -> set of outputs used through it.
@@ -114,8 +111,14 @@ pub fn compile(mesh: Mesh, hpc_max: usize, routes: &[(FlowId, SourceRoute)]) -> 
     for u in &uses {
         for i in 0..u.routers.len() {
             let r = u.routers[i];
-            in_outs.entry((r, u.inputs[i])).or_default().insert(u.outputs[i]);
-            out_ins.entry((r, u.outputs[i])).or_default().insert(u.inputs[i]);
+            in_outs
+                .entry((r, u.inputs[i]))
+                .or_default()
+                .insert(u.outputs[i]);
+            out_ins
+                .entry((r, u.outputs[i]))
+                .or_default()
+                .insert(u.inputs[i]);
         }
     }
     let mut stop_inputs: HashMap<NodeId, BTreeSet<Direction>> = HashMap::new();
@@ -263,12 +266,7 @@ fn stop_indices(u: &FlowUse, stop_inputs: &HashMap<NodeId, BTreeSet<Direction>>)
 }
 
 /// Build the flow plan given its stop indices.
-fn build_plan(
-    mesh: Mesh,
-    u: &FlowUse,
-    route: &SourceRoute,
-    stops: &[usize],
-) -> FlowPlan {
+fn build_plan(mesh: Mesh, u: &FlowUse, route: &SourceRoute, stops: &[usize]) -> FlowPlan {
     let links = route.links(mesh);
     let last = u.routers.len() - 1;
     let mut legs = Vec::new();
@@ -281,7 +279,11 @@ fn build_plan(
         let (sender, out_dir, start_link) = match from {
             None => (
                 Sender::Nic(u.routers[0]),
-                if to == 0 { Direction::Core } else { u.outputs[0] },
+                if to == 0 {
+                    Direction::Core
+                } else {
+                    u.outputs[0]
+                },
                 0usize,
             ),
             Some(j) => (
@@ -342,7 +344,11 @@ mod tests {
         assert_eq!(app.stops[&FlowId(0)], Vec::<NodeId>::new());
         let plan = app.flows.plan(FlowId(0));
         assert_eq!(plan.legs.len(), 1);
-        assert_eq!(plan.zero_load_latency(), 1, "source NIC to dest NIC in 1 cycle");
+        assert_eq!(
+            plan.zero_load_latency(),
+            1,
+            "source NIC to dest NIC in 1 cycle"
+        );
         assert!((app.bypass_fraction(mesh()) - 1.0).abs() < 1e-12);
     }
 
@@ -353,11 +359,7 @@ mod tests {
         // conflict).
         let red = route(&[13, 9, 10]);
         let blue = route(&[8, 9, 10, 11, 7, 3]);
-        let app = compile(
-            mesh(),
-            8,
-            &[(FlowId(0), red), (FlowId(1), blue)],
-        );
+        let app = compile(mesh(), 8, &[(FlowId(0), red), (FlowId(1), blue)]);
         assert_eq!(app.stops[&FlowId(0)], vec![NodeId(9), NodeId(10)]);
         assert_eq!(app.stops[&FlowId(1)], vec![NodeId(9), NodeId(10)]);
         // Zero-load latencies: 1 + 3 stops · 2 = 7 (the figure's labels).
@@ -418,8 +420,14 @@ mod tests {
         let app = compile(mesh(), 8, &[(FlowId(0), red), (FlowId(1), blue)]);
         // Router 9: both inputs buffered, East output arbitrated.
         let p9 = app.presets.router(NodeId(9));
-        assert_eq!(p9.input_mux[Direction::North.index()], Some(InputMux::Buffer));
-        assert_eq!(p9.input_mux[Direction::West.index()], Some(InputMux::Buffer));
+        assert_eq!(
+            p9.input_mux[Direction::North.index()],
+            Some(InputMux::Buffer)
+        );
+        assert_eq!(
+            p9.input_mux[Direction::West.index()],
+            Some(InputMux::Buffer)
+        );
         assert_eq!(p9.xbar[Direction::East.index()], XbarSelect::Arbitrated);
         // Router 11: blue bypasses it (in W, out S... path 10->11->7:
         // enters 11 at West, leaves South).
@@ -481,10 +489,7 @@ mod tests {
         let contended = compile(
             mesh(),
             8,
-            &[
-                (FlowId(0), route(&[5, 6])),
-                (FlowId(1), route(&[10, 6])),
-            ],
+            &[(FlowId(0), route(&[5, 6])), (FlowId(1), route(&[10, 6]))],
         );
         assert_eq!(contended.avg_stops(), 1.0);
     }

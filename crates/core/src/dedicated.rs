@@ -453,8 +453,14 @@ mod tests {
         noc.offer(packet(0, 0, 3, 0));
         noc.offer(packet(1, 0, 12, 0));
         noc.drain(100);
-        assert_eq!(noc.stats().flow(FlowId(0)).expect("f0").avg_head_latency(), 1.0);
-        assert_eq!(noc.stats().flow(FlowId(1)).expect("f1").avg_head_latency(), 1.0);
+        assert_eq!(
+            noc.stats().flow(FlowId(0)).expect("f0").avg_head_latency(),
+            1.0
+        );
+        assert_eq!(
+            noc.stats().flow(FlowId(1)).expect("f1").avg_head_latency(),
+            1.0
+        );
     }
 
     #[test]

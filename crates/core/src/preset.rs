@@ -247,7 +247,9 @@ impl MeshPresets {
         for s in stores {
             let idx = (s.addr - base_addr) / 8;
             assert!(
-                s.addr >= base_addr && (idx as usize) < mesh.len() && (s.addr - base_addr).is_multiple_of(8),
+                s.addr >= base_addr
+                    && (idx as usize) < mesh.len()
+                    && (s.addr - base_addr).is_multiple_of(8),
                 "store address {:#x} outside the register file",
                 s.addr
             );

@@ -117,13 +117,17 @@ mod tests {
 
     #[test]
     fn stop_routers_are_bracketed() {
-        let red = SourceRoute::from_router_path(
-            mesh(),
-            &[NodeId(13), NodeId(9), NodeId(10)],
-        );
+        let red = SourceRoute::from_router_path(mesh(), &[NodeId(13), NodeId(9), NodeId(10)]);
         let blue = SourceRoute::from_router_path(
             mesh(),
-            &[NodeId(8), NodeId(9), NodeId(10), NodeId(11), NodeId(7), NodeId(3)],
+            &[
+                NodeId(8),
+                NodeId(9),
+                NodeId(10),
+                NodeId(11),
+                NodeId(7),
+                NodeId(3),
+            ],
         );
         let app = compile(mesh(), 8, &[(FlowId(0), red), (FlowId(1), blue)]);
         let r = render_topology(mesh(), &app);

@@ -385,10 +385,26 @@ mod tests {
     #[test]
     fn table1_hops_reproduced_exactly() {
         let cases = [
-            (LinkStyle::FullSwing, CircuitVariant::Resized2GHz, vec![(1.0, 13), (2.0, 6), (3.0, 4)]),
-            (LinkStyle::LowSwing, CircuitVariant::Resized2GHz, vec![(1.0, 16), (2.0, 8), (3.0, 6)]),
-            (LinkStyle::FullSwing, CircuitVariant::Fabricated, vec![(4.0, 4), (5.0, 3), (5.5, 3)]),
-            (LinkStyle::LowSwing, CircuitVariant::Fabricated, vec![(4.0, 7), (5.0, 6), (5.5, 5)]),
+            (
+                LinkStyle::FullSwing,
+                CircuitVariant::Resized2GHz,
+                vec![(1.0, 13), (2.0, 6), (3.0, 4)],
+            ),
+            (
+                LinkStyle::LowSwing,
+                CircuitVariant::Resized2GHz,
+                vec![(1.0, 16), (2.0, 8), (3.0, 6)],
+            ),
+            (
+                LinkStyle::FullSwing,
+                CircuitVariant::Fabricated,
+                vec![(4.0, 4), (5.0, 3), (5.5, 3)],
+            ),
+            (
+                LinkStyle::LowSwing,
+                CircuitVariant::Fabricated,
+                vec![(4.0, 7), (5.0, 6), (5.5, 5)],
+            ),
         ];
         for (style, variant, expect) in cases {
             let m = model(style, variant);
@@ -405,10 +421,26 @@ mod tests {
     #[test]
     fn table1_energy_reproduced_exactly() {
         let cases = [
-            (LinkStyle::FullSwing, CircuitVariant::Resized2GHz, vec![(1.0, 103.0), (2.0, 95.0), (3.0, 84.0)]),
-            (LinkStyle::LowSwing, CircuitVariant::Resized2GHz, vec![(1.0, 128.0), (2.0, 104.0), (3.0, 87.0)]),
-            (LinkStyle::FullSwing, CircuitVariant::Fabricated, vec![(4.0, 98.0), (5.0, 89.0), (5.5, 85.0)]),
-            (LinkStyle::LowSwing, CircuitVariant::Fabricated, vec![(4.0, 132.0), (5.0, 107.0), (5.5, 96.0)]),
+            (
+                LinkStyle::FullSwing,
+                CircuitVariant::Resized2GHz,
+                vec![(1.0, 103.0), (2.0, 95.0), (3.0, 84.0)],
+            ),
+            (
+                LinkStyle::LowSwing,
+                CircuitVariant::Resized2GHz,
+                vec![(1.0, 128.0), (2.0, 104.0), (3.0, 87.0)],
+            ),
+            (
+                LinkStyle::FullSwing,
+                CircuitVariant::Fabricated,
+                vec![(4.0, 98.0), (5.0, 89.0), (5.5, 85.0)],
+            ),
+            (
+                LinkStyle::LowSwing,
+                CircuitVariant::Fabricated,
+                vec![(4.0, 132.0), (5.0, 107.0), (5.5, 96.0)],
+            ),
         ];
         for (style, variant, expect) in cases {
             let m = model(style, variant);

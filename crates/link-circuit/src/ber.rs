@@ -190,26 +190,16 @@ mod tests {
     fn calibration_round_trips_max_rate() {
         // VLR-like: 0.12 V asymptotic margin, calibrated to hit 1e-9 at
         // 6.8 Gb/s.
-        let m = MarginModel::calibrated(
-            Volts(0.12),
-            Picoseconds(60.0),
-            Volts(0.01),
-            Gbps(6.8),
-            1e-9,
-        );
+        let m =
+            MarginModel::calibrated(Volts(0.12), Picoseconds(60.0), Volts(0.01), Gbps(6.8), 1e-9);
         let r = m.max_rate(1e-9);
         assert!((r.0 - 6.8).abs() < 0.05, "got {r}");
     }
 
     #[test]
     fn ber_improves_at_lower_rate() {
-        let m = MarginModel::calibrated(
-            Volts(0.12),
-            Picoseconds(60.0),
-            Volts(0.01),
-            Gbps(6.8),
-            1e-9,
-        );
+        let m =
+            MarginModel::calibrated(Volts(0.12), Picoseconds(60.0), Volts(0.01), Gbps(6.8), 1e-9);
         assert!(m.ber(Gbps(5.0)) < m.ber(Gbps(6.8)));
         assert!(m.ber(Gbps(6.8)) < m.ber(Gbps(7.5)));
         assert!(m.ber(Gbps(2.0)) < 1e-12);
@@ -217,13 +207,8 @@ mod tests {
 
     #[test]
     fn margin_zero_below_dead_time() {
-        let m = MarginModel::calibrated(
-            Volts(0.12),
-            Picoseconds(60.0),
-            Volts(0.01),
-            Gbps(6.8),
-            1e-9,
-        );
+        let m =
+            MarginModel::calibrated(Volts(0.12), Picoseconds(60.0), Volts(0.01), Gbps(6.8), 1e-9);
         // UI of 50 ps < 60 ps dead time -> no margin, coin-flip BER.
         assert_eq!(m.margin(Gbps(20.0)), Volts(0.0));
         assert_eq!(m.ber(Gbps(20.0)), 0.5);
@@ -232,12 +217,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds asymptotic margin")]
     fn impossible_calibration_panics() {
-        let _ = MarginModel::calibrated(
-            Volts(0.01),
-            Picoseconds(60.0),
-            Volts(0.01),
-            Gbps(6.8),
-            1e-9,
-        );
+        let _ =
+            MarginModel::calibrated(Volts(0.01), Picoseconds(60.0), Volts(0.01), Gbps(6.8), 1e-9);
     }
 }

@@ -89,7 +89,11 @@ pub fn paper_reference() -> Table1 {
             Table1Row {
                 style: LinkStyle::LowSwing,
                 variant: CircuitVariant::Resized2GHz,
-                cells: vec![cell(1.0, 16, 128.0), cell(2.0, 8, 104.0), cell(3.0, 6, 87.0)],
+                cells: vec![
+                    cell(1.0, 16, 128.0),
+                    cell(2.0, 8, 104.0),
+                    cell(3.0, 6, 87.0),
+                ],
             },
             Table1Row {
                 style: LinkStyle::FullSwing,
@@ -115,8 +119,7 @@ impl fmt::Display for Table1 {
             (CircuitVariant::Resized2GHz, "*"),
             (CircuitVariant::Fabricated, "**"),
         ] {
-            let rows: Vec<&Table1Row> =
-                self.rows.iter().filter(|r| r.variant == variant).collect();
+            let rows: Vec<&Table1Row> = self.rows.iter().filter(|r| r.variant == variant).collect();
             if rows.is_empty() {
                 continue;
             }
@@ -141,10 +144,7 @@ impl fmt::Display for Table1 {
             f,
             "*  resized and optimized for low-frequency (2 GHz), 2x wire spacing"
         )?;
-        write!(
-            f,
-            "** same circuit as the fabricated chip, 2x wire spacing"
-        )
+        write!(f, "** same circuit as the fabricated chip, 2x wire spacing")
     }
 }
 

@@ -407,9 +407,7 @@ pub fn simulate(spec: &ChainSpec, cfg: &TransientConfig) -> TransientOutcome {
             let stage = &stages[h];
             // Driver of this hop.
             let (v_tgt, r_drv) = match &spec.repeater {
-                Repeater::FullSwing(p) => {
-                    (if stage.driving { vdd } else { 0.0 }, p.r_on_ohm)
-                }
+                Repeater::FullSwing(p) => (if stage.driving { vdd } else { 0.0 }, p.r_on_ohm),
                 Repeater::VoltageLocked(p) => {
                     let strong = t - stage.t_flip < p.t_feedback_ps;
                     let r = if strong {
@@ -519,7 +517,9 @@ pub fn simulate(spec: &ChainSpec, cfg: &TransientConfig) -> TransientOutcome {
     }
     let total_delay = Picoseconds(mean(&total_delays));
 
-    let launched = stages[0].edges.saturating_sub(cfg.warmup_bits.min(stages[0].edges));
+    let launched = stages[0]
+        .edges
+        .saturating_sub(cfg.warmup_bits.min(stages[0].edges));
     let far_edges = far_detect_times.len();
     let missed_edges = launched.saturating_sub(far_edges + 1);
 
@@ -570,12 +570,7 @@ pub fn simulate(spec: &ChainSpec, cfg: &TransientConfig) -> TransientOutcome {
 /// total delay + `setup` within one UI at `rate` — the transient-model
 /// counterpart of Table I's "max number of hops per cycle".
 #[must_use]
-pub fn max_hops_per_cycle(
-    repeater: Repeater,
-    wire: WireRc,
-    rate: Gbps,
-    setup: Picoseconds,
-) -> u32 {
+pub fn max_hops_per_cycle(repeater: Repeater, wire: WireRc, rate: Gbps, setup: Picoseconds) -> u32 {
     let ui = rate.bit_time().0;
     let mut best = 0;
     for hops in 1..=24 {
@@ -589,9 +584,8 @@ pub fn max_hops_per_cycle(
         cfg.bits = 24;
         cfg.warmup_bits = 6;
         let out = simulate(&spec, &cfg);
-        let ok = out.missed_edges == 0
-            && out.eye_opening.0 > 0.02
-            && out.total_delay.0 + setup.0 <= ui;
+        let ok =
+            out.missed_edges == 0 && out.eye_opening.0 > 0.02 && out.total_delay.0 + setup.0 <= ui;
         if ok {
             best = hops as u32;
         } else if hops as u32 > best + 1 {

@@ -68,11 +68,7 @@ impl MappedApp {
     /// [`RouteOptions::with_detours`] for the paper's non-minimal
     /// future-work mode).
     #[must_use]
-    pub fn from_graph_with_routing(
-        cfg: &NocConfig,
-        graph: &TaskGraph,
-        opts: RouteOptions,
-    ) -> Self {
+    pub fn from_graph_with_routing(cfg: &NocConfig, graph: &TaskGraph, opts: RouteOptions) -> Self {
         let placement = place(cfg.mesh, graph);
         let flows = routable_flows(graph, &placement);
         let routes = select_routes_with(cfg.mesh, &flows, opts);

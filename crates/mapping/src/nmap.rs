@@ -214,10 +214,7 @@ pub fn place_random(mesh: Mesh, graph: &TaskGraph, seed: u64) -> Placement {
         let j = (next() % (i as u64 + 1)) as usize;
         cores.swap(i, j);
     }
-    let assignment = graph
-        .task_ids()
-        .zip(cores)
-        .collect();
+    let assignment = graph.task_ids().zip(cores).collect();
     Placement { assignment }
 }
 
@@ -254,10 +251,7 @@ pub fn routable_flows(graph: &TaskGraph, placement: &Placement) -> Vec<RoutableF
 /// Convenience: place, route and return `(flow, route)` pairs plus the
 /// placement.
 #[must_use]
-pub fn place_and_route(
-    mesh: Mesh,
-    graph: &TaskGraph,
-) -> (Placement, Vec<(FlowId, SourceRoute)>) {
+pub fn place_and_route(mesh: Mesh, graph: &TaskGraph) -> (Placement, Vec<(FlowId, SourceRoute)>) {
     let placement = place(mesh, graph);
     let flows = routable_flows(graph, &placement);
     let routes = crate::routes::select_routes(mesh, &flows);
@@ -279,7 +273,12 @@ mod tests {
             let p = place(mesh(), &g);
             assert_eq!(p.len(), g.num_tasks(), "{}", g.name());
             let cores: HashSet<NodeId> = p.iter().map(|(_, c)| *c).collect();
-            assert_eq!(cores.len(), g.num_tasks(), "{}: one task per core", g.name());
+            assert_eq!(
+                cores.len(),
+                g.num_tasks(),
+                "{}: one task per core",
+                g.name()
+            );
         }
     }
 

@@ -67,12 +67,7 @@ pub fn candidates(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<SourceRoute> {
 /// Composes XY(src→w) with YX(w→dst) and keeps only loop-free results;
 /// minimal candidates are always included first.
 #[must_use]
-pub fn detour_candidates(
-    mesh: Mesh,
-    src: NodeId,
-    dst: NodeId,
-    max_extra: u16,
-) -> Vec<SourceRoute> {
+pub fn detour_candidates(mesh: Mesh, src: NodeId, dst: NodeId, max_extra: u16) -> Vec<SourceRoute> {
     let mut out = candidates(mesh, src, dst);
     let min_hops = mesh.manhattan(src, dst);
     for w in mesh.nodes() {
@@ -293,9 +288,18 @@ mod tests {
         // A dense random-ish flow set; whatever mix is chosen must pass
         // the CDG check (select_routes guarantees it by construction).
         let mut flows = Vec::new();
-        for (i, (s, d)) in [(0u16, 15u16), (3, 12), (12, 3), (15, 0), (5, 10), (10, 5), (1, 14), (7, 8)]
-            .iter()
-            .enumerate()
+        for (i, (s, d)) in [
+            (0u16, 15u16),
+            (3, 12),
+            (12, 3),
+            (15, 0),
+            (5, 10),
+            (10, 5),
+            (1, 14),
+            (7, 8),
+        ]
+        .iter()
+        .enumerate()
         {
             flows.push(RoutableFlow {
                 flow: FlowId(i as u32),

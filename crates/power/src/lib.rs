@@ -160,9 +160,7 @@ pub fn breakdown(
 
     let clocked_port_cycles = match gating {
         GatingPolicy::PresetGated => counters.active_port_cycles as f64,
-        GatingPolicy::Ungated => {
-            (counters.active_port_cycles + counters.gated_port_cycles) as f64
-        }
+        GatingPolicy::Ungated => (counters.active_port_cycles + counters.gated_port_cycles) as f64,
     };
     // Ports split evenly between inputs and outputs in our routers.
     let input_port_cycles = clocked_port_cycles / 2.0;

@@ -26,8 +26,7 @@ impl RouterArea {
     /// counts (≈2 µm² per buffered bit, ≈0.55 µm² per crossbar mux-bit).
     #[must_use]
     pub fn estimate(p: &GenParams) -> Self {
-        let buffered_bits =
-            5.0 * p.num_vcs as f64 * p.vc_depth as f64 * f64::from(p.flit_bits);
+        let buffered_bits = 5.0 * p.num_vcs as f64 * p.vc_depth as f64 * f64::from(p.flit_bits);
         let xbar_bits = 25.0 * f64::from(p.flit_bits) + 25.0 * f64::from(p.credit_bits);
         RouterArea {
             buffers_um2: buffered_bits * 2.0,
@@ -77,18 +76,8 @@ impl Floorplan {
             params: p.clone(),
             tile_um: 1000.0 * p.hop_mm,
             router: RouterArea::estimate(p),
-            tx_block: MacroBlock::assemble(
-                "vlr_tx",
-                p.flit_bits,
-                CellGeometry::vlr_tx_45nm(),
-                2.5,
-            ),
-            rx_block: MacroBlock::assemble(
-                "vlr_rx",
-                p.flit_bits,
-                CellGeometry::vlr_rx_45nm(),
-                2.5,
-            ),
+            tx_block: MacroBlock::assemble("vlr_tx", p.flit_bits, CellGeometry::vlr_tx_45nm(), 2.5),
+            rx_block: MacroBlock::assemble("vlr_rx", p.flit_bits, CellGeometry::vlr_rx_45nm(), 2.5),
             channel_mm,
         }
     }

@@ -220,9 +220,7 @@ mod tests {
     #[test]
     fn rx_is_taller_than_tx() {
         // The Rx cell carries the feedback delay cell + clamp.
-        assert!(
-            CellGeometry::vlr_rx_45nm().height_um > CellGeometry::vlr_tx_45nm().height_um
-        );
+        assert!(CellGeometry::vlr_rx_45nm().height_um > CellGeometry::vlr_tx_45nm().height_um);
     }
 
     #[test]

@@ -56,11 +56,7 @@ pub fn sdc(p: &GenParams, link: &CalibratedLinkModel, clock_ghz: f64) -> String 
          # network is drained (Section V), so they are false paths."
     )
     .expect("infallible");
-    writeln!(
-        s,
-        "set_false_path -from [get_pins u_cfg/cfg_reg*/Q]"
-    )
-    .expect("infallible");
+    writeln!(s, "set_false_path -from [get_pins u_cfg/cfg_reg*/Q]").expect("infallible");
     writeln!(s).expect("infallible");
     writeln!(
         s,
@@ -114,7 +110,10 @@ mod tests {
             .and_then(|v| v.trim().trim_end_matches(" ns").parse().ok())
             .expect("margin line present");
         assert!(margin > 0.0, "setup margin must be positive, got {margin}");
-        assert!(margin < 0.1, "margin should be tight at HPC_max, got {margin}");
+        assert!(
+            margin < 0.1,
+            "margin should be tight at HPC_max, got {margin}"
+        );
     }
 
     #[test]

@@ -131,7 +131,14 @@ mod tests {
         let mesh = Mesh::paper_4x4();
         let route = SourceRoute::from_router_path(
             mesh,
-            &[NodeId(8), NodeId(9), NodeId(10), NodeId(11), NodeId(7), NodeId(3)],
+            &[
+                NodeId(8),
+                NodeId(9),
+                NodeId(10),
+                NodeId(11),
+                NodeId(7),
+                NodeId(3),
+            ],
         );
         let app = compile(mesh, 8, &[(FlowId(0), route)]);
         app.presets.router(NodeId(11)).clone()

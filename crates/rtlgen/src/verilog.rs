@@ -280,10 +280,7 @@ pub fn flit_crossbar(p: &GenParams) -> Module {
 /// The narrow preset credit crossbar (reverse credit mesh).
 #[must_use]
 pub fn credit_crossbar(p: &GenParams) -> Module {
-    let mut s = header(
-        p,
-        "credit crossbar (log2(VCs)+1 bits, reverse credit mesh)",
-    );
+    let mut s = header(p, "credit crossbar (log2(VCs)+1 bits, reverse credit mesh)");
     write!(
         s,
         "module smart_credit_xbar #(\n\
@@ -458,8 +455,7 @@ pub fn mesh_top(p: &GenParams) -> Module {
     for y in 0..ht {
         for x in 0..wd {
             let id = y as usize * wd as usize + x as usize;
-            writeln!(s, "  wire [5*W-1:0] r{id}_out; wire [4:0] r{id}_out_v;")
-                .expect("infallible");
+            writeln!(s, "  wire [5*W-1:0] r{id}_out; wire [4:0] r{id}_out_v;").expect("infallible");
             writeln!(s, "  wire [5*CW-1:0] r{id}_cr_out;").expect("infallible");
         }
     }

@@ -189,10 +189,7 @@ impl FlowTable {
     pub fn insert(&mut self, mesh: Mesh, plan: FlowPlan) {
         plan.validate(mesh);
         let flow = plan.flow;
-        assert!(
-            !self.plans.contains_key(&flow),
-            "{flow}: duplicate plan"
-        );
+        assert!(!self.plans.contains_key(&flow), "{flow}: duplicate plan");
         for (i, leg) in plan.legs.iter().enumerate().skip(1) {
             if let Sender::RouterOutput(r, _) = leg.sender {
                 let prev = self.leg_from.insert((flow, r), i);
@@ -341,11 +338,7 @@ pub fn mesh_plan_for(mesh: Mesh, flow: FlowId, route: SourceRoute) -> FlowPlan {
             });
         }
     }
-    FlowPlan {
-        flow,
-        route,
-        legs,
-    }
+    FlowPlan { flow, route, legs }
 }
 
 #[cfg(test)]

@@ -503,11 +503,7 @@ mod tests {
             }
             let s = net.stats().flow(flow).expect("packet delivered");
             assert_eq!(s.packets, 1);
-            assert_eq!(
-                s.avg_head_latency(),
-                (4 * hops + 4) as f64,
-                "{src}->{dst}"
-            );
+            assert_eq!(s.avg_head_latency(), (4 * hops + 4) as f64, "{src}->{dst}");
             // Tail trails the head by 7 flit cycles at zero load.
             assert_eq!(s.avg_packet_latency(), (4 * hops + 4 + 7) as f64);
             assert!(net.is_quiescent());
@@ -524,7 +520,10 @@ mod tests {
             net2.step();
         }
         assert_eq!(
-            net2.stats().flow(flow).expect("delivered").avg_head_latency(),
+            net2.stats()
+                .flow(flow)
+                .expect("delivered")
+                .avg_head_latency(),
             plan.zero_load_latency() as f64
         );
     }

@@ -113,10 +113,7 @@ impl Nic {
             let packet = self.inject_queue.front()?;
             let _ = packet;
             let vc = self.free_vcs.pop_front()?;
-            let packet = self
-                .inject_queue
-                .pop_front()
-                .expect("front checked above");
+            let packet = self.inject_queue.pop_front().expect("front checked above");
             let mut flits: VecDeque<Flit> = packet.into_flits(cycle).into();
             for f in &mut flits {
                 f.vc = Some(vc);
@@ -200,7 +197,6 @@ mod tests {
             num_flits: n,
         }
     }
-
 
     #[test]
     fn injects_one_flit_per_cycle() {

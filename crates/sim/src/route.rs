@@ -29,7 +29,10 @@ impl SourceRoute {
     /// before the last is `Core`, or if the last turn is not `Core`.
     #[must_use]
     pub fn new(src: NodeId, first: Direction, turns: Vec<Turn>) -> Self {
-        assert!(first != Direction::Core, "source output must be a mesh port");
+        assert!(
+            first != Direction::Core,
+            "source output must be a mesh port"
+        );
         assert!(!turns.is_empty(), "route must terminate with a Core turn");
         assert_eq!(
             *turns.last().expect("nonempty"),
@@ -315,10 +318,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "Core turn only allowed at the destination")]
     fn early_core_rejected() {
-        let _ = SourceRoute::new(
-            NodeId(0),
-            Direction::East,
-            vec![Turn::Core, Turn::Core],
-        );
+        let _ = SourceRoute::new(NodeId(0), Direction::East, vec![Turn::Core, Turn::Core]);
     }
 }

@@ -271,9 +271,11 @@ impl Router {
                     flows.leg_from(flit.flow, self.node).out_dir
                 } else {
                     // Body/tail follow the hold; find which output holds us.
-                    match self.outputs.iter().position(|o| {
-                        matches!(o.held, Some((hp, hv, _)) if hp == p && hv == v)
-                    }) {
+                    match self
+                        .outputs
+                        .iter()
+                        .position(|o| matches!(o.held, Some((hp, hv, _)) if hp == p && hv == v))
+                    {
                         Some(o) => Direction::from_index(o),
                         None => continue, // head not granted yet
                     }
@@ -496,8 +498,7 @@ mod tests {
         let mesh = mesh();
         let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2));
         let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(3));
-        let flows =
-            FlowTable::mesh_baseline(mesh, &[(FlowId(0), r0), (FlowId(1), r1)]);
+        let flows = FlowTable::mesh_baseline(mesh, &[(FlowId(0), r0), (FlowId(1), r1)]);
         let mut r = prepared_router();
         let mut c = ActivityCounters::new();
         // Packet A (flow 0) into vc0, packet B (flow 1) into vc1, same cycle.

@@ -84,7 +84,10 @@ impl SimStats {
         f.source_queue_sum += source_queue;
         f.head_latency_max = f.head_latency_max.max(head_latency);
         f.head_latency_min = f.head_latency_min.min(head_latency);
-        *self.histogram.entry(head_latency.min(HIST_CAP)).or_insert(0) += 1;
+        *self
+            .histogram
+            .entry(head_latency.min(HIST_CAP))
+            .or_insert(0) += 1;
     }
 
     /// Record the same packet's tail arrival (packet latency).

@@ -150,7 +150,10 @@ impl Tracer {
         for r in recs {
             let line = match r.kind {
                 TraceKind::BufferWrite { router, in_dir } => {
-                    format!("cycle {:>4}: buffered at {} input {}", r.cycle, router, in_dir)
+                    format!(
+                        "cycle {:>4}: buffered at {} input {}",
+                        r.cycle, router, in_dir
+                    )
                 }
                 TraceKind::Launch {
                     from,
@@ -188,8 +191,7 @@ impl Tracer {
         writeln!(s, "$timescale 500ps $end").expect("infallible");
         writeln!(s, "$scope module {module} $end").expect("infallible");
         for i in 0..n {
-            writeln!(s, "$var wire 1 {} router_{}_active $end", ident(i), i)
-                .expect("infallible");
+            writeln!(s, "$var wire 1 {} router_{}_active $end", ident(i), i).expect("infallible");
         }
         writeln!(s, "$upscope $end").expect("infallible");
         writeln!(s, "$enddefinitions $end").expect("infallible");
@@ -201,16 +203,15 @@ impl Tracer {
         let mut active = vec![false; n];
         let mut last_cycle = None::<u64>;
         let mut pending = vec![false; n];
-        let flush =
-            |s: &mut String, cycle: u64, active: &mut Vec<bool>, pending: &Vec<bool>| {
-                writeln!(s, "#{cycle}").expect("infallible");
-                for i in 0..n {
-                    if active[i] != pending[i] {
-                        writeln!(s, "{}{}", u8::from(pending[i]), ident(i)).expect("infallible");
-                        active[i] = pending[i];
-                    }
+        let flush = |s: &mut String, cycle: u64, active: &mut Vec<bool>, pending: &Vec<bool>| {
+            writeln!(s, "#{cycle}").expect("infallible");
+            for i in 0..n {
+                if active[i] != pending[i] {
+                    writeln!(s, "{}{}", u8::from(pending[i]), ident(i)).expect("infallible");
+                    active[i] = pending[i];
                 }
-            };
+            }
+        };
         for r in sorted {
             if last_cycle != Some(r.cycle) {
                 if let Some(c) = last_cycle {
@@ -333,7 +334,13 @@ mod tests {
                 tail: true,
             },
         ));
-        t.record(rec(3, TraceKind::Credit { crossbars: 4, mm: 3.0 }));
+        t.record(rec(
+            3,
+            TraceKind::Credit {
+                crossbars: 4,
+                mm: 3.0,
+            },
+        ));
         let c = t.replay_counts();
         assert_eq!(c.buffer_writes, 1);
         assert_eq!(c.xbar_flit_traversals, 4);

@@ -227,10 +227,7 @@ mod tests {
             count += t.generate(c).len();
         }
         let rate = count as f64 / 20_000.0;
-        assert!(
-            (rate - 0.1).abs() < 0.01,
-            "measured {rate}, expected ~0.1"
-        );
+        assert!((rate - 0.1).abs() < 0.01, "measured {rate}, expected ~0.1");
     }
 
     #[test]
@@ -265,13 +262,8 @@ mod tests {
     #[test]
     fn burst_covers_every_flow() {
         let (flows, mesh) = table();
-        let mut t = BernoulliTraffic::new(
-            &[(FlowId(0), 0.1), (FlowId(1), 0.1)],
-            &flows,
-            mesh,
-            8,
-            0,
-        );
+        let mut t =
+            BernoulliTraffic::new(&[(FlowId(0), 0.1), (FlowId(1), 0.1)], &flows, mesh, 8, 0);
         let burst = t.generate_burst(42, 3);
         assert_eq!(burst.len(), 6);
         assert!(burst.iter().all(|p| p.gen_cycle == 42));
@@ -281,13 +273,7 @@ mod tests {
     #[test]
     fn offered_load_sums_flows() {
         let (flows, mesh) = table();
-        let t = BernoulliTraffic::new(
-            &[(FlowId(0), 0.05), (FlowId(1), 0.1)],
-            &flows,
-            mesh,
-            8,
-            0,
-        );
+        let t = BernoulliTraffic::new(&[(FlowId(0), 0.05), (FlowId(1), 0.1)], &flows, mesh, 8, 0);
         assert!((t.offered_flits_per_cycle() - 1.2).abs() < 1e-12);
     }
 

@@ -62,8 +62,7 @@ fn round_robin_shares_a_merging_output_fairly() {
     let flows = FlowTable::mesh_baseline(mesh, &routes);
     let mut net = Network::new(cfg, flows);
     let rates = vec![(FlowId(0), 0.04), (FlowId(1), 0.04)];
-    let mut traffic =
-        BernoulliTraffic::new(&rates, net.flows(), mesh, cfg.flits_per_packet, 23);
+    let mut traffic = BernoulliTraffic::new(&rates, net.flows(), mesh, cfg.flits_per_packet, 23);
     net.run_with(&mut traffic, 40_000);
     net.drain(5_000);
     let a = net.stats().flow(FlowId(0)).expect("f0").packets as f64;
@@ -85,8 +84,7 @@ fn transpose_pattern_conserves_packets_on_the_baseline() {
     let flows = FlowTable::mesh_baseline(mesh, &routes);
     let mut net = Network::new(cfg, flows);
     let rates: Vec<(FlowId, f64)> = routes.iter().map(|(f, _)| (*f, 0.01)).collect();
-    let mut traffic =
-        BernoulliTraffic::new(&rates, net.flows(), mesh, cfg.flits_per_packet, 99);
+    let mut traffic = BernoulliTraffic::new(&rates, net.flows(), mesh, cfg.flits_per_packet, 99);
     net.run_with(&mut traffic, 20_000);
     assert!(net.drain(5_000));
     let c = net.counters();
@@ -116,8 +114,7 @@ fn hotspot_saturates_gracefully_not_fatally() {
     // 15 flows × 0.02 packets/cycle × 8 flits = 2.4 flits/cycle toward
     // a sink that ejects 1 flit/cycle: heavily oversubscribed.
     let rates: Vec<(FlowId, f64)> = routes.iter().map(|(f, _)| (*f, 0.02)).collect();
-    let mut traffic =
-        BernoulliTraffic::new(&rates, net.flows(), mesh, cfg.flits_per_packet, 7);
+    let mut traffic = BernoulliTraffic::new(&rates, net.flows(), mesh, cfg.flits_per_packet, 7);
     net.run_with(&mut traffic, 10_000);
     let c = net.counters();
     assert!(c.packets_delivered > 500, "sink keeps draining");
@@ -170,7 +167,10 @@ fn deep_mesh_16x16_zero_load_formula_still_holds() {
     net.offer(packet(0, 0, 0, 255, 0));
     assert!(net.drain(1_000));
     assert_eq!(
-        net.stats().flow(FlowId(0)).expect("delivered").avg_head_latency(),
+        net.stats()
+            .flow(FlowId(0))
+            .expect("delivered")
+            .avg_head_latency(),
         (4 * 30 + 4) as f64
     );
 }

@@ -135,7 +135,15 @@ pub fn mms_dec() -> TaskGraph {
     build(
         "MMS_DEC",
         &[
-            "demux", "vld", "iq", "idct", "mc", "frame_mem", "upsamp", "display", "sync_ctl",
+            "demux",
+            "vld",
+            "iq",
+            "idct",
+            "mc",
+            "frame_mem",
+            "upsamp",
+            "display",
+            "sync_ctl",
         ],
         &[
             ("demux", "vld", e(380.0)),
@@ -190,7 +198,14 @@ pub fn mms_mp3() -> TaskGraph {
     build(
         "MMS_MP3",
         &[
-            "adc", "pcm_mem", "subband", "mdct", "psycho", "fft", "quant_mp3", "huffman",
+            "adc",
+            "pcm_mem",
+            "subband",
+            "mdct",
+            "psycho",
+            "fft",
+            "quant_mp3",
+            "huffman",
             "bitstream",
         ],
         &[
@@ -306,7 +321,9 @@ pub fn all() -> Vec<TaskGraph> {
 /// Look an application up by (case-insensitive) name.
 #[must_use]
 pub fn by_name(name: &str) -> Option<TaskGraph> {
-    all().into_iter().find(|g| g.name().eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|g| g.name().eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -347,7 +364,11 @@ mod tests {
         assert_eq!(g.num_tasks(), 12);
         assert_eq!(g.flows().len(), 14);
         // Our VOPD edge table sums to 3132 MB/s of traffic.
-        assert!((g.total_bandwidth() - 3132.0).abs() < 1.0, "{}", g.total_bandwidth());
+        assert!(
+            (g.total_bandwidth() - 3132.0).abs() < 1.0,
+            "{}",
+            g.total_bandwidth()
+        );
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! # smart-testkit — cross-design conformance harness
+//!
+//! Turns the seed's ad-hoc integration checks into a reusable
+//! differential battery: every [`DesignUnderTest`] (the paper's three
+//! evaluated designs plus the runtime-reconfigurable SMART) is driven
+//! through every [`Scenario`] preset (the Fig 7 walk-through, the eight
+//! Section VI task-graph applications, and uniform-random Bernoulli
+//! traffic) under a **fixed RNG seed**, and three invariant families are
+//! asserted on each combination:
+//!
+//! 1. **Delivery** — every injected packet (and every flit of it) is
+//!    delivered once the network drains; the network *does* drain.
+//! 2. **Link exclusivity** — flows that share a link must stop at the
+//!    routers where the preset hardware cannot disambiguate them
+//!    (divergence at the link's sink, convergence at its source), per
+//!    the Section IV stop rules. The cycle-accurate engine additionally
+//!    asserts per-cycle link exclusivity internally, so any dynamic
+//!    violation fails the run itself.
+//! 3. **Zero-load latency** — a lone packet's measured latency equals
+//!    the analytical prediction: `1 + 3·stops` on SMART, `4·hops + 4`
+//!    on the baseline mesh, `1` on the dedicated yardstick.
+//!
+//! Runs are deterministic: the same [`Conformance`] settings produce
+//! byte-identical [`CaseReport`]s, which future scale/perf PRs can diff
+//! against a golden matrix.
+//!
+//! ```
+//! use smart_testkit::{Conformance, DesignUnderTest, Scenario};
+//!
+//! let conf = Conformance::quick();
+//! let scenario = Scenario::fig7(&conf.cfg);
+//! let report = conf.run_case(DesignUnderTest::Smart, &scenario);
+//! assert_eq!(report.packets_delivered, report.packets_injected);
+//! ```
+
+pub mod harness;
+pub mod scenario;
+
+pub use harness::{CaseReport, Conformance, DesignUnderTest};
+pub use scenario::Scenario;

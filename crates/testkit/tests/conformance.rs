@@ -1,0 +1,79 @@
+//! The full conformance matrix: every design under test × every
+//! scenario preset, under one fixed seed. This is the differential
+//! safety net future scale/perf PRs run against — any change to the
+//! engine, compiler or mapping that breaks delivery, link exclusivity
+//! or zero-load latency fails here with the (design, scenario) cell
+//! named in the panic.
+
+use smart_core::config::NocConfig;
+use smart_testkit::{CaseReport, Conformance, DesignUnderTest, Scenario};
+
+fn battery() -> (Conformance, Vec<Scenario>) {
+    let conf = Conformance::default();
+    let scenarios = Scenario::presets(&conf.cfg);
+    (conf, scenarios)
+}
+
+#[test]
+fn full_matrix_holds_all_invariants() {
+    let (conf, scenarios) = battery();
+    let reports = conf.run_matrix(&DesignUnderTest::ALL, &scenarios);
+    // 4 designs × 11 scenarios — well past the 12-combination floor.
+    assert_eq!(reports.len(), 44);
+    // Every loaded run actually carried traffic.
+    for r in &reports {
+        assert!(
+            r.packets_injected > 0,
+            "{}/{} generated no packets",
+            r.design,
+            r.scenario
+        );
+        assert!(r.zero_load_flows_checked > 0, "{}/{}", r.design, r.scenario);
+    }
+    // The paper's headline ordering, differentially on the same matrix
+    // (same seed, same traffic): SMART never loses to Mesh.
+    for s in &scenarios {
+        let latency_of = |design: DesignUnderTest| {
+            reports
+                .iter()
+                .find(|r| r.scenario == s.name && r.design == design.label())
+                .map(|r| r.avg_network_latency)
+                .unwrap_or_else(|| panic!("missing cell {}/{}", design.label(), s.name))
+        };
+        let mesh = latency_of(DesignUnderTest::Mesh);
+        let smart = latency_of(DesignUnderTest::Smart);
+        assert!(
+            smart <= mesh + 1e-9,
+            "{}: SMART {smart} vs Mesh {mesh}",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn matrix_is_deterministic_across_runs() {
+    let (conf, scenarios) = battery();
+    let subset = [DesignUnderTest::Mesh, DesignUnderTest::Smart];
+    let first: Vec<CaseReport> = conf.run_matrix(&subset, &scenarios[..3]);
+    let second: Vec<CaseReport> = conf.run_matrix(&subset, &scenarios[..3]);
+    assert_eq!(
+        first, second,
+        "same seed must reproduce byte-identical reports"
+    );
+}
+
+#[test]
+fn scaled_mesh_also_conforms() {
+    // The harness is not 4×4-specific: an 8×8 SMART instance passes the
+    // same invariants on uniform traffic.
+    let cfg = NocConfig::scaled(8);
+    let conf = Conformance {
+        cfg: cfg.clone(),
+        ..Conformance::quick()
+    };
+    let s = Scenario::uniform(&cfg, 8, 0.01, 0xD1CE);
+    for d in [DesignUnderTest::Mesh, DesignUnderTest::Smart] {
+        let r = conf.run_case(d, &s);
+        assert_eq!(r.packets_delivered, r.packets_injected);
+    }
+}

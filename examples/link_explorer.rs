@@ -44,8 +44,14 @@ fn main() {
     println!("\n== Switch-level transient cross-check (min-pitch wires) ==");
     let wire = WireRc::for_45nm(Spacing::MinPitch);
     for (name, rep) in [
-        ("low-swing ", Repeater::VoltageLocked(VlrParams::default_45nm())),
-        ("full-swing", Repeater::FullSwing(FullSwingParams::default_45nm())),
+        (
+            "low-swing ",
+            Repeater::VoltageLocked(VlrParams::default_45nm()),
+        ),
+        (
+            "full-swing",
+            Repeater::FullSwing(FullSwingParams::default_45nm()),
+        ),
     ] {
         let spec = ChainSpec {
             repeater: rep,
@@ -54,7 +60,12 @@ fn main() {
             sections_per_mm: 5,
         };
         let out = simulate(&spec, &TransientConfig::at_rate(Gbps(1.0)));
-        let hops2g = max_hops_per_cycle(rep, WireRc::for_45nm(Spacing::Double), Gbps(2.0), Picoseconds(20.0));
+        let hops2g = max_hops_per_cycle(
+            rep,
+            WireRc::for_45nm(Spacing::Double),
+            Gbps(2.0),
+            Picoseconds(20.0),
+        );
         println!(
             "{name}: {:.0} ps/mm, {:.0} fJ/b/mm at 1 Gb/s; {} hops/cycle at 2 GHz (2x spacing)",
             out.delay_ps_per_mm, out.energy_fj_per_bit_mm, hops2g

@@ -43,6 +43,10 @@ fn main() -> std::io::Result<()> {
     let path = "target/generated/activity.vcd";
     fs::create_dir_all("target/generated")?;
     fs::write(path, &vcd)?;
-    println!("\nwrote {} ({} lines) — openable in any VCD viewer", path, vcd.lines().count());
+    println!(
+        "\nwrote {} ({} lines) — openable in any VCD viewer",
+        path,
+        vcd.lines().count()
+    );
     Ok(())
 }

@@ -25,10 +25,7 @@ fn main() {
         let report = noc.load_app(&mapped.name, &mapped.routes, 50_000);
         println!(
             "== {} == ({} stores at {:#x}.., drained previous app in {} cycles)",
-            report.app_name,
-            report.cost_instructions,
-            report.stores[0].addr,
-            report.drain_cycles
+            report.app_name, report.cost_instructions, report.stores[0].addr, report.drain_cycles
         );
 
         let live = noc.noc_mut().expect("app loaded");

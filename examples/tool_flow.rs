@@ -41,7 +41,10 @@ fn main() -> std::io::Result<()> {
         WireSpacing::Double,
     );
     let tx = MacroBlock::fig8_tx32();
-    fs::write(out_dir.join("vlr_tx32.lib"), liberty(&tx, &link, Gbps(cfg.clock_ghz)))?;
+    fs::write(
+        out_dir.join("vlr_tx32.lib"),
+        liberty(&tx, &link, Gbps(cfg.clock_ghz)),
+    )?;
     fs::write(out_dir.join("vlr_tx32.lef"), lef(&tx))?;
     println!(
         "wrote vlr_tx32.lib / vlr_tx32.lef ({} bits, {:.0} um2)",
@@ -50,8 +53,14 @@ fn main() -> std::io::Result<()> {
     );
 
     // Timing constraints: the single-cycle bypass budget as SDC.
-    fs::write(out_dir.join("smart_router.sdc"), sdc(&params, &link, cfg.clock_ghz))?;
-    println!("wrote smart_router.sdc (bypass budget for HPC_max = {})", cfg.hpc_max);
+    fs::write(
+        out_dir.join("smart_router.sdc"),
+        sdc(&params, &link, cfg.clock_ghz),
+    )?;
+    println!(
+        "wrote smart_router.sdc (bypass budget for HPC_max = {})",
+        cfg.hpc_max
+    );
 
     // Floorplan.
     let plan = Floorplan::generate(&params);

@@ -54,10 +54,7 @@ fn stops_cost_latency_not_bandwidth() {
     let routes = vec![
         (
             FlowId(0),
-            SourceRoute::from_router_path(
-                cfg.mesh,
-                &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
-            ),
+            SourceRoute::from_router_path(cfg.mesh, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
         ),
         (
             FlowId(1),
@@ -78,7 +75,8 @@ fn stops_cost_latency_not_bandwidth() {
         noc.network().flows(),
         cfg.mesh,
     );
-    noc.network_mut().run_with(&mut traffic, n_packets * 8 + 300);
+    noc.network_mut()
+        .run_with(&mut traffic, n_packets * 8 + 300);
     assert!(noc.network_mut().drain(2_000));
     assert_eq!(noc.network().counters().packets_delivered, n_packets);
     let finished = noc.network().cycle();

@@ -15,11 +15,7 @@ use smart_noc::sim::{FlowId, Mesh, NodeId, ScriptedTraffic, SourceRoute};
 /// set, including heavy overlaps.
 fn arb_flows(n: usize) -> impl Strategy<Value = Vec<(u16, u16)>> {
     prop::collection::vec((0u16..16, 0u16..16), 1..=n)
-        .prop_map(|v| {
-            v.into_iter()
-                .filter(|(s, d)| s != d)
-                .collect::<Vec<_>>()
-        })
+        .prop_map(|v| v.into_iter().filter(|(s, d)| s != d).collect::<Vec<_>>())
         .prop_filter("need at least one flow", |v| !v.is_empty())
 }
 
@@ -168,8 +164,7 @@ fn mesh_and_smart_agree_on_packet_counts_under_suite_traffic() {
         let events: Vec<(u64, FlowId)> = (0..50u64)
             .map(|i| (i * 3, FlowId((i % 5) as u32)))
             .collect();
-        let mut traffic =
-            ScriptedTraffic::new(events, cfg.flits_per_packet(), &table, cfg.mesh);
+        let mut traffic = ScriptedTraffic::new(events, cfg.flits_per_packet(), &table, cfg.mesh);
         design.run_with(&mut traffic, 2_000);
         assert!(design.drain(2_000));
         counts.push(design.counters().packets_delivered);

@@ -4,9 +4,9 @@
 //! eight-application rotation works.
 
 use smart_noc::arch::config::NocConfig;
+use smart_noc::arch::noc::SmartNoc;
 use smart_noc::arch::preset::MeshPresets;
 use smart_noc::arch::reconfig::ReconfigurableNoc;
-use smart_noc::arch::noc::SmartNoc;
 use smart_noc::mapping::MappedApp;
 use smart_noc::sim::BernoulliTraffic;
 use smart_noc::taskgraph::apps;

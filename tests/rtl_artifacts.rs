@@ -25,7 +25,10 @@ fn rtl_config_register_layout_matches_architectural_encoding() {
         let input_mux = w & 0x3FF;
         let xbar = (w >> 10) & 0x7FFF;
         let credit = (w >> 25) & 0x7FFF;
-        assert_eq!(w, input_mux | (xbar << 10) | (credit << 25) | (w >> 40 << 40));
+        assert_eq!(
+            w,
+            input_mux | (xbar << 10) | (credit << 25) | (w >> 40 << 40)
+        );
         assert!(w < (1 << 40), "only the documented 40 bits are used");
     }
 }

@@ -36,13 +36,8 @@ fn suite_runs_on_8x8_with_random_placement() {
         for kind in [DesignKind::Mesh, DesignKind::Smart] {
             let mut design = Design::build(kind, &cfg, &mapped.routes);
             let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-            let mut traffic = BernoulliTraffic::new(
-                &mapped.rates,
-                &table,
-                cfg.mesh,
-                cfg.flits_per_packet(),
-                64,
-            );
+            let mut traffic =
+                BernoulliTraffic::new(&mapped.rates, &table, cfg.mesh, cfg.flits_per_packet(), 64);
             design.run_with(&mut traffic, 15_000);
             assert!(design.drain(10_000), "{}: drains", graph.name());
             let c = design.counters();
@@ -63,13 +58,8 @@ fn smart_still_wins_at_8x8_scale() {
     for kind in [DesignKind::Mesh, DesignKind::Smart] {
         let mut design = Design::build(kind, &cfg, &mapped.routes);
         let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-        let mut traffic = BernoulliTraffic::new(
-            &mapped.rates,
-            &table,
-            cfg.mesh,
-            cfg.flits_per_packet(),
-            64,
-        );
+        let mut traffic =
+            BernoulliTraffic::new(&mapped.rates, &table, cfg.mesh, cfg.flits_per_packet(), 64);
         design.set_stats_from(2_000);
         design.run_with(&mut traffic, 25_000);
         design.drain(10_000);

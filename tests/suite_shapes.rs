@@ -112,7 +112,12 @@ fn power_shape_matches_fig10b() {
     }
     for r in &results {
         if r.design == DesignKind::Smart {
-            let p = breakdown(&model, &r.counters, cfg.clock_ghz, GatingPolicy::PresetGated);
+            let p = breakdown(
+                &model,
+                &r.counters,
+                cfg.clock_ghz,
+                GatingPolicy::PresetGated,
+            );
             ratios.push(mesh_total[&r.app] / p.total_w());
         }
     }

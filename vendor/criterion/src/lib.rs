@@ -1,0 +1,241 @@
+//! Offline shim of `criterion`: wall-clock benchmarking with the same
+//! authoring API (`criterion_group!` / `criterion_main!`, benchmark
+//! groups, `Bencher::iter`, `Throughput`). Reports the median per-iter
+//! time over `sample_size` samples; no plots, no statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target duration for one timing sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Upper bound on iterations batched into a single sample.
+const MAX_ITERS_PER_SAMPLE: u64 = 10_000;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark (builder style, like criterion proper).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let sample_size = self.sample_size;
+        run_benchmark(id, None, sample_size, f);
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Group-scoped override; `None` inherits the parent `Criterion`'s
+    /// setting (and, like criterion proper, the override dies with the
+    /// group).
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Samples per benchmark for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Benchmark a routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.throughput, self.effective_sample_size(), f);
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.throughput, self.effective_sample_size(), |b| {
+            f(b, input);
+        });
+    }
+
+    /// End the group (report already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark routine; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time, filled by `iter`.
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, batching iterations into `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill SAMPLE_TARGET?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos())
+            .clamp(1, MAX_ITERS_PER_SAMPLE as u128) as u64;
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed() / u32::try_from(iters).expect("iters bounded")
+            })
+            .collect();
+        samples.sort_unstable();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        median: None,
+    };
+    f(&mut b);
+    match b.median {
+        Some(t) => {
+            let rate = throughput.map(|tp| {
+                let per_sec = |n: u64| n as f64 / t.as_secs_f64().max(f64::MIN_POSITIVE);
+                match tp {
+                    Throughput::Elements(n) => format!("  {:.3e} elem/s", per_sec(n)),
+                    Throughput::Bytes(n) => format!("  {:.3e} B/s", per_sec(n)),
+                }
+            });
+            println!("{id:<48} {t:>12.3?}/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("{id:<48} (no Bencher::iter call)"),
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_median() {
+        let mut c = Criterion::default().sample_size(3);
+        // Smoke: a trivial routine runs and reports without panicking.
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic case generation and run configuration.
+
+/// Per-test configuration (only the case count is modelled).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to generate per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The configured case count, capped by `PROPTEST_CASES` when that
+    /// environment variable holds a positive integer (CI sets it to
+    /// bound property-test time).
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            Some(cap) if cap > 0 => self.cases.min(cap),
+            _ => self.cases,
+        }
+    }
+}
+
+/// Deterministic RNG (SplitMix64) seeded from the test name, so every
+/// run of a property explores the identical input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from `name` (FNV-1a).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Prints the failing case's inputs if the property body panics
+/// (proptest proper would shrink; we report the raw case instead).
+pub struct CaseGuard {
+    test: &'static str,
+    case: u32,
+    inputs: Vec<(&'static str, String)>,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arm a guard for one case.
+    #[must_use]
+    pub fn new(test: &'static str, case: u32, inputs: Vec<(&'static str, String)>) -> Self {
+        CaseGuard {
+            test,
+            case,
+            inputs,
+            armed: true,
+        }
+    }
+
+    /// The case passed; silence the guard.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("proptest: {} failed at case #{}:", self.test, self.case);
+            for (name, value) in &self.inputs {
+                eprintln!("  {name} = {value}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_bounded() {
+        let mut r = TestRng::from_name("unit");
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn env_cap_applies() {
+        // Avoid mutating the process env (other tests run in parallel);
+        // just exercise both arms of the min logic directly.
+        let cfg = ProptestConfig::with_cases(128);
+        assert_eq!(cfg.cases.min(64), 64);
+        assert_eq!(cfg.cases.min(512), 128);
+    }
+}

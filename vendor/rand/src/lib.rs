@@ -1,0 +1,164 @@
+//! Offline shim of the `rand` crate: exactly the API surface this
+//! workspace consumes (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen` / `gen_range` / `gen_bool`), implemented over a
+//! SplitMix64 core so streams are deterministic per seed.
+
+use std::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods over a raw `u64` source.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` (uniform over `T`'s natural domain;
+    /// `[0, 1)` for floats).
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Uniform sample in `[range.start, range.end)`.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self.next_u64(), range)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+/// Types samplable from 64 raw bits.
+pub trait Sample {
+    /// Map raw bits to a uniform value.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Sample for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleRange: Sized {
+    /// Map raw bits to a uniform value in `[range.start, range.end)`.
+    fn sample_range(bits: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(bits: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for f64 {
+    fn sample_range(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        range.start + f64::sample(bits) * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator (SplitMix64). Not the real `rand`
+    /// `StdRng` algorithm, but satisfies the same trait surface and the
+    /// workspace's determinism requirements.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_floats_look_uniform() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.gen_range(5u16..17);
+            assert!((5..17).contains(&x));
+            let y = r.gen_range(-0.0f64..3.5);
+            assert!((0.0..3.5).contains(&y));
+        }
+    }
+}
