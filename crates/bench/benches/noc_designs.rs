@@ -6,15 +6,15 @@
 //! `src/bin/` binaries that regenerate the paper's tables and figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smart_bench::{Experiment, RunPlan, Workload};
 use smart_core::compile::compile;
 use smart_core::config::NocConfig;
-use smart_core::noc::{Design, DesignKind};
+use smart_core::noc::DesignKind;
 use smart_link::transient::{simulate, ChainSpec, TransientConfig};
 use smart_link::units::Gbps;
 use smart_link::wire::{Spacing, WireRc};
 use smart_link::{CalibratedLinkModel, CircuitVariant, LinkStyle, WireSpacing};
 use smart_mapping::MappedApp;
-use smart_sim::BernoulliTraffic;
 
 /// Cycles simulated per iteration in the design benches.
 const CYCLES: u64 = 5_000;
@@ -30,19 +30,16 @@ fn bench_designs(c: &mut Criterion) {
             BenchmarkId::from_parameter(kind.label()),
             &kind,
             |b, &kind| {
-                b.iter(|| {
-                    let mut design = Design::build(kind, &cfg, &mapped.routes);
-                    let table = smart_sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-                    let mut traffic = BernoulliTraffic::new(
-                        &mapped.rates,
-                        &table,
-                        cfg.mesh,
-                        cfg.flits_per_packet(),
-                        1,
-                    );
-                    design.run_with(&mut traffic, CYCLES);
-                    design.stats().packets()
-                });
+                let experiment = Experiment::new(cfg.clone())
+                    .design(kind)
+                    .workload(Workload::from(&mapped))
+                    .plan(RunPlan {
+                        warmup: 0,
+                        measure: CYCLES,
+                        drain: 0,
+                        seed: 1,
+                    });
+                b.iter(|| experiment.run().measured_packets);
             },
         );
     }

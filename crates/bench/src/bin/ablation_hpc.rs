@@ -7,12 +7,10 @@
 //! cargo run --release -p smart-bench --bin ablation_hpc
 //! ```
 
-use smart_bench::{geomean, RunPlan};
-use smart_core::compile::compile;
+use smart_bench::{geomean, Experiment, RunPlan, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_mapping::{place_random, MappedApp};
-use smart_sim::{FlowId, SourceRoute};
 
 /// How tasks land on cores for a sweep scenario.
 #[derive(Clone, Copy)]
@@ -60,11 +58,13 @@ fn main() {
                         place_random(cfg.mesh, &graph, seed),
                     ),
                 };
-                let routes: Vec<(FlowId, SourceRoute)> = mapped.routes.clone();
-                let app = compile(cfg.mesh, cfg.hpc_max, &routes);
-                stops.push(app.avg_stops());
-                let r = smart_bench::run_mapped(&cfg, &mapped, DesignKind::Smart, &plan);
-                lats.push(r.avg_latency);
+                let r = Experiment::new(cfg.clone())
+                    .design(DesignKind::Smart)
+                    .workload(Workload::from(&mapped))
+                    .plan(plan)
+                    .run();
+                stops.push(r.compile.expect("SMART compile metrics").avg_stops);
+                lats.push(r.avg_network_latency);
             }
             let lat = geomean(&lats);
             let st = stops.iter().sum::<f64>() / stops.len() as f64;

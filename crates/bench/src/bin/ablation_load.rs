@@ -9,9 +9,10 @@
 //!
 //! `pattern` ∈ {transpose, mirror, hotspot} (default transpose).
 
+use smart_bench::{Experiment, RoutedWorkload, RunPlan};
 use smart_core::config::NocConfig;
-use smart_core::noc::{Design, DesignKind};
-use smart_sim::{BernoulliTraffic, FlowId, FlowTable, NodeId, Pattern, SourceRoute};
+use smart_core::noc::DesignKind;
+use smart_sim::{FlowId, NodeId, Pattern, SourceRoute};
 
 fn main() {
     let arg = std::env::args()
@@ -51,22 +52,28 @@ fn main() {
         let flows_per_node = routes.len() as f64 / f64::from(cfg.mesh.len() as u32);
         let rate = per_node_flits / f64::from(cfg.flits_per_packet()) / flows_per_node;
         let rates: Vec<(FlowId, f64)> = routes.iter().map(|(f, _)| (*f, rate)).collect();
+        let workload = RoutedWorkload {
+            name: format!("{}@{per_node_flits}", pattern.label()),
+            routes: routes.clone(),
+            rates,
+        };
 
         print!("{per_node_flits:>22.2}");
         for kind in DesignKind::ALL {
-            let mut design = Design::build(kind, &cfg, &routes);
-            let table = FlowTable::mesh_baseline(cfg.mesh, &routes);
-            let mut traffic =
-                BernoulliTraffic::new(&rates, &table, cfg.mesh, cfg.flits_per_packet(), 11);
-            design.set_stats_from(2_000);
-            design.run_with(&mut traffic, 22_000);
-            design.drain(3_000);
-            let lat = design.stats().avg_network_latency();
-            let backlog = design.stats().avg_source_queue();
-            if backlog > 500.0 {
+            let r = Experiment::new(cfg.clone())
+                .design(kind)
+                .workload(workload.clone())
+                .plan(RunPlan {
+                    warmup: 2_000,
+                    measure: 20_000,
+                    drain: 3_000,
+                    seed: 11,
+                })
+                .run();
+            if r.avg_source_queue > 500.0 {
                 print!("{:>10}", "sat");
             } else {
-                print!("{lat:>10.2}");
+                print!("{:>10.2}", r.avg_network_latency);
             }
         }
         println!();

@@ -9,8 +9,7 @@
 //! cargo run --release -p smart-bench --bin ablation_nonminimal
 //! ```
 
-use smart_bench::{run_mapped, RunPlan};
-use smart_core::compile::compile;
+use smart_bench::{Experiment, RunPlan, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_mapping::{
@@ -33,10 +32,18 @@ fn scenario(
     for graph in smart_taskgraph::apps::all() {
         let minimal = routes_of(&graph, RouteOptions::default());
         let detoured = routes_of(&graph, RouteOptions::with_detours());
-        let stops_min = compile(cfg.mesh, cfg.hpc_max, &minimal.routes).avg_stops();
-        let stops_det = compile(cfg.mesh, cfg.hpc_max, &detoured.routes).avg_stops();
-        let lat_min = run_mapped(cfg, &minimal, DesignKind::Smart, plan).avg_latency;
-        let lat_det = run_mapped(cfg, &detoured, DesignKind::Smart, plan).avg_latency;
+        let run = |mapped: &MappedApp| {
+            Experiment::new(cfg.clone())
+                .design(DesignKind::Smart)
+                .workload(Workload::from(mapped))
+                .plan(*plan)
+                .run()
+        };
+        let (min_r, det_r) = (run(&minimal), run(&detoured));
+        let stops_min = min_r.compile.as_ref().expect("SMART metrics").avg_stops;
+        let stops_det = det_r.compile.as_ref().expect("SMART metrics").avg_stops;
+        let lat_min = min_r.avg_network_latency;
+        let lat_det = det_r.avg_network_latency;
         gains.push(lat_min - lat_det);
         println!(
             "{:<10} {:>14.2} {:>14.2} {:>12.2} {:>12.2} {:>12.2}",

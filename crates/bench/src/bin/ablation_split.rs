@@ -13,11 +13,20 @@
 //! cargo run --release -p smart-bench --bin ablation_split
 //! ```
 
-use smart_bench::{run_mapped, RunPlan};
+use smart_bench::{Experiment, RunPlan, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_link::{CalibratedLinkModel, CircuitVariant, Gbps, LinkStyle, WireSpacing};
 use smart_mapping::MappedApp;
+
+fn latency(cfg: &NocConfig, mapped: &MappedApp, kind: DesignKind, plan: &RunPlan) -> f64 {
+    Experiment::new(cfg.clone())
+        .design(kind)
+        .workload(Workload::from(mapped))
+        .plan(*plan)
+        .run()
+        .avg_network_latency
+}
 
 fn main() {
     let plan = RunPlan::quick();
@@ -51,8 +60,8 @@ fn main() {
 
     for graph in smart_taskgraph::apps::all() {
         let mapped32 = MappedApp::from_graph(&cfg32, &graph);
-        let base = run_mapped(&cfg32, &mapped32, DesignKind::Smart, &plan);
-        let ded = run_mapped(&cfg32, &mapped32, DesignKind::Dedicated, &plan);
+        let base = latency(&cfg32, &mapped32, DesignKind::Smart, &plan);
+        let ded = latency(&cfg32, &mapped32, DesignKind::Dedicated, &plan);
 
         // Each channel sees half of each flow's packet rate; rates are
         // recomputed at the 4 GHz clock, 32-byte packets.
@@ -61,22 +70,22 @@ fn main() {
         for (_, r) in &mut half.rates {
             *r /= 2.0;
         }
-        let sub = run_mapped(&cfg16, &half, DesignKind::Smart, &plan);
+        let sub = latency(&cfg16, &half, DesignKind::Smart, &plan);
         // Convert 4 GHz sub-channel cycles into 2 GHz cycles.
-        let split_lat = sub.avg_latency / 2.0;
+        let split_lat = sub / 2.0;
 
-        let gap = base.avg_latency - ded.avg_latency;
+        let gap = base - ded;
         let closed = if gap > 1e-9 {
-            (base.avg_latency - split_lat) / gap * 100.0
+            (base - split_lat) / gap * 100.0
         } else {
             0.0
         };
         println!(
             "{:<10} {:>12.2} {:>14.2} {:>12.2} {:>15.0}%",
             graph.name(),
-            base.avg_latency,
+            base,
             split_lat,
-            ded.avg_latency,
+            ded,
             closed
         );
     }

@@ -8,17 +8,24 @@
 //! cargo run --release -p smart-bench --bin ablation_vcs
 //! ```
 
-use smart_bench::{geomean, run_mapped, RunPlan};
+use smart_bench::{geomean, ExperimentMatrix, RunPlan, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
-use smart_mapping::MappedApp;
 
 fn suite_latency(cfg: &NocConfig, kind: DesignKind, plan: &RunPlan) -> f64 {
-    let mut lats = Vec::new();
-    for graph in smart_taskgraph::apps::all() {
-        let mapped = MappedApp::from_graph(cfg, &graph);
-        lats.push(run_mapped(cfg, &mapped, kind, plan).avg_latency);
-    }
+    let lats: Vec<f64> = ExperimentMatrix::new(cfg.clone())
+        .designs(&[kind])
+        .workloads(
+            smart_taskgraph::apps::all()
+                .into_iter()
+                .map(Workload::Graph)
+                .collect(),
+        )
+        .plan(*plan)
+        .run()
+        .iter()
+        .map(|r| r.avg_network_latency)
+        .collect();
     geomean(&lats)
 }
 

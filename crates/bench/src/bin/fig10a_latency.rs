@@ -29,7 +29,7 @@ fn main() {
             DesignKind::Smart => 1,
             DesignKind::Dedicated => 2,
         };
-        table.entry(r.app.clone()).or_insert([f64::NAN; 3])[slot] = r.avg_latency;
+        table.entry(r.workload.clone()).or_insert([f64::NAN; 3])[slot] = r.avg_network_latency;
     }
 
     println!("Fig 10a: average network latency (cycles)");

@@ -11,7 +11,7 @@
 use smart_bench::{run_suite, RunPlan};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
-use smart_power::{breakdown, EnergyModel, GatingPolicy, PowerBreakdown};
+use smart_power::PowerBreakdown;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -22,7 +22,6 @@ fn main() {
         RunPlan::default()
     };
     let cfg = NocConfig::paper_4x4();
-    let model = EnergyModel::calibrated_45nm(&cfg);
     let results = run_suite(&cfg, &plan);
 
     println!("Fig 10b: power breakdown (W)");
@@ -32,15 +31,10 @@ fn main() {
     );
     let mut totals: BTreeMap<(String, DesignKind), PowerBreakdown> = BTreeMap::new();
     for r in &results {
-        let p = breakdown(
-            &model,
-            &r.counters,
-            cfg.clock_ghz,
-            GatingPolicy::for_design(r.design),
-        );
+        let p = r.power.expect("run_suite attaches the power model");
         println!(
             "{:<10} {:>10} {:>10.2e} {:>10.2e} {:>12.2e} {:>10.2e} {:>10.2e}",
-            r.app,
+            r.workload,
             r.design.label(),
             p.buffer_w,
             p.allocator_w,
@@ -48,7 +42,7 @@ fn main() {
             p.link_w,
             p.total_w()
         );
-        totals.insert((r.app.clone(), r.design), p);
+        totals.insert((r.workload.clone(), r.design), p);
     }
 
     // Headline ratios.

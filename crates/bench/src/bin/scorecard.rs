@@ -6,16 +6,13 @@
 //! cargo run --release -p smart-bench --bin scorecard [--quick]
 //! ```
 
-use smart_bench::{run_suite, RunPlan};
-use smart_core::compile::compile;
+use smart_bench::{run_suite, Experiment, RunPlan, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_core::scenarios::fig7_flows;
 use smart_link::table1::{paper_reference, table1};
 use smart_link::units::Gbps;
 use smart_link::{LinkStyle, TestChip};
-use smart_power::{breakdown, EnergyModel, GatingPolicy};
-use smart_sim::{FlowId, SourceRoute};
 use std::collections::BTreeMap;
 
 struct Scorecard {
@@ -98,14 +95,21 @@ fn main() {
         (45.0..=75.0).contains(&d_vlr),
     );
 
-    // --- Fig 7. ---
-    let flows = fig7_flows(cfg.mesh);
-    let routes: Vec<(FlowId, SourceRoute)> =
-        flows.iter().map(|(f, r, _)| (*f, r.clone())).collect();
-    let app = compile(cfg.mesh, cfg.hpc_max, &routes);
-    let fig7_ok = flows
-        .iter()
-        .all(|(f, _, exp)| app.flows.plan(*f).zero_load_latency() == *exp);
+    // --- Fig 7 (through the experiment API's compile metrics; the
+    // zero-cycle scripted plan builds the design without simulating —
+    // traversal times are a pure function of the compiled presets). ---
+    let fig7 = Experiment::new(cfg.clone())
+        .workload(Workload::fig7())
+        .scripted(Vec::new())
+        .plan(RunPlan::measure_all(0, 0, 0))
+        .run();
+    let metrics = fig7.compile.expect("SMART reports compile metrics");
+    let fig7_ok = fig7_flows(cfg.mesh).iter().all(|(f, _, exp)| {
+        metrics
+            .zero_load_latency
+            .iter()
+            .any(|(mf, l)| mf == f && l == exp)
+    });
     card.check(
         "Fig 7: traversal times 1/1/7/7",
         if fig7_ok { "exact" } else { "mismatch" }.to_string(),
@@ -125,7 +129,7 @@ fn main() {
     let results = run_suite(&cfg, &plan);
     let mut lat: BTreeMap<DesignKind, f64> = BTreeMap::new();
     for r in &results {
-        *lat.entry(r.design).or_insert(0.0) += r.avg_latency / 8.0;
+        *lat.entry(r.design).or_insert(0.0) += r.avg_network_latency / 8.0;
     }
     let reduction = (1.0 - lat[&DesignKind::Smart] / lat[&DesignKind::Mesh]) * 100.0;
     card.check(
@@ -147,18 +151,12 @@ fn main() {
         "1.5",
         (0.5..=2.5).contains(&gap),
     );
-    let model = EnergyModel::calibrated_45nm(&cfg);
     let mut totals: BTreeMap<(String, DesignKind), f64> = BTreeMap::new();
     for r in &results {
-        let p = breakdown(
-            &model,
-            &r.counters,
-            cfg.clock_ghz,
-            GatingPolicy::for_design(r.design),
-        );
-        totals.insert((r.app.clone(), r.design), p.total_w());
+        let p = r.power.expect("run_suite attaches the power model");
+        totals.insert((r.workload.clone(), r.design), p.total_w());
     }
-    let apps: Vec<String> = results.iter().map(|r| r.app.clone()).collect();
+    let apps: Vec<String> = results.iter().map(|r| r.workload.clone()).collect();
     let mut ratio = 0.0;
     let mut n = 0.0;
     for app in apps.iter().collect::<std::collections::BTreeSet<_>>() {

@@ -1,145 +1,36 @@
-//! Shared harness for regenerating the paper's tables and figures.
+//! Shared helpers for regenerating the paper's tables and figures.
 //!
 //! Each binary in `src/bin/` reproduces one artifact (Table I, Fig 3,
-//! Fig 10a, Fig 10b, …). This library holds the common experiment
-//! runner: map an application, build each design, run warm-up +
-//! measurement, and collect latency statistics and activity counters.
+//! Fig 10a, Fig 10b, …). The experiment runner itself — configure, map,
+//! build, drive, measure — is the `smart-harness` crate's [`Experiment`]
+//! API, re-exported here; this crate adds the paper-suite fan-out
+//! ([`run_suite`]) and small numeric helpers.
+
+pub use smart_harness::{
+    CompileMetrics, Drive, Experiment, ExperimentMatrix, ExperimentReport, MatrixOutcome,
+    RoutedWorkload, RunPlan, Workload,
+};
 
 use smart_core::config::NocConfig;
-use smart_core::noc::{Design, DesignKind};
-use smart_mapping::MappedApp;
-use smart_sim::counters::ActivityCounters;
-use smart_sim::BernoulliTraffic;
-use smart_taskgraph::TaskGraph;
+use smart_core::noc::DesignKind;
 
-/// Simulation schedule for one experiment run.
-#[derive(Debug, Clone, Copy)]
-pub struct RunPlan {
-    /// Warm-up cycles (excluded from stats and counters).
-    pub warmup: u64,
-    /// Measured cycles.
-    pub measure: u64,
-    /// Drain budget after measurement (delivers in-flight packets).
-    pub drain: u64,
-    /// Traffic seed.
-    pub seed: u64,
-}
-
-impl Default for RunPlan {
-    fn default() -> Self {
-        RunPlan {
-            warmup: 20_000,
-            measure: 120_000,
-            drain: 20_000,
-            seed: 0xC0FFEE,
-        }
-    }
-}
-
-impl RunPlan {
-    /// A fast plan for smoke tests.
-    #[must_use]
-    pub fn quick() -> Self {
-        RunPlan {
-            warmup: 2_000,
-            measure: 20_000,
-            drain: 5_000,
-            seed: 0xC0FFEE,
-        }
-    }
-}
-
-/// Measured outcome of one (application, design) run.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Application name.
-    pub app: String,
-    /// Which design.
-    pub design: DesignKind,
-    /// Average head-flit network latency (Fig 10a's metric).
-    pub avg_latency: f64,
-    /// Average full-packet latency.
-    pub avg_packet_latency: f64,
-    /// Average source-queueing delay.
-    pub avg_source_queue: f64,
-    /// Packets measured.
-    pub packets: u64,
-    /// Activity counters over the measured window.
-    pub counters: ActivityCounters,
-}
-
-/// Map `graph`, build `kind`, run the plan, return the measurements.
+/// Run all three designs for every application in the paper's suite,
+/// power breakdown attached. Reports come back application-major in
+/// `apps::all()` order, design-minor in [`DesignKind::ALL`] order; the
+/// matrix fans cells out across every available core.
 #[must_use]
-pub fn run_app(cfg: &NocConfig, graph: &TaskGraph, kind: DesignKind, plan: &RunPlan) -> RunResult {
-    let mapped = MappedApp::from_graph(cfg, graph);
-    run_mapped(cfg, &mapped, kind, plan)
-}
-
-/// Run an already-mapped application on `kind`.
-#[must_use]
-pub fn run_mapped(
-    cfg: &NocConfig,
-    mapped: &MappedApp,
-    kind: DesignKind,
-    plan: &RunPlan,
-) -> RunResult {
-    let mut design = Design::build(kind, cfg, &mapped.routes);
-    let mut traffic = match &design {
-        Design::Mesh(m) => BernoulliTraffic::new(
-            &mapped.rates,
-            m.network().flows(),
-            cfg.mesh,
-            cfg.flits_per_packet(),
-            plan.seed,
-        ),
-        Design::Smart(s) => BernoulliTraffic::new(
-            &mapped.rates,
-            s.network().flows(),
-            cfg.mesh,
-            cfg.flits_per_packet(),
-            plan.seed,
-        ),
-        Design::Dedicated(_) => {
-            // The dedicated model has no FlowTable; build one from the
-            // routes just for src/dst lookup.
-            let table = smart_sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-            BernoulliTraffic::new(
-                &mapped.rates,
-                &table,
-                cfg.mesh,
-                cfg.flits_per_packet(),
-                plan.seed,
-            )
-        }
-    };
-    design.set_stats_from(plan.warmup);
-    design.run_with(&mut traffic, plan.warmup);
-    design.reset_counters();
-    design.run_with(&mut traffic, plan.measure);
-    design.drain(plan.drain);
-    let stats = design.stats();
-    RunResult {
-        app: mapped.name.clone(),
-        design: kind,
-        avg_latency: stats.avg_network_latency(),
-        avg_packet_latency: stats.avg_packet_latency(),
-        avg_source_queue: stats.avg_source_queue(),
-        packets: stats.packets(),
-        counters: *design.counters(),
-    }
-}
-
-/// Run all three designs for every application in the paper's suite.
-#[must_use]
-pub fn run_suite(cfg: &NocConfig, plan: &RunPlan) -> Vec<RunResult> {
-    let mut out = Vec::new();
-    for graph in smart_taskgraph::apps::all() {
-        let mapped = MappedApp::from_graph(cfg, &graph);
-        for kind in DesignKind::ALL {
-            out.push(run_mapped(cfg, &mapped, kind, plan));
-        }
-    }
-    out
+pub fn run_suite(cfg: &NocConfig, plan: &RunPlan) -> Vec<ExperimentReport> {
+    ExperimentMatrix::new(cfg.clone())
+        .designs(&DesignKind::ALL)
+        .workloads(
+            smart_taskgraph::apps::all()
+                .into_iter()
+                .map(Workload::Graph)
+                .collect(),
+        )
+        .plan(*plan)
+        .measure_power()
+        .run()
 }
 
 /// Geometric-mean helper for ratio summaries.
@@ -163,31 +54,58 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smart_taskgraph::apps;
 
     #[test]
     fn quick_run_produces_sane_latencies() {
         let cfg = NocConfig::paper_4x4();
         let plan = RunPlan::quick();
-        let g = apps::pip();
-        let smart = run_app(&cfg, &g, DesignKind::Smart, &plan);
-        let mesh = run_app(&cfg, &g, DesignKind::Mesh, &plan);
-        let ded = run_app(&cfg, &g, DesignKind::Dedicated, &plan);
-        assert!(smart.packets > 50, "enough samples: {}", smart.packets);
-        assert!(smart.avg_latency >= 1.0);
-        assert!(ded.avg_latency >= 1.0);
+        let run = |kind| {
+            Experiment::new(cfg.clone())
+                .design(kind)
+                .workload(Workload::app("PIP"))
+                .plan(plan)
+                .run()
+        };
+        let smart = run(DesignKind::Smart);
+        let mesh = run(DesignKind::Mesh);
+        let ded = run(DesignKind::Dedicated);
         assert!(
-            mesh.avg_latency > smart.avg_latency,
+            smart.measured_packets > 50,
+            "enough samples: {}",
+            smart.measured_packets
+        );
+        assert!(smart.avg_network_latency >= 1.0);
+        assert!(ded.avg_network_latency >= 1.0);
+        assert!(
+            mesh.avg_network_latency > smart.avg_network_latency,
             "Mesh {} must exceed SMART {}",
-            mesh.avg_latency,
-            smart.avg_latency
+            mesh.avg_network_latency,
+            smart.avg_network_latency
         );
         assert!(
-            smart.avg_latency >= ded.avg_latency - 1e-9,
+            smart.avg_network_latency >= ded.avg_network_latency - 1e-9,
             "SMART {} cannot beat Dedicated {}",
-            smart.avg_latency,
-            ded.avg_latency
+            smart.avg_network_latency,
+            ded.avg_network_latency
         );
+    }
+
+    #[test]
+    fn suite_covers_apps_by_designs_with_power() {
+        let plan = RunPlan {
+            warmup: 200,
+            measure: 3_000,
+            drain: 2_000,
+            seed: 0xC0FFEE,
+        };
+        let results = run_suite(&NocConfig::paper_4x4(), &plan);
+        assert_eq!(results.len(), 24, "8 apps x 3 designs");
+        assert!(results.iter().all(|r| r.power.is_some()));
+        // Application-major, design-minor ordering.
+        assert_eq!(results[0].design, DesignKind::Mesh);
+        assert_eq!(results[1].design, DesignKind::Smart);
+        assert_eq!(results[2].design, DesignKind::Dedicated);
+        assert_eq!(results[0].workload, results[2].workload);
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! One experiment cell: configure → map → build → drive → measure.
+
+use crate::workload::{RoutedWorkload, Workload};
+use smart_core::config::NocConfig;
+use smart_core::noc::{Design, DesignKind};
+use smart_power::{breakdown, EnergyModel, GatingPolicy, PowerBreakdown};
+use smart_sim::counters::ActivityCounters;
+use smart_sim::traffic::TrafficSource;
+use smart_sim::{BernoulliTraffic, FlowId, FlowTable, NodeId, ScriptedTraffic};
+use std::fmt;
+
+/// Simulation schedule for one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlan {
+    /// Warm-up cycles (excluded from stats and counters).
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Drain budget after measurement (delivers in-flight packets).
+    pub drain: u64,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        RunPlan {
+            warmup: 20_000,
+            measure: 120_000,
+            drain: 20_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl RunPlan {
+    /// A fast plan for smoke tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        RunPlan {
+            warmup: 2_000,
+            measure: 20_000,
+            drain: 5_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A minimal plan for doctests and unit tests — just enough cycles
+    /// for a handful of packets at the paper's task-graph loads.
+    #[must_use]
+    pub fn smoke() -> Self {
+        RunPlan {
+            warmup: 0,
+            measure: 2_000,
+            drain: 2_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A plain measure-then-drain schedule with no warm-up, as used by
+    /// the conformance harness: stats and counters cover the whole run.
+    #[must_use]
+    pub fn measure_all(measure: u64, drain: u64, seed: u64) -> Self {
+        RunPlan {
+            warmup: 0,
+            measure,
+            drain,
+            seed,
+        }
+    }
+}
+
+/// How the workload's flows are offered to the network.
+#[derive(Debug, Clone)]
+pub enum Drive {
+    /// Per-flow Bernoulli injection at the workload's rates (the
+    /// paper's "uniform random injection rate to meet the specified
+    /// bandwidth for each flow").
+    Bernoulli,
+    /// Deterministic `(cycle, flow)` events — the Fig 7 walk-through
+    /// and zero-load probes. The workload's rates are ignored.
+    Scripted(Vec<(u64, FlowId)>),
+}
+
+/// Preset-compilation metrics (SMART designs only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileMetrics {
+    /// Mean stops per flow (zero-load latency is `1 + 3·stops`).
+    pub avg_stops: f64,
+    /// Fraction of (flow, router) visits bypassed in a single cycle.
+    pub bypass_fraction: f64,
+    /// Stop routers per flow, in travel order.
+    pub stops: Vec<(FlowId, Vec<NodeId>)>,
+    /// Analytical zero-load latency per flow, cycles.
+    pub zero_load_latency: Vec<(FlowId, u64)>,
+}
+
+/// Everything measured by one [`Experiment`] run. Deterministic: the
+/// same experiment produces a byte-identical report.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Which design ran.
+    pub design: DesignKind,
+    /// Workload name (`fig7`, an application, `uniform<n>@<rate>`, …).
+    pub workload: String,
+    /// Mesh dimensions of the design point.
+    pub mesh: (u16, u16),
+    /// `true` if the network went quiescent within the drain budget.
+    pub drained: bool,
+    /// Packets offered after warm-up (activity counters).
+    pub packets_injected: u64,
+    /// Packets delivered after warm-up.
+    pub packets_delivered: u64,
+    /// Flits delivered after warm-up.
+    pub flits_delivered: u64,
+    /// Packets in the latency statistics (generated at/after warm-up).
+    pub measured_packets: u64,
+    /// Average head-flit network latency, cycles (Fig 10a's metric).
+    pub avg_network_latency: f64,
+    /// Average full-packet (tail) latency, cycles.
+    pub avg_packet_latency: f64,
+    /// Average source-queueing delay, cycles.
+    pub avg_source_queue: f64,
+    /// Per-flow average head-flit latency, flows in id order (flows
+    /// that delivered no packet are absent).
+    pub flow_latencies: Vec<(FlowId, f64)>,
+    /// Activity counters over the measured window.
+    pub counters: ActivityCounters,
+    /// Preset-compiler metrics (SMART designs only).
+    pub compile: Option<CompileMetrics>,
+    /// Fig 10b power breakdown (when requested via
+    /// [`Experiment::measure_power`]).
+    pub power: Option<PowerBreakdown>,
+}
+
+impl ExperimentReport {
+    /// Average head-flit latency of one flow, if it delivered packets.
+    #[must_use]
+    pub fn flow_latency(&self, flow: FlowId) -> Option<f64> {
+        self.flow_latencies
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, l)| *l)
+    }
+
+    /// One stable line per report, full float precision — the golden
+    /// snapshot format future perf PRs diff against.
+    #[must_use]
+    pub fn snapshot_line(&self) -> String {
+        format!(
+            "{}/{} injected={} delivered={} flits={} latency={} measured={}",
+            self.design.label(),
+            self.workload,
+            self.packets_injected,
+            self.packets_delivered,
+            self.flits_delivered,
+            self.avg_network_latency,
+            self.measured_packets,
+        )
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} ({}x{} mesh){}",
+            self.workload,
+            self.design.label(),
+            self.mesh.0,
+            self.mesh.1,
+            if self.drained { "" } else { "  [NOT DRAINED]" }
+        )?;
+        writeln!(
+            f,
+            "  packets {} in / {} out, {} flits",
+            self.packets_injected, self.packets_delivered, self.flits_delivered
+        )?;
+        write!(
+            f,
+            "  latency {:.2} net / {:.2} packet / {:.2} queue over {} packets",
+            self.avg_network_latency,
+            self.avg_packet_latency,
+            self.avg_source_queue,
+            self.measured_packets
+        )?;
+        if let Some(c) = &self.compile {
+            write!(
+                f,
+                "\n  presets: {:.0}% bypassed, {:.2} stops/flow",
+                c.bypass_fraction * 100.0,
+                c.avg_stops
+            )?;
+        }
+        if let Some(p) = &self.power {
+            write!(f, "\n  power: {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment: a [`NocConfig`] design point, a [`DesignKind`], a
+/// [`Workload`] and a [`RunPlan`], composed with a builder and executed
+/// with [`Experiment::run`].
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    cfg: NocConfig,
+    design: DesignKind,
+    workload: Workload,
+    plan: RunPlan,
+    drive: Drive,
+    power: bool,
+}
+
+impl Experiment {
+    /// Start from a design point; defaults: SMART design, Fig 7
+    /// workload, default plan, Bernoulli drive, no power model.
+    #[must_use]
+    pub fn new(cfg: NocConfig) -> Self {
+        Experiment {
+            cfg,
+            design: DesignKind::Smart,
+            workload: Workload::Fig7,
+            plan: RunPlan::default(),
+            drive: Drive::Bernoulli,
+            power: false,
+        }
+    }
+
+    /// Which design to build.
+    #[must_use]
+    pub fn design(mut self, design: DesignKind) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// What traffic to offer.
+    #[must_use]
+    pub fn workload(mut self, workload: impl Into<Workload>) -> Self {
+        self.workload = workload.into();
+        self
+    }
+
+    /// The warm-up / measure / drain schedule.
+    #[must_use]
+    pub fn plan(mut self, plan: RunPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replace Bernoulli injection with deterministic `(cycle, flow)`
+    /// events.
+    #[must_use]
+    pub fn scripted(mut self, events: Vec<(u64, FlowId)>) -> Self {
+        self.drive = Drive::Scripted(events);
+        self
+    }
+
+    /// Attach the calibrated 45 nm energy model and report the Fig 10b
+    /// power breakdown (gating policy follows the design).
+    #[must_use]
+    pub fn measure_power(mut self) -> Self {
+        self.power = true;
+        self
+    }
+
+    /// The design point this experiment runs at.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Map, build, drive and measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload cannot be materialized (unknown app name)
+    /// or the flow set is inconsistent with the design point.
+    #[must_use]
+    pub fn run(&self) -> ExperimentReport {
+        let routed = self.workload.materialize(&self.cfg);
+        self.run_routed(&routed)
+    }
+
+    /// Run against an already-routed workload (lets matrix runs
+    /// materialize each workload once across designs).
+    #[must_use]
+    pub fn run_routed(&self, routed: &RoutedWorkload) -> ExperimentReport {
+        let cfg = &self.cfg;
+        let table = FlowTable::mesh_baseline(cfg.mesh, &routed.routes);
+        let mut design = Design::build(self.design, cfg, &routed.routes);
+        let mut traffic: Box<dyn TrafficSource> = match &self.drive {
+            Drive::Bernoulli => Box::new(BernoulliTraffic::new(
+                &routed.rates,
+                &table,
+                cfg.mesh,
+                cfg.flits_per_packet(),
+                self.plan.seed,
+            )),
+            Drive::Scripted(events) => Box::new(ScriptedTraffic::new(
+                events.clone(),
+                cfg.flits_per_packet(),
+                &table,
+                cfg.mesh,
+            )),
+        };
+        design.set_stats_from(self.plan.warmup);
+        design.run_with(traffic.as_mut(), self.plan.warmup);
+        design.reset_counters();
+        design.run_with(traffic.as_mut(), self.plan.measure);
+        let drained = design.drain(self.plan.drain);
+
+        let compile = match &design {
+            Design::Smart(smart) => {
+                let app = smart.compiled();
+                Some(CompileMetrics {
+                    avg_stops: app.avg_stops(),
+                    bypass_fraction: app.bypass_fraction(cfg.mesh),
+                    stops: app.stops.iter().map(|(f, s)| (*f, s.clone())).collect(),
+                    zero_load_latency: routed
+                        .routes
+                        .iter()
+                        .map(|(f, _)| (*f, app.flows.plan(*f).zero_load_latency()))
+                        .collect(),
+                })
+            }
+            _ => None,
+        };
+        let counters = *design.counters();
+        let power = self.power.then(|| {
+            breakdown(
+                &EnergyModel::calibrated_45nm(cfg),
+                &counters,
+                cfg.clock_ghz,
+                GatingPolicy::for_design(self.design),
+            )
+        });
+        let stats = design.stats();
+        ExperimentReport {
+            design: self.design,
+            workload: routed.name.clone(),
+            mesh: (cfg.mesh.width(), cfg.mesh.height()),
+            drained,
+            packets_injected: counters.packets_injected,
+            packets_delivered: counters.packets_delivered,
+            flits_delivered: counters.flits_delivered,
+            measured_packets: stats.packets(),
+            avg_network_latency: stats.avg_network_latency(),
+            avg_packet_latency: stats.avg_packet_latency(),
+            avg_source_queue: stats.avg_source_queue(),
+            flow_latencies: stats
+                .flows()
+                .iter()
+                .map(|(f, s)| (*f, s.avg_head_latency()))
+                .collect(),
+            counters,
+            compile,
+            power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_fig7_delivers_and_reports() {
+        let r = Experiment::new(NocConfig::paper_4x4())
+            .plan(RunPlan::smoke())
+            .run();
+        assert!(r.drained);
+        assert_eq!(r.packets_delivered, r.packets_injected);
+        assert_eq!(
+            r.flits_delivered,
+            r.packets_delivered * u64::from(NocConfig::paper_4x4().flits_per_packet())
+        );
+        let c = r.compile.expect("SMART reports compile metrics");
+        assert_eq!(c.stops.len(), 4);
+        // Fig 7: green/purple fly (latency 1), red/blue stop twice (7).
+        let zl: Vec<u64> = c.zero_load_latency.iter().map(|(_, l)| *l).collect();
+        assert_eq!(zl, vec![1, 1, 7, 7]);
+    }
+
+    #[test]
+    fn mesh_reports_no_compile_metrics() {
+        let r = Experiment::new(NocConfig::paper_4x4())
+            .design(DesignKind::Mesh)
+            .plan(RunPlan::smoke())
+            .run();
+        assert!(r.compile.is_none());
+        assert!(r.power.is_none());
+    }
+
+    #[test]
+    fn power_breakdown_is_attached_on_request() {
+        let r = Experiment::new(NocConfig::paper_4x4())
+            .workload(Workload::app("PIP"))
+            .plan(RunPlan::smoke())
+            .measure_power()
+            .run();
+        let p = r.power.expect("requested");
+        assert!(p.total_w() > 0.0 && p.total_w() < 1.0);
+    }
+
+    #[test]
+    fn scripted_drive_is_exact() {
+        // A lone fig7 green packet takes exactly 1 cycle on SMART.
+        let r = Experiment::new(NocConfig::paper_4x4())
+            .scripted(vec![(0, FlowId(0))])
+            .plan(RunPlan::measure_all(8, 1_000, 0))
+            .run();
+        assert!(r.drained);
+        assert_eq!(r.packets_delivered, 1);
+        assert_eq!(r.avg_network_latency, 1.0);
+        assert_eq!(r.flow_latency(FlowId(0)), Some(1.0));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let exp = Experiment::new(NocConfig::paper_4x4())
+            .workload(Workload::uniform(6, 0.02, 7))
+            .plan(RunPlan::smoke());
+        let (a, b) = (exp.run(), exp.run());
+        assert_eq!(a.snapshot_line(), b.snapshot_line());
+        assert_eq!(a.flow_latencies, b.flow_latencies);
+    }
+}

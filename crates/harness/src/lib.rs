@@ -1,0 +1,43 @@
+//! # smart-harness — the one-experiment API
+//!
+//! The paper's whole evaluation (Sections IV–VI) is one repeated shape:
+//! **configure** a design point, **map** an application or synthetic
+//! load onto the mesh, **build** one of the evaluated designs, **drive**
+//! it with traffic for a warm-up/measure/drain schedule, and **measure**
+//! latency, throughput and energy. This crate makes that shape a
+//! first-class value instead of per-binary glue:
+//!
+//! * [`Workload`] — every traffic family behind one enum: the Fig 7
+//!   walk-through, the eight Section VI task-graph applications,
+//!   uniform-random Bernoulli loads, and pre-routed custom flow sets.
+//! * [`RunPlan`] — the warm-up / measure / drain schedule plus the
+//!   traffic seed (deterministic by construction).
+//! * [`Experiment`] — one (config, design, workload, plan) cell;
+//!   [`Experiment::run`] returns an [`ExperimentReport`] bundling sim
+//!   stats, activity counters, compile metrics and an optional power
+//!   breakdown.
+//! * [`ExperimentMatrix`] — fan-out over designs × workloads with a
+//!   scoped-thread runner: cells execute in parallel, results come back
+//!   in deterministic matrix order.
+//!
+//! ```
+//! use smart_core::config::NocConfig;
+//! use smart_core::noc::DesignKind;
+//! use smart_harness::{Experiment, RunPlan, Workload};
+//!
+//! let report = Experiment::new(NocConfig::paper_4x4())
+//!     .design(DesignKind::Smart)
+//!     .workload(Workload::fig7())
+//!     .plan(RunPlan::smoke())
+//!     .run();
+//! assert_eq!(report.packets_delivered, report.packets_injected);
+//! assert!(report.drained);
+//! ```
+
+pub mod experiment;
+pub mod matrix;
+pub mod workload;
+
+pub use experiment::{CompileMetrics, Drive, Experiment, ExperimentReport, RunPlan};
+pub use matrix::{ExperimentMatrix, MatrixOutcome};
+pub use workload::{RoutedWorkload, Workload};

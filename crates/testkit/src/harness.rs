@@ -4,12 +4,11 @@
 use crate::scenario::Scenario;
 use smart_core::compile::CompiledApp;
 use smart_core::config::NocConfig;
-use smart_core::noc::{Design, DesignKind};
+use smart_core::noc::DesignKind;
 use smart_core::reconfig::ReconfigurableNoc;
+use smart_harness::{Experiment, RunPlan};
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{
-    BernoulliTraffic, Direction, FlowId, FlowTable, LinkId, NodeId, ScriptedTraffic, SourceRoute,
-};
+use smart_sim::{BernoulliTraffic, Direction, FlowId, FlowTable, LinkId, NodeId, SourceRoute};
 use std::collections::BTreeMap;
 
 /// Base address for the memory-mapped preset registers in
@@ -72,6 +71,25 @@ pub struct CaseReport {
     pub zero_load_flows_checked: usize,
     /// Links carrying more than one flow (0 means trivially exclusive).
     pub shared_links: usize,
+}
+
+impl CaseReport {
+    /// One stable line, full float precision — the golden-matrix
+    /// snapshot format (`tests/golden/conformance_matrix.txt`).
+    #[must_use]
+    pub fn golden_line(&self) -> String {
+        format!(
+            "{}/{} injected={} delivered={} flits={} latency={} zero_load={} shared={}",
+            self.design,
+            self.scenario,
+            self.packets_injected,
+            self.packets_delivered,
+            self.flits_delivered,
+            self.avg_network_latency,
+            self.zero_load_flows_checked,
+            self.shared_links
+        )
+    }
 }
 
 /// Conformance settings: one fixed seed, one design point, bounded
@@ -160,31 +178,38 @@ impl Conformance {
         let shared_links = count_shared_links(&self.cfg, &scenario.routes);
 
         // --- Invariant 1: loaded run must deliver everything. ---
-        let mut traffic = BernoulliTraffic::new(
-            &scenario.rates,
-            &table,
-            self.cfg.mesh,
-            self.cfg.flits_per_packet(),
-            self.seed,
-        );
         let (injected, delivered, flits, avg_latency) = match design {
             DesignUnderTest::Reconfigurable => {
+                // Same Bernoulli source the Experiment path seeds for
+                // the other designs, driven through the wrapper.
+                let mut traffic = BernoulliTraffic::new(
+                    &scenario.rates,
+                    &table,
+                    self.cfg.mesh,
+                    self.cfg.flits_per_packet(),
+                    self.seed,
+                );
                 self.reconfigurable_delivery(&ctx, scenario, &mut traffic)
             }
             _ => {
-                let mut d = Design::build(kind_of(design), &self.cfg, &scenario.routes);
-                d.run_with(&mut traffic, self.run_cycles);
+                let report = Experiment::new(self.cfg.clone())
+                    .design(kind_of(design))
+                    .plan(RunPlan::measure_all(
+                        self.run_cycles,
+                        self.drain_budget,
+                        self.seed,
+                    ))
+                    .run_routed(scenario);
                 assert!(
-                    d.drain(self.drain_budget),
+                    report.drained,
                     "{ctx}: network failed to drain within {} cycles",
                     self.drain_budget
                 );
-                let c = d.counters();
                 (
-                    c.packets_injected,
-                    c.packets_delivered,
-                    c.flits_delivered,
-                    d.stats().avg_network_latency(),
+                    report.packets_injected,
+                    report.packets_delivered,
+                    report.flits_delivered,
+                    report.avg_network_latency,
                 )
             }
         };
@@ -289,14 +314,14 @@ impl Conformance {
                     app.flows.plan(*flow).zero_load_latency() as f64
                 }
             };
-            let mut traffic = ScriptedTraffic::new(
-                vec![(0, *flow)],
-                self.cfg.flits_per_packet(),
-                table,
-                self.cfg.mesh,
-            );
             let got = match design {
                 DesignUnderTest::Reconfigurable => {
+                    let mut traffic = smart_sim::ScriptedTraffic::new(
+                        vec![(0, *flow)],
+                        self.cfg.flits_per_packet(),
+                        table,
+                        self.cfg.mesh,
+                    );
                     let mut r = ReconfigurableNoc::new(self.cfg.clone(), PRESET_BASE_ADDR);
                     r.load_app(&scenario.name, &scenario.routes, self.drain_budget);
                     let noc = r.noc_mut().expect("app just loaded");
@@ -305,10 +330,13 @@ impl Conformance {
                     noc.network().stats().avg_network_latency()
                 }
                 _ => {
-                    let mut d = Design::build(kind_of(design), &self.cfg, &scenario.routes);
-                    d.run_with(&mut traffic, 8);
-                    assert!(d.drain(1_000), "{ctx}: lone packet stuck");
-                    d.stats().avg_network_latency()
+                    let report = Experiment::new(self.cfg.clone())
+                        .design(kind_of(design))
+                        .scripted(vec![(0, *flow)])
+                        .plan(RunPlan::measure_all(8, 1_000, self.seed))
+                        .run_routed(scenario);
+                    assert!(report.drained, "{ctx}: lone packet stuck");
+                    report.avg_network_latency
                 }
             };
             assert!(

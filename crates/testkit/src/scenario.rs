@@ -1,129 +1,10 @@
 //! Scenario presets: named route sets with per-flow injection rates.
+//!
+//! A scenario *is* a routed workload from the experiment API — the
+//! constructors (`Scenario::fig7`, `Scenario::app`,
+//! `Scenario::uniform`, `Scenario::presets`) live on
+//! [`smart_harness::RoutedWorkload`]; this alias keeps the conformance
+//! harness's vocabulary while sharing one implementation with every
+//! bench bin and example.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use smart_core::config::NocConfig;
-use smart_core::scenarios::fig7_flows;
-use smart_mapping::MappedApp;
-use smart_sim::{FlowId, NodeId, SourceRoute};
-use smart_taskgraph::apps;
-
-/// A named workload: routed flows plus Bernoulli injection rates,
-/// ready to drive any design.
-#[derive(Debug, Clone)]
-pub struct Scenario {
-    /// Preset name (`fig7`, an application name, `uniform@<rate>`).
-    pub name: String,
-    /// Routed flows.
-    pub routes: Vec<(FlowId, SourceRoute)>,
-    /// Packets-per-cycle injection rate per flow.
-    pub rates: Vec<(FlowId, f64)>,
-}
-
-impl Scenario {
-    /// The Fig 7 "SMART NoC in action" four-flow walk-through, injected
-    /// gently so bypass behaviour dominates.
-    #[must_use]
-    pub fn fig7(cfg: &NocConfig) -> Self {
-        let routes: Vec<(FlowId, SourceRoute)> = fig7_flows(cfg.mesh)
-            .into_iter()
-            .map(|(f, r, _)| (f, r))
-            .collect();
-        let rates = routes.iter().map(|(f, _)| (*f, 0.02)).collect();
-        Scenario {
-            name: "fig7".to_owned(),
-            routes,
-            rates,
-        }
-    }
-
-    /// One of the paper's eight SoC applications, NMAP-placed and
-    /// routed with the paper's bandwidth-derived injection rates.
-    #[must_use]
-    pub fn app(cfg: &NocConfig, name: &str) -> Self {
-        let graph = apps::by_name(name).unwrap_or_else(|| panic!("unknown application {name:?}"));
-        let mapped = MappedApp::from_graph(cfg, &graph);
-        Scenario {
-            name: mapped.name.clone(),
-            routes: mapped.routes,
-            rates: mapped.rates,
-        }
-    }
-
-    /// `flows` uniform-random (src, dst) pairs routed XY, each injected
-    /// at `rate` packets/cycle. Pair choice is a pure function of
-    /// `seed`, so the scenario is reproducible.
-    #[must_use]
-    pub fn uniform(cfg: &NocConfig, flows: usize, rate: f64, seed: u64) -> Self {
-        assert!(flows > 0, "need at least one flow");
-        let n = cfg.mesh.len() as u16;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut routes = Vec::with_capacity(flows);
-        for i in 0..flows {
-            let src = NodeId(rng.gen_range(0..n));
-            let dst = loop {
-                let d = NodeId(rng.gen_range(0..n));
-                if d != src {
-                    break d;
-                }
-            };
-            routes.push((FlowId(i as u32), SourceRoute::xy(cfg.mesh, src, dst)));
-        }
-        let rates = routes.iter().map(|(f, _)| (*f, rate)).collect();
-        Scenario {
-            name: format!("uniform{flows}@{rate}"),
-            routes,
-            rates,
-        }
-    }
-
-    /// The full preset battery: Fig 7, the eight applications, and two
-    /// uniform-random Bernoulli loads (light and moderate).
-    #[must_use]
-    pub fn presets(cfg: &NocConfig) -> Vec<Scenario> {
-        let mut v = vec![Scenario::fig7(cfg)];
-        for name in [
-            "H264", "MMS_DEC", "MMS_ENC", "MMS_MP3", "MWD", "VOPD", "WLAN", "PIP",
-        ] {
-            v.push(Scenario::app(cfg, name));
-        }
-        v.push(Scenario::uniform(cfg, 6, 0.01, 0x5EED));
-        v.push(Scenario::uniform(cfg, 10, 0.03, 0xFEED));
-        v
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preset_battery_covers_the_paper() {
-        let cfg = NocConfig::paper_4x4();
-        let all = Scenario::presets(&cfg);
-        assert_eq!(all.len(), 11, "fig7 + 8 apps + 2 uniform");
-        assert!(all.iter().all(|s| !s.routes.is_empty()));
-        assert!(all.iter().all(|s| s.routes.len() == s.rates.len()));
-    }
-
-    #[test]
-    fn uniform_is_deterministic_per_seed() {
-        let cfg = NocConfig::paper_4x4();
-        let a = Scenario::uniform(&cfg, 8, 0.02, 42);
-        let b = Scenario::uniform(&cfg, 8, 0.02, 42);
-        let c = Scenario::uniform(&cfg, 8, 0.02, 43);
-        assert_eq!(a.routes, b.routes);
-        assert_ne!(a.routes, c.routes);
-    }
-
-    #[test]
-    fn uniform_never_self_loops() {
-        let cfg = NocConfig::paper_4x4();
-        for seed in 0..20 {
-            let s = Scenario::uniform(&cfg, 12, 0.01, seed);
-            for (_, r) in &s.routes {
-                assert_ne!(r.source(), r.destination(cfg.mesh));
-            }
-        }
-    }
-}
+pub use smart_harness::RoutedWorkload as Scenario;

@@ -3,25 +3,32 @@
 //! safety net future scale/perf PRs run against — any change to the
 //! engine, compiler or mapping that breaks delivery, link exclusivity
 //! or zero-load latency fails here with the (design, scenario) cell
-//! named in the panic.
+//! named in the panic, and the exact cell values are locked by the
+//! checked-in golden snapshot (`golden/conformance_matrix.txt`).
 
 use smart_core::config::NocConfig;
 use smart_testkit::{CaseReport, Conformance, DesignUnderTest, Scenario};
+use std::sync::OnceLock;
 
-fn battery() -> (Conformance, Vec<Scenario>) {
-    let conf = Conformance::default();
-    let scenarios = Scenario::presets(&conf.cfg);
-    (conf, scenarios)
+/// The 44-cell matrix is expensive; run it once and share it between
+/// the invariant, ordering and golden-snapshot tests.
+fn battery() -> &'static (Conformance, Vec<Scenario>, Vec<CaseReport>) {
+    static MATRIX: OnceLock<(Conformance, Vec<Scenario>, Vec<CaseReport>)> = OnceLock::new();
+    MATRIX.get_or_init(|| {
+        let conf = Conformance::default();
+        let scenarios = Scenario::presets(&conf.cfg);
+        let reports = conf.run_matrix(&DesignUnderTest::ALL, &scenarios);
+        (conf, scenarios, reports)
+    })
 }
 
 #[test]
 fn full_matrix_holds_all_invariants() {
-    let (conf, scenarios) = battery();
-    let reports = conf.run_matrix(&DesignUnderTest::ALL, &scenarios);
+    let (_, scenarios, reports) = battery();
     // 4 designs × 11 scenarios — well past the 12-combination floor.
     assert_eq!(reports.len(), 44);
     // Every loaded run actually carried traffic.
-    for r in &reports {
+    for r in reports {
         assert!(
             r.packets_injected > 0,
             "{}/{} generated no packets",
@@ -32,7 +39,7 @@ fn full_matrix_holds_all_invariants() {
     }
     // The paper's headline ordering, differentially on the same matrix
     // (same seed, same traffic): SMART never loses to Mesh.
-    for s in &scenarios {
+    for s in scenarios {
         let latency_of = |design: DesignUnderTest| {
             reports
                 .iter()
@@ -51,15 +58,50 @@ fn full_matrix_holds_all_invariants() {
 }
 
 #[test]
-fn matrix_is_deterministic_across_runs() {
-    let (conf, scenarios) = battery();
-    let subset = [DesignUnderTest::Mesh, DesignUnderTest::Smart];
-    let first: Vec<CaseReport> = conf.run_matrix(&subset, &scenarios[..3]);
-    let second: Vec<CaseReport> = conf.run_matrix(&subset, &scenarios[..3]);
+fn matrix_matches_golden_snapshot() {
+    // Bit-exact behavioral baseline: deliveries, flit counts and
+    // full-precision latencies of all 44 cells. Perf PRs that change
+    // any observable cell value must consciously regenerate the
+    // fixture (SMART_UPDATE_GOLDEN=1 cargo test -p smart-testkit).
+    let (_, _, reports) = battery();
+    let got: String = reports
+        .iter()
+        .map(CaseReport::golden_line)
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    let expected = include_str!("golden/conformance_matrix.txt");
+    if got != expected && std::env::var_os("SMART_UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/conformance_matrix.txt"
+        );
+        std::fs::write(path, &got).expect("rewrite golden fixture");
+        panic!("golden fixture updated at {path}; rerun without SMART_UPDATE_GOLDEN");
+    }
     assert_eq!(
-        first, second,
-        "same seed must reproduce byte-identical reports"
+        got, expected,
+        "conformance matrix drifted from the golden snapshot; if the \
+         change is intentional, regenerate with SMART_UPDATE_GOLDEN=1"
     );
+}
+
+#[test]
+fn matrix_is_deterministic_across_runs() {
+    let (conf, scenarios, reports) = battery();
+    let subset = [DesignUnderTest::Mesh, DesignUnderTest::Smart];
+    let again: Vec<CaseReport> = conf.run_matrix(&subset, &scenarios[..3]);
+    let first: Vec<&CaseReport> = reports
+        .iter()
+        .filter(|r| {
+            scenarios[..3].iter().any(|s| s.name == r.scenario)
+                && subset.iter().any(|d| d.label() == r.design)
+        })
+        .collect();
+    assert_eq!(first.len(), again.len());
+    for (a, b) in first.iter().zip(again.iter()) {
+        assert_eq!(*a, b, "same seed must reproduce byte-identical reports");
+    }
 }
 
 #[test]

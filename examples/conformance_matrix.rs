@@ -12,6 +12,8 @@ use smart_testkit::{Conformance, DesignUnderTest, Scenario};
 
 fn main() {
     let conf = Conformance::default();
+    // `Scenario` is the experiment API's `RoutedWorkload`; the battery
+    // is `Workload::presets()` routed onto the conformance design point.
     let scenarios = Scenario::presets(&conf.cfg);
     println!(
         "{:<14} {:<14} {:>8} {:>10} {:>8} {:>7}",

@@ -37,22 +37,17 @@ fn main() {
 
             let placement = place_random(cfg.mesh, &graph, 2013);
             let mapped = MappedApp::with_placement(&cfg, &graph, placement);
-            let mut lat = [0.0f64; 2];
-            for (i, kind) in [DesignKind::Mesh, DesignKind::Smart].iter().enumerate() {
-                let mut design = Design::build(*kind, &cfg, &mapped.routes);
-                let table = FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-                let mut traffic = BernoulliTraffic::new(
-                    &mapped.rates,
-                    &table,
-                    cfg.mesh,
-                    cfg.flits_per_packet(),
-                    5,
-                );
-                design.set_stats_from(1_000);
-                design.run_with(&mut traffic, 12_000);
-                design.drain(4_000);
-                lat[i] = design.stats().avg_network_latency();
-            }
+            let reports = ExperimentMatrix::new(cfg.clone())
+                .designs(&[DesignKind::Mesh, DesignKind::Smart])
+                .workloads(vec![Workload::from(&mapped)])
+                .plan(RunPlan {
+                    warmup: 1_000,
+                    measure: 11_000,
+                    drain: 4_000,
+                    seed: 5,
+                })
+                .run();
+            let lat: Vec<f64> = reports.iter().map(|r| r.avg_network_latency).collect();
             println!(
                 "{:>4}x{:<2} {:>5}GHz {:>9} {:>10.2} {:>10.2} {:>10.1}%",
                 k,

@@ -10,29 +10,13 @@
 //! cargo run --example four_flows
 //! ```
 
-use smart_noc::arch::config::NocConfig;
-use smart_noc::arch::noc::SmartNoc;
 use smart_noc::arch::scenarios::fig7_flows;
-use smart_noc::sim::{FlowId, ScriptedTraffic, SourceRoute};
+use smart_noc::prelude::*;
 
 fn main() {
     let cfg = NocConfig::paper_4x4();
     let flows = fig7_flows(cfg.mesh);
     let names = ["green", "purple", "red", "blue"];
-
-    let routes: Vec<(FlowId, SourceRoute)> =
-        flows.iter().map(|(f, r, _)| (*f, r.clone())).collect();
-    let mut noc = SmartNoc::new(&cfg, &routes);
-
-    println!("Fig 7: four flows on the 4x4 SMART mesh\n");
-    for ((flow, route, expected), name) in flows.iter().zip(names.iter()) {
-        let stops = &noc.compiled().stops[flow];
-        println!(
-            "{name:<7} {:?}  stops {:?}  predicted latency {expected}",
-            route.routers(cfg.mesh),
-            stops
-        );
-    }
 
     // Inject one packet per flow, staggered so each sees an idle
     // network — Fig 7's labels are per-flow traversal times.
@@ -41,24 +25,34 @@ fn main() {
         .enumerate()
         .map(|(i, (f, _, _))| (40 * i as u64, *f))
         .collect();
-    let mut traffic = ScriptedTraffic::new(
-        events,
-        cfg.flits_per_packet(),
-        noc.network().flows(),
-        cfg.mesh,
-    );
-    noc.network_mut().run_with(&mut traffic, 300);
-    assert!(noc.network().is_quiescent(), "all packets delivered");
+    let report = Experiment::new(cfg.clone())
+        .design(DesignKind::Smart)
+        .workload(Workload::fig7())
+        .scripted(events)
+        .plan(RunPlan::measure_all(300, 0, 0))
+        .run();
+    assert!(report.drained, "all packets delivered");
+    let compiled = report.compile.as_ref().expect("SMART compile metrics");
+
+    println!("Fig 7: four flows on the 4x4 SMART mesh\n");
+    for ((flow, route, expected), name) in flows.iter().zip(names.iter()) {
+        let stops = &compiled
+            .stops
+            .iter()
+            .find(|(f, _)| f == flow)
+            .expect("every flow compiled")
+            .1;
+        println!(
+            "{name:<7} {:?}  stops {:?}  predicted latency {expected}",
+            route.routers(cfg.mesh),
+            stops
+        );
+    }
 
     println!("\nmeasured head-flit latencies (idle network):");
     let mut all_match = true;
     for ((flow, _, expected), name) in flows.iter().zip(names.iter()) {
-        let got = noc
-            .network()
-            .stats()
-            .flow(*flow)
-            .expect("flow delivered")
-            .avg_head_latency();
+        let got = report.flow_latency(*flow).expect("flow delivered");
         let ok = (got - *expected as f64).abs() < 1e-9;
         all_match &= ok;
         println!(
@@ -73,27 +67,14 @@ fn main() {
     // at exactly the same time, they will be sent out serially from the
     // crossbar's East output port." Inject them together and watch the
     // loser wait out the winner's 8-flit packet.
-    let mut noc2 = SmartNoc::new(&cfg, &routes);
-    let together: Vec<(u64, FlowId)> = vec![(0, flows[2].0), (0, flows[3].0)];
-    let mut traffic2 = ScriptedTraffic::new(
-        together,
-        cfg.flits_per_packet(),
-        noc2.network().flows(),
-        cfg.mesh,
-    );
-    noc2.network_mut().run_with(&mut traffic2, 300);
-    let red = noc2
-        .network()
-        .stats()
-        .flow(flows[2].0)
-        .expect("red delivered")
-        .avg_head_latency();
-    let blue = noc2
-        .network()
-        .stats()
-        .flow(flows[3].0)
-        .expect("blue delivered")
-        .avg_head_latency();
+    let together = Experiment::new(cfg)
+        .design(DesignKind::Smart)
+        .workload(Workload::fig7())
+        .scripted(vec![(0, flows[2].0), (0, flows[3].0)])
+        .plan(RunPlan::measure_all(300, 0, 0))
+        .run();
+    let red = together.flow_latency(flows[2].0).expect("red delivered");
+    let blue = together.flow_latency(flows[3].0).expect("blue delivered");
     println!(
         "\nfootnote 7 (simultaneous arrival): red {red:.0} / blue {blue:.0} cycles \
          — the loser waits out the winner's packet at router 9."

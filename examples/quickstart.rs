@@ -1,15 +1,11 @@
-//! Quickstart: map an SoC application onto the SMART NoC and watch
-//! single-cycle multi-hop traversal happen.
+//! Quickstart: one `Experiment` per design — map an SoC application
+//! onto the SMART NoC and watch single-cycle multi-hop traversal happen.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use smart_noc::arch::config::NocConfig;
-use smart_noc::arch::noc::{Design, DesignKind};
-use smart_noc::mapping::MappedApp;
-use smart_noc::sim::BernoulliTraffic;
-use smart_noc::taskgraph::apps;
+use smart_noc::prelude::*;
 
 fn main() {
     // 1. The paper's design point: 4x4 mesh, 2 GHz, 32-bit flits,
@@ -39,34 +35,37 @@ fn main() {
     }
     println!();
 
-    // 3. Build all three designs and run the same Bernoulli traffic.
-    for kind in DesignKind::ALL {
-        let mut design = Design::build(kind, &cfg, &mapped.routes);
-        let flows = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-        let mut traffic = BernoulliTraffic::new(
-            &mapped.rates,
-            &flows,
-            cfg.mesh,
-            cfg.flits_per_packet(),
-            2024,
-        );
-        design.run_with(&mut traffic, 30_000);
-        design.drain(5_000);
-        let stats = design.stats();
+    // 3. One experiment matrix: all three designs, same mapped
+    //    workload, same Bernoulli traffic — cells run in parallel.
+    let plan = RunPlan {
+        warmup: 0,
+        measure: 30_000,
+        drain: 5_000,
+        seed: 2024,
+    };
+    let reports = ExperimentMatrix::new(cfg.clone())
+        .designs(&DesignKind::ALL)
+        .workloads(vec![Workload::from(&mapped)])
+        .plan(plan)
+        .run();
+    for report in &reports {
         println!(
             "{:<10} avg network latency {:>6.2} cycles over {:>5} packets",
-            kind.label(),
-            stats.avg_network_latency(),
-            stats.packets()
+            report.design.label(),
+            report.avg_network_latency,
+            report.measured_packets
         );
     }
 
     // 4. Peek at the presets SMART computed: how much of the mesh flies?
-    let smart = smart_noc::arch::noc::SmartNoc::new(&cfg, &mapped.routes);
-    let compiled = smart.compiled();
+    let smart = reports
+        .iter()
+        .find(|r| r.design == DesignKind::Smart)
+        .expect("SMART ran");
+    let compiled = smart.compile.as_ref().expect("SMART compile metrics");
     println!(
         "\nSMART presets: {:.0}% of router visits bypassed, {:.2} stops/flow",
-        compiled.bypass_fraction(cfg.mesh) * 100.0,
-        compiled.avg_stops()
+        compiled.bypass_fraction * 100.0,
+        compiled.avg_stops
     );
 }

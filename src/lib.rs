@@ -12,8 +12,13 @@
 //! * [`mapping`] — NMAP-style mapping, routing and preset compilation.
 //! * [`power`] — per-event energy model and the Fig 10b breakdown.
 //! * [`rtlgen`] — the Section V tool flow (RTL, macro blocks, floorplan).
+//! * [`harness`] — the one-experiment API: [`harness::Experiment`]
+//!   composes all of the above into configure → map → build → drive →
+//!   measure, and [`harness::ExperimentMatrix`] fans out over designs ×
+//!   workloads on scoped threads.
 
 pub use smart_core as arch;
+pub use smart_harness as harness;
 pub use smart_link as link;
 pub use smart_mapping as mapping;
 pub use smart_power as power;
@@ -21,22 +26,29 @@ pub use smart_rtlgen as rtlgen;
 pub use smart_sim as sim;
 pub use smart_taskgraph as taskgraph;
 
-/// One-stop imports for the common workflow: configure, map, build a
-/// design, run traffic, read stats and power.
+/// One-stop imports for the common workflow: one [`Experiment`] per
+/// (design, workload) cell, or an [`ExperimentMatrix`] for the full
+/// fan-out.
 ///
 /// ```
 /// use smart_noc::prelude::*;
 ///
-/// let cfg = NocConfig::paper_4x4();
-/// let mapped = MappedApp::from_graph(&cfg, &apps::pip());
-/// let mut design = Design::build(DesignKind::Smart, &cfg, &mapped.routes);
-/// design.step();
-/// assert_eq!(design.cycle(), 1);
+/// let report = Experiment::new(NocConfig::paper_4x4())
+///     .design(DesignKind::Smart)
+///     .workload(Workload::app("PIP"))
+///     .plan(RunPlan::smoke())
+///     .run();
+/// assert!(report.drained);
+/// assert_eq!(report.packets_delivered, report.packets_injected);
 /// ```
 pub mod prelude {
     pub use smart_core::config::NocConfig;
     pub use smart_core::noc::{Design, DesignKind, MeshNoc, SmartNoc};
     pub use smart_core::reconfig::ReconfigurableNoc;
+    pub use smart_harness::{
+        Drive, Experiment, ExperimentMatrix, ExperimentReport, MatrixOutcome, RoutedWorkload,
+        RunPlan, Workload,
+    };
     pub use smart_mapping::MappedApp;
     pub use smart_power::{breakdown, EnergyModel, GatingPolicy};
     pub use smart_sim::{

@@ -3,17 +3,12 @@
 //! long enough to exercise HPC_max segmentation.
 
 use smart_noc::arch::compile::compile;
-use smart_noc::arch::config::NocConfig;
-use smart_noc::arch::noc::{Design, DesignKind};
-use smart_noc::mapping::{place_random, MappedApp};
-use smart_noc::power::{breakdown, EnergyModel, GatingPolicy};
-use smart_noc::sim::BernoulliTraffic;
-use smart_noc::taskgraph::apps;
+use smart_noc::mapping::place_random;
+use smart_noc::prelude::*;
 
 #[test]
 fn suite_runs_on_8x8_with_random_placement() {
     let cfg = NocConfig::scaled(8);
-    let model = EnergyModel::calibrated_45nm(&cfg);
     for graph in [apps::h264(), apps::vopd(), apps::wlan()] {
         let placement = place_random(cfg.mesh, &graph, 2026);
         let mapped = MappedApp::with_placement(&cfg, &graph, placement);
@@ -33,16 +28,21 @@ fn suite_runs_on_8x8_with_random_placement() {
             }
         }
 
-        for kind in [DesignKind::Mesh, DesignKind::Smart] {
-            let mut design = Design::build(kind, &cfg, &mapped.routes);
-            let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-            let mut traffic =
-                BernoulliTraffic::new(&mapped.rates, &table, cfg.mesh, cfg.flits_per_packet(), 64);
-            design.run_with(&mut traffic, 15_000);
-            assert!(design.drain(10_000), "{}: drains", graph.name());
-            let c = design.counters();
-            assert_eq!(c.packets_injected, c.packets_delivered);
-            let p = breakdown(&model, c, cfg.clock_ghz, GatingPolicy::for_design(kind));
+        let reports = ExperimentMatrix::new(cfg.clone())
+            .designs(&[DesignKind::Mesh, DesignKind::Smart])
+            .workloads(vec![Workload::from(&mapped)])
+            .plan(RunPlan {
+                warmup: 0,
+                measure: 8_000,
+                drain: 8_000,
+                seed: 64,
+            })
+            .measure_power()
+            .run();
+        for r in &reports {
+            assert!(r.drained, "{}: drains", graph.name());
+            assert_eq!(r.counters.packets_injected, r.counters.packets_delivered);
+            let p = r.power.expect("power attached");
             assert!(p.total_w() > 0.0 && p.total_w() < 1.0);
         }
     }
@@ -54,17 +54,19 @@ fn smart_still_wins_at_8x8_scale() {
     let graph = apps::vopd();
     let placement = place_random(cfg.mesh, &graph, 7);
     let mapped = MappedApp::with_placement(&cfg, &graph, placement);
-    let mut lat = Vec::new();
-    for kind in [DesignKind::Mesh, DesignKind::Smart] {
-        let mut design = Design::build(kind, &cfg, &mapped.routes);
-        let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &mapped.routes);
-        let mut traffic =
-            BernoulliTraffic::new(&mapped.rates, &table, cfg.mesh, cfg.flits_per_packet(), 64);
-        design.set_stats_from(2_000);
-        design.run_with(&mut traffic, 25_000);
-        design.drain(10_000);
-        lat.push(design.stats().avg_network_latency());
-    }
+    let lat: Vec<f64> = ExperimentMatrix::new(cfg)
+        .designs(&[DesignKind::Mesh, DesignKind::Smart])
+        .workloads(vec![Workload::from(&mapped)])
+        .plan(RunPlan {
+            warmup: 2_000,
+            measure: 10_000,
+            drain: 8_000,
+            seed: 64,
+        })
+        .run()
+        .iter()
+        .map(|r| r.avg_network_latency)
+        .collect();
     // With ~4-hop average routes the paper's remark applies: longer
     // paths magnify SMART's benefit (well above the 4x4's 60%).
     let reduction = 1.0 - lat[1] / lat[0];

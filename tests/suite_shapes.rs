@@ -3,33 +3,40 @@
 //! crossovers fall. Absolute cycle counts may drift with mapping
 //! details; the bands here are intentionally wider than the point
 //! estimates recorded in EXPERIMENTS.md.
+//!
+//! The suite (8 apps × 3 designs) runs **once**, shared across all
+//! three tests, and its cells fan out across cores via
+//! `ExperimentMatrix` — this was the battery's slowest file before.
 
-use smart_bench::{run_suite, RunPlan, RunResult};
+use smart_bench::{run_suite, ExperimentReport, RunPlan};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
-use smart_power::{breakdown, EnergyModel, GatingPolicy};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
-fn suite() -> (NocConfig, Vec<RunResult>) {
-    let cfg = NocConfig::paper_4x4();
-    let results = run_suite(&cfg, &RunPlan::quick());
-    (cfg, results)
+fn suite() -> &'static (NocConfig, Vec<ExperimentReport>) {
+    static SUITE: OnceLock<(NocConfig, Vec<ExperimentReport>)> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        let cfg = NocConfig::paper_4x4();
+        let results = run_suite(&cfg, &RunPlan::quick());
+        (cfg, results)
+    })
 }
 
-fn by_app(results: &[RunResult], kind: DesignKind) -> BTreeMap<String, f64> {
+fn by_app(results: &[ExperimentReport], kind: DesignKind) -> BTreeMap<String, f64> {
     results
         .iter()
         .filter(|r| r.design == kind)
-        .map(|r| (r.app.clone(), r.avg_latency))
+        .map(|r| (r.workload.clone(), r.avg_network_latency))
         .collect()
 }
 
 #[test]
 fn latency_shape_matches_fig10a() {
     let (_, results) = suite();
-    let mesh = by_app(&results, DesignKind::Mesh);
-    let smart = by_app(&results, DesignKind::Smart);
-    let ded = by_app(&results, DesignKind::Dedicated);
+    let mesh = by_app(results, DesignKind::Mesh);
+    let smart = by_app(results, DesignKind::Smart);
+    let ded = by_app(results, DesignKind::Dedicated);
     assert_eq!(mesh.len(), 8, "all eight applications ran");
 
     // Per-app ordering: Mesh > SMART >= Dedicated (within noise).
@@ -80,46 +87,36 @@ fn latency_shape_matches_fig10a() {
 
 #[test]
 fn power_shape_matches_fig10b() {
-    let (cfg, results) = suite();
-    let model = EnergyModel::calibrated_45nm(&cfg);
+    let (_, results) = suite();
     let mut ratios = Vec::new();
     let mut mesh_link = BTreeMap::new();
     let mut ded_link = BTreeMap::new();
     let mut mesh_total = BTreeMap::new();
     let mut ded_total = BTreeMap::new();
-    for r in &results {
-        let p = breakdown(
-            &model,
-            &r.counters,
-            cfg.clock_ghz,
-            GatingPolicy::for_design(r.design),
-        );
+    let mut smart_total = BTreeMap::new();
+    for r in results {
+        let p = r.power.expect("run_suite attaches the power model");
         match r.design {
             DesignKind::Mesh => {
-                mesh_link.insert(r.app.clone(), p.link_w);
-                mesh_total.insert(r.app.clone(), p.total_w());
+                mesh_link.insert(r.workload.clone(), p.link_w);
+                mesh_total.insert(r.workload.clone(), p.total_w());
             }
             DesignKind::Dedicated => {
-                ded_link.insert(r.app.clone(), p.link_w);
-                ded_total.insert(r.app.clone(), p.total_w());
+                ded_link.insert(r.workload.clone(), p.link_w);
+                ded_total.insert(r.workload.clone(), p.total_w());
                 // Dedicated is link-only in the paper's plot.
-                assert_eq!(p.buffer_w, 0.0, "{}", r.app);
-                assert_eq!(p.allocator_w, 0.0, "{}", r.app);
-                assert_eq!(p.xbar_pipeline_w, 0.0, "{}", r.app);
+                assert_eq!(p.buffer_w, 0.0, "{}", r.workload);
+                assert_eq!(p.allocator_w, 0.0, "{}", r.workload);
+                assert_eq!(p.xbar_pipeline_w, 0.0, "{}", r.workload);
             }
-            DesignKind::Smart => {}
+            DesignKind::Smart => {
+                // SMART's policy is preset-driven clock gating.
+                smart_total.insert(r.workload.clone(), p.total_w());
+            }
         }
     }
-    for r in &results {
-        if r.design == DesignKind::Smart {
-            let p = breakdown(
-                &model,
-                &r.counters,
-                cfg.clock_ghz,
-                GatingPolicy::PresetGated,
-            );
-            ratios.push(mesh_total[&r.app] / p.total_w());
-        }
+    for (app, w) in &smart_total {
+        ratios.push(mesh_total[app] / w);
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     // Paper: 2.2x average. Band: 1.6-3.2x.
@@ -154,17 +151,17 @@ fn power_shape_matches_fig10b() {
 #[test]
 fn source_queueing_is_reported_separately() {
     let (_, results) = suite();
-    for r in &results {
+    for r in results {
         assert!(
             r.avg_source_queue >= 0.0 && r.avg_source_queue.is_finite(),
             "{} {:?}",
-            r.app,
+            r.workload,
             r.design
         );
         assert!(
-            r.avg_packet_latency >= r.avg_latency + 6.9,
+            r.avg_packet_latency >= r.avg_network_latency + 6.9,
             "{} {:?}: tail must trail head by ≥7 flit cycles",
-            r.app,
+            r.workload,
             r.design
         );
     }
