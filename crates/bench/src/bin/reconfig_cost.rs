@@ -21,7 +21,9 @@ fn main() {
     );
     for graph in smart_taskgraph::apps::all() {
         let mapped = MappedApp::from_graph(&cfg, &graph);
-        let report = noc.load_app(&mapped.name, &mapped.routes, 10_000);
+        let report = noc
+            .load_app(&mapped.name, &mapped.routes, 10_000)
+            .expect("traffic drains within the budget");
         let live = noc.noc_mut().expect("app loaded");
         let ports = live.presets().enabled_ports();
         let stops = live.compiled().avg_stops();

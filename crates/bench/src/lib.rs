@@ -7,8 +7,9 @@
 //! ([`run_suite`]) and small numeric helpers.
 
 pub use smart_harness::{
-    CompileMetrics, Drive, Experiment, ExperimentMatrix, ExperimentReport, MatrixOutcome,
-    RoutedWorkload, RunPlan, Workload,
+    AppPhase, AppSchedule, CompileMetrics, Drive, Experiment, ExperimentMatrix, ExperimentReport,
+    MatrixOutcome, MultiAppExperiment, PhaseTransition, RoutedWorkload, RunPlan, ScheduleDesign,
+    ScheduleError, ScheduleMatrix, ScheduleOutcome, ScheduleReport, Workload,
 };
 
 use smart_core::config::NocConfig;

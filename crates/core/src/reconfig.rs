@@ -9,6 +9,35 @@ use crate::config::NocConfig;
 use crate::noc::SmartNoc;
 use crate::preset::StoreOp;
 use smart_sim::{FlowId, SourceRoute};
+use std::fmt;
+
+/// Why a reconfiguration was refused: the previous application's
+/// in-flight traffic did not drain within the budget. Reconfiguring a
+/// non-empty network would corrupt in-flight packets, so the swap is
+/// not performed — the previous application stays loaded (its network
+/// advanced by the failed drain attempt) and the caller may retry with
+/// a larger budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigError {
+    /// Application whose traffic failed to drain.
+    pub current_app: String,
+    /// Application that was being loaded.
+    pub next_app: String,
+    /// The drain budget that was exhausted.
+    pub max_drain_cycles: u64,
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot reconfigure to {}: {} traffic did not drain within {} cycles",
+            self.next_app, self.current_app, self.max_drain_cycles
+        )
+    }
+}
+
+impl std::error::Error for ReconfigError {}
 
 /// Report of one reconfiguration event.
 #[derive(Debug, Clone)]
@@ -78,25 +107,28 @@ impl ReconfigurableNoc {
     /// compiles presets, emits the store sequence, and swaps the
     /// simulated network.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the previous application's traffic cannot drain within
-    /// `max_drain_cycles` — reconfiguring a non-empty network corrupts
-    /// in-flight packets, so this is a hard error.
+    /// Returns a [`ReconfigError`] if the previous application's
+    /// traffic cannot drain within `max_drain_cycles` — reconfiguring a
+    /// non-empty network corrupts in-flight packets, so the previous
+    /// application stays loaded instead.
     pub fn load_app(
         &mut self,
         name: &str,
         routes: &[(FlowId, SourceRoute)],
         max_drain_cycles: u64,
-    ) -> ReconfigReport {
+    ) -> Result<ReconfigReport, ReconfigError> {
         let mut drain_cycles = 0;
         if let Some((prev_name, prev)) = self.current.as_mut() {
             let before = prev.network().cycle();
-            assert!(
-                prev.network_mut().drain(max_drain_cycles),
-                "cannot reconfigure: {prev_name} traffic did not drain \
-                 within {max_drain_cycles} cycles"
-            );
+            if !prev.network_mut().drain(max_drain_cycles) {
+                return Err(ReconfigError {
+                    current_app: prev_name.clone(),
+                    next_app: name.to_owned(),
+                    max_drain_cycles,
+                });
+            }
             drain_cycles = prev.network().cycle() - before;
         }
         let noc = SmartNoc::new(&self.cfg, routes);
@@ -104,12 +136,12 @@ impl ReconfigurableNoc {
         let cost = stores.len();
         self.current = Some((name.to_owned(), noc));
         self.reconfig_count += 1;
-        ReconfigReport {
+        Ok(ReconfigReport {
             app_name: name.to_owned(),
             drain_cycles,
             stores,
             cost_instructions: cost,
-        }
+        })
     }
 }
 
@@ -131,7 +163,9 @@ mod tests {
     #[test]
     fn sixteen_stores_per_reconfiguration() {
         let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0x4000_0000);
-        let rep = noc.load_app("wlan", &routes_row(), 1000);
+        let rep = noc
+            .load_app("wlan", &routes_row(), 1000)
+            .expect("first load");
         assert_eq!(rep.cost_instructions, 16, "16 nodes = 16 instructions");
         assert_eq!(rep.drain_cycles, 0, "first app needs no drain");
         assert_eq!(noc.current_app(), Some("wlan"));
@@ -140,8 +174,8 @@ mod tests {
     #[test]
     fn presets_change_across_apps() {
         let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0);
-        let a = noc.load_app("row", &routes_row(), 1000);
-        let b = noc.load_app("col", &routes_col(), 1000);
+        let a = noc.load_app("row", &routes_row(), 1000).expect("load row");
+        let b = noc.load_app("col", &routes_col(), 1000).expect("load col");
         assert_ne!(
             a.stores, b.stores,
             "different applications must produce different presets"
@@ -152,7 +186,7 @@ mod tests {
     #[test]
     fn drain_happens_between_apps() {
         let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0);
-        noc.load_app("row", &routes_row(), 1000);
+        noc.load_app("row", &routes_row(), 1000).expect("load row");
         let net = noc.noc_mut().expect("loaded").network_mut();
         net.offer(Packet {
             id: PacketId(0),
@@ -163,15 +197,14 @@ mod tests {
             num_flits: 8,
         });
         net.step(); // leave traffic in flight
-        let rep = noc.load_app("col", &routes_col(), 1000);
+        let rep = noc.load_app("col", &routes_col(), 1000).expect("drains");
         assert!(rep.drain_cycles > 0, "in-flight traffic forced a drain");
     }
 
     #[test]
-    #[should_panic(expected = "did not drain")]
     fn refusing_to_reconfigure_live_traffic() {
         let mut noc = ReconfigurableNoc::new(NocConfig::paper_4x4(), 0);
-        noc.load_app("row", &routes_row(), 1000);
+        noc.load_app("row", &routes_row(), 1000).expect("load row");
         let net = noc.noc_mut().expect("loaded").network_mut();
         net.offer(Packet {
             id: PacketId(0),
@@ -181,7 +214,13 @@ mod tests {
             gen_cycle: 0,
             num_flits: 8,
         });
-        // Zero drain budget: must refuse.
-        let _ = noc.load_app("col", &routes_col(), 0);
+        // Zero drain budget: must refuse, keeping the previous app.
+        let err = noc.load_app("col", &routes_col(), 0).unwrap_err();
+        assert_eq!(err.current_app, "row");
+        assert_eq!(err.next_app, "col");
+        assert_eq!(err.max_drain_cycles, 0);
+        assert!(err.to_string().contains("did not drain"));
+        assert_eq!(noc.current_app(), Some("row"), "previous app stays loaded");
+        assert_eq!(noc.reconfig_count(), 1);
     }
 }

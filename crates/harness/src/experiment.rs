@@ -1,12 +1,14 @@
 //! One experiment cell: configure → map → build → drive → measure.
 
 use crate::workload::{RoutedWorkload, Workload};
+use smart_core::compile::CompiledApp;
 use smart_core::config::NocConfig;
 use smart_core::noc::{Design, DesignKind};
 use smart_power::{breakdown, EnergyModel, GatingPolicy, PowerBreakdown};
 use smart_sim::counters::ActivityCounters;
+use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{BernoulliTraffic, FlowId, FlowTable, NodeId, ScriptedTraffic};
+use smart_sim::{BernoulliTraffic, FlowId, FlowTable, Mesh, NodeId, ScriptedTraffic};
 use std::fmt;
 
 /// Simulation schedule for one experiment run.
@@ -93,6 +95,29 @@ pub struct CompileMetrics {
     pub stops: Vec<(FlowId, Vec<NodeId>)>,
     /// Analytical zero-load latency per flow, cycles.
     pub zero_load_latency: Vec<(FlowId, u64)>,
+    /// Store instructions needed to install the presets — one per
+    /// router (Section V reconfiguration cost).
+    pub preset_stores: usize,
+}
+
+impl CompileMetrics {
+    /// Metrics of a compiled application serving `routed` — the single
+    /// extraction path shared by [`Experiment`] and the multi-app
+    /// schedule runner.
+    pub(crate) fn from_compiled(app: &CompiledApp, routed: &RoutedWorkload, mesh: Mesh) -> Self {
+        CompileMetrics {
+            avg_stops: app.avg_stops(),
+            bypass_fraction: app.bypass_fraction(mesh),
+            stops: app.stops.iter().map(|(f, s)| (*f, s.clone())).collect(),
+            zero_load_latency: routed
+                .routes
+                .iter()
+                .map(|(f, _)| (*f, app.flows.plan(*f).zero_load_latency()))
+                .collect(),
+            // The count is independent of the base address.
+            preset_stores: app.presets.store_sequence(0).len(),
+        }
+    }
 }
 
 /// Everything measured by one [`Experiment`] run. Deterministic: the
@@ -133,7 +158,65 @@ pub struct ExperimentReport {
     pub power: Option<PowerBreakdown>,
 }
 
+/// Raw measurements of one finished run, before report assembly.
+pub(crate) struct RawMeasurements<'a> {
+    /// `true` if the network went quiescent within the drain budget.
+    pub drained: bool,
+    /// Activity counters over the measured window.
+    pub counters: ActivityCounters,
+    /// Latency statistics over the measured window.
+    pub stats: &'a SimStats,
+}
+
 impl ExperimentReport {
+    /// Assemble a report from a finished run's raw measurements — the
+    /// single construction path shared by [`Experiment::run_routed`]
+    /// and the multi-app schedule runner, so both agree on derived
+    /// fields and the optional power breakdown.
+    pub(crate) fn assemble(
+        design: DesignKind,
+        cfg: &NocConfig,
+        workload: &str,
+        raw: &RawMeasurements<'_>,
+        compile: Option<CompileMetrics>,
+        measure_power: bool,
+    ) -> Self {
+        let RawMeasurements {
+            drained,
+            counters,
+            stats,
+        } = *raw;
+        let power = measure_power.then(|| {
+            breakdown(
+                &EnergyModel::calibrated_45nm(cfg),
+                &counters,
+                cfg.clock_ghz,
+                GatingPolicy::for_design(design),
+            )
+        });
+        ExperimentReport {
+            design,
+            workload: workload.to_owned(),
+            mesh: (cfg.mesh.width(), cfg.mesh.height()),
+            drained,
+            packets_injected: counters.packets_injected,
+            packets_delivered: counters.packets_delivered,
+            flits_delivered: counters.flits_delivered,
+            measured_packets: stats.packets(),
+            avg_network_latency: stats.avg_network_latency(),
+            avg_packet_latency: stats.avg_packet_latency(),
+            avg_source_queue: stats.avg_source_queue(),
+            flow_latencies: stats
+                .flows()
+                .iter()
+                .map(|(f, s)| (*f, s.avg_head_latency()))
+                .collect(),
+            counters,
+            compile,
+            power,
+        }
+    }
+
     /// Average head-flit latency of one flow, if it delivered packets.
     #[must_use]
     pub fn flow_latency(&self, flow: FlowId) -> Option<f64> {
@@ -311,52 +394,25 @@ impl Experiment {
         let drained = design.drain(self.plan.drain);
 
         let compile = match &design {
-            Design::Smart(smart) => {
-                let app = smart.compiled();
-                Some(CompileMetrics {
-                    avg_stops: app.avg_stops(),
-                    bypass_fraction: app.bypass_fraction(cfg.mesh),
-                    stops: app.stops.iter().map(|(f, s)| (*f, s.clone())).collect(),
-                    zero_load_latency: routed
-                        .routes
-                        .iter()
-                        .map(|(f, _)| (*f, app.flows.plan(*f).zero_load_latency()))
-                        .collect(),
-                })
-            }
+            Design::Smart(smart) => Some(CompileMetrics::from_compiled(
+                smart.compiled(),
+                routed,
+                cfg.mesh,
+            )),
             _ => None,
         };
-        let counters = *design.counters();
-        let power = self.power.then(|| {
-            breakdown(
-                &EnergyModel::calibrated_45nm(cfg),
-                &counters,
-                cfg.clock_ghz,
-                GatingPolicy::for_design(self.design),
-            )
-        });
-        let stats = design.stats();
-        ExperimentReport {
-            design: self.design,
-            workload: routed.name.clone(),
-            mesh: (cfg.mesh.width(), cfg.mesh.height()),
-            drained,
-            packets_injected: counters.packets_injected,
-            packets_delivered: counters.packets_delivered,
-            flits_delivered: counters.flits_delivered,
-            measured_packets: stats.packets(),
-            avg_network_latency: stats.avg_network_latency(),
-            avg_packet_latency: stats.avg_packet_latency(),
-            avg_source_queue: stats.avg_source_queue(),
-            flow_latencies: stats
-                .flows()
-                .iter()
-                .map(|(f, s)| (*f, s.avg_head_latency()))
-                .collect(),
-            counters,
+        ExperimentReport::assemble(
+            self.design,
+            cfg,
+            &routed.name,
+            &RawMeasurements {
+                drained,
+                counters: *design.counters(),
+                stats: design.stats(),
+            },
             compile,
-            power,
-        }
+            self.power,
+        )
     }
 }
 

@@ -19,6 +19,11 @@
 //! * [`ExperimentMatrix`] — fan-out over designs × workloads with a
 //!   scoped-thread runner: cells execute in parallel, results come back
 //!   in deterministic matrix order.
+//! * [`AppSchedule`] / [`MultiAppExperiment`] — the Fig 1 / Section V
+//!   multi-application regime: ordered phases run back-to-back on one
+//!   NoC, paying the drain + preset-store reconfiguration cost at every
+//!   transition; [`ScheduleMatrix`] fans one schedule out across the
+//!   four [`ScheduleDesign`]s on the same deterministic cell runner.
 //!
 //! ```
 //! use smart_core::config::NocConfig;
@@ -36,8 +41,13 @@
 
 pub mod experiment;
 pub mod matrix;
+pub mod schedule;
 pub mod workload;
 
 pub use experiment::{CompileMetrics, Drive, Experiment, ExperimentReport, RunPlan};
 pub use matrix::{ExperimentMatrix, MatrixOutcome};
+pub use schedule::{
+    AppPhase, AppSchedule, MultiAppExperiment, PhaseTransition, ScheduleDesign, ScheduleError,
+    ScheduleMatrix, ScheduleOutcome, ScheduleReport,
+};
 pub use workload::{RoutedWorkload, Workload};

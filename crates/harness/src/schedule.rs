@@ -1,0 +1,730 @@
+//! Multi-application schedules (Fig 1, Section V): run an ordered
+//! sequence of applications on one NoC, paying the drain + preset-store
+//! reconfiguration cost between phases.
+//!
+//! The paper's Fig 1 shows one physical mesh serving WLAN, then H.264,
+//! then VOPD: "before each application runs, these registers need to be
+//! set properly … the network needs to be emptied while setting the
+//! registers", at a cost of one memory-mapped store per router — 16
+//! instructions on the 4×4 mesh. ArSMART (arXiv:2011.09261) evaluates
+//! exactly this multi-app regime with per-application reconfiguration
+//! cost. [`AppSchedule`] captures the scenario class — ordered phases,
+//! each a [`Workload`] under its own [`RunPlan`], plus a shared drain
+//! budget between phases — and [`MultiAppExperiment`] drives one of the
+//! four [`ScheduleDesign`]s through it, returning a [`ScheduleReport`]:
+//! one [`ExperimentReport`] per phase, one [`PhaseTransition`] per
+//! switch, and cross-phase aggregates. [`ScheduleMatrix`] fans one
+//! schedule out across designs on the same scoped-thread cell runner as
+//! [`crate::ExperimentMatrix`], with the same per-cell determinism.
+
+use crate::experiment::{CompileMetrics, Experiment, ExperimentReport, RawMeasurements, RunPlan};
+use crate::matrix::run_cells;
+use crate::workload::{RoutedWorkload, Workload};
+use smart_core::config::NocConfig;
+use smart_core::noc::{DesignKind, SmartNoc};
+use smart_core::reconfig::{ReconfigError, ReconfigurableNoc};
+use smart_sim::BernoulliTraffic;
+use smart_taskgraph::apps;
+use std::fmt;
+
+/// Default drain budget for the transition between two phases.
+const DEFAULT_DRAIN_BUDGET: u64 = 50_000;
+
+/// Default base address of the memory-mapped preset registers
+/// (Section V; the value itself is arbitrary).
+const DEFAULT_BASE_ADDR: u64 = 0x4000_0000;
+
+/// The design axis of a multi-app schedule: the paper's three evaluated
+/// designs plus the live-reconfigured SMART of Fig 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScheduleDesign {
+    /// Baseline mesh, rebuilt per phase: no preset registers, so
+    /// switching applications costs no store instructions.
+    Mesh,
+    /// SMART, rebuilt per phase (offline reconfiguration): each
+    /// application's presets cost one store per router, but no live
+    /// traffic needs draining.
+    Smart,
+    /// Ideal per-flow dedicated links, rewired per phase — a yardstick
+    /// that real silicon could not retarget at runtime at all.
+    Dedicated,
+    /// SMART behind one live [`ReconfigurableNoc`]: every transition
+    /// drains in-flight traffic and replays the store sequence, exactly
+    /// the Fig 1 runtime story.
+    Reconfigurable,
+}
+
+impl ScheduleDesign {
+    /// All four designs, in presentation order.
+    pub const ALL: [ScheduleDesign; 4] = [
+        ScheduleDesign::Mesh,
+        ScheduleDesign::Smart,
+        ScheduleDesign::Dedicated,
+        ScheduleDesign::Reconfigurable,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ScheduleDesign::Mesh => "Mesh",
+            ScheduleDesign::Smart => "SMART",
+            ScheduleDesign::Dedicated => "Dedicated",
+            ScheduleDesign::Reconfigurable => "Reconfigurable",
+        }
+    }
+
+    /// The underlying simulated design.
+    #[must_use]
+    pub fn kind(self) -> DesignKind {
+        match self {
+            ScheduleDesign::Mesh => DesignKind::Mesh,
+            ScheduleDesign::Smart | ScheduleDesign::Reconfigurable => DesignKind::Smart,
+            ScheduleDesign::Dedicated => DesignKind::Dedicated,
+        }
+    }
+}
+
+/// One phase of a schedule: a workload driven under its own plan.
+#[derive(Debug, Clone)]
+pub struct AppPhase {
+    /// What traffic this phase offers.
+    pub workload: Workload,
+    /// The warm-up / measure / drain schedule for this phase.
+    pub plan: RunPlan,
+}
+
+/// An ordered multi-application schedule plus the reconfiguration
+/// parameters shared by every transition.
+#[derive(Debug, Clone)]
+pub struct AppSchedule {
+    /// The phases, in execution order.
+    pub phases: Vec<AppPhase>,
+    drain_budget: u64,
+    base_addr: u64,
+}
+
+impl Default for AppSchedule {
+    fn default() -> Self {
+        AppSchedule::new()
+    }
+}
+
+impl AppSchedule {
+    /// An empty schedule with the default drain budget and preset base
+    /// address.
+    #[must_use]
+    pub fn new() -> Self {
+        AppSchedule {
+            phases: Vec::new(),
+            drain_budget: DEFAULT_DRAIN_BUDGET,
+            base_addr: DEFAULT_BASE_ADDR,
+        }
+    }
+
+    /// The paper's eight task-graph applications back-to-back (in
+    /// [`apps::all`] order), every phase under the same plan — the
+    /// Fig 1 rotation at suite scale.
+    #[must_use]
+    pub fn apps(plan: RunPlan) -> Self {
+        apps::all()
+            .into_iter()
+            .fold(AppSchedule::new(), |s, graph| {
+                s.then(Workload::Graph(graph), plan)
+            })
+    }
+
+    /// Append a phase.
+    #[must_use]
+    pub fn then(mut self, workload: impl Into<Workload>, plan: RunPlan) -> Self {
+        self.phases.push(AppPhase {
+            workload: workload.into(),
+            plan,
+        });
+        self
+    }
+
+    /// Cycles each transition may spend draining the previous phase's
+    /// in-flight traffic before the swap is refused.
+    #[must_use]
+    pub fn drain_budget(mut self, cycles: u64) -> Self {
+        self.drain_budget = cycles;
+        self
+    }
+
+    /// Base address of the memory-mapped preset registers.
+    #[must_use]
+    pub fn base_addr(mut self, addr: u64) -> Self {
+        self.base_addr = addr;
+        self
+    }
+
+    /// Number of phases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// `true` if the schedule has no phases.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+/// What one application switch cost (Section V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTransition {
+    /// Application being replaced (`None` for the first phase).
+    pub from: Option<String>,
+    /// Application being loaded.
+    pub to: String,
+    /// Cycles spent draining the previous phase's in-flight traffic.
+    pub drain_cycles: u64,
+    /// Memory-mapped store instructions executed to install the
+    /// presets — one per router (16 on the 4×4 mesh), 0 for designs
+    /// without preset registers.
+    pub store_count: usize,
+}
+
+/// A schedule could not advance past one of its phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Index of the phase that could not be loaded.
+    pub phase: usize,
+    /// The underlying reconfiguration failure.
+    pub source: ReconfigError,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule phase {}: {}", self.phase, self.source)
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Everything measured across one schedule run. Deterministic: the same
+/// (config, design, schedule) triple produces a byte-identical report.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// Which design ran the schedule.
+    pub design: ScheduleDesign,
+    /// Mesh dimensions of the design point.
+    pub mesh: (u16, u16),
+    /// One experiment report per phase, in schedule order.
+    pub phases: Vec<ExperimentReport>,
+    /// One transition per phase; `transitions[i]` is the switch that
+    /// loaded `phases[i]` (the first has `from == None`).
+    pub transitions: Vec<PhaseTransition>,
+}
+
+impl ScheduleReport {
+    /// Total cycles spent draining in-flight traffic at transitions.
+    #[must_use]
+    pub fn total_drain_cycles(&self) -> u64 {
+        self.transitions.iter().map(|t| t.drain_cycles).sum()
+    }
+
+    /// Total store instructions executed across all transitions.
+    #[must_use]
+    pub fn total_store_instructions(&self) -> usize {
+        self.transitions.iter().map(|t| t.store_count).sum()
+    }
+
+    /// Packets delivered across all phases.
+    #[must_use]
+    pub fn packets_delivered(&self) -> u64 {
+        self.phases.iter().map(|p| p.packets_delivered).sum()
+    }
+
+    /// Packet-weighted average head-flit network latency across the
+    /// whole schedule (`NaN` if no phase measured a packet).
+    #[must_use]
+    pub fn avg_network_latency(&self) -> f64 {
+        let measured: u64 = self.phases.iter().map(|p| p.measured_packets).sum();
+        if measured == 0 {
+            return f64::NAN;
+        }
+        let weighted: f64 = self
+            .phases
+            .iter()
+            .filter(|p| p.measured_packets > 0)
+            .map(|p| p.avg_network_latency * p.measured_packets as f64)
+            .sum();
+        weighted / measured as f64
+    }
+
+    /// Section V amortization: reconfiguration store instructions per
+    /// delivered packet across the whole schedule (`NaN` if nothing
+    /// was delivered).
+    #[must_use]
+    pub fn amortized_instruction_overhead(&self) -> f64 {
+        let delivered = self.packets_delivered();
+        if delivered == 0 {
+            return f64::NAN;
+        }
+        self.total_store_instructions() as f64 / delivered as f64
+    }
+
+    /// One stable multi-line snapshot, full float precision — the
+    /// format determinism tests compare bit-exactly.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        let mut lines = vec![format!(
+            "schedule {} {}x{} phases={} stores={} drain={}",
+            self.design.label(),
+            self.mesh.0,
+            self.mesh.1,
+            self.phases.len(),
+            self.total_store_instructions(),
+            self.total_drain_cycles(),
+        )];
+        for (t, p) in self.transitions.iter().zip(&self.phases) {
+            lines.push(format!(
+                "  -> {} from={} drain={} stores={}",
+                t.to,
+                t.from.as_deref().unwrap_or("(boot)"),
+                t.drain_cycles,
+                t.store_count,
+            ));
+            lines.push(format!("  {}", p.snapshot_line()));
+        }
+        lines.join("\n")
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "multi-app schedule on {} ({}x{} mesh), {} phases",
+            self.design.label(),
+            self.mesh.0,
+            self.mesh.1,
+            self.phases.len()
+        )?;
+        for (t, p) in self.transitions.iter().zip(&self.phases) {
+            writeln!(
+                f,
+                "  {:>10} -> {:<10} drain {:>6} cyc, {:>3} stores | {:>8.2} cyc avg over {} packets",
+                t.from.as_deref().unwrap_or("(boot)"),
+                t.to,
+                t.drain_cycles,
+                t.store_count,
+                p.avg_network_latency,
+                p.measured_packets
+            )?;
+        }
+        write!(
+            f,
+            "  total: {} packets, {} store instructions, {} drain cycles, {:.6} instr/packet",
+            self.packets_delivered(),
+            self.total_store_instructions(),
+            self.total_drain_cycles(),
+            self.amortized_instruction_overhead()
+        )
+    }
+}
+
+/// One multi-app experiment: a [`NocConfig`] design point, a
+/// [`ScheduleDesign`] and an [`AppSchedule`], executed with
+/// [`MultiAppExperiment::run`].
+#[derive(Debug, Clone)]
+pub struct MultiAppExperiment {
+    cfg: NocConfig,
+    design: ScheduleDesign,
+    schedule: AppSchedule,
+    power: bool,
+}
+
+impl MultiAppExperiment {
+    /// Start from a design point and schedule; defaults: the live
+    /// [`ScheduleDesign::Reconfigurable`] design, no power model.
+    #[must_use]
+    pub fn new(cfg: NocConfig, schedule: AppSchedule) -> Self {
+        MultiAppExperiment {
+            cfg,
+            design: ScheduleDesign::Reconfigurable,
+            schedule,
+            power: false,
+        }
+    }
+
+    /// Which schedule design to run.
+    #[must_use]
+    pub fn design(mut self, design: ScheduleDesign) -> Self {
+        self.design = design;
+        self
+    }
+
+    /// Attach the calibrated 45 nm energy model to every phase.
+    #[must_use]
+    pub fn measure_power(mut self) -> Self {
+        self.power = true;
+        self
+    }
+
+    /// The design point this schedule runs at.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Run every phase in order, reconfiguring between them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleError`] if a transition's drain budget is
+    /// exhausted before the previous phase's traffic empties (only the
+    /// live [`ScheduleDesign::Reconfigurable`] design drains a shared
+    /// network; the rebuilt designs cannot fail).
+    pub fn run(&self) -> Result<ScheduleReport, ScheduleError> {
+        let routed: Vec<RoutedWorkload> = self
+            .schedule
+            .phases
+            .iter()
+            .map(|p| p.workload.materialize(&self.cfg))
+            .collect();
+        self.run_routed(&routed)
+    }
+
+    /// Run against already-routed phase workloads (lets the schedule
+    /// matrix materialize each phase once across designs).
+    pub(crate) fn run_routed(
+        &self,
+        routed: &[RoutedWorkload],
+    ) -> Result<ScheduleReport, ScheduleError> {
+        match self.design {
+            ScheduleDesign::Reconfigurable => self.run_live(routed),
+            _ => Ok(self.run_rebuilt(routed)),
+        }
+    }
+
+    /// The Fig 1 runtime story: one live [`ReconfigurableNoc`], each
+    /// transition draining in-flight traffic and replaying the store
+    /// sequence before the next phase runs. The harness performs the
+    /// transition drain itself (before `load_app`, whose own drain then
+    /// finds a quiescent network) so packets delivered while emptying
+    /// the network are credited to the phase that injected them — each
+    /// phase's report is assembled only after its transition drain.
+    fn run_live(&self, routed: &[RoutedWorkload]) -> Result<ScheduleReport, ScheduleError> {
+        let cfg = &self.cfg;
+        let mut rnoc = ReconfigurableNoc::new(cfg.clone(), self.schedule.base_addr);
+        let mut phases = Vec::with_capacity(routed.len());
+        let mut transitions = Vec::with_capacity(routed.len());
+        // The phase currently live on the network, its report pending
+        // until the next transition's drain completes.
+        let mut pending: Option<(&RoutedWorkload, bool)> = None;
+        for (i, (phase, r)) in self.schedule.phases.iter().zip(routed).enumerate() {
+            let from = rnoc.current_app().map(str::to_owned);
+            let mut drain_cycles = 0;
+            if let Some((prev_r, prev_drained)) = pending.take() {
+                let noc = rnoc.noc_mut().expect("previous phase loaded");
+                let before = noc.network().cycle();
+                let emptied = noc.network_mut().drain(self.schedule.drain_budget);
+                drain_cycles = noc.network().cycle() - before;
+                phases.push(self.live_phase_report(noc, prev_r, prev_drained));
+                if !emptied {
+                    return Err(ScheduleError {
+                        phase: i,
+                        source: ReconfigError {
+                            current_app: from.unwrap_or_default(),
+                            next_app: r.name.clone(),
+                            max_drain_cycles: self.schedule.drain_budget,
+                        },
+                    });
+                }
+            }
+            let reconfig = rnoc
+                .load_app(&r.name, &r.routes, self.schedule.drain_budget)
+                .map_err(|source| ScheduleError { phase: i, source })?;
+            transitions.push(PhaseTransition {
+                from,
+                to: r.name.clone(),
+                drain_cycles,
+                store_count: reconfig.cost_instructions,
+            });
+
+            let noc = rnoc.noc_mut().expect("app just loaded");
+            let plan = phase.plan;
+            let mut traffic = BernoulliTraffic::new(
+                &r.rates,
+                noc.network().flows(),
+                cfg.mesh,
+                cfg.flits_per_packet(),
+                plan.seed,
+            );
+            let net = noc.network_mut();
+            net.set_stats_from(plan.warmup);
+            net.run_with(&mut traffic, plan.warmup);
+            net.reset_counters();
+            net.run_with(&mut traffic, plan.measure);
+            // The phase's own drain window; a zero budget deliberately
+            // leaves traffic in flight for the next transition, Fig 1
+            // style (`drained` records this phase-plan outcome).
+            let drained = net.drain(plan.drain);
+            pending = Some((r, drained));
+        }
+        if let Some((last_r, last_drained)) = pending.take() {
+            let noc = rnoc.noc_mut().expect("last phase loaded");
+            phases.push(self.live_phase_report(noc, last_r, last_drained));
+        }
+        Ok(ScheduleReport {
+            design: self.design,
+            mesh: (cfg.mesh.width(), cfg.mesh.height()),
+            phases,
+            transitions,
+        })
+    }
+
+    /// Snapshot the live network into the phase's report (`drained`
+    /// records whether the phase's *own* plan window emptied the
+    /// network; a later transition drain still counts toward the
+    /// phase's counters and stats).
+    fn live_phase_report(
+        &self,
+        noc: &SmartNoc,
+        r: &RoutedWorkload,
+        drained: bool,
+    ) -> ExperimentReport {
+        let cfg = &self.cfg;
+        ExperimentReport::assemble(
+            DesignKind::Smart,
+            cfg,
+            &r.name,
+            &RawMeasurements {
+                drained,
+                counters: *noc.network().counters(),
+                stats: noc.network().stats(),
+            },
+            Some(CompileMetrics::from_compiled(noc.compiled(), r, cfg.mesh)),
+            self.power,
+        )
+    }
+
+    /// Offline reconfiguration: every phase gets a freshly built
+    /// design, so transitions never drain; only the SMART design pays
+    /// preset stores, counted from the built design's actual store
+    /// sequence (one per router on today's hardware model).
+    fn run_rebuilt(&self, routed: &[RoutedWorkload]) -> ScheduleReport {
+        let kind = self.design.kind();
+        let mut phases = Vec::with_capacity(routed.len());
+        let mut transitions = Vec::with_capacity(routed.len());
+        let mut prev: Option<String> = None;
+        for (phase, r) in self.schedule.phases.iter().zip(routed) {
+            let mut e = Experiment::new(self.cfg.clone())
+                .design(kind)
+                .plan(phase.plan);
+            if self.power {
+                e = e.measure_power();
+            }
+            let report = e.run_routed(r);
+            let store_count = report.compile.as_ref().map_or(0, |c| c.preset_stores);
+            transitions.push(PhaseTransition {
+                from: prev.replace(r.name.clone()),
+                to: r.name.clone(),
+                drain_cycles: 0,
+                store_count,
+            });
+            phases.push(report);
+        }
+        ScheduleReport {
+            design: self.design,
+            mesh: (self.cfg.mesh.width(), self.cfg.mesh.height()),
+            phases,
+            transitions,
+        }
+    }
+}
+
+/// Fan one [`AppSchedule`] out across schedule designs on the same
+/// scoped-thread cell runner as [`crate::ExperimentMatrix`]: cells
+/// execute in parallel, results come back in design order, and each
+/// cell is a pure function of its design — parallel results are
+/// bit-identical to a serial run.
+#[derive(Debug, Clone)]
+pub struct ScheduleMatrix {
+    cfg: NocConfig,
+    designs: Vec<ScheduleDesign>,
+    schedule: AppSchedule,
+    threads: usize,
+    power: bool,
+}
+
+/// The result of a schedule-matrix run, plus how it was executed.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// One result per design, in the matrix's design order.
+    pub reports: Vec<Result<ScheduleReport, ScheduleError>>,
+    /// Distinct worker threads that executed at least one cell.
+    pub worker_threads: usize,
+}
+
+impl ScheduleMatrix {
+    /// Start from a design point and schedule; defaults: all four
+    /// schedule designs, one thread per available core.
+    #[must_use]
+    pub fn new(cfg: NocConfig, schedule: AppSchedule) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ScheduleMatrix {
+            cfg,
+            designs: ScheduleDesign::ALL.to_vec(),
+            schedule,
+            threads,
+            power: false,
+        }
+    }
+
+    /// Which designs form the matrix's design axis.
+    #[must_use]
+    pub fn designs(mut self, designs: &[ScheduleDesign]) -> Self {
+        self.designs = designs.to_vec();
+        self
+    }
+
+    /// Worker-thread cap (1 = serial; the default is one per core).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attach the power model to every phase of every cell.
+    #[must_use]
+    pub fn measure_power(mut self) -> Self {
+        self.power = true;
+        self
+    }
+
+    /// Number of cells (one full schedule per design).
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.designs.len()
+    }
+
+    /// Run the schedule on every design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first design's [`ScheduleError`] (in design order)
+    /// if any cell's transition fails to drain.
+    pub fn run(&self) -> Result<Vec<ScheduleReport>, ScheduleError> {
+        self.run_instrumented().reports.into_iter().collect()
+    }
+
+    /// Run every cell and also report how many worker threads took
+    /// part, keeping per-design errors separate.
+    #[must_use]
+    pub fn run_instrumented(&self) -> ScheduleOutcome {
+        // Materialize each phase once, serially — NMAP placement is
+        // deterministic, and every design cell shares the routed form.
+        let routed: Vec<RoutedWorkload> = self
+            .schedule
+            .phases
+            .iter()
+            .map(|p| p.workload.materialize(&self.cfg))
+            .collect();
+        let (reports, worker_threads) = run_cells(self.designs.len(), self.threads, |i| {
+            let mut e = MultiAppExperiment::new(self.cfg.clone(), self.schedule.clone())
+                .design(self.designs[i]);
+            if self.power {
+                e = e.measure_power();
+            }
+            e.run_routed(&routed)
+        });
+        ScheduleOutcome {
+            reports,
+            worker_threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_apps(plan: RunPlan) -> AppSchedule {
+        AppSchedule::new()
+            .then(Workload::app("WLAN"), plan)
+            .then(Workload::app("H264"), plan)
+    }
+
+    #[test]
+    fn apps_schedule_covers_the_suite() {
+        let s = AppSchedule::apps(RunPlan::smoke());
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        assert!(AppSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn live_transitions_chain_application_names() {
+        let r = MultiAppExperiment::new(NocConfig::paper_4x4(), two_apps(RunPlan::smoke()))
+            .run()
+            .expect("smoke phases drain");
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.transitions[0].from, None);
+        assert_eq!(r.transitions[0].store_count, 16);
+        assert_eq!(r.transitions[1].from.as_deref(), Some("WLAN"));
+        assert_eq!(r.transitions[1].to, "H264");
+        assert_eq!(r.total_store_instructions(), 32);
+    }
+
+    #[test]
+    fn rebuilt_designs_pay_no_drain_and_mesh_pays_no_stores() {
+        for (design, stores) in [
+            (ScheduleDesign::Mesh, 0),
+            (ScheduleDesign::Smart, 16),
+            (ScheduleDesign::Dedicated, 0),
+        ] {
+            let r = MultiAppExperiment::new(NocConfig::paper_4x4(), two_apps(RunPlan::smoke()))
+                .design(design)
+                .run()
+                .expect("rebuilt designs cannot fail");
+            assert!(r.transitions.iter().all(|t| t.drain_cycles == 0));
+            assert!(
+                r.transitions.iter().all(|t| t.store_count == stores),
+                "{design:?}"
+            );
+            assert!(r.packets_delivered() > 0, "{design:?}");
+        }
+    }
+
+    #[test]
+    fn smart_and_reconfigurable_phases_measure_identically() {
+        // The live design's per-phase runs start from a fresh network
+        // with the same seed, so they must agree bit-exactly with the
+        // rebuilt SMART design; only the transition costs differ.
+        let schedule = two_apps(RunPlan::smoke());
+        let live = MultiAppExperiment::new(NocConfig::paper_4x4(), schedule.clone())
+            .run()
+            .expect("drains");
+        let rebuilt = MultiAppExperiment::new(NocConfig::paper_4x4(), schedule)
+            .design(ScheduleDesign::Smart)
+            .run()
+            .expect("cannot fail");
+        let lines = |r: &ScheduleReport| {
+            r.phases
+                .iter()
+                .map(ExperimentReport::snapshot_line)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(lines(&live), lines(&rebuilt));
+    }
+
+    #[test]
+    fn schedule_matrix_matches_serial_and_counts_cells() {
+        let m = ScheduleMatrix::new(NocConfig::paper_4x4(), two_apps(RunPlan::smoke()));
+        assert_eq!(m.cells(), 4);
+        let parallel = m.clone().threads(4).run().expect("all designs drain");
+        let serial = m.threads(1).run().expect("all designs drain");
+        let snaps =
+            |rs: &[ScheduleReport]| rs.iter().map(ScheduleReport::snapshot).collect::<Vec<_>>();
+        assert_eq!(snaps(&parallel), snaps(&serial));
+    }
+}

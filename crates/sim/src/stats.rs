@@ -73,12 +73,20 @@ impl SimStats {
         SimStats::default()
     }
 
-    /// Record a delivered packet's head latency; call once per packet.
-    pub fn record_head(&mut self, flow: FlowId, head_latency: u64, source_queue: u64) {
-        let f = self.flows.entry(flow).or_insert(FlowStats {
+    /// The per-flow entry, created with the min-latency sentinel in
+    /// place. Both record paths go through here, so a tail recorded
+    /// before its head cannot create a flow whose `head_latency_min`
+    /// is a spurious 0 instead of `u64::MAX`.
+    fn flow_entry(&mut self, flow: FlowId) -> &mut FlowStats {
+        self.flows.entry(flow).or_insert(FlowStats {
             head_latency_min: u64::MAX,
             ..FlowStats::default()
-        });
+        })
+    }
+
+    /// Record a delivered packet's head latency; call once per packet.
+    pub fn record_head(&mut self, flow: FlowId, head_latency: u64, source_queue: u64) {
+        let f = self.flow_entry(flow);
         f.packets += 1;
         f.head_latency_sum += head_latency;
         f.source_queue_sum += source_queue;
@@ -92,7 +100,7 @@ impl SimStats {
 
     /// Record the same packet's tail arrival (packet latency).
     pub fn record_tail(&mut self, flow: FlowId, packet_latency: u64) {
-        let f = self.flows.entry(flow).or_default();
+        let f = self.flow_entry(flow);
         f.packet_latency_sum += packet_latency;
     }
 
@@ -148,7 +156,25 @@ impl SimStats {
         sum as f64 / n as f64
     }
 
-    /// `p`-quantile (0..=1) of the head-latency distribution.
+    /// Largest head latency observed across all flows, if any packet
+    /// arrived. Exact even when the histogram has clamped samples into
+    /// its overflow bucket.
+    #[must_use]
+    pub fn head_latency_max(&self) -> Option<u64> {
+        self.flows
+            .values()
+            .filter(|f| f.packets > 0)
+            .map(|f| f.head_latency_max)
+            .max()
+    }
+
+    /// `p`-quantile (0..=1) of the head-latency distribution. Buckets
+    /// below the histogram cap are exact cycle counts. The overflow
+    /// bucket stands for "cap or more": interior positions report the
+    /// cap itself (a known lower bound), while the distribution's
+    /// final position — `p` high enough to select the last sample —
+    /// resolves to the tracked true maximum instead of under-reporting
+    /// the cap.
     ///
     /// # Panics
     ///
@@ -165,10 +191,21 @@ impl SimStats {
         for (lat, n) in &self.histogram {
             seen += n;
             if seen >= target {
-                return Some(*lat);
+                if *lat < HIST_CAP {
+                    return Some(*lat);
+                }
+                // Overflow bucket: only its last position is known
+                // exactly — it is the tracked maximum.
+                return Some(if target == total {
+                    self.head_latency_max().unwrap_or(*lat)
+                } else {
+                    *lat
+                });
             }
         }
-        self.histogram.keys().next_back().copied()
+        // `target <= total`, so the loop always returns; this covers a
+        // hypothetical beyond-the-last-sample request.
+        self.head_latency_max()
     }
 }
 
@@ -209,6 +246,45 @@ mod tests {
         assert_eq!(s.head_latency_quantile(0.5), Some(1));
         assert_eq!(s.head_latency_quantile(1.0), Some(100));
         assert_eq!(SimStats::new().head_latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn tail_before_head_keeps_the_min_sentinel() {
+        let mut s = SimStats::new();
+        s.record_tail(FlowId(0), 12);
+        s.record_head(FlowId(0), 9, 0);
+        let f = s.flow(FlowId(0)).expect("flow recorded");
+        assert_eq!(
+            f.head_latency_min, 9,
+            "tail-first must not clamp the min to 0"
+        );
+        assert_eq!(f.head_latency_max, 9);
+        assert_eq!(f.packet_latency_sum, 12);
+        // A flow that only ever saw a tail keeps the sentinel.
+        s.record_tail(FlowId(1), 5);
+        let g = s.flow(FlowId(1)).expect("flow recorded");
+        assert_eq!(g.packets, 0);
+        assert_eq!(g.head_latency_min, u64::MAX);
+        assert!(g.avg_head_latency().is_nan());
+    }
+
+    #[test]
+    fn quantile_above_the_histogram_cap_reports_the_true_max() {
+        let mut s = SimStats::new();
+        s.record_head(FlowId(0), 3, 0);
+        s.record_head(FlowId(0), 700, 0);
+        s.record_head(FlowId(0), 1234, 0);
+        assert_eq!(s.head_latency_quantile(0.0), Some(3));
+        assert_eq!(s.head_latency_quantile(1.0), Some(1234), "not the 512 cap");
+        assert_eq!(s.head_latency_max(), Some(1234));
+        // Every sample above the cap: interior quantiles keep the cap
+        // as a lower bound (over-reporting the max would be worse);
+        // only the final position resolves to the tracked max.
+        let mut t = SimStats::new();
+        t.record_head(FlowId(0), 600, 0);
+        t.record_head(FlowId(0), 900, 0);
+        assert_eq!(t.head_latency_quantile(0.5), Some(512));
+        assert_eq!(t.head_latency_quantile(1.0), Some(900));
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Property tests over [`SimStats`]: for *any* interleaving of head and
+//! tail records — including tails arriving before their heads and
+//! latencies far beyond the histogram cap — the per-flow ordering
+//! `min ≤ avg ≤ max` must hold, quantiles must be monotone in `p`, and
+//! the top quantile must report the true maximum.
+
+use proptest::prelude::*;
+use smart_sim::{FlowId, SimStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_record_sequences(
+        ops in prop::collection::vec((0u8..2, 0u8..4, 0u16..1500, 0u8..10), 1..60)
+    ) {
+        let mut s = SimStats::new();
+        let mut heads: Vec<u64> = Vec::new();
+        for (kind, flow, latency, queue) in &ops {
+            let flow = FlowId(u32::from(*flow));
+            let latency = u64::from(*latency);
+            if *kind == 0 {
+                s.record_head(flow, latency, u64::from(*queue));
+                heads.push(latency);
+            } else {
+                // Tails may arrive for flows that never saw a head.
+                s.record_tail(flow, latency);
+            }
+        }
+        prop_assert_eq!(s.packets(), heads.len() as u64);
+
+        for f in s.flows().values() {
+            if f.packets == 0 {
+                // Tail-only flow: the min sentinel survives, no NaN-free
+                // average is claimed.
+                prop_assert_eq!(f.head_latency_min, u64::MAX);
+                prop_assert!(f.avg_head_latency().is_nan());
+            } else {
+                prop_assert!(f.head_latency_min <= f.head_latency_max);
+                let avg = f.avg_head_latency();
+                prop_assert!(f.head_latency_min as f64 <= avg + 1e-9);
+                prop_assert!(avg <= f.head_latency_max as f64 + 1e-9);
+            }
+        }
+
+        if heads.is_empty() {
+            prop_assert_eq!(s.head_latency_quantile(0.7), None);
+            prop_assert_eq!(s.head_latency_max(), None);
+        } else {
+            let ps = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+            let qs: Vec<u64> = ps
+                .iter()
+                .map(|p| s.head_latency_quantile(*p).expect("non-empty"))
+                .collect();
+            prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles monotone in p");
+            let max = *heads.iter().max().expect("non-empty");
+            prop_assert_eq!(qs[ps.len() - 1], max, "top quantile is the true max");
+            prop_assert_eq!(s.head_latency_max(), Some(max));
+        }
+    }
+}

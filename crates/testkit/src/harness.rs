@@ -49,6 +49,19 @@ impl DesignUnderTest {
             DesignUnderTest::Reconfigurable => "Reconfigurable",
         }
     }
+
+    /// The equivalent multi-app schedule design: the conformance matrix
+    /// and [`smart_harness::ScheduleMatrix`] share the same four-design
+    /// axis.
+    #[must_use]
+    pub fn schedule_design(self) -> smart_harness::ScheduleDesign {
+        match self {
+            DesignUnderTest::Mesh => smart_harness::ScheduleDesign::Mesh,
+            DesignUnderTest::Smart => smart_harness::ScheduleDesign::Smart,
+            DesignUnderTest::Dedicated => smart_harness::ScheduleDesign::Dedicated,
+            DesignUnderTest::Reconfigurable => smart_harness::ScheduleDesign::Reconfigurable,
+        }
+    }
 }
 
 /// Everything measured while checking one (design, scenario) cell.
@@ -249,7 +262,9 @@ impl Conformance {
         traffic: &mut dyn TrafficSource,
     ) -> (u64, u64, u64, f64) {
         let mut r = ReconfigurableNoc::new(self.cfg.clone(), PRESET_BASE_ADDR);
-        let first = r.load_app(&scenario.name, &scenario.routes, self.drain_budget);
+        let first = r
+            .load_app(&scenario.name, &scenario.routes, self.drain_budget)
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
         assert_eq!(
             first.drain_cycles, 0,
             "{ctx}: first load has nothing to drain"
@@ -266,7 +281,9 @@ impl Conformance {
         );
         let c = *noc.network().counters();
         let avg = noc.network().stats().avg_network_latency();
-        let second = r.load_app(&scenario.name, &scenario.routes, self.drain_budget);
+        let second = r
+            .load_app(&scenario.name, &scenario.routes, self.drain_budget)
+            .unwrap_or_else(|e| panic!("{ctx}: {e}"));
         assert_eq!(r.reconfig_count(), 2, "{ctx}");
         assert_eq!(
             first.stores, second.stores,
@@ -323,7 +340,8 @@ impl Conformance {
                         self.cfg.mesh,
                     );
                     let mut r = ReconfigurableNoc::new(self.cfg.clone(), PRESET_BASE_ADDR);
-                    r.load_app(&scenario.name, &scenario.routes, self.drain_budget);
+                    r.load_app(&scenario.name, &scenario.routes, self.drain_budget)
+                        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
                     let noc = r.noc_mut().expect("app just loaded");
                     noc.network_mut().run_with(&mut traffic, 8);
                     assert!(noc.network_mut().drain(1_000), "{ctx}: lone packet stuck");

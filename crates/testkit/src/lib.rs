@@ -38,3 +38,11 @@ pub mod scenario;
 
 pub use harness::{CaseReport, Conformance, DesignUnderTest};
 pub use scenario::Scenario;
+
+// The multi-app schedule layer shares the conformance matrix's
+// four-design axis ([`DesignUnderTest::schedule_design`] maps between
+// them); re-export it so schedule-aware conformance consumers need only
+// this crate.
+pub use smart_harness::{
+    AppSchedule, MultiAppExperiment, ScheduleDesign, ScheduleError, ScheduleMatrix, ScheduleReport,
+};

@@ -22,7 +22,9 @@ fn main() {
 
     for graph in [apps::wlan(), apps::h264(), apps::vopd()] {
         let mapped = MappedApp::from_graph(&cfg, &graph);
-        let report = noc.load_app(&mapped.name, &mapped.routes, 50_000);
+        let report = noc
+            .load_app(&mapped.name, &mapped.routes, 50_000)
+            .expect("traffic drains within the budget");
         println!(
             "== {} == ({} stores at {:#x}.., drained previous app in {} cycles)",
             report.app_name, report.cost_instructions, report.stores[0].addr, report.drain_cycles

@@ -14,8 +14,10 @@
 //! * [`rtlgen`] — the Section V tool flow (RTL, macro blocks, floorplan).
 //! * [`harness`] — the one-experiment API: [`harness::Experiment`]
 //!   composes all of the above into configure → map → build → drive →
-//!   measure, and [`harness::ExperimentMatrix`] fans out over designs ×
-//!   workloads on scoped threads.
+//!   measure, [`harness::ExperimentMatrix`] fans out over designs ×
+//!   workloads on scoped threads, and [`harness::MultiAppExperiment`]
+//!   drives multi-application schedules (Fig 1) with per-transition
+//!   reconfiguration costs.
 
 pub use smart_core as arch;
 pub use smart_harness as harness;
@@ -44,10 +46,11 @@ pub use smart_taskgraph as taskgraph;
 pub mod prelude {
     pub use smart_core::config::NocConfig;
     pub use smart_core::noc::{Design, DesignKind, MeshNoc, SmartNoc};
-    pub use smart_core::reconfig::ReconfigurableNoc;
+    pub use smart_core::reconfig::{ReconfigError, ReconfigReport, ReconfigurableNoc};
     pub use smart_harness::{
-        Drive, Experiment, ExperimentMatrix, ExperimentReport, MatrixOutcome, RoutedWorkload,
-        RunPlan, Workload,
+        AppPhase, AppSchedule, Drive, Experiment, ExperimentMatrix, ExperimentReport,
+        MatrixOutcome, MultiAppExperiment, PhaseTransition, RoutedWorkload, RunPlan,
+        ScheduleDesign, ScheduleError, ScheduleMatrix, ScheduleOutcome, ScheduleReport, Workload,
     };
     pub use smart_mapping::MappedApp;
     pub use smart_power::{breakdown, EnergyModel, GatingPolicy};

@@ -31,7 +31,9 @@ fn rotating_through_all_eight_apps() {
     let mut noc = ReconfigurableNoc::new(cfg.clone(), 0x4000_0000);
     for graph in apps::all() {
         let mapped = MappedApp::from_graph(&cfg, &graph);
-        let report = noc.load_app(&mapped.name, &mapped.routes, 20_000);
+        let report = noc
+            .load_app(&mapped.name, &mapped.routes, 20_000)
+            .expect("traffic drains within the budget");
         assert_eq!(report.cost_instructions, 16);
         // Push some traffic through so the next load has to drain.
         let live = noc.noc_mut().expect("loaded");
