@@ -46,7 +46,7 @@ fn main() {
         hpc_max: link.max_hops_per_cycle(Gbps(4.0)) as usize,
         // Same buffer storage per VC: 10 x 32 b = 20 x 16 b.
         vc_depth: 20,
-        ..cfg32.clone()
+        ..cfg32
     };
     println!(
         "split design: 2 x {}b channels at {} GHz, HPC_max = {}",

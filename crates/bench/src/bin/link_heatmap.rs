@@ -42,7 +42,7 @@ fn main() {
     noc.network_mut().run_with(&mut traffic, cycles);
     noc.network_mut().drain(5_000);
 
-    let counts = noc.network().link_flit_counts().clone();
+    let counts = noc.network().link_flit_counts();
     let max = counts.values().copied().max().unwrap_or(1) as f64;
     let mesh = cfg.mesh;
     let get = |from: Coord, dir: Direction| -> f64 {

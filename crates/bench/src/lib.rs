@@ -6,6 +6,8 @@
 //! API, re-exported here; this crate adds the paper-suite fan-out
 //! ([`run_suite`]) and small numeric helpers.
 
+pub mod perf;
+
 pub use smart_harness::{
     AppPhase, AppSchedule, CompileMetrics, Drive, Experiment, ExperimentMatrix, ExperimentReport,
     MatrixOutcome, MultiAppExperiment, PhaseTransition, RoutedWorkload, RunPlan, ScheduleDesign,

@@ -132,6 +132,10 @@ pub struct ExperimentReport {
     pub mesh: (u16, u16),
     /// `true` if the network went quiescent within the drain budget.
     pub drained: bool,
+    /// Total cycles the simulated network had advanced when the report
+    /// was taken (warm-up + measurement + actual drain) — the
+    /// denominator of the `perf_scorecard` cycles/sec metric.
+    pub total_cycles: u64,
     /// Packets offered after warm-up (activity counters).
     pub packets_injected: u64,
     /// Packets delivered after warm-up.
@@ -162,6 +166,8 @@ pub struct ExperimentReport {
 pub(crate) struct RawMeasurements<'a> {
     /// `true` if the network went quiescent within the drain budget.
     pub drained: bool,
+    /// Total cycles the network had advanced when measured.
+    pub total_cycles: u64,
     /// Activity counters over the measured window.
     pub counters: ActivityCounters,
     /// Latency statistics over the measured window.
@@ -183,6 +189,7 @@ impl ExperimentReport {
     ) -> Self {
         let RawMeasurements {
             drained,
+            total_cycles,
             counters,
             stats,
         } = *raw;
@@ -199,6 +206,7 @@ impl ExperimentReport {
             workload: workload.to_owned(),
             mesh: (cfg.mesh.width(), cfg.mesh.height()),
             drained,
+            total_cycles,
             packets_injected: counters.packets_injected,
             packets_delivered: counters.packets_delivered,
             flits_delivered: counters.flits_delivered,
@@ -407,6 +415,7 @@ impl Experiment {
             &routed.name,
             &RawMeasurements {
                 drained,
+                total_cycles: design.cycle(),
                 counters: *design.counters(),
                 stats: design.stats(),
             },

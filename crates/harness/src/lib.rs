@@ -38,6 +38,7 @@
 //! assert_eq!(report.packets_delivered, report.packets_injected);
 //! assert!(report.drained);
 //! ```
+#![warn(missing_docs)]
 
 pub mod experiment;
 pub mod matrix;

@@ -499,6 +499,7 @@ impl MultiAppExperiment {
             &r.name,
             &RawMeasurements {
                 drained,
+                total_cycles: noc.network().cycle(),
                 counters: *noc.network().counters(),
                 stats: noc.network().stats(),
             },

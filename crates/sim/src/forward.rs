@@ -296,6 +296,120 @@ impl FlowTable {
     }
 }
 
+/// Dense per-cycle leg lookup compiled once from a [`FlowTable`].
+///
+/// [`FlowTable`] is the mutable, validated source of truth; its lookups
+/// hash `(FlowId, NodeId)` keys, which is fine at build time but not in
+/// the engine's per-cycle hot path. `LegLut` flattens every plan's legs
+/// into one dense array and resolves `(flow, router)` through a direct
+/// flow index plus a tiny sorted per-flow table, so switch allocation
+/// and link launches never touch a `HashMap`.
+#[derive(Debug, Clone)]
+pub struct LegLut {
+    index: FlowIndex,
+    /// Every leg of every plan, flattened in dense-flow order.
+    legs: Vec<Segment>,
+    /// Dense flow → index of its injection leg in `legs`.
+    first: Vec<u32>,
+    /// Dense flow → `(stop router, leg index)` pairs sorted by router.
+    from_router: Vec<Vec<(u16, u32)>>,
+}
+
+/// Flow-id → dense-index mapping: direct-indexed when ids are compact
+/// (every workload in the tree numbers flows from 0), hashed otherwise.
+#[derive(Debug, Clone)]
+enum FlowIndex {
+    /// `ids[flow.0]` is the dense index, `u32::MAX` for unknown flows.
+    Direct(Vec<u32>),
+    /// Fallback for sparse id spaces.
+    Hashed(HashMap<FlowId, u32>),
+}
+
+impl LegLut {
+    /// Compile the lookup tables for `flows`.
+    #[must_use]
+    pub fn new(flows: &FlowTable) -> Self {
+        let mut plans: Vec<&FlowPlan> = flows.iter().collect();
+        plans.sort_by_key(|p| p.flow);
+        let mut legs = Vec::new();
+        let mut first = Vec::with_capacity(plans.len());
+        let mut from_router = Vec::with_capacity(plans.len());
+        for plan in &plans {
+            first.push(legs.len() as u32);
+            let mut per: Vec<(u16, u32)> = Vec::new();
+            for (i, leg) in plan.legs.iter().enumerate() {
+                if i > 0 {
+                    if let Sender::RouterOutput(r, _) = leg.sender {
+                        per.push((r.0, legs.len() as u32));
+                    }
+                }
+                legs.push(leg.clone());
+            }
+            per.sort_unstable_by_key(|(r, _)| *r);
+            from_router.push(per);
+        }
+        let max_id = plans.iter().map(|p| p.flow.0 as usize).max().unwrap_or(0);
+        let index = if max_id <= 8 * plans.len() + 1024 {
+            let mut ids = vec![u32::MAX; max_id + 1];
+            for (d, plan) in plans.iter().enumerate() {
+                ids[plan.flow.0 as usize] = d as u32;
+            }
+            FlowIndex::Direct(ids)
+        } else {
+            FlowIndex::Hashed(
+                plans
+                    .iter()
+                    .enumerate()
+                    .map(|(d, p)| (p.flow, d as u32))
+                    .collect(),
+            )
+        };
+        LegLut {
+            index,
+            legs,
+            first,
+            from_router,
+        }
+    }
+
+    /// Dense index of `flow`.
+    fn dense(&self, flow: FlowId) -> usize {
+        let d = match &self.index {
+            FlowIndex::Direct(ids) => ids.get(flow.0 as usize).copied().unwrap_or(u32::MAX),
+            FlowIndex::Hashed(map) => map.get(&flow).copied().unwrap_or(u32::MAX),
+        };
+        assert!(d != u32::MAX, "no plan for {flow}");
+        d as usize
+    }
+
+    /// The injection leg of `flow` (starts at the source NIC).
+    #[must_use]
+    pub fn first_leg(&self, flow: FlowId) -> &Segment {
+        &self.legs[self.first[self.dense(flow)] as usize]
+    }
+
+    /// The leg departing stop router `router` for `flow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown or does not stop at that router.
+    #[must_use]
+    pub fn leg_from(&self, flow: FlowId, router: NodeId) -> &Segment {
+        let per = &self.from_router[self.dense(flow)];
+        match per.binary_search_by_key(&router.0, |(r, _)| *r) {
+            Ok(i) => &self.legs[per[i].1 as usize],
+            Err(_) => panic!("{flow} does not stop at {router}"),
+        }
+    }
+
+    /// Output direction of the leg departing `router` for `flow` — the
+    /// switch allocator's per-head route lookup.
+    #[must_use]
+    pub fn out_dir_from(&self, flow: FlowId, router: NodeId) -> Direction {
+        self.leg_from(flow, router).out_dir
+    }
+}
+
 /// The baseline plan for one routed flow (every router a stop).
 #[must_use]
 pub fn mesh_plan_for(mesh: Mesh, flow: FlowId, route: SourceRoute) -> FlowPlan {
@@ -415,6 +529,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn leg_lut_agrees_with_flow_table() {
+        // Sparse, shuffled flow ids exercise both the direct index and
+        // the per-flow router tables.
+        let flows = vec![
+            (FlowId(7), SourceRoute::xy(mesh(), NodeId(0), NodeId(3))),
+            (FlowId(0), SourceRoute::xy(mesh(), NodeId(4), NodeId(6))),
+            (FlowId(3), SourceRoute::xy(mesh(), NodeId(12), NodeId(0))),
+        ];
+        let table = FlowTable::mesh_baseline(mesh(), &flows);
+        let lut = LegLut::new(&table);
+        for (flow, _) in &flows {
+            let plan = table.plan(*flow);
+            assert_eq!(lut.first_leg(*flow), &plan.legs[0]);
+            for leg in plan.legs.iter().skip(1) {
+                if let Sender::RouterOutput(r, _) = leg.sender {
+                    assert_eq!(lut.leg_from(*flow, r), leg, "{flow} at {r}");
+                    assert_eq!(lut.out_dir_from(*flow, r), leg.out_dir);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not stop at")]
+    fn leg_lut_rejects_non_stop_router() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let table = FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)]);
+        let lut = LegLut::new(&table);
+        let _ = lut.leg_from(FlowId(0), NodeId(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "no plan for")]
+    fn leg_lut_rejects_unknown_flow() {
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let table = FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)]);
+        let lut = LegLut::new(&table);
+        let _ = lut.first_leg(FlowId(99));
     }
 
     #[test]

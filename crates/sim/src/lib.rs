@@ -37,6 +37,7 @@
 //! // 3 hops on the baseline: 4·3 + 4 = 16 cycles.
 //! assert_eq!(net.stats().avg_network_latency(), 16.0);
 //! ```
+#![warn(missing_docs)]
 
 pub mod arbiter;
 pub mod counters;
@@ -54,10 +55,11 @@ pub mod traffic;
 
 pub use counters::ActivityCounters;
 pub use flit::{Flit, FlitKind, FlowId, Packet, PacketId, VcId};
-pub use forward::{Endpoint, FlowPlan, FlowTable, Segment, Sender};
+pub use forward::{Endpoint, FlowPlan, FlowTable, LegLut, Segment, Sender};
 pub use network::{Network, SimConfig};
 pub use patterns::Pattern;
 pub use route::SourceRoute;
+pub use router::{CreditRelease, Router, RouterBank, RouterDeparture};
 pub use stats::SimStats;
 pub use topology::{Coord, Direction, LinkId, Mesh, NodeId, Turn};
 pub use trace::{ReplayCounts, TraceKind, TraceRecord, Tracer};

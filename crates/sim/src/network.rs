@@ -16,11 +16,11 @@
 
 use crate::counters::ActivityCounters;
 use crate::flit::{Flit, Packet, VcId};
-use crate::forward::{Endpoint, FlowTable, Segment, Sender};
+use crate::forward::{Endpoint, FlowTable, LegLut, Segment, Sender};
 use crate::nic::{Nic, RxEvent};
-use crate::router::Router;
+use crate::router::{CreditRelease, RouterBank, RouterDeparture};
 use crate::stats::SimStats;
-use crate::topology::{LinkId, Mesh, NodeId};
+use crate::topology::{Direction, LinkId, Mesh, NodeId, PORTS};
 use crate::trace::{TraceKind, TraceRecord, Tracer};
 use crate::traffic::TrafficSource;
 use std::collections::HashMap;
@@ -70,31 +70,59 @@ impl SimConfig {
 /// Ring-buffer depth for scheduled events (max lookahead is 4 cycles).
 const RING: usize = 16;
 
-/// The simulated network: routers + NICs + in-flight events.
+/// The precomputed reverse path of a credit: which sender's free-VC
+/// queue gets the freed VC back, and the leg cost charged to the credit
+/// network.
+#[derive(Debug, Clone, Copy)]
+struct CreditPath {
+    sender: Sender,
+    crossbars: u32,
+    mm: f64,
+}
+
+/// Everything in flight between routers: the arrival/credit event rings
+/// and the dense per-link occupancy arrays. Grouped so the launch path
+/// can borrow it independently of the route tables.
+#[derive(Debug)]
+struct Flight {
+    arrivals: Vec<Vec<(Endpoint, Flit)>>,
+    credit_ring: Vec<Vec<(Sender, VcId)>>,
+    /// Arrivals scheduled but not yet applied (quiescence check).
+    scheduled_arrivals: usize,
+    /// `1 + last ST cycle` each link carried a flit, indexed
+    /// `node * 5 + dir` (0 = never) — single-cycle exclusivity.
+    link_guard: Vec<u64>,
+    /// Flits carried per link since the last counter reset, same index.
+    link_flits: Vec<u64>,
+}
+
+/// The simulated network: the router bank + NICs + in-flight events.
 #[derive(Debug)]
 pub struct Network {
     cfg: SimConfig,
     flows: FlowTable,
-    routers: Vec<Router>,
+    /// Dense leg lookup compiled from `flows` at build time.
+    lut: LegLut,
+    bank: RouterBank,
     nics: Vec<Nic>,
-    /// endpoint → the unique sender whose free-VC queue tracks it.
-    endpoint_sender: HashMap<Endpoint, Sender>,
-    /// endpoint → (crossbars, mm) of its incoming leg, for credit
-    /// activity accounting on the reverse path.
-    endpoint_leg_cost: HashMap<Endpoint, (u32, f64)>,
-    arrivals: Vec<Vec<(Endpoint, Flit)>>,
-    credit_ring: Vec<Vec<(Sender, VcId)>>,
+    /// Credit reverse paths for stop endpoints, indexed
+    /// `router * 5 + in_dir`.
+    stop_credit: Vec<Option<CreditPath>>,
+    /// Credit reverse paths for NIC endpoints, indexed by node.
+    nic_credit: Vec<Option<CreditPath>>,
+    flight: Flight,
     cycle: u64,
     counters: ActivityCounters,
     stats: SimStats,
     stats_from: u64,
-    /// Last ST cycle each link carried a flit (single-cycle exclusivity).
-    link_guard: HashMap<LinkId, u64>,
-    /// Flits carried per link since the last counter reset.
-    link_flits: HashMap<LinkId, u64>,
     enabled_ports: u64,
     total_ports: u64,
     tracer: Option<Tracer>,
+    /// Per-cycle scratch, reused so the steady state allocates nothing.
+    arrival_scratch: Vec<(Endpoint, Flit)>,
+    credit_scratch: Vec<(Sender, VcId)>,
+    dep_scratch: Vec<RouterDeparture>,
+    rel_scratch: Vec<CreditRelease>,
 }
 
 impl Network {
@@ -108,65 +136,76 @@ impl Network {
     pub fn new(cfg: SimConfig, flows: FlowTable) -> Self {
         cfg.validate();
         let n = cfg.mesh.len();
-        let mut routers: Vec<Router> = cfg
-            .mesh
-            .nodes()
-            .map(|id| Router::new(id, cfg.vcs_per_port, cfg.vc_depth))
-            .collect();
+        let mut bank = RouterBank::new(n, cfg.vcs_per_port, cfg.vc_depth);
         let nics: Vec<Nic> = cfg
             .mesh
             .nodes()
             .map(|id| Nic::new(id, cfg.vcs_per_port))
             .collect();
 
-        // Preset-driven port enables + endpoint bookkeeping.
-        let mut endpoint_leg_cost = HashMap::new();
+        // Preset-driven port enables + credit reverse-path tables. The
+        // sender/endpoint pairing invariant is checked up front.
+        let _ = flows.sender_endpoints();
+        let mut stop_credit = vec![None; n * PORTS];
+        let mut nic_credit = vec![None; n];
         for plan in flows.iter() {
             for leg in &plan.legs {
                 if let Sender::RouterOutput(r, d) = leg.sender {
-                    routers[r.0 as usize].enable_output(d);
+                    bank.enable_output(r.0 as usize, d);
                 }
                 for link in &leg.links {
-                    routers[link.from.0 as usize].enable_output(link.dir);
+                    bank.enable_output(link.from.0 as usize, link.dir);
                     let to = cfg
                         .mesh
                         .neighbor(link.from, link.dir)
                         .unwrap_or_else(|| panic!("{link} leaves the mesh"));
-                    routers[to.0 as usize].enable_input(link.dir.opposite());
+                    bank.enable_input(to.0 as usize, link.dir.opposite());
                 }
-                if let Endpoint::Stop { router, in_dir } = leg.end {
-                    routers[router.0 as usize].enable_input(in_dir);
+                let path = Some(CreditPath {
+                    sender: leg.sender,
+                    crossbars: leg.crossbars(),
+                    mm: leg.link_mm(),
+                });
+                match leg.end {
+                    Endpoint::Stop { router, in_dir } => {
+                        bank.enable_input(router.0 as usize, in_dir);
+                        stop_credit[router.0 as usize * PORTS + in_dir.index()] = path;
+                    }
+                    Endpoint::Nic { node } => nic_credit[node.0 as usize] = path,
                 }
-                endpoint_leg_cost.insert(leg.end, (leg.crossbars(), leg.link_mm()));
             }
         }
-        let endpoint_sender: HashMap<Endpoint, Sender> = flows
-            .sender_endpoints()
-            .into_iter()
-            .map(|(s, e)| (e, s))
-            .collect();
 
-        let enabled_ports: u64 = routers.iter().map(|r| r.enabled_ports() as u64).sum();
+        let enabled_ports: u64 = (0..n).map(|r| bank.enabled_ports(r) as u64).sum();
         let total_ports = (n * 10) as u64; // 5 in + 5 out per router
+        let lut = LegLut::new(&flows);
 
         Network {
             cfg,
             flows,
-            routers,
+            lut,
+            bank,
             nics,
-            endpoint_sender,
-            endpoint_leg_cost,
-            arrivals: vec![Vec::new(); RING],
-            credit_ring: vec![Vec::new(); RING],
+            stop_credit,
+            nic_credit,
+            flight: Flight {
+                arrivals: vec![Vec::new(); RING],
+                credit_ring: vec![Vec::new(); RING],
+                scheduled_arrivals: 0,
+                link_guard: vec![0; n * PORTS],
+                link_flits: vec![0; n * PORTS],
+            },
             cycle: 0,
             counters: ActivityCounters::new(),
             stats: SimStats::new(),
             stats_from: 0,
-            link_guard: HashMap::new(),
-            link_flits: HashMap::new(),
             enabled_ports,
             total_ports,
             tracer: None,
+            arrival_scratch: Vec::new(),
+            credit_scratch: Vec::new(),
+            dep_scratch: Vec::new(),
+            rel_scratch: Vec::new(),
         }
     }
 
@@ -227,14 +266,30 @@ impl Network {
     /// Zero the activity counters (e.g. at the end of warm-up).
     pub fn reset_counters(&mut self) {
         self.counters = ActivityCounters::new();
-        self.link_flits.clear();
+        self.flight.link_flits.fill(0);
     }
 
     /// Flits carried per link since the last counter reset — the
-    /// utilization heatmap's raw data.
+    /// utilization heatmap's raw data. Assembled on demand from the
+    /// engine's dense per-link array; links that carried nothing are
+    /// absent.
     #[must_use]
-    pub fn link_flit_counts(&self) -> &HashMap<LinkId, u64> {
-        &self.link_flits
+    pub fn link_flit_counts(&self) -> HashMap<LinkId, u64> {
+        self.flight
+            .link_flits
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| {
+                (
+                    LinkId {
+                        from: NodeId((i / PORTS) as u16),
+                        dir: Direction::from_index(i % PORTS),
+                    },
+                    *n,
+                )
+            })
+            .collect()
     }
 
     /// Queue a generated packet at its source NIC.
@@ -259,18 +314,23 @@ impl Network {
         let c = self.cycle;
         let slot = (c % RING as u64) as usize;
 
-        // 1. Credits landing this cycle.
-        let credits = std::mem::take(&mut self.credit_ring[slot]);
-        for (sender, vc) in credits {
+        // 1. Credits landing this cycle (swapped out through the scratch
+        // buffer so ring-slot capacity is reused, not reallocated).
+        let mut credits = std::mem::take(&mut self.credit_scratch);
+        std::mem::swap(&mut credits, &mut self.flight.credit_ring[slot]);
+        for (sender, vc) in credits.drain(..) {
             match sender {
                 Sender::Nic(n) => self.nics[n.0 as usize].credit(vc),
-                Sender::RouterOutput(r, d) => self.routers[r.0 as usize].credit(d, vc),
+                Sender::RouterOutput(r, d) => self.bank.credit(r.0 as usize, d, vc),
             }
         }
+        self.credit_scratch = credits;
 
         // 2. Flit arrivals (scheduled for end of cycle c-1).
-        let arrivals = std::mem::take(&mut self.arrivals[slot]);
-        for (end, flit) in arrivals {
+        let mut arrivals = std::mem::take(&mut self.arrival_scratch);
+        std::mem::swap(&mut arrivals, &mut self.flight.arrivals[slot]);
+        self.flight.scheduled_arrivals -= arrivals.len();
+        for (end, flit) in arrivals.drain(..) {
             match end {
                 Endpoint::Stop { router, in_dir } => {
                     if let Some(t) = self.tracer.as_mut() {
@@ -281,7 +341,8 @@ impl Network {
                             kind: TraceKind::BufferWrite { router, in_dir },
                         });
                     }
-                    self.routers[router.0 as usize].receive(
+                    self.bank.receive(
+                        router.0 as usize,
                         in_dir,
                         flit,
                         c.saturating_sub(1),
@@ -320,113 +381,98 @@ impl Network {
                                     self.stats.record_tail(flow, lat);
                                 }
                                 // Credit for the freed NIC reception VC.
-                                self.emit_credit(Endpoint::Nic { node }, vc, c + 1);
+                                let path = self.nic_credit[node.0 as usize]
+                                    .unwrap_or_else(|| panic!("no sender tracks endpoint {end:?}"));
+                                emit_credit(
+                                    path,
+                                    vc,
+                                    c + 1,
+                                    &mut self.flight,
+                                    &mut self.counters,
+                                    &mut self.tracer,
+                                );
                             }
                         }
                     }
                 }
             }
         }
+        self.arrival_scratch = arrivals;
 
         // 3. NIC injection.
         for i in 0..self.nics.len() {
             let Some(flit) = self.nics[i].try_inject(c, &mut self.counters) else {
                 continue;
             };
-            let leg = self.flows.plan(flit.flow).legs[0].clone();
+            let leg = self.lut.first_leg(flit.flow);
             debug_assert!(matches!(leg.sender, Sender::Nic(n) if n.0 as usize == i));
-            self.launch(flit, &leg, c);
+            launch(
+                leg,
+                flit,
+                c,
+                &mut self.flight,
+                &mut self.counters,
+                &mut self.tracer,
+            );
         }
 
-        // 4. Switch allocation; ST happens during c + 1.
-        for r in 0..self.routers.len() {
-            let (departures, releases) =
-                self.routers[r].allocate(c, &self.flows, &mut self.counters);
-            let node = NodeId(r as u16);
-            for dep in departures {
-                let leg = self.flows.leg_from(dep.flit.flow, node).clone();
-                assert_eq!(leg.out_dir, dep.out_dir, "plan/grant mismatch at {node}");
-                self.launch(dep.flit, &leg, c + 1);
+        // 4. Switch allocation; ST happens during c + 1. Departures and
+        // credit releases land in reused scratch vectors, and routers
+        // with nothing buffered are skipped without touching their
+        // state.
+        let mut deps = std::mem::take(&mut self.dep_scratch);
+        let mut rels = std::mem::take(&mut self.rel_scratch);
+        for r in 0..self.bank.len() {
+            if self.bank.is_drained(r) {
+                continue;
             }
-            for rel in releases {
-                let end = Endpoint::Stop {
-                    router: node,
-                    in_dir: rel.in_dir,
-                };
+            let node = NodeId(r as u16);
+            let lut = &self.lut;
+            deps.clear();
+            rels.clear();
+            self.bank.allocate(
+                r,
+                c,
+                |flow| lut.out_dir_from(flow, node),
+                &mut self.counters,
+                &mut deps,
+                &mut rels,
+            );
+            for dep in deps.drain(..) {
+                let leg = self.lut.leg_from(dep.flit.flow, node);
+                assert_eq!(leg.out_dir, dep.out_dir, "plan/grant mismatch at {node}");
+                launch(
+                    leg,
+                    dep.flit,
+                    c + 1,
+                    &mut self.flight,
+                    &mut self.counters,
+                    &mut self.tracer,
+                );
+            }
+            for rel in rels.drain(..) {
                 // Tail departs the buffer during c+1; the credit crosses
                 // the reverse mesh during c+2 and is usable at c+3.
-                self.emit_credit(end, rel.vc, c + 3);
+                let path = self.stop_credit[r * PORTS + rel.in_dir.index()]
+                    .unwrap_or_else(|| panic!("no sender tracks endpoint {node}/{}", rel.in_dir));
+                emit_credit(
+                    path,
+                    rel.vc,
+                    c + 3,
+                    &mut self.flight,
+                    &mut self.counters,
+                    &mut self.tracer,
+                );
             }
         }
+        self.dep_scratch = deps;
+        self.rel_scratch = rels;
 
         // 5. Gating + cycle accounting.
         self.counters.active_port_cycles += self.enabled_ports;
         self.counters.gated_port_cycles += self.total_ports - self.enabled_ports;
         self.counters.cycles += 1;
         self.cycle += 1;
-    }
-
-    /// Launch `flit` onto `leg`, with ST (and the whole link traversal)
-    /// occurring during `st_cycle`.
-    fn launch(&mut self, flit: Flit, leg: &Segment, st_cycle: u64) {
-        // Single-cycle link exclusivity (the preset invariant).
-        for link in &leg.links {
-            let prev = self.link_guard.insert(*link, st_cycle);
-            assert!(
-                prev != Some(st_cycle),
-                "two flits on {link} in cycle {st_cycle}: preset violation"
-            );
-            *self.link_flits.entry(*link).or_insert(0) += 1;
-        }
-        self.counters.xbar_flit_traversals += u64::from(leg.crossbars());
-        self.counters.link_flit_mm += leg.link_mm();
-        if leg.cycles == 2 {
-            self.counters.pipeline_reg_writes += 1;
-        }
-        if let Some(t) = self.tracer.as_mut() {
-            let from = match leg.sender {
-                Sender::Nic(n) | Sender::RouterOutput(n, _) => n,
-            };
-            t.record(TraceRecord {
-                cycle: st_cycle,
-                flow: flit.flow,
-                packet: flit.packet,
-                kind: TraceKind::Launch {
-                    from,
-                    links: leg.links.len() as u8,
-                    crossbars: leg.crossbars() as u8,
-                    mm: leg.link_mm(),
-                },
-            });
-        }
-        let arrival = st_cycle + u64::from(leg.cycles) - 1;
-        let slot = ((arrival + 1) % RING as u64) as usize;
-        self.arrivals[slot].push((leg.end, flit));
-    }
-
-    /// Schedule the credit for a freed VC at `end` back to its sender,
-    /// usable at `apply_cycle`.
-    fn emit_credit(&mut self, end: Endpoint, vc: VcId, apply_cycle: u64) {
-        let sender = *self
-            .endpoint_sender
-            .get(&end)
-            .unwrap_or_else(|| panic!("no sender tracks endpoint {end:?}"));
-        let (xbars, mm) = self.endpoint_leg_cost[&end];
-        self.counters.xbar_credit_traversals += u64::from(xbars);
-        self.counters.link_credit_mm += mm;
-        if let Some(t) = self.tracer.as_mut() {
-            t.record(TraceRecord {
-                cycle: apply_cycle.saturating_sub(2),
-                flow: crate::flit::FlowId(u32::MAX),
-                packet: crate::flit::PacketId(u64::MAX),
-                kind: TraceKind::Credit {
-                    crossbars: xbars as u8,
-                    mm,
-                },
-            });
-        }
-        let slot = (apply_cycle % RING as u64) as usize;
-        self.credit_ring[slot].push((sender, vc));
     }
 
     /// Run `cycles` cycles, pulling packets from `traffic` each cycle.
@@ -442,9 +488,9 @@ impl Network {
     /// `true` when no packet is queued, buffered, or in flight anywhere.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.nics.iter().all(Nic::is_drained)
-            && self.routers.iter().all(Router::is_drained)
-            && self.arrivals.iter().all(Vec::is_empty)
+        self.bank.total_buffered() == 0
+            && self.flight.scheduled_arrivals == 0
+            && self.nics.iter().all(Nic::is_drained)
     }
 
     /// Step until quiescent, up to `max_cycles`. Returns `true` if the
@@ -464,6 +510,85 @@ impl Network {
     pub fn total_backlog(&self) -> usize {
         self.nics.iter().map(Nic::backlog).sum()
     }
+}
+
+/// Launch `flit` onto `leg`, with ST (and the whole link traversal)
+/// occurring during `st_cycle`. A free function over the engine's
+/// in-flight state so the caller can keep borrowing the route tables
+/// the `leg` reference lives in.
+fn launch(
+    leg: &Segment,
+    flit: Flit,
+    st_cycle: u64,
+    flight: &mut Flight,
+    counters: &mut ActivityCounters,
+    tracer: &mut Option<Tracer>,
+) {
+    // Single-cycle link exclusivity (the preset invariant). The guard
+    // array stores `st_cycle + 1` so the zero initial state means
+    // "never used".
+    for link in &leg.links {
+        let li = link.from.0 as usize * PORTS + link.dir.index();
+        let stamp = st_cycle + 1;
+        assert!(
+            flight.link_guard[li] != stamp,
+            "two flits on {link} in cycle {st_cycle}: preset violation"
+        );
+        flight.link_guard[li] = stamp;
+        flight.link_flits[li] += 1;
+    }
+    counters.xbar_flit_traversals += u64::from(leg.crossbars());
+    counters.link_flit_mm += leg.link_mm();
+    if leg.cycles == 2 {
+        counters.pipeline_reg_writes += 1;
+    }
+    if let Some(t) = tracer.as_mut() {
+        let from = match leg.sender {
+            Sender::Nic(n) | Sender::RouterOutput(n, _) => n,
+        };
+        t.record(TraceRecord {
+            cycle: st_cycle,
+            flow: flit.flow,
+            packet: flit.packet,
+            kind: TraceKind::Launch {
+                from,
+                links: leg.links.len() as u8,
+                crossbars: leg.crossbars() as u8,
+                mm: leg.link_mm(),
+            },
+        });
+    }
+    let arrival = st_cycle + u64::from(leg.cycles) - 1;
+    let slot = ((arrival + 1) % RING as u64) as usize;
+    flight.arrivals[slot].push((leg.end, flit));
+    flight.scheduled_arrivals += 1;
+}
+
+/// Schedule the credit for a freed VC back along `path` to its sender,
+/// usable at `apply_cycle`.
+fn emit_credit(
+    path: CreditPath,
+    vc: VcId,
+    apply_cycle: u64,
+    flight: &mut Flight,
+    counters: &mut ActivityCounters,
+    tracer: &mut Option<Tracer>,
+) {
+    counters.xbar_credit_traversals += u64::from(path.crossbars);
+    counters.link_credit_mm += path.mm;
+    if let Some(t) = tracer.as_mut() {
+        t.record(TraceRecord {
+            cycle: apply_cycle.saturating_sub(2),
+            flow: crate::flit::FlowId(u32::MAX),
+            packet: crate::flit::PacketId(u64::MAX),
+            kind: TraceKind::Credit {
+                crossbars: path.crossbars as u8,
+                mm: path.mm,
+            },
+        });
+    }
+    let slot = (apply_cycle % RING as u64) as usize;
+    flight.credit_ring[slot].push((path.sender, vc));
 }
 
 #[cfg(test)]

@@ -39,6 +39,12 @@ impl fmt::Display for Coord {
     }
 }
 
+/// Router ports per node (4 compass + core). Every flat per-port array
+/// in the engine — router-bank state, link guards, credit tables — is
+/// indexed `node * PORTS + direction`, so the constant lives here next
+/// to [`Direction`] as the single source of truth.
+pub const PORTS: usize = 5;
+
 /// A router port direction. `Core` is the local NIC port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Direction {

@@ -43,7 +43,7 @@ fn main() {
         drain: 5_000,
         seed: 2024,
     };
-    let reports = ExperimentMatrix::new(cfg.clone())
+    let reports = ExperimentMatrix::new(cfg)
         .designs(&DesignKind::ALL)
         .workloads(vec![Workload::from(&mapped)])
         .plan(plan)

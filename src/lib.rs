@@ -28,9 +28,10 @@ pub use smart_rtlgen as rtlgen;
 pub use smart_sim as sim;
 pub use smart_taskgraph as taskgraph;
 
-/// One-stop imports for the common workflow: one [`Experiment`] per
-/// (design, workload) cell, or an [`ExperimentMatrix`] for the full
-/// fan-out.
+/// One-stop imports for the common workflow: one
+/// [`Experiment`](smart_harness::Experiment) per (design, workload)
+/// cell, or an [`ExperimentMatrix`](smart_harness::ExperimentMatrix)
+/// for the full fan-out.
 ///
 /// ```
 /// use smart_noc::prelude::*;
