@@ -56,6 +56,7 @@ fn main() {
             name: format!("{}@{per_node_flits}", pattern.label()),
             routes: routes.clone(),
             rates,
+            temporal: smart_harness::TemporalModel::Steady,
         };
 
         print!("{per_node_flits:>22.2}");

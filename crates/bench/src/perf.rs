@@ -15,14 +15,15 @@ use crate::{
 };
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
+use smart_harness::{SpatialPattern, TemporalModel};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// One timed cell of the perf scorecard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfResult {
-    /// Cell name (`fig7_4x4`, `uniform_8x8`, `hpc_16x16`,
-    /// `reconfig_8apps`).
+    /// Cell name (`fig7_4x4`, `uniform_8x8`, `bursty_8x8`,
+    /// `hpc_16x16`, `reconfig_8apps`).
     pub name: String,
     /// Simulated cycles the cell advanced the network.
     pub cycles: u64,
@@ -83,6 +84,21 @@ pub fn run_scorecard(scale: f64) -> Vec<PerfResult> {
         let r = Experiment::new(NocConfig::scaled(8))
             .design(DesignKind::Mesh)
             .workload(Workload::uniform(64, 0.02, 0x5EED))
+            .plan(RunPlan::measure_all(cycles(120_000), 10_000, 0xC0FFEE))
+            .run();
+        measures(&r)
+    }));
+
+    // 8×8 transpose pattern under on/off Markov bursts on SMART: the
+    // burst model's extra RNG draw per flow-cycle plus idle/active NIC
+    // phases — the cell that tracks the traffic subsystem's cost.
+    out.push(time_cell("bursty_8x8", || {
+        let r = Experiment::new(NocConfig::scaled(8))
+            .workload(Workload::patterned_with(
+                SpatialPattern::Transpose,
+                TemporalModel::on_off(0.005, 0.005),
+                0.03,
+            ))
             .plan(RunPlan::measure_all(cycles(120_000), 10_000, 0xC0FFEE))
             .run();
         measures(&r)

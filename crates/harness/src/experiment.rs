@@ -9,7 +9,9 @@ use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
 use smart_sim::{BernoulliTraffic, FlowId, FlowTable, Mesh, NodeId, ScriptedTraffic};
+use smart_traffic::{ModulatedTraffic, TemporalModel, TraceFile, TraceRecorder, TraceTraffic};
 use std::fmt;
+use std::sync::Arc;
 
 /// Simulation schedule for one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,16 +74,124 @@ impl RunPlan {
     }
 }
 
+/// Everything a [`Drive`] needs to build a concrete traffic source for
+/// one run: the routed workload's rates and temporal model, the flow
+/// table resolving endpoints, and the plan's packet sizing and seed.
+pub struct TrafficContext<'a> {
+    /// Per-flow nominal injection rates, packets per cycle.
+    pub rates: &'a [(FlowId, f64)],
+    /// Flow table resolving each flow's endpoints.
+    pub flows: &'a FlowTable,
+    /// The mesh being driven.
+    pub mesh: Mesh,
+    /// Flits per packet.
+    pub flits_per_packet: u8,
+    /// Traffic RNG seed (from the [`RunPlan`]).
+    pub seed: u64,
+    /// The workload's temporal model (honored by [`Drive::Bernoulli`]).
+    pub temporal: TemporalModel,
+}
+
+/// Builds a boxed [`TrafficSource`] for a run — the extension point
+/// behind [`Drive::Custom`], letting experiments and schedule phases
+/// inject *any* source through the same plumbing as the built-ins.
+pub trait TrafficFactory: Send + Sync {
+    /// Construct the source for one run. Must be a pure function of
+    /// `ctx` so matrix cells stay deterministic.
+    fn build(&self, ctx: &TrafficContext<'_>) -> Box<dyn TrafficSource>;
+}
+
+impl<F> TrafficFactory for F
+where
+    F: Fn(&TrafficContext<'_>) -> Box<dyn TrafficSource> + Send + Sync,
+{
+    fn build(&self, ctx: &TrafficContext<'_>) -> Box<dyn TrafficSource> {
+        self(ctx)
+    }
+}
+
 /// How the workload's flows are offered to the network.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum Drive {
-    /// Per-flow Bernoulli injection at the workload's rates (the
+    /// Rate-driven injection at the workload's rates through the
+    /// workload's [`TemporalModel`] — for steady workloads this is the
     /// paper's "uniform random injection rate to meet the specified
-    /// bandwidth for each flow").
+    /// bandwidth for each flow", bit-exact with the historical
+    /// [`BernoulliTraffic`] path.
     Bernoulli,
     /// Deterministic `(cycle, flow)` events — the Fig 7 walk-through
     /// and zero-load probes. The workload's rates are ignored.
     Scripted(Vec<(u64, FlowId)>),
+    /// Rate-driven injection through an explicit temporal model,
+    /// overriding the workload's own.
+    Temporal(TemporalModel),
+    /// Deterministic replay of a recorded [`TraceFile`]. The workload's
+    /// rates are ignored.
+    Trace(TraceFile),
+    /// Any boxed source, built per run by a shared [`TrafficFactory`].
+    Custom(Arc<dyn TrafficFactory>),
+}
+
+impl fmt::Debug for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Drive::Bernoulli => write!(f, "Bernoulli"),
+            Drive::Scripted(events) => f.debug_tuple("Scripted").field(events).finish(),
+            Drive::Temporal(model) => f.debug_tuple("Temporal").field(model).finish(),
+            Drive::Trace(trace) => f
+                .debug_struct("Trace")
+                .field("events", &trace.events.len())
+                .finish(),
+            Drive::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl Drive {
+    /// A [`Drive::Custom`] from any factory closure or value.
+    #[must_use]
+    pub fn custom(factory: impl TrafficFactory + 'static) -> Self {
+        Drive::Custom(Arc::new(factory))
+    }
+
+    /// Build the concrete traffic source for one run. The
+    /// [`Drive::Bernoulli`] + [`TemporalModel::Steady`] combination
+    /// constructs exactly the historical [`BernoulliTraffic`], keeping
+    /// every pre-existing workload's packet stream byte-identical.
+    #[must_use]
+    pub fn build(&self, ctx: &TrafficContext<'_>) -> Box<dyn TrafficSource> {
+        let modulated = |model: TemporalModel| -> Box<dyn TrafficSource> {
+            Box::new(ModulatedTraffic::new(
+                model,
+                ctx.rates,
+                ctx.flows,
+                ctx.mesh,
+                ctx.flits_per_packet,
+                ctx.seed,
+            ))
+        };
+        match self {
+            Drive::Bernoulli => match ctx.temporal {
+                TemporalModel::Steady => Box::new(BernoulliTraffic::new(
+                    ctx.rates,
+                    ctx.flows,
+                    ctx.mesh,
+                    ctx.flits_per_packet,
+                    ctx.seed,
+                )),
+                model => modulated(model),
+            },
+            Drive::Temporal(model) => modulated(*model),
+            Drive::Scripted(events) => Box::new(ScriptedTraffic::new(
+                events.clone(),
+                ctx.flits_per_packet,
+                ctx.flows,
+                ctx.mesh,
+            )),
+            Drive::Trace(trace) => Box::new(TraceTraffic::new(trace, ctx.flows, ctx.mesh)),
+            Drive::Custom(factory) => factory.build(ctx),
+        }
+    }
 }
 
 /// Preset-compilation metrics (SMART designs only).
@@ -347,6 +457,15 @@ impl Experiment {
         self
     }
 
+    /// How to offer the workload's flows (any [`Drive`]: Bernoulli,
+    /// scripted events, a temporal burst model, trace replay, or a
+    /// custom boxed source).
+    #[must_use]
+    pub fn drive(mut self, drive: Drive) -> Self {
+        self.drive = drive;
+        self
+    }
+
     /// Attach the calibrated 45 nm energy model and report the Fig 10b
     /// power breakdown (gating policy follows the design).
     #[must_use]
@@ -377,28 +496,58 @@ impl Experiment {
     /// materialize each workload once across designs).
     #[must_use]
     pub fn run_routed(&self, routed: &RoutedWorkload) -> ExperimentReport {
+        let table = FlowTable::mesh_baseline(self.cfg.mesh, &routed.routes);
+        let mut traffic = self.drive.build(&self.traffic_ctx(routed, &table));
+        self.execute(routed, traffic.as_mut())
+    }
+
+    /// Run like [`Experiment::run`], additionally recording every
+    /// `(cycle, flow)` injection into a replayable [`TraceFile`] —
+    /// re-driving the same experiment with [`Drive::Trace`] reproduces
+    /// this run's measurements bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Experiment::run`].
+    #[must_use]
+    pub fn run_recorded(&self) -> (ExperimentReport, TraceFile) {
+        let routed = self.workload.materialize(&self.cfg);
+        let table = FlowTable::mesh_baseline(self.cfg.mesh, &routed.routes);
+        let inner = self.drive.build(&self.traffic_ctx(&routed, &table));
+        let mut recorder = TraceRecorder::new(inner, self.cfg.flits_per_packet());
+        let report = self.execute(&routed, &mut recorder);
+        (report, recorder.into_trace())
+    }
+
+    /// The traffic build context of one run against `routed`.
+    fn traffic_ctx<'a>(
+        &self,
+        routed: &'a RoutedWorkload,
+        table: &'a FlowTable,
+    ) -> TrafficContext<'a> {
+        TrafficContext {
+            rates: &routed.rates,
+            flows: table,
+            mesh: self.cfg.mesh,
+            flits_per_packet: self.cfg.flits_per_packet(),
+            seed: self.plan.seed,
+            temporal: routed.temporal,
+        }
+    }
+
+    /// Build the design, drive it with `traffic` through the plan, and
+    /// assemble the report — the shared tail of every run flavor.
+    fn execute(
+        &self,
+        routed: &RoutedWorkload,
+        traffic: &mut dyn TrafficSource,
+    ) -> ExperimentReport {
         let cfg = &self.cfg;
-        let table = FlowTable::mesh_baseline(cfg.mesh, &routed.routes);
         let mut design = Design::build(self.design, cfg, &routed.routes);
-        let mut traffic: Box<dyn TrafficSource> = match &self.drive {
-            Drive::Bernoulli => Box::new(BernoulliTraffic::new(
-                &routed.rates,
-                &table,
-                cfg.mesh,
-                cfg.flits_per_packet(),
-                self.plan.seed,
-            )),
-            Drive::Scripted(events) => Box::new(ScriptedTraffic::new(
-                events.clone(),
-                cfg.flits_per_packet(),
-                &table,
-                cfg.mesh,
-            )),
-        };
         design.set_stats_from(self.plan.warmup);
-        design.run_with(traffic.as_mut(), self.plan.warmup);
+        design.run_with(traffic, self.plan.warmup);
         design.reset_counters();
-        design.run_with(traffic.as_mut(), self.plan.measure);
+        design.run_with(traffic, self.plan.measure);
         let drained = design.drain(self.plan.drain);
 
         let compile = match &design {

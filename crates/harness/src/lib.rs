@@ -9,7 +9,13 @@
 //!
 //! * [`Workload`] — every traffic family behind one enum: the Fig 7
 //!   walk-through, the eight Section VI task-graph applications,
-//!   uniform-random Bernoulli loads, and pre-routed custom flow sets.
+//!   uniform-random Bernoulli loads, `smart-traffic` synthetic
+//!   patterns with temporal burst models, and pre-routed custom flow
+//!   sets.
+//! * [`Drive`] — how the flows are offered: Bernoulli (honoring the
+//!   workload's [`TemporalModel`]), scripted events, an explicit
+//!   temporal model, [`TraceFile`] replay, or any custom boxed source
+//!   via a [`TrafficFactory`].
 //! * [`RunPlan`] — the warm-up / measure / drain schedule plus the
 //!   traffic seed (deterministic by construction).
 //! * [`Experiment`] — one (config, design, workload, plan) cell;
@@ -22,8 +28,10 @@
 //! * [`AppSchedule`] / [`MultiAppExperiment`] — the Fig 1 / Section V
 //!   multi-application regime: ordered phases run back-to-back on one
 //!   NoC, paying the drain + preset-store reconfiguration cost at every
-//!   transition; [`ScheduleMatrix`] fans one schedule out across the
-//!   four [`ScheduleDesign`]s on the same deterministic cell runner.
+//!   transition; each phase carries its own [`Drive`]
+//!   ([`AppSchedule::then_driven`]); [`ScheduleMatrix`] fans one
+//!   schedule out across the four [`ScheduleDesign`]s on the same
+//!   deterministic cell runner.
 //!
 //! ```
 //! use smart_core::config::NocConfig;
@@ -45,10 +53,18 @@ pub mod matrix;
 pub mod schedule;
 pub mod workload;
 
-pub use experiment::{CompileMetrics, Drive, Experiment, ExperimentReport, RunPlan};
+pub use experiment::{
+    CompileMetrics, Drive, Experiment, ExperimentReport, RunPlan, TrafficContext, TrafficFactory,
+};
 pub use matrix::{ExperimentMatrix, MatrixOutcome};
 pub use schedule::{
     AppPhase, AppSchedule, MultiAppExperiment, PhaseTransition, ScheduleDesign, ScheduleError,
     ScheduleMatrix, ScheduleOutcome, ScheduleReport,
 };
 pub use workload::{RoutedWorkload, Workload};
+
+// The traffic subsystem the drives are built from, re-exported so
+// downstream users (bench, examples) need no extra dependency.
+pub use smart_traffic::{
+    ModulatedTraffic, SpatialPattern, TemporalModel, TraceFile, TraceRecorder, TraceTraffic,
+};

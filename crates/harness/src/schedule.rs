@@ -17,13 +17,14 @@
 //! schedule out across designs on the same scoped-thread cell runner as
 //! [`crate::ExperimentMatrix`], with the same per-cell determinism.
 
-use crate::experiment::{CompileMetrics, Experiment, ExperimentReport, RawMeasurements, RunPlan};
+use crate::experiment::{
+    CompileMetrics, Drive, Experiment, ExperimentReport, RawMeasurements, RunPlan, TrafficContext,
+};
 use crate::matrix::run_cells;
 use crate::workload::{RoutedWorkload, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::{DesignKind, SmartNoc};
 use smart_core::reconfig::{ReconfigError, ReconfigurableNoc};
-use smart_sim::BernoulliTraffic;
 use smart_taskgraph::apps;
 use std::fmt;
 
@@ -85,13 +86,19 @@ impl ScheduleDesign {
     }
 }
 
-/// One phase of a schedule: a workload driven under its own plan.
+/// One phase of a schedule: a workload driven under its own plan by its
+/// own [`Drive`] (Bernoulli by default — any drive the single-cell
+/// [`Experiment`] accepts works per phase, closing the roadmap's
+/// "custom `TrafficSource`s threaded deeper into `Workload` for
+/// schedules" item).
 #[derive(Debug, Clone)]
 pub struct AppPhase {
     /// What traffic this phase offers.
     pub workload: Workload,
     /// The warm-up / measure / drain schedule for this phase.
     pub plan: RunPlan,
+    /// How the phase's flows are offered to the network.
+    pub drive: Drive,
 }
 
 /// An ordered multi-application schedule plus the reconfiguration
@@ -134,12 +141,25 @@ impl AppSchedule {
             })
     }
 
-    /// Append a phase.
+    /// Append a Bernoulli-driven phase.
     #[must_use]
-    pub fn then(mut self, workload: impl Into<Workload>, plan: RunPlan) -> Self {
+    pub fn then(self, workload: impl Into<Workload>, plan: RunPlan) -> Self {
+        self.then_driven(workload, plan, Drive::Bernoulli)
+    }
+
+    /// Append a phase with an explicit [`Drive`] (bursty, trace replay,
+    /// scripted, or custom).
+    #[must_use]
+    pub fn then_driven(
+        mut self,
+        workload: impl Into<Workload>,
+        plan: RunPlan,
+        drive: Drive,
+    ) -> Self {
         self.phases.push(AppPhase {
             workload: workload.into(),
             plan,
+            drive,
         });
         self
     }
@@ -452,18 +472,22 @@ impl MultiAppExperiment {
 
             let noc = rnoc.noc_mut().expect("app just loaded");
             let plan = phase.plan;
-            let mut traffic = BernoulliTraffic::new(
-                &r.rates,
-                noc.network().flows(),
-                cfg.mesh,
-                cfg.flits_per_packet(),
-                plan.seed,
-            );
+            // Per-phase drive plumbing: Bernoulli phases construct the
+            // exact historical BernoulliTraffic (schedule goldens stay
+            // byte-identical); any other drive rides the same path.
+            let mut traffic = phase.drive.build(&TrafficContext {
+                rates: &r.rates,
+                flows: noc.network().flows(),
+                mesh: cfg.mesh,
+                flits_per_packet: cfg.flits_per_packet(),
+                seed: plan.seed,
+                temporal: r.temporal,
+            });
             let net = noc.network_mut();
             net.set_stats_from(plan.warmup);
-            net.run_with(&mut traffic, plan.warmup);
+            net.run_with(traffic.as_mut(), plan.warmup);
             net.reset_counters();
-            net.run_with(&mut traffic, plan.measure);
+            net.run_with(traffic.as_mut(), plan.measure);
             // The phase's own drain window; a zero budget deliberately
             // leaves traffic in flight for the next transition, Fig 1
             // style (`drained` records this phase-plan outcome).
@@ -520,7 +544,8 @@ impl MultiAppExperiment {
         for (phase, r) in self.schedule.phases.iter().zip(routed) {
             let mut e = Experiment::new(self.cfg.clone())
                 .design(kind)
-                .plan(phase.plan);
+                .plan(phase.plan)
+                .drive(phase.drive.clone());
             if self.power {
                 e = e.measure_power();
             }

@@ -8,6 +8,7 @@ use smart_core::scenarios::fig7_flows;
 use smart_mapping::MappedApp;
 use smart_sim::{FlowId, NodeId, SourceRoute};
 use smart_taskgraph::{apps, TaskGraph};
+use smart_traffic::{SpatialPattern, TemporalModel};
 
 /// Injection rate per Fig 7 flow: gentle, so bypass behaviour dominates.
 const FIG7_RATE: f64 = 0.02;
@@ -34,6 +35,18 @@ pub enum Workload {
         /// RNG seed for the pair choice.
         seed: u64,
     },
+    /// A synthetic [`SpatialPattern`] routed XY and injected at
+    /// `rate × weight` packets/cycle per flow through `temporal` — the
+    /// classic pattern battery (transpose, tornado, hotspot, …) with
+    /// optional burstiness.
+    Patterned {
+        /// The spatial structure of the flow set.
+        pattern: SpatialPattern,
+        /// The injection process layered on the rates.
+        temporal: TemporalModel,
+        /// Nominal packets-per-cycle rate per unit-weight flow.
+        rate: f64,
+    },
     /// Pre-routed flows with explicit rates (e.g. a custom placement or
     /// a hand-built `TrafficSource` scenario).
     Routed(RoutedWorkload),
@@ -56,6 +69,27 @@ impl Workload {
     #[must_use]
     pub fn uniform(flows: usize, rate: f64, seed: u64) -> Self {
         Workload::Uniform { flows, rate, seed }
+    }
+
+    /// A steady synthetic pattern at `rate` packets/cycle per flow.
+    #[must_use]
+    pub fn patterned(pattern: SpatialPattern, rate: f64) -> Self {
+        Workload::Patterned {
+            pattern,
+            temporal: TemporalModel::Steady,
+            rate,
+        }
+    }
+
+    /// A synthetic pattern driven through a temporal model (bursty or
+    /// ramped injection).
+    #[must_use]
+    pub fn patterned_with(pattern: SpatialPattern, temporal: TemporalModel, rate: f64) -> Self {
+        Workload::Patterned {
+            pattern,
+            temporal,
+            rate,
+        }
     }
 
     /// The paper's preset battery: Fig 7, the eight applications (in
@@ -87,6 +121,11 @@ impl Workload {
             Workload::Uniform { flows, rate, seed } => {
                 RoutedWorkload::uniform(cfg, *flows, *rate, *seed)
             }
+            Workload::Patterned {
+                pattern,
+                temporal,
+                rate,
+            } => RoutedWorkload::patterned(cfg, pattern, *temporal, *rate),
             Workload::Routed(routed) => routed.clone(),
         }
     }
@@ -105,7 +144,8 @@ impl From<&MappedApp> for Workload {
 }
 
 /// A workload routed onto a concrete mesh: named flows plus per-flow
-/// Bernoulli injection rates, ready to drive any design.
+/// injection rates and the temporal model spreading them over time,
+/// ready to drive any design.
 #[derive(Debug, Clone)]
 pub struct RoutedWorkload {
     /// Preset name (`fig7`, an application name, `uniform<n>@<rate>`).
@@ -114,6 +154,10 @@ pub struct RoutedWorkload {
     pub routes: Vec<(FlowId, SourceRoute)>,
     /// Packets-per-cycle injection rate per flow.
     pub rates: Vec<(FlowId, f64)>,
+    /// Injection process layered on the rates by rate-driven drives
+    /// ([`TemporalModel::Steady`] reproduces the historical Bernoulli
+    /// stream bit-exactly).
+    pub temporal: TemporalModel,
 }
 
 impl RoutedWorkload {
@@ -130,6 +174,7 @@ impl RoutedWorkload {
             name: "fig7".to_owned(),
             routes,
             rates,
+            temporal: TemporalModel::Steady,
         }
     }
 
@@ -173,7 +218,45 @@ impl RoutedWorkload {
             name: format!("uniform{flows}@{rate}"),
             routes,
             rates,
+            temporal: TemporalModel::Steady,
         }
+    }
+
+    /// A synthetic [`SpatialPattern`] routed XY at `rate × weight`
+    /// packets/cycle per flow, driven through `temporal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern induces no flows on the mesh or one of its
+    /// structural requirements fails (square mesh, power-of-two nodes).
+    #[must_use]
+    pub fn patterned(
+        cfg: &NocConfig,
+        pattern: &SpatialPattern,
+        temporal: TemporalModel,
+        rate: f64,
+    ) -> Self {
+        let (routes, rates) = pattern.routed(cfg.mesh, rate);
+        RoutedWorkload {
+            name: format!("{}@{rate}{}", pattern.label(), temporal.suffix()),
+            routes,
+            rates,
+            temporal,
+        }
+    }
+
+    /// The same routed flows driven through a different temporal model.
+    /// Any previous temporal suffix in the name (they start with `+`)
+    /// is replaced by the new model's, so reports stay truthful about
+    /// the injection process.
+    #[must_use]
+    pub fn with_temporal(mut self, temporal: TemporalModel) -> Self {
+        if let Some(base) = self.name.find('+') {
+            self.name.truncate(base);
+        }
+        self.name.push_str(&temporal.suffix());
+        self.temporal = temporal;
+        self
     }
 
     /// Adopt a mapped application's name, routes and rates.
@@ -183,6 +266,7 @@ impl RoutedWorkload {
             name: mapped.name.clone(),
             routes: mapped.routes.clone(),
             rates: mapped.rates.clone(),
+            temporal: TemporalModel::Steady,
         }
     }
 
@@ -229,6 +313,19 @@ mod tests {
                 assert_ne!(r.source(), r.destination(cfg.mesh));
             }
         }
+    }
+
+    #[test]
+    fn with_temporal_rewrites_the_name_suffix() {
+        let cfg = NocConfig::paper_4x4();
+        let bursty = TemporalModel::on_off(0.01, 0.01);
+        let w = RoutedWorkload::patterned(&cfg, &SpatialPattern::Transpose, bursty, 0.02);
+        assert_eq!(w.name, "transpose@0.02+onoff(0.01,0.01)");
+        let steady = w.with_temporal(TemporalModel::Steady);
+        assert_eq!(steady.name, "transpose@0.02");
+        assert_eq!(steady.temporal, TemporalModel::Steady);
+        let ramped = steady.with_temporal(TemporalModel::ramp(0.0, 1.0, 100));
+        assert_eq!(ramped.name, "transpose@0.02+ramp(0..1/100)");
     }
 
     #[test]

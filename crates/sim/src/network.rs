@@ -118,6 +118,13 @@ pub struct Network {
     enabled_ports: u64,
     total_ports: u64,
     tracer: Option<Tracer>,
+    /// NICs with a nonzero injection backlog, ascending — the only
+    /// NICs the per-cycle injection scan visits. Kept sorted so the
+    /// scan order (and therefore every downstream event order) matches
+    /// a full 0..n sweep exactly.
+    active_nics: Vec<u32>,
+    /// Membership mask for `active_nics`, indexed by node.
+    nic_active: Vec<bool>,
     /// Per-cycle scratch, reused so the steady state allocates nothing.
     arrival_scratch: Vec<(Endpoint, Flit)>,
     credit_scratch: Vec<(Sender, VcId)>,
@@ -202,6 +209,8 @@ impl Network {
             enabled_ports,
             total_ports,
             tracer: None,
+            active_nics: Vec::new(),
+            nic_active: vec![false; n],
             arrival_scratch: Vec::new(),
             credit_scratch: Vec::new(),
             dep_scratch: Vec::new(),
@@ -306,7 +315,16 @@ impl Network {
             plan.route.destination(self.cfg.mesh),
             "packet dst mismatch"
         );
-        self.nics[packet.src.0 as usize].offer(packet);
+        let src = packet.src.0 as usize;
+        self.nics[src].offer(packet);
+        if !self.nic_active[src] {
+            self.nic_active[src] = true;
+            let pos = self
+                .active_nics
+                .binary_search(&(src as u32))
+                .expect_err("mask says absent");
+            self.active_nics.insert(pos, src as u32);
+        }
     }
 
     /// Advance one cycle.
@@ -399,22 +417,34 @@ impl Network {
         }
         self.arrival_scratch = arrivals;
 
-        // 3. NIC injection.
-        for i in 0..self.nics.len() {
-            let Some(flit) = self.nics[i].try_inject(c, &mut self.counters) else {
-                continue;
-            };
-            let leg = self.lut.first_leg(flit.flow);
-            debug_assert!(matches!(leg.sender, Sender::Nic(n) if n.0 as usize == i));
-            launch(
-                leg,
-                flit,
-                c,
-                &mut self.flight,
-                &mut self.counters,
-                &mut self.tracer,
-            );
+        // 3. NIC injection, scanning only the active set (NICs with a
+        // backlog). A NIC whose backlog empties retires from the set in
+        // place; the compaction preserves ascending order, so the event
+        // stream is bit-identical to a full 0..n sweep. Skipped idle
+        // NICs would have returned `None` without touching any state.
+        let mut kept = 0;
+        for k in 0..self.active_nics.len() {
+            let i = self.active_nics[k] as usize;
+            if let Some(flit) = self.nics[i].try_inject(c, &mut self.counters) {
+                let leg = self.lut.first_leg(flit.flow);
+                debug_assert!(matches!(leg.sender, Sender::Nic(n) if n.0 as usize == i));
+                launch(
+                    leg,
+                    flit,
+                    c,
+                    &mut self.flight,
+                    &mut self.counters,
+                    &mut self.tracer,
+                );
+            }
+            if self.nics[i].backlog() > 0 {
+                self.active_nics[kept] = self.active_nics[k];
+                kept += 1;
+            } else {
+                self.nic_active[i] = false;
+            }
         }
+        self.active_nics.truncate(kept);
 
         // 4. Switch allocation; ST happens during c + 1. Departures and
         // credit releases land in reused scratch vectors, and routers

@@ -132,7 +132,10 @@ pub struct ScriptedTraffic {
 }
 
 impl ScriptedTraffic {
-    /// Build from `(cycle, flow)` events (sorted internally).
+    /// Build from `(cycle, flow)` events. Events are sorted by cycle;
+    /// same-cycle events keep the order they were given in (so a
+    /// recorded injection schedule replays in its original per-cycle
+    /// order — queue order at a shared source NIC matters).
     ///
     /// # Panics
     ///
@@ -144,7 +147,7 @@ impl ScriptedTraffic {
         flows: &FlowTable,
         mesh: Mesh,
     ) -> Self {
-        events.sort_unstable_by_key(|(c, f)| (*c, f.0));
+        events.sort_by_key(|(c, _)| *c);
         let endpoints = events
             .iter()
             .map(|(_, f)| {
@@ -257,6 +260,22 @@ mod tests {
         let at5 = t.generate(5);
         assert_eq!(at5.len(), 2);
         assert!(t.exhausted());
+    }
+
+    #[test]
+    fn same_cycle_events_keep_their_given_order() {
+        // Queue order at a shared source NIC matters, so replaying a
+        // recorded schedule must not reorder same-cycle events.
+        let (flows, mesh) = table();
+        let mut t = ScriptedTraffic::new(
+            vec![(3, FlowId(1)), (3, FlowId(0)), (1, FlowId(0))],
+            8,
+            &flows,
+            mesh,
+        );
+        assert_eq!(t.generate(1).len(), 1);
+        let at3: Vec<FlowId> = t.generate(3).iter().map(|p| p.flow).collect();
+        assert_eq!(at3, vec![FlowId(1), FlowId(0)]);
     }
 
     #[test]

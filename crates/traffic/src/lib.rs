@@ -1,0 +1,53 @@
+//! # smart-traffic — pluggable traffic generation
+//!
+//! The paper evaluates SMART under task-graph loads with uniform-random
+//! (Bernoulli) injection; reconfigurable-NoC wins, however, depend on
+//! the *spatial structure* of the traffic (long straight flows bypass,
+//! convergecast flows stop) and on its *temporal shape* (bursts stress
+//! the preset buffers). This crate factors traffic generation into
+//! three orthogonal, composable layers:
+//!
+//! * **Spatial** — [`SpatialPattern`]: flow sets over any mesh
+//!   (uniform, transpose, bit-complement, bit-reverse, shuffle,
+//!   tornado, neighbor, hotspot), each emitting the
+//!   `(FlowId, SourceRoute)` routes and per-flow rates the Experiment
+//!   API consumes.
+//! * **Temporal** — [`TemporalModel`] + [`ModulatedTraffic`]: steady
+//!   Bernoulli (bit-exact with `smart_sim::BernoulliTraffic`), on/off
+//!   Markov bursts, and deterministic rate ramps, all behind the
+//!   engine's `TrafficSource` trait.
+//! * **Record/replay** — [`TraceFile`] (versioned JSONL),
+//!   [`TraceRecorder`] (capture `(cycle, flow)` injections from any
+//!   live source) and [`TraceTraffic`] (deterministic replay through
+//!   `ScriptedTraffic`), so any stochastic scenario can be frozen into
+//!   a reproducible artifact.
+//!
+//! ```
+//! use smart_sim::forward::FlowTable;
+//! use smart_sim::{Mesh, TrafficSource};
+//! use smart_traffic::{ModulatedTraffic, SpatialPattern, TemporalModel};
+//!
+//! // Transpose pattern, bursty injection, on the paper's 4x4 mesh.
+//! let mesh = Mesh::paper_4x4();
+//! let (routes, rates) = SpatialPattern::Transpose.routed(mesh, 0.02);
+//! let flows = FlowTable::mesh_baseline(mesh, &routes);
+//! let mut source = ModulatedTraffic::new(
+//!     TemporalModel::on_off(0.01, 0.01),
+//!     &rates,
+//!     &flows,
+//!     mesh,
+//!     8,
+//!     0xC0FFEE,
+//! );
+//! let packets: usize = (0..1_000).map(|c| source.generate(c).len()).sum();
+//! assert!(packets > 0);
+//! ```
+#![warn(missing_docs)]
+
+pub mod spatial;
+pub mod temporal;
+pub mod tracefile;
+
+pub use spatial::{PatternFlow, SpatialPattern};
+pub use temporal::{ModulatedTraffic, TemporalModel};
+pub use tracefile::{TraceFile, TraceParseError, TraceRecorder, TraceTraffic, TRACE_SCHEMA};

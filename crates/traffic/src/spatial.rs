@@ -1,0 +1,498 @@
+//! Spatial traffic patterns: flow sets over a mesh.
+//!
+//! The classic synthetic patterns (Dally & Towles, the paper's baseline
+//! reference \[11\]) stress different aspects of a topology: permutation
+//! patterns like transpose and bit-complement maximize path diversity
+//! pressure, tornado defeats minimal adaptive routing, neighbor rewards
+//! locality, and hotspot models shared-resource convergecast. SMART's
+//! wins depend on exactly this spatial structure — long straight flows
+//! bypass whole stretches in one cycle, while convergecast flows stop —
+//! so every pattern here emits the `(FlowId, SourceRoute)` + per-flow
+//! weight wiring the Experiment API consumes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smart_sim::route::SourceRoute;
+use smart_sim::topology::{Coord, Mesh, NodeId};
+use smart_sim::FlowId;
+
+/// A pattern routed onto a mesh: XY `(FlowId, SourceRoute)` routes plus
+/// per-flow `(FlowId, rate)` injection rates, both in flow-id order —
+/// exactly the pair the Experiment API consumes.
+pub type RoutedPattern = (Vec<(FlowId, SourceRoute)>, Vec<(FlowId, f64)>);
+
+/// One pattern-induced flow: a source/destination pair plus the share
+/// of the source's injection budget it carries (permutation patterns
+/// use weight 1; hotspot splits each source's budget across targets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternFlow {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Fraction of the source's injection rate carried by this flow.
+    pub weight: f64,
+}
+
+/// A synthetic communication pattern over the mesh nodes.
+///
+/// Permutation patterns map every node to at most one destination (the
+/// [`SpatialPattern::destination`] function); [`SpatialPattern::Uniform`]
+/// and [`SpatialPattern::Hotspot`] induce richer flow sets. Self-pairs
+/// are always dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialPattern {
+    /// `flows` uniform-random (src, dst) pairs; pair choice is a pure
+    /// function of `seed`.
+    Uniform {
+        /// Number of random flows.
+        flows: usize,
+        /// RNG seed for the pair choice.
+        seed: u64,
+    },
+    /// `(x, y)` sends to `(y, x)` (square meshes only) — self-inverse.
+    Transpose,
+    /// Node `i` sends to `!i` over the index bits (`N-1-i`) —
+    /// self-inverse on any power-of-two node count.
+    BitComplement,
+    /// Node `i` sends to the bit-reversal of `i` — self-inverse on any
+    /// power-of-two node count.
+    BitReverse,
+    /// Perfect shuffle: node `i` sends to `rotl1(i)` over the index
+    /// bits — a bijection on any power-of-two node count.
+    Shuffle,
+    /// `(x, y)` sends to `((x + ⌈W/2⌉ - 1) mod W, y)` — the adversarial
+    /// half-ring rotation.
+    Tornado,
+    /// `(x, y)` sends to `((x + 1) mod W, y)` — nearest-neighbor
+    /// locality.
+    Neighbor,
+    /// Every other node sends to every target; each source spends
+    /// `weight` of its injection budget on the hotspots (split evenly)
+    /// and the remaining `1 - weight` uniformly over the rest of the
+    /// mesh.
+    Hotspot {
+        /// The congested destinations.
+        targets: Vec<NodeId>,
+        /// Fraction of each source's budget aimed at the targets,
+        /// in `[0, 1]`.
+        weight: f64,
+    },
+}
+
+impl SpatialPattern {
+    /// A hotspot pattern converging on `targets` with `weight` of every
+    /// source's budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or `weight` is outside `[0, 1]`.
+    #[must_use]
+    pub fn hotspot(targets: Vec<NodeId>, weight: f64) -> Self {
+        assert!(!targets.is_empty(), "hotspot needs at least one target");
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "hotspot weight {weight} outside [0,1]"
+        );
+        SpatialPattern::Hotspot { targets, weight }
+    }
+
+    /// The canonical pattern battery for matrix sweeps: the six
+    /// structured patterns plus a single-target center hotspot — every
+    /// entry valid on any square power-of-two mesh.
+    #[must_use]
+    pub fn battery(mesh: Mesh) -> Vec<SpatialPattern> {
+        let center = mesh.node_at(Coord {
+            x: mesh.width() / 2,
+            y: mesh.height() / 2,
+        });
+        vec![
+            SpatialPattern::Transpose,
+            SpatialPattern::BitComplement,
+            SpatialPattern::BitReverse,
+            SpatialPattern::Shuffle,
+            SpatialPattern::Tornado,
+            SpatialPattern::Neighbor,
+            SpatialPattern::hotspot(vec![center], 0.8),
+        ]
+    }
+
+    /// Short name for reports (`transpose`, `hotspot1@0.8`, …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SpatialPattern::Uniform { flows, .. } => format!("uniform{flows}"),
+            SpatialPattern::Transpose => "transpose".to_owned(),
+            SpatialPattern::BitComplement => "bit-complement".to_owned(),
+            SpatialPattern::BitReverse => "bit-reverse".to_owned(),
+            SpatialPattern::Shuffle => "shuffle".to_owned(),
+            SpatialPattern::Tornado => "tornado".to_owned(),
+            SpatialPattern::Neighbor => "neighbor".to_owned(),
+            SpatialPattern::Hotspot { targets, weight } => {
+                format!("hotspot{}@{weight}", targets.len())
+            }
+        }
+    }
+
+    /// The destination a permutation pattern maps `node` to (before
+    /// self-pair dropping), or `None` for the non-permutation patterns
+    /// ([`SpatialPattern::Uniform`], [`SpatialPattern::Hotspot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's structural requirement fails: transpose
+    /// needs a square mesh; the bit patterns need a power-of-two node
+    /// count.
+    #[must_use]
+    pub fn destination(&self, mesh: Mesh, node: NodeId) -> Option<NodeId> {
+        let c = mesh.coord(node);
+        match self {
+            SpatialPattern::Uniform { .. } | SpatialPattern::Hotspot { .. } => None,
+            SpatialPattern::Transpose => {
+                assert_eq!(
+                    mesh.width(),
+                    mesh.height(),
+                    "transpose needs a square mesh, got {}x{}",
+                    mesh.width(),
+                    mesh.height()
+                );
+                Some(mesh.node_at(Coord { x: c.y, y: c.x }))
+            }
+            SpatialPattern::BitComplement => {
+                // Structural check only: N-1-i is the bit complement
+                // exactly when N is a power of two.
+                let _ = index_bits(mesh);
+                Some(NodeId(mesh.len() as u16 - 1 - node.0))
+            }
+            SpatialPattern::BitReverse => {
+                let b = index_bits(mesh);
+                let mut x = u32::from(node.0);
+                let mut r = 0u32;
+                for _ in 0..b {
+                    r = (r << 1) | (x & 1);
+                    x >>= 1;
+                }
+                Some(NodeId(r as u16))
+            }
+            SpatialPattern::Shuffle => {
+                let b = index_bits(mesh);
+                let n = mesh.len() as u32;
+                let i = u32::from(node.0);
+                Some(NodeId(((i << 1 | i >> (b - 1)) & (n - 1)) as u16))
+            }
+            SpatialPattern::Tornado => {
+                let w = mesh.width();
+                let shift = w.div_ceil(2) - 1;
+                Some(mesh.node_at(Coord {
+                    x: (c.x + shift) % w,
+                    y: c.y,
+                }))
+            }
+            SpatialPattern::Neighbor => Some(mesh.node_at(Coord {
+                x: (c.x + 1) % mesh.width(),
+                y: c.y,
+            })),
+        }
+    }
+
+    /// The flow set this pattern induces on `mesh` (self-pairs are
+    /// dropped; weights of one source's surviving flows sum to at most
+    /// 1, exactly 1 when no pair was dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern's structural requirement fails (see
+    /// [`SpatialPattern::destination`]) or a hotspot target is off-mesh.
+    #[must_use]
+    pub fn flows(&self, mesh: Mesh) -> Vec<PatternFlow> {
+        let mut out = Vec::new();
+        match self {
+            SpatialPattern::Uniform { flows, seed } => {
+                let n = mesh.len() as u16;
+                assert!(n > 1, "uniform needs at least two nodes");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                for _ in 0..*flows {
+                    let src = NodeId(rng.gen_range(0..n));
+                    let dst = loop {
+                        let d = NodeId(rng.gen_range(0..n));
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    out.push(PatternFlow {
+                        src,
+                        dst,
+                        weight: 1.0,
+                    });
+                }
+            }
+            SpatialPattern::Hotspot { targets, weight } => {
+                assert!(!targets.is_empty(), "hotspot needs at least one target");
+                assert!(
+                    (0.0..=1.0).contains(weight),
+                    "hotspot weight {weight} outside [0,1]"
+                );
+                for t in targets {
+                    assert!(
+                        (t.0 as usize) < mesh.len(),
+                        "hotspot target {t} outside the mesh"
+                    );
+                }
+                let background: Vec<NodeId> =
+                    mesh.nodes().filter(|n| !targets.contains(n)).collect();
+                for src in mesh.nodes() {
+                    let others: Vec<NodeId> =
+                        background.iter().copied().filter(|d| *d != src).collect();
+                    // With no background destination left (every other
+                    // node is a target), the hotspot flows absorb the
+                    // whole budget instead of silently dropping it.
+                    let hot_share = if others.is_empty() { 1.0 } else { *weight };
+                    let per_target = hot_share / targets.len() as f64;
+                    if per_target > 0.0 {
+                        for t in targets {
+                            if src != *t {
+                                out.push(PatternFlow {
+                                    src,
+                                    dst: *t,
+                                    weight: per_target,
+                                });
+                            }
+                        }
+                    }
+                    if *weight < 1.0 && !others.is_empty() {
+                        let per_other = (1.0 - weight) / others.len() as f64;
+                        for d in others {
+                            out.push(PatternFlow {
+                                src,
+                                dst: d,
+                                weight: per_other,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {
+                for src in mesh.nodes() {
+                    let dst = self
+                        .destination(mesh, src)
+                        .expect("permutation patterns map every node");
+                    if src != dst {
+                        out.push(PatternFlow {
+                            src,
+                            dst,
+                            weight: 1.0,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Route the pattern's flows onto `mesh` with XY source routing:
+    /// flow `i` (in [`SpatialPattern::flows`] order) becomes
+    /// `FlowId(i)`, injected at `rate * weight` packets per cycle —
+    /// exactly the `(routes, rates)` pair the Experiment API consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern induces no flows on `mesh` or a structural
+    /// requirement fails.
+    #[must_use]
+    pub fn routed(&self, mesh: Mesh, rate: f64) -> RoutedPattern {
+        let flows = self.flows(mesh);
+        assert!(
+            !flows.is_empty(),
+            "pattern {} induces no flows on a {}x{} mesh",
+            self.label(),
+            mesh.width(),
+            mesh.height()
+        );
+        let routes: Vec<(FlowId, SourceRoute)> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FlowId(i as u32), SourceRoute::xy(mesh, f.src, f.dst)))
+            .collect();
+        let rates = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FlowId(i as u32), rate * f.weight))
+            .collect();
+        (routes, rates)
+    }
+}
+
+/// Number of index bits of a power-of-two mesh.
+///
+/// # Panics
+///
+/// Panics if the node count is not a power of two.
+fn index_bits(mesh: Mesh) -> u32 {
+    let n = mesh.len();
+    assert!(
+        n.is_power_of_two() && n > 1,
+        "bit patterns need a power-of-two node count, got {n}"
+    );
+    n.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::paper_4x4()
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        // Node 1 = (1,0) -> (0,1) = node 4.
+        assert_eq!(
+            SpatialPattern::Transpose.destination(mesh(), NodeId(1)),
+            Some(NodeId(4))
+        );
+        // Diagonal nodes map to themselves and drop out of the flow set.
+        assert_eq!(SpatialPattern::Transpose.flows(mesh()).len(), 12);
+    }
+
+    #[test]
+    fn bit_patterns_match_hand_calculation() {
+        // 16 nodes, 4 bits: 0b0001 -> complement 0b1110 = 14,
+        // reverse 0b1000 = 8, shuffle 0b0010 = 2.
+        assert_eq!(
+            SpatialPattern::BitComplement.destination(mesh(), NodeId(1)),
+            Some(NodeId(14))
+        );
+        assert_eq!(
+            SpatialPattern::BitReverse.destination(mesh(), NodeId(1)),
+            Some(NodeId(8))
+        );
+        assert_eq!(
+            SpatialPattern::Shuffle.destination(mesh(), NodeId(1)),
+            Some(NodeId(2))
+        );
+        // Shuffle wraps the top bit: 0b1000 -> 0b0001.
+        assert_eq!(
+            SpatialPattern::Shuffle.destination(mesh(), NodeId(8)),
+            Some(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn tornado_rotates_half_the_row() {
+        // W=4: shift ceil(4/2)-1 = 1.
+        assert_eq!(
+            SpatialPattern::Tornado.destination(mesh(), NodeId(3)),
+            Some(NodeId(0))
+        );
+        // W=8: shift 3.
+        let m8 = Mesh::new(8, 8);
+        assert_eq!(
+            SpatialPattern::Tornado.destination(m8, NodeId(0)),
+            Some(NodeId(3))
+        );
+        // Every node participates (no self-pairs when shift > 0).
+        assert_eq!(SpatialPattern::Tornado.flows(mesh()).len(), 16);
+    }
+
+    #[test]
+    fn neighbor_stays_in_row() {
+        let flows = SpatialPattern::Neighbor.flows(mesh());
+        assert_eq!(flows.len(), 16);
+        for f in flows {
+            assert_eq!(mesh().coord(f.src).y, mesh().coord(f.dst).y);
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn hotspot_splits_the_budget() {
+        let p = SpatialPattern::hotspot(vec![NodeId(5), NodeId(10)], 0.6);
+        let flows = p.flows(mesh());
+        // Source 0: 2 hotspot flows at 0.3 each + 13 background flows
+        // sharing 0.4.
+        let from0: Vec<&PatternFlow> = flows.iter().filter(|f| f.src == NodeId(0)).collect();
+        assert_eq!(from0.len(), 15);
+        let total: f64 = from0.iter().map(|f| f.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12, "weights sum to {total}");
+        let hot: f64 = from0
+            .iter()
+            .filter(|f| f.dst == NodeId(5) || f.dst == NodeId(10))
+            .map(|f| f.weight)
+            .sum();
+        assert!((hot - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_without_background_keeps_the_full_budget() {
+        // 2x2 mesh, 3 of 4 nodes are targets: the lone background node
+        // has no background destination, so its whole budget goes to
+        // the hotspots instead of being silently dropped.
+        let m = Mesh::new(2, 2);
+        let p = SpatialPattern::hotspot(vec![NodeId(0), NodeId(1), NodeId(2)], 0.5);
+        let flows = p.flows(m);
+        let from3: f64 = flows
+            .iter()
+            .filter(|f| f.src == NodeId(3))
+            .map(|f| f.weight)
+            .sum();
+        assert!((from3 - 1.0).abs() < 1e-12, "budget lost: {from3}");
+        assert!(flows.iter().all(|f| f.weight.is_finite()));
+    }
+
+    #[test]
+    fn pure_hotspot_has_only_target_flows() {
+        let p = SpatialPattern::hotspot(vec![NodeId(0)], 1.0);
+        let flows = p.flows(mesh());
+        assert_eq!(flows.len(), 15);
+        assert!(flows.iter().all(|f| f.dst == NodeId(0)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = SpatialPattern::Uniform { flows: 8, seed: 1 }.flows(mesh());
+        let b = SpatialPattern::Uniform { flows: 8, seed: 1 }.flows(mesh());
+        let c = SpatialPattern::Uniform { flows: 8, seed: 2 }.flows(mesh());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn routed_weights_scale_the_rate() {
+        let p = SpatialPattern::hotspot(vec![NodeId(5)], 1.0);
+        let (routes, rates) = p.routed(mesh(), 0.04);
+        assert_eq!(routes.len(), rates.len());
+        assert!(rates.iter().all(|(_, r)| (*r - 0.04).abs() < 1e-12));
+        let (routes, rates) = SpatialPattern::Transpose.routed(mesh(), 0.02);
+        assert_eq!(routes.len(), 12);
+        assert!(rates.iter().all(|(_, r)| (*r - 0.02).abs() < 1e-12));
+    }
+
+    #[test]
+    fn battery_is_at_least_six_patterns() {
+        let b = SpatialPattern::battery(mesh());
+        assert!(b.len() >= 6);
+        for p in &b {
+            assert!(!p.flows(mesh()).is_empty(), "{}", p.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square mesh")]
+    fn transpose_rejects_rectangles() {
+        let _ = SpatialPattern::Transpose.destination(Mesh::new(4, 2), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn bit_reverse_rejects_non_power_of_two() {
+        let _ = SpatialPattern::BitReverse.destination(Mesh::new(3, 3), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn silly_hotspot_weight_rejected() {
+        let _ = SpatialPattern::hotspot(vec![NodeId(0)], 1.5);
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`mapping`] — NMAP-style mapping, routing and preset compilation.
 //! * [`power`] — per-event energy model and the Fig 10b breakdown.
 //! * [`rtlgen`] — the Section V tool flow (RTL, macro blocks, floorplan).
+//! * [`traffic`] — pluggable traffic generation: spatial patterns
+//!   (transpose, tornado, hotspot, …), temporal burst models, and
+//!   JSONL trace record/replay.
 //! * [`harness`] — the one-experiment API: [`harness::Experiment`]
 //!   composes all of the above into configure → map → build → drive →
 //!   measure, [`harness::ExperimentMatrix`] fans out over designs ×
@@ -27,6 +30,7 @@ pub use smart_power as power;
 pub use smart_rtlgen as rtlgen;
 pub use smart_sim as sim;
 pub use smart_taskgraph as taskgraph;
+pub use smart_traffic as traffic;
 
 /// One-stop imports for the common workflow: one
 /// [`Experiment`](smart_harness::Experiment) per (design, workload)
@@ -51,7 +55,8 @@ pub mod prelude {
     pub use smart_harness::{
         AppPhase, AppSchedule, Drive, Experiment, ExperimentMatrix, ExperimentReport,
         MatrixOutcome, MultiAppExperiment, PhaseTransition, RoutedWorkload, RunPlan,
-        ScheduleDesign, ScheduleError, ScheduleMatrix, ScheduleOutcome, ScheduleReport, Workload,
+        ScheduleDesign, ScheduleError, ScheduleMatrix, ScheduleOutcome, ScheduleReport,
+        TrafficContext, TrafficFactory, Workload,
     };
     pub use smart_mapping::MappedApp;
     pub use smart_power::{breakdown, EnergyModel, GatingPolicy};
@@ -60,4 +65,7 @@ pub mod prelude {
         SourceRoute,
     };
     pub use smart_taskgraph::apps;
+    pub use smart_traffic::{
+        ModulatedTraffic, SpatialPattern, TemporalModel, TraceFile, TraceRecorder, TraceTraffic,
+    };
 }
