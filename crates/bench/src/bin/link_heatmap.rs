@@ -42,7 +42,9 @@ fn main() {
     noc.network_mut().run_with(&mut traffic, cycles);
     noc.network_mut().drain(5_000);
 
-    let counts = noc.network().link_flit_counts();
+    // The engine exposes counts as a borrowing iterator (no per-sample
+    // allocation); collect once here for random access.
+    let counts: std::collections::HashMap<LinkId, u64> = noc.network().link_flit_counts().collect();
     let max = counts.values().copied().max().unwrap_or(1) as f64;
     let mesh = cfg.mesh;
     let get = |from: Coord, dir: Direction| -> f64 {

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p smart-bench --bin perf_scorecard -- \
-//!     [--quick] [--label <name>] [--out <dir>] [--baseline <BENCH.json>]
+//!     [--quick] [--label <name>] [--out <dir>] [--baseline <BENCH.json>] \
+//!     [--gate <BENCH.json>] [--gate-tolerance <frac>]
 //! ```
 //!
 //! `--quick` shrinks every cell's cycle budget 10× (the CI setting);
@@ -11,10 +12,13 @@
 //! the output directory (default `benchmarks/`); `--baseline` compares
 //! this run's cycles/sec against a previously committed `BENCH_*.json`
 //! (e.g. `benchmarks/BENCH_pre_refactor.json`) and prints per-cell
-//! speedups. Committed before/after snapshots for each perf PR live in
-//! `benchmarks/` — see the README's "Performance" section.
+//! speedups. `--gate` is the CI regression gate: exit nonzero if any
+//! cell's cycles/sec fell more than `--gate-tolerance` (default 0.2 =
+//! 20%) below the given snapshot. Committed before/after snapshots for
+//! each perf PR live in `benchmarks/` — see the README's "Performance"
+//! section.
 
-use smart_bench::perf::{cycles_per_sec_of, run_scorecard, to_json};
+use smart_bench::perf::{cycles_per_sec_of, gate_failures, run_scorecard, to_json};
 use std::path::PathBuf;
 
 fn main() {
@@ -30,6 +34,12 @@ fn main() {
     let out_dir = PathBuf::from(flag("--out").unwrap_or_else(|| "benchmarks".to_owned()));
     let baseline = flag("--baseline")
         .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read baseline {p}: {e}")));
+    let gate = flag("--gate")
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read gate {p}: {e}")));
+    let tolerance = flag("--gate-tolerance").map_or(0.2, |t| {
+        t.parse()
+            .unwrap_or_else(|e| panic!("--gate-tolerance {t}: {e}"))
+    });
     let scale = if quick { 0.1 } else { 1.0 };
 
     println!("perf scorecard (scale {scale}, label {label})");
@@ -66,4 +76,20 @@ fn main() {
     let path = out_dir.join(format!("BENCH_{label}.json"));
     std::fs::write(&path, json).expect("write BENCH json");
     println!("\nwrote {}", path.display());
+
+    if let Some(gate) = gate {
+        let failures = gate_failures(&gate, &results, tolerance);
+        if failures.is_empty() {
+            println!(
+                "perf gate: all cells within {:.0}% of baseline",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("perf gate FAILED ({} cells):", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -202,9 +202,105 @@ pub fn cycles_per_sec_of(json: &str, cell: &str) -> Option<f64> {
     field.split([',', '}']).next()?.trim().parse::<f64>().ok()
 }
 
+/// Cells timed for less wall-clock than this are excluded from the
+/// regression gate: a few milliseconds of wall time puts run-to-run
+/// variance at ±30% or worse (observed on `fig7_4x4` and
+/// `reconfig_8apps` at `--quick` scale), which no sane tolerance can
+/// separate from a real regression.
+pub const GATE_MIN_WALL_SECONDS: f64 = 0.05;
+
+/// Regression-gate comparison against a committed `BENCH_*.json`
+/// baseline: one failure line per cell whose `cycles_per_sec` fell more
+/// than `tolerance` (a fraction, e.g. `0.2` = 20%) below the baseline's.
+/// Cells absent from the baseline are skipped — new cells cannot
+/// regress — as are cells timed for under [`GATE_MIN_WALL_SECONDS`],
+/// whose readings are measurement noise. The baseline must come from
+/// the same `--quick`/full scale as `results`; the two scales have
+/// different per-cycle cost profiles (warmup and reconfiguration
+/// overheads amortize over fewer cycles at `--quick`). An empty return
+/// means the gate passes.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is outside `[0, 1)`.
+#[must_use]
+pub fn gate_failures(baseline_json: &str, results: &[PerfResult], tolerance: f64) -> Vec<String> {
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "gate tolerance {tolerance} outside [0, 1)"
+    );
+    let mut out = Vec::new();
+    for r in results {
+        let Some(base) = cycles_per_sec_of(baseline_json, &r.name) else {
+            continue;
+        };
+        if base <= 0.0 || r.wall_seconds < GATE_MIN_WALL_SECONDS {
+            continue;
+        }
+        let floor = base * (1.0 - tolerance);
+        if r.cycles_per_sec < floor {
+            out.push(format!(
+                "{}: {:.0} cycles/sec is {:.1}% below baseline {:.0} (floor {:.0})",
+                r.name,
+                r.cycles_per_sec,
+                (1.0 - r.cycles_per_sec / base) * 100.0,
+                base,
+                floor
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn cell(name: &str, cps: f64) -> PerfResult {
+        PerfResult {
+            name: name.into(),
+            cycles: 1_000,
+            wall_seconds: 1.0,
+            cycles_per_sec: cps,
+            packets_delivered: 1,
+            peak_rss_kb: 0,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let baseline = to_json("base", 1.0, &[cell("a", 100_000.0), cell("b", 50_000.0)]);
+        // 19% down on one cell, 5% up on the other: inside a 20% gate.
+        let now = [cell("a", 81_000.0), cell("b", 52_500.0)];
+        assert!(gate_failures(&baseline, &now, 0.2).is_empty());
+    }
+
+    #[test]
+    fn gate_names_regressed_cells() {
+        let baseline = to_json("base", 1.0, &[cell("a", 100_000.0), cell("b", 50_000.0)]);
+        let now = [cell("a", 70_000.0), cell("b", 49_000.0)];
+        let failures = gate_failures(&baseline, &now, 0.2);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("a:"), "{}", failures[0]);
+        // A cell the baseline never measured cannot regress.
+        let fresh = [cell("new_cell", 1.0)];
+        assert!(gate_failures(&baseline, &fresh, 0.2).is_empty());
+    }
+
+    #[test]
+    fn gate_skips_noise_dominated_cells() {
+        let baseline = to_json("base", 1.0, &[cell("a", 100_000.0)]);
+        // A 90% drop — but timed for 2ms, under the noise floor.
+        let mut noisy = cell("a", 10_000.0);
+        noisy.wall_seconds = 0.002;
+        assert!(gate_failures(&baseline, &[noisy], 0.2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn silly_gate_tolerance_rejected() {
+        let _ = gate_failures("{}", &[], 1.0);
+    }
 
     #[test]
     fn json_round_trips_cycles_per_sec() {

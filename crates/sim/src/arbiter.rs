@@ -63,6 +63,37 @@ impl RoundRobin {
         None
     }
 
+    /// Grant one of the requesters asserted in the `requests` bitmask
+    /// (bit `i` = requester `i`), rotating priority past the winner —
+    /// the same decision [`RoundRobin::grant`] makes on a bool slice,
+    /// without scanning idle requesters. Returns `None` if nothing is
+    /// requesting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arbiter is wider than 64 requesters or a bit at or
+    /// above the width is set.
+    pub fn grant_mask(&mut self, requests: u64) -> Option<usize> {
+        assert!(self.n <= 64, "mask grant supports at most 64 requesters");
+        assert!(
+            self.n == 64 || requests >> self.n == 0,
+            "request bit beyond arbiter width"
+        );
+        if requests == 0 {
+            return None;
+        }
+        // First set bit at or after `next`, wrapping at the width.
+        let above = requests >> self.next;
+        let i = if above != 0 {
+            self.next + above.trailing_zeros() as usize
+        } else {
+            requests.trailing_zeros() as usize
+        };
+        self.next = (i + 1) % self.n;
+        self.grants += 1;
+        Some(i)
+    }
+
     /// Total grants issued so far.
     #[must_use]
     pub fn grants(&self) -> u64 {
@@ -112,6 +143,26 @@ mod tests {
     fn width_mismatch_panics() {
         let mut arb = RoundRobin::new(2);
         let _ = arb.grant(&[true]);
+    }
+
+    #[test]
+    fn mask_grant_matches_slice_grant() {
+        // Exhaustive agreement on a 6-wide arbiter across every request
+        // pattern, applied to both arbiters in lockstep.
+        let mut a = RoundRobin::new(6);
+        let mut b = RoundRobin::new(6);
+        for mask in 0u64..64 {
+            let slice: Vec<bool> = (0..6).map(|i| mask & (1 << i) != 0).collect();
+            assert_eq!(a.grant(&slice), b.grant_mask(mask), "mask {mask:#b}");
+        }
+        assert_eq!(a.grants(), b.grants());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond arbiter width")]
+    fn mask_bit_beyond_width_panics() {
+        let mut arb = RoundRobin::new(3);
+        let _ = arb.grant_mask(0b1000);
     }
 
     #[test]

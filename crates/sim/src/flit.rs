@@ -1,8 +1,16 @@
-//! Packets, flits and header layout.
+//! Packets, flits, the packet-metadata arena, and header layout.
 //!
 //! Table II: 256-bit packets over 32-bit flits — an 8-flit packet whose
 //! head flit carries a 20-bit header (route + VC + type) and whose body
 //! and tail flits carry 4-bit headers (type + VC).
+//!
+//! The simulation mirrors the hardware's economy: the per-packet fields
+//! (source, destination, generation/injection cycles, original
+//! [`PacketId`]) are interned **once** into a [`PacketArena`] when the
+//! packet enters its source NIC, and the [`Flit`] that moves through
+//! queues, crossbars and links is a small fixed-size `Copy` record — an
+//! arena slot plus the per-flit header (flow, sequence, VC) — instead of
+//! a ~64-byte struct cloned on every hop.
 
 use crate::route::SourceRoute;
 use crate::topology::{Mesh, NodeId};
@@ -44,35 +52,58 @@ pub enum FlitKind {
     Tail,
 }
 
-/// One flit in flight.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Index of a live packet's metadata in the engine's [`PacketArena`].
+///
+/// Slots are recycled once the packet's tail reaches its destination
+/// NIC, so the slot number is **not** a stable identity across the run —
+/// the stable [`PacketId`] lives in the [`PacketMeta`] the slot points
+/// at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PacketSlot(pub u32);
+
+/// One flit in flight: the small fixed-size record moved through VC
+/// queues and links every cycle. Per-packet fields live in the
+/// [`PacketArena`], reached through `pkt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
-    /// Packet this flit belongs to.
-    pub packet: PacketId,
-    /// Flow this packet belongs to.
+    /// Arena slot of the packet this flit belongs to.
+    pub pkt: PacketSlot,
+    /// Flow this packet belongs to (kept inline: switch allocation
+    /// resolves the output port from it every cycle).
     pub flow: FlowId,
-    /// Head / body / tail.
-    pub kind: FlitKind,
     /// Index within the packet (0 = head).
     pub seq: u8,
     /// Total flits in the packet (a 1-flit packet's head is also its
     /// tail).
     pub num_flits: u8,
-    /// Source node.
-    pub src: NodeId,
-    /// Destination node.
-    pub dst: NodeId,
-    /// Cycle the packet was generated by the traffic source.
-    pub gen_cycle: u64,
-    /// Cycle the head entered the network (leaves the NIC queue); copied
-    /// onto every flit of the packet once known.
-    pub inject_cycle: u64,
     /// VC currently allocated to this flit's packet at the router where
-    /// the flit is buffered (`None` while in the NIC or on a link).
+    /// the flit is buffered (`None` while unassigned).
     pub vc: Option<VcId>,
 }
 
 impl Flit {
+    /// Flit `seq` of a packet interned at `pkt`, VC unassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is outside the packet (`seq >= num_flits`) or
+    /// the packet has zero flits.
+    #[must_use]
+    pub fn new(pkt: PacketSlot, flow: FlowId, seq: u8, num_flits: u8) -> Self {
+        assert!(num_flits > 0, "a packet needs at least one flit");
+        assert!(
+            seq < num_flits,
+            "flit {seq} outside a {num_flits}-flit packet"
+        );
+        Flit {
+            pkt,
+            flow,
+            seq,
+            num_flits,
+            vc: None,
+        }
+    }
+
     /// `true` for the head flit.
     #[must_use]
     pub fn is_head(&self) -> bool {
@@ -85,6 +116,18 @@ impl Flit {
     #[must_use]
     pub fn is_tail(&self) -> bool {
         self.seq + 1 == self.num_flits
+    }
+
+    /// Head / body / tail, derived from the sequence number.
+    #[must_use]
+    pub fn kind(&self) -> FlitKind {
+        if self.is_head() {
+            FlitKind::Head
+        } else if self.is_tail() {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        }
     }
 }
 
@@ -106,36 +149,109 @@ pub struct Packet {
     pub num_flits: u8,
 }
 
-impl Packet {
-    /// Serialize into flits, stamping `inject_cycle` on each.
+/// Interned per-packet metadata: everything the old inline flit carried
+/// on every hop but that is constant for the packet's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// The packet's stable identity (traces, goldens, diagnostics).
+    pub id: PacketId,
+    /// The flow it belongs to.
+    pub flow: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle the packet was generated by the traffic source.
+    pub gen_cycle: u64,
+    /// Cycle the head entered the network (left the NIC queue); set by
+    /// the NIC when transmission starts, `u64::MAX` until then.
+    pub inject_cycle: u64,
+    /// Total flits in the packet.
+    pub num_flits: u8,
+}
+
+/// Slab of live packets' metadata with free-slot recycling.
+///
+/// [`Network::offer`](crate::network::Network::offer) interns each
+/// generated [`Packet`] here; the slot is released when the tail flit is
+/// delivered, so the arena's high-water mark tracks the number of
+/// packets simultaneously in flight (queued included), not the total
+/// injected — steady-state simulation performs no arena allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    slots: Vec<PacketMeta>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Intern `packet`, returning its slot.
     ///
     /// # Panics
     ///
     /// Panics if the packet has zero flits.
+    pub fn intern(&mut self, packet: &Packet) -> PacketSlot {
+        assert!(packet.num_flits > 0, "a packet needs at least one flit");
+        let meta = PacketMeta {
+            id: packet.id,
+            flow: packet.flow,
+            src: packet.src,
+            dst: packet.dst,
+            gen_cycle: packet.gen_cycle,
+            inject_cycle: u64::MAX,
+            num_flits: packet.num_flits,
+        };
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = meta;
+                PacketSlot(i)
+            }
+            None => {
+                self.slots.push(meta);
+                PacketSlot((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// The metadata at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never allocated.
     #[must_use]
-    pub fn into_flits(self, inject_cycle: u64) -> Vec<Flit> {
-        assert!(self.num_flits > 0, "a packet needs at least one flit");
-        let n = self.num_flits;
-        (0..n)
-            .map(|seq| Flit {
-                packet: self.id,
-                flow: self.flow,
-                kind: if seq == 0 {
-                    FlitKind::Head
-                } else if seq == n - 1 {
-                    FlitKind::Tail
-                } else {
-                    FlitKind::Body
-                },
-                seq,
-                num_flits: n,
-                src: self.src,
-                dst: self.dst,
-                gen_cycle: self.gen_cycle,
-                inject_cycle,
-                vc: None,
-            })
-            .collect()
+    pub fn get(&self, slot: PacketSlot) -> &PacketMeta {
+        &self.slots[slot.0 as usize]
+    }
+
+    /// Stamp the cycle the packet's head left its NIC queue.
+    pub fn mark_injected(&mut self, slot: PacketSlot, cycle: u64) {
+        self.slots[slot.0 as usize].inject_cycle = cycle;
+    }
+
+    /// Return `slot` to the free list (tail delivered).
+    pub fn release(&mut self, slot: PacketSlot) {
+        debug_assert!(!self.free.contains(&slot.0), "double release of {slot:?}");
+        self.free.push(slot.0);
+        self.live -= 1;
+    }
+
+    /// Packets currently interned (queued or in flight).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water mark of simultaneously live packets.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -195,40 +311,66 @@ pub fn bits_for(n: usize) -> usize {
 mod tests {
     use super::*;
 
-    #[test]
-    fn packet_serialization_kinds() {
-        let p = Packet {
-            id: PacketId(7),
+    fn packet(id: u64, n: u8) -> Packet {
+        Packet {
+            id: PacketId(id),
             flow: FlowId(1),
             src: NodeId(0),
             dst: NodeId(5),
             gen_cycle: 100,
-            num_flits: 8,
-        };
-        let flits = p.into_flits(110);
-        assert_eq!(flits.len(), 8);
+            num_flits: n,
+        }
+    }
+
+    #[test]
+    fn flit_kinds_derive_from_sequence() {
+        let flits: Vec<Flit> = (0..8)
+            .map(|s| Flit::new(PacketSlot(7), FlowId(1), s, 8))
+            .collect();
         assert!(flits[0].is_head());
+        assert_eq!(flits[0].kind(), FlitKind::Head);
         assert!(flits[7].is_tail());
-        assert!(flits[1..7].iter().all(|f| f.kind == FlitKind::Body));
-        assert!(flits.iter().all(|f| f.inject_cycle == 110));
+        assert_eq!(flits[7].kind(), FlitKind::Tail);
+        assert!(flits[1..7].iter().all(|f| f.kind() == FlitKind::Body));
         assert!(flits.iter().enumerate().all(|(i, f)| f.seq as usize == i));
     }
 
     #[test]
-    fn single_flit_packet_is_head() {
-        // With num_flits == 1 the head doubles as tail in VCT semantics;
-        // we mark it Head and the tail logic keys off seq == n-1.
-        let p = Packet {
-            id: PacketId(1),
-            flow: FlowId(0),
-            src: NodeId(1),
-            dst: NodeId(2),
-            gen_cycle: 0,
-            num_flits: 1,
-        };
-        let flits = p.into_flits(0);
-        assert_eq!(flits.len(), 1);
-        assert!(flits[0].is_head());
+    fn single_flit_packet_is_head_and_tail() {
+        // With num_flits == 1 the head doubles as tail in VCT semantics.
+        let f = Flit::new(PacketSlot(0), FlowId(0), 0, 1);
+        assert!(f.is_head());
+        assert!(f.is_tail());
+        assert_eq!(f.kind(), FlitKind::Head);
+    }
+
+    #[test]
+    fn flit_is_small() {
+        // The whole point of the arena: the record moved per hop stays
+        // within a quarter of the old ~64-byte inline layout.
+        assert!(std::mem::size_of::<Flit>() <= 16);
+    }
+
+    #[test]
+    fn arena_interns_and_recycles() {
+        let mut arena = PacketArena::new();
+        let a = arena.intern(&packet(7, 8));
+        let b = arena.intern(&packet(9, 4));
+        assert_ne!(a, b);
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.get(a).id, PacketId(7));
+        assert_eq!(arena.get(a).inject_cycle, u64::MAX);
+        arena.mark_injected(a, 110);
+        assert_eq!(arena.get(a).inject_cycle, 110);
+        assert_eq!(arena.get(b).num_flits, 4);
+
+        // Releasing recycles the slot without growing the slab.
+        arena.release(a);
+        assert_eq!(arena.live(), 1);
+        let c = arena.intern(&packet(11, 8));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(arena.get(c).id, PacketId(11));
+        assert_eq!(arena.high_water(), 2);
     }
 
     #[test]
@@ -256,14 +398,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one flit")]
     fn zero_flit_packet_rejected() {
-        let p = Packet {
-            id: PacketId(0),
-            flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(1),
-            gen_cycle: 0,
-            num_flits: 0,
-        };
-        let _ = p.into_flits(0);
+        let mut arena = PacketArena::new();
+        let _ = arena.intern(&packet(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_seq_rejected() {
+        let _ = Flit::new(PacketSlot(0), FlowId(0), 3, 3);
     }
 }

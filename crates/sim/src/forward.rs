@@ -21,7 +21,7 @@
 
 use crate::flit::FlowId;
 use crate::route::SourceRoute;
-use crate::topology::{Direction, LinkId, Mesh, NodeId};
+use crate::topology::{Direction, LinkId, Mesh, NodeId, PORTS};
 use std::collections::HashMap;
 
 /// The party that launches flits onto a leg (and owns the free-VC queue
@@ -311,8 +311,42 @@ pub struct LegLut {
     legs: Vec<Segment>,
     /// Dense flow → index of its injection leg in `legs`.
     first: Vec<u32>,
-    /// Dense flow → `(stop router, leg index)` pairs sorted by router.
-    from_router: Vec<Vec<(u16, u32)>>,
+    /// `(stop router, leg index)` pairs for all flows in one flat CSR
+    /// array: flow `d`'s pairs, sorted by router, live at
+    /// `per[per_start[d] .. per_start[d + 1]]`. One contiguous
+    /// allocation keeps the allocator's per-head route lookup off
+    /// scattered per-flow heap buffers.
+    per_start: Vec<u32>,
+    per: Vec<(u16, u32)>,
+    /// Hot launch-path facts per leg, parallel to `legs`.
+    recs: Vec<LegRec>,
+    /// Precomputed dense link indices (`node * 5 + dir`) of every leg's
+    /// links, flattened; a leg's slice starts at its `links_start`.
+    link_idx: Vec<u32>,
+}
+
+/// Flat, copyable summary of one leg's launch-path facts, resolved at
+/// build time: the engine's per-departure work reads one dense record
+/// instead of the full [`Segment`], whose link list lives behind a
+/// separate allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct LegRec {
+    /// Start of this leg's links in the lut's flat link-index array.
+    links_start: u32,
+    /// Number of links crossed in the single traversal.
+    pub n_links: u8,
+    /// Cycles from grant to arrival ([`Segment::cycles`]).
+    pub cycles: u8,
+    /// Output direction arbitrated at the sender.
+    pub out_dir: Direction,
+    /// Who launches flits onto the leg.
+    pub sender: Sender,
+    /// Crossbar traversals charged per flit ([`Segment::crossbars`]).
+    pub crossbars: u32,
+    /// Millimetres of link wire charged per flit ([`Segment::link_mm`]).
+    pub mm: f64,
+    /// Where the leg lands.
+    pub end: Endpoint,
 }
 
 /// Flow-id → dense-index mapping: direct-indexed when ids are compact
@@ -333,10 +367,12 @@ impl LegLut {
         plans.sort_by_key(|p| p.flow);
         let mut legs = Vec::new();
         let mut first = Vec::with_capacity(plans.len());
-        let mut from_router = Vec::with_capacity(plans.len());
+        let mut per_start = Vec::with_capacity(plans.len() + 1);
+        let mut per: Vec<(u16, u32)> = Vec::new();
         for plan in &plans {
             first.push(legs.len() as u32);
-            let mut per: Vec<(u16, u32)> = Vec::new();
+            per_start.push(per.len() as u32);
+            let row = per.len();
             for (i, leg) in plan.legs.iter().enumerate() {
                 if i > 0 {
                     if let Sender::RouterOutput(r, _) = leg.sender {
@@ -345,8 +381,26 @@ impl LegLut {
                 }
                 legs.push(leg.clone());
             }
-            per.sort_unstable_by_key(|(r, _)| *r);
-            from_router.push(per);
+            per[row..].sort_unstable_by_key(|(r, _)| *r);
+        }
+        per_start.push(per.len() as u32);
+        let mut link_idx = Vec::new();
+        let mut recs = Vec::with_capacity(legs.len());
+        for leg in &legs {
+            let links_start = link_idx.len() as u32;
+            for link in &leg.links {
+                link_idx.push(link.from.0 as u32 * PORTS as u32 + link.dir.index() as u32);
+            }
+            recs.push(LegRec {
+                links_start,
+                n_links: leg.links.len() as u8,
+                cycles: leg.cycles,
+                out_dir: leg.out_dir,
+                sender: leg.sender,
+                crossbars: leg.crossbars(),
+                mm: leg.link_mm(),
+                end: leg.end,
+            });
         }
         let max_id = plans.iter().map(|p| p.flow.0 as usize).max().unwrap_or(0);
         let index = if max_id <= 8 * plans.len() + 1024 {
@@ -368,7 +422,10 @@ impl LegLut {
             index,
             legs,
             first,
-            from_router,
+            per_start,
+            per,
+            recs,
+            link_idx,
         }
     }
 
@@ -385,7 +442,13 @@ impl LegLut {
     /// The injection leg of `flow` (starts at the source NIC).
     #[must_use]
     pub fn first_leg(&self, flow: FlowId) -> &Segment {
-        &self.legs[self.first[self.dense(flow)] as usize]
+        &self.legs[self.first_leg_idx(flow) as usize]
+    }
+
+    /// Index of the injection leg of `flow`, for [`LegLut::rec`].
+    #[must_use]
+    pub fn first_leg_idx(&self, flow: FlowId) -> u32 {
+        self.first[self.dense(flow)]
     }
 
     /// The leg departing stop router `router` for `flow`.
@@ -395,11 +458,37 @@ impl LegLut {
     /// Panics if the flow is unknown or does not stop at that router.
     #[must_use]
     pub fn leg_from(&self, flow: FlowId, router: NodeId) -> &Segment {
-        let per = &self.from_router[self.dense(flow)];
+        &self.legs[self.leg_idx_from(flow, router) as usize]
+    }
+
+    /// Index of the leg departing stop router `router` for `flow`, for
+    /// [`LegLut::rec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown or does not stop at that router.
+    #[must_use]
+    pub fn leg_idx_from(&self, flow: FlowId, router: NodeId) -> u32 {
+        let d = self.dense(flow);
+        let per = &self.per[self.per_start[d] as usize..self.per_start[d + 1] as usize];
         match per.binary_search_by_key(&router.0, |(r, _)| *r) {
-            Ok(i) => &self.legs[per[i].1 as usize],
+            Ok(i) => per[i].1,
             Err(_) => panic!("{flow} does not stop at {router}"),
         }
+    }
+
+    /// The launch-path record of leg `leg` (an index from
+    /// [`LegLut::first_leg_idx`] or [`LegLut::leg_idx_from`]).
+    #[must_use]
+    pub fn rec(&self, leg: u32) -> &LegRec {
+        &self.recs[leg as usize]
+    }
+
+    /// Dense link indices (`node * 5 + dir`) crossed by `rec`'s leg.
+    #[must_use]
+    pub fn rec_links(&self, rec: &LegRec) -> &[u32] {
+        let s = rec.links_start as usize;
+        &self.link_idx[s..s + rec.n_links as usize]
     }
 
     /// Output direction of the leg departing `router` for `flow` — the

@@ -54,7 +54,9 @@ pub mod trace;
 pub mod traffic;
 
 pub use counters::ActivityCounters;
-pub use flit::{Flit, FlitKind, FlowId, Packet, PacketId, VcId};
+pub use flit::{
+    Flit, FlitKind, FlowId, Packet, PacketArena, PacketId, PacketMeta, PacketSlot, VcId,
+};
 pub use forward::{Endpoint, FlowPlan, FlowTable, LegLut, Segment, Sender};
 pub use network::{Network, SimConfig};
 pub use patterns::Pattern;

@@ -6,9 +6,14 @@
 //! flow) or the input port of the first stop router. On the receive
 //! side the NIC has `num_vcs` reception VCs; a tail arrival frees its VC
 //! and returns a credit to whichever sender tracks this NIC.
+//!
+//! Serialization is incremental: the NIC holds the packet's arena slot
+//! and a sequence counter and mints each [`Flit`] the cycle it launches,
+//! so the injection hot path performs no allocation (the PR-4
+//! zero-steady-state-allocation invariant).
 
 use crate::counters::ActivityCounters;
-use crate::flit::{Flit, FlowId, Packet, VcId};
+use crate::flit::{Flit, FlowId, PacketArena, PacketMeta, PacketSlot, VcId};
 use crate::topology::NodeId;
 use std::collections::VecDeque;
 
@@ -22,10 +27,33 @@ pub enum RxEvent {
     Tail(FlowId, u64, VcId),
 }
 
+/// The (at most two) latency events produced by one delivered flit — a
+/// fixed-size return so reception allocates nothing per flit. A
+/// single-flit packet yields both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RxEvents {
+    /// Set when the flit was a head.
+    pub head: Option<RxEvent>,
+    /// Set when the flit was a tail.
+    pub tail: Option<RxEvent>,
+}
+
+/// A packet waiting in the injection queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedTx {
+    slot: PacketSlot,
+    flow: FlowId,
+    num_flits: u8,
+}
+
 /// State of one in-progress packet transmission.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct CurrentTx {
-    flits: VecDeque<Flit>,
+    slot: PacketSlot,
+    flow: FlowId,
+    num_flits: u8,
+    next_seq: u8,
+    vc: VcId,
 }
 
 /// A network interface (one per node).
@@ -33,7 +61,7 @@ struct CurrentTx {
 pub struct Nic {
     node: NodeId,
     /// Packets waiting to enter the network, in generation order.
-    inject_queue: VecDeque<Packet>,
+    inject_queue: VecDeque<QueuedTx>,
     current: Option<CurrentTx>,
     /// Free VCs at this NIC's injection-leg endpoint (only meaningful if
     /// the node sources at least one flow).
@@ -71,14 +99,18 @@ impl Nic {
         self.node
     }
 
-    /// Queue a generated packet for injection.
+    /// Queue an interned packet for injection.
     ///
     /// # Panics
     ///
     /// Panics if the packet's source is not this node.
-    pub fn offer(&mut self, packet: Packet) {
-        assert_eq!(packet.src, self.node, "packet offered to the wrong NIC");
-        self.inject_queue.push_back(packet);
+    pub fn offer(&mut self, slot: PacketSlot, meta: &PacketMeta) {
+        assert_eq!(meta.src, self.node, "packet offered to the wrong NIC");
+        self.inject_queue.push_back(QueuedTx {
+            slot,
+            flow: meta.flow,
+            num_flits: meta.num_flits,
+        });
     }
 
     /// Packets (whole or partially sent) still waiting at this NIC.
@@ -107,46 +139,58 @@ impl Nic {
     ///
     /// A new packet starts only when the endpoint has a free VC
     /// (virtual cut-through); once started, a packet streams one flit
-    /// per cycle without stalling.
-    pub fn try_inject(&mut self, cycle: u64, counters: &mut ActivityCounters) -> Option<Flit> {
+    /// per cycle without stalling. The head's launch cycle is stamped
+    /// into the arena as the packet's injection cycle.
+    pub fn try_inject(
+        &mut self,
+        arena: &mut PacketArena,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+    ) -> Option<Flit> {
         if self.current.is_none() {
-            let packet = self.inject_queue.front()?;
-            let _ = packet;
+            let queued = *self.inject_queue.front()?;
             let vc = self.free_vcs.pop_front()?;
-            let packet = self.inject_queue.pop_front().expect("front checked above");
-            let mut flits: VecDeque<Flit> = packet.into_flits(cycle).into();
-            for f in &mut flits {
-                f.vc = Some(vc);
-            }
+            self.inject_queue.pop_front();
+            arena.mark_injected(queued.slot, cycle);
             counters.packets_injected += 1;
-            self.current = Some(CurrentTx { flits });
+            self.current = Some(CurrentTx {
+                slot: queued.slot,
+                flow: queued.flow,
+                num_flits: queued.num_flits,
+                next_seq: 0,
+                vc,
+            });
         }
         let tx = self.current.as_mut().expect("set above");
-        let flit = tx.flits.pop_front().expect("current tx is nonempty");
-        if tx.flits.is_empty() {
+        let mut flit = Flit::new(tx.slot, tx.flow, tx.next_seq, tx.num_flits);
+        flit.vc = Some(tx.vc);
+        tx.next_seq += 1;
+        if tx.next_seq == tx.num_flits {
             self.current = None;
         }
         Some(flit)
     }
 
     /// Receive a flit arriving at the end of `cycle`; returns the
-    /// latency events and (for tails) the freed reception VC.
+    /// latency events and (for tails) the freed reception VC. `meta`
+    /// must be the arena entry for `flit.pkt`.
     ///
     /// # Panics
     ///
     /// Panics on reception-VC protocol violations.
     pub fn receive(
         &mut self,
-        flit: &Flit,
+        flit: Flit,
+        meta: &PacketMeta,
         cycle: u64,
         counters: &mut ActivityCounters,
-    ) -> Vec<RxEvent> {
+    ) -> RxEvents {
         let vc = flit
             .vc
             .unwrap_or_else(|| panic!("{}: flit without VC at NIC", self.node));
         let slot = vc.0 as usize;
         counters.flits_delivered += 1;
-        let mut events = Vec::new();
+        let mut events = RxEvents::default();
         if flit.is_head() {
             assert!(
                 !self.rx_occupied[slot],
@@ -154,10 +198,10 @@ impl Nic {
                 self.node
             );
             self.rx_occupied[slot] = true;
-            self.rx_head_send[slot] = flit.inject_cycle;
-            let head_latency = cycle - flit.inject_cycle + 1;
-            let src_q = flit.inject_cycle - flit.gen_cycle;
-            events.push(RxEvent::Head(flit.flow, head_latency, src_q));
+            self.rx_head_send[slot] = meta.inject_cycle;
+            let head_latency = cycle - meta.inject_cycle + 1;
+            let src_q = meta.inject_cycle - meta.gen_cycle;
+            events.head = Some(RxEvent::Head(flit.flow, head_latency, src_q));
         }
         if flit.is_tail() {
             assert!(
@@ -168,7 +212,7 @@ impl Nic {
             self.rx_occupied[slot] = false;
             let packet_latency = cycle - self.rx_head_send[slot] + 1;
             counters.packets_delivered += 1;
-            events.push(RxEvent::Tail(flit.flow, packet_latency, vc));
+            events.tail = Some(RxEvent::Tail(flit.flow, packet_latency, vc));
         }
         events
     }
@@ -185,7 +229,7 @@ impl Nic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::PacketId;
+    use crate::flit::{Packet, PacketId};
 
     fn packet(id: u64, n: u8) -> Packet {
         Packet {
@@ -198,35 +242,43 @@ mod tests {
         }
     }
 
+    fn offer(nic: &mut Nic, arena: &mut PacketArena, p: &Packet) -> PacketSlot {
+        let slot = arena.intern(p);
+        nic.offer(slot, arena.get(slot));
+        slot
+    }
+
     #[test]
     fn injects_one_flit_per_cycle() {
         let mut nic = Nic::new(NodeId(1), 2);
+        let mut arena = PacketArena::new();
         let mut c = ActivityCounters::new();
-        nic.offer(packet(1, 3));
-        let f0 = nic.try_inject(110, &mut c).expect("head goes");
+        let slot = offer(&mut nic, &mut arena, &packet(1, 3));
+        let f0 = nic.try_inject(&mut arena, 110, &mut c).expect("head goes");
         assert!(f0.is_head());
-        assert_eq!(f0.inject_cycle, 110);
+        assert_eq!(arena.get(slot).inject_cycle, 110);
         assert_eq!(f0.vc, Some(VcId(0)));
-        let f1 = nic.try_inject(111, &mut c).expect("body");
+        let f1 = nic.try_inject(&mut arena, 111, &mut c).expect("body");
         assert!(!f1.is_head() && !f1.is_tail());
-        let f2 = nic.try_inject(112, &mut c).expect("tail");
+        let f2 = nic.try_inject(&mut arena, 112, &mut c).expect("tail");
         assert!(f2.is_tail());
-        assert!(nic.try_inject(113, &mut c).is_none());
+        assert!(nic.try_inject(&mut arena, 113, &mut c).is_none());
         assert_eq!(c.packets_injected, 1);
     }
 
     #[test]
     fn vc_exhaustion_blocks_new_packets() {
         let mut nic = Nic::new(NodeId(1), 1);
+        let mut arena = PacketArena::new();
         let mut c = ActivityCounters::new();
-        nic.offer(packet(1, 1));
-        nic.offer(packet(2, 1));
-        assert!(nic.try_inject(0, &mut c).is_some());
+        offer(&mut nic, &mut arena, &packet(1, 1));
+        offer(&mut nic, &mut arena, &packet(2, 1));
+        assert!(nic.try_inject(&mut arena, 0, &mut c).is_some());
         // Only one endpoint VC and no credit back yet.
-        assert!(nic.try_inject(1, &mut c).is_none());
+        assert!(nic.try_inject(&mut arena, 1, &mut c).is_none());
         assert_eq!(nic.backlog(), 1);
         nic.credit(VcId(0));
-        assert!(nic.try_inject(2, &mut c).is_some());
+        assert!(nic.try_inject(&mut arena, 2, &mut c).is_some());
     }
 
     #[test]
@@ -234,19 +286,39 @@ mod tests {
         let src_nic_cycle = 50;
         let mut tx = Nic::new(NodeId(1), 2);
         let mut rx = Nic::new(NodeId(2), 2);
+        let mut arena = PacketArena::new();
         let mut c = ActivityCounters::new();
-        tx.offer(packet(1, 2));
-        let head = tx.try_inject(src_nic_cycle, &mut c).expect("head");
-        let tail = tx.try_inject(src_nic_cycle + 1, &mut c).expect("tail");
+        let slot = offer(&mut tx, &mut arena, &packet(1, 2));
+        let head = tx
+            .try_inject(&mut arena, src_nic_cycle, &mut c)
+            .expect("head");
+        let tail = tx
+            .try_inject(&mut arena, src_nic_cycle + 1, &mut c)
+            .expect("tail");
         // Head arrives end of cycle 50 (single-cycle SMART path):
         // network latency 1 cycle, 40 cycles of source queueing
         // (generated at 10, injected at 50).
-        let ev = rx.receive(&head, 50, &mut c);
-        assert_eq!(ev, vec![RxEvent::Head(FlowId(0), 1, 40)]);
-        let ev = rx.receive(&tail, 51, &mut c);
-        assert_eq!(ev, vec![RxEvent::Tail(FlowId(0), 2, VcId(0))]);
+        let ev = rx.receive(head, arena.get(slot), 50, &mut c);
+        assert_eq!(ev.head, Some(RxEvent::Head(FlowId(0), 1, 40)));
+        assert_eq!(ev.tail, None);
+        let ev = rx.receive(tail, arena.get(slot), 51, &mut c);
+        assert_eq!(ev.tail, Some(RxEvent::Tail(FlowId(0), 2, VcId(0))));
         assert_eq!(c.packets_delivered, 1);
         assert_eq!(c.flits_delivered, 2);
+        assert!(rx.is_drained());
+    }
+
+    #[test]
+    fn single_flit_packet_yields_both_events() {
+        let mut tx = Nic::new(NodeId(1), 2);
+        let mut rx = Nic::new(NodeId(2), 2);
+        let mut arena = PacketArena::new();
+        let mut c = ActivityCounters::new();
+        let slot = offer(&mut tx, &mut arena, &packet(1, 1));
+        let flit = tx.try_inject(&mut arena, 20, &mut c).expect("single flit");
+        let ev = rx.receive(flit, arena.get(slot), 20, &mut c);
+        assert!(matches!(ev.head, Some(RxEvent::Head(..))));
+        assert!(matches!(ev.tail, Some(RxEvent::Tail(..))));
         assert!(rx.is_drained());
     }
 
@@ -254,7 +326,10 @@ mod tests {
     #[should_panic(expected = "wrong NIC")]
     fn wrong_source_rejected() {
         let mut nic = Nic::new(NodeId(9), 2);
-        nic.offer(packet(1, 1));
+        let mut arena = PacketArena::new();
+        let p = packet(1, 1);
+        let slot = arena.intern(&p);
+        nic.offer(slot, arena.get(slot));
     }
 
     #[test]

@@ -19,15 +19,86 @@
 //! structure-of-arrays storage indexed by `(router, port, vc)`, so the
 //! engine's per-cycle sweep walks dense arrays instead of chasing
 //! per-router collections, and switch allocation reuses scratch buffers
-//! instead of allocating per call. [`Router`] wraps a 1-router bank for
+//! instead of allocating per call. Per-router occupancy is mirrored in a
+//! u64 bitset (one bit per `(port, vc)`), so allocation touches only the
+//! occupied VCs; body flits find their captured output through a
+//! reverse hold map instead of scanning the output ports; and each
+//! output's free-VC queue is a nibble-packed u64 FIFO, bit-exact with
+//! the `VecDeque` it replaced. [`Router`] wraps a 1-router bank for
 //! standalone protocol tests.
 
-use crate::arbiter::RoundRobin;
 use crate::counters::ActivityCounters;
 use crate::flit::{Flit, FlowId, VcId};
 use crate::forward::FlowTable;
 use crate::topology::{Direction, NodeId, PORTS};
-use std::collections::VecDeque;
+
+/// Sentinel in the reverse hold map: this input VC holds no output.
+const HOLD_NONE: u8 = 0xFF;
+
+/// A free-VC queue packed into one u64, one nibble per entry.
+///
+/// Semantically identical to the `VecDeque<VcId>` it replaced — pops
+/// come from the low nibble, pushes append after the last — so credit
+/// return order (and therefore VC allocation order and every downstream
+/// arbitration decision) is preserved exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct VcFifo {
+    bits: u64,
+    len: u8,
+}
+
+impl VcFifo {
+    /// FIFO seeded with VCs `0..n` in ascending order.
+    fn seed(n: usize) -> Self {
+        let mut f = VcFifo::default();
+        for v in 0..n as u8 {
+            f.push(VcId(v));
+        }
+        f
+    }
+
+    fn len(self) -> usize {
+        usize::from(self.len)
+    }
+
+    fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    #[cfg(test)]
+    fn clear(&mut self) {
+        self.bits = 0;
+        self.len = 0;
+    }
+
+    fn push(&mut self, vc: VcId) {
+        debug_assert!(vc.0 < 16, "VC id exceeds nibble packing");
+        debug_assert!(self.len < 16, "VcFifo overflow");
+        self.bits |= u64::from(vc.0) << (4 * self.len);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<VcId> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = (self.bits & 0xF) as u8;
+        self.bits >>= 4;
+        self.len -= 1;
+        Some(VcId(v))
+    }
+
+    fn contains(self, vc: VcId) -> bool {
+        let mut bits = self.bits;
+        for _ in 0..self.len {
+            if (bits & 0xF) as u8 == vc.0 {
+                return true;
+            }
+            bits >>= 4;
+        }
+        false
+    }
+}
 
 /// A flit leaving this router, with the context the engine needs to
 /// schedule its arrival.
@@ -37,12 +108,20 @@ pub struct RouterDeparture {
     pub flit: Flit,
     /// Output direction granted.
     pub out_dir: Direction,
+    /// Opaque route token from the allocator's `head_out` lookup: heads
+    /// carry the token returned for them, body flits the one their
+    /// head's grant captured. The engine passes leg indices through
+    /// here so the launch path never re-resolves the route.
+    pub leg: u32,
 }
 
 /// A credit released by a departing tail: the upstream sender of
 /// `in_dir` gets VC `vc` back.
 #[derive(Debug, Clone, Copy)]
 pub struct CreditRelease {
+    /// Bank index of the router whose input VC was freed (releases from
+    /// several routers may share one batch).
+    pub router: u16,
     /// Input port whose VC was freed.
     pub in_dir: Direction,
     /// The freed VC.
@@ -53,9 +132,9 @@ pub struct CreditRelease {
 /// structure-of-arrays buffers.
 ///
 /// Input-side arrays are indexed by `(router * 5 + port) * num_vcs + vc`,
-/// output-side arrays by `router * 5 + port`. The per-cycle sweep reads
-/// the dense [`front ready`](RouterBank::receive) array to find
-/// SA-eligible VCs without touching the flit queues of idle ports, and
+/// output-side arrays by `router * 5 + port`. The per-cycle sweep walks
+/// the set bits of the per-router [`occupancy bitset`](RouterBank::receive)
+/// to find SA-eligible VCs without touching idle ports, and
 /// [`RouterBank::allocate`] appends into caller-owned scratch vectors so
 /// steady-state simulation performs no heap allocation.
 #[derive(Debug, Clone)]
@@ -67,35 +146,92 @@ pub struct RouterBank {
     /// slot `r` to node `r`, while a standalone [`Router`] pins its own
     /// node id here so protocol panics name the right router.
     base_node: u16,
-    /// Buffered `(flit, buffer-write cycle)` pairs per input VC.
-    queues: Vec<VecDeque<(Flit, u64)>>,
-    /// `true` while a packet occupies the VC (head arrived, tail not yet
-    /// departed).
-    occupied: Vec<bool>,
-    /// Cycle at which the front flit becomes SA-eligible (its arrival
-    /// + 2 pipeline cycles); `u64::MAX` when the queue is empty.
-    front_ready: Vec<u64>,
+    /// Buffered `(flit, buffer-write cycle)` pairs: all input VC queues
+    /// in one contiguous slab of fixed `depth`-slot rings (`buf[qi *
+    /// depth ..]` with the [`VcState`] cursors), so the hot front-flit
+    /// reads and push/pop walk one dense allocation instead of chasing
+    /// per-queue heap buffers. Write cycles are stored as `u32` (16-byte
+    /// slots instead of 24); `receive` checks the range.
+    buf: Vec<(Flit, u32)>,
+    /// Hot per-input-VC state, one packed record per `(router, port,
+    /// vc)` — a busy router's allocation touches a couple of cache
+    /// lines here instead of one line per field-array.
+    vcs: Vec<VcState>,
+    /// Per-router occupancy bitset: bit `port * num_vcs + vc` is set
+    /// while that input VC buffers at least one flit.
+    nonempty: Vec<u64>,
     /// Flits buffered per router (drives the idle-router skip).
     buffered: Vec<u32>,
     /// Flits buffered across the whole bank.
     total_buffered: u64,
-    /// Free VCs at each output's leg endpoint.
-    free_vcs: Vec<VecDeque<VcId>>,
-    /// `(input port, input vc, endpoint vc)` holding each output's
-    /// switch until the tail passes.
-    held: Vec<Option<(u8, u8, VcId)>>,
-    /// Output arbiters over `ports × vcs` requesters.
-    arbs: Vec<RoundRobin>,
+    /// Hot per-output state, one packed record per `(router, port)`.
+    outs: Vec<OutState>,
     /// Preset clock gating: whether any flow uses each input port.
     in_enabled: Vec<bool>,
-    /// Preset clock gating: whether any flow uses each output port.
-    out_enabled: Vec<bool>,
-    /// Allocation scratch: desired output per `(port, vc)`, reused
-    /// across calls.
-    want: Vec<Option<u8>>,
-    /// Allocation scratch: the arbiter request vector, reused across
-    /// calls.
-    requests: Vec<bool>,
+}
+
+/// Hot state of one input VC, packed into a single record.
+#[derive(Debug, Clone, Copy)]
+struct VcState {
+    /// Ring cursor: index of the front slot in this VC's slab ring.
+    head: u8,
+    /// Buffered flits.
+    len: u8,
+    /// Cached output index requested by the current front flit, or
+    /// [`HOLD_NONE`] when not yet computed. A head's route lookup is
+    /// pure in `(flow, router)`, so while the same flit waits at the
+    /// front the allocator reuses this instead of re-resolving the
+    /// route every cycle; any push-to-empty or pop invalidates it.
+    front_out: u8,
+    /// Reverse hold map: the output index this VC currently holds, or
+    /// [`HOLD_NONE`] — O(1) lookup for body flits following their
+    /// head's grant.
+    hold_in: u8,
+    /// `true` while a packet occupies the VC (head arrived, tail not
+    /// yet departed).
+    occupied: bool,
+    /// Route token returned by `head_out` alongside `front_out`; valid
+    /// exactly when `front_out` is.
+    front_leg: u32,
+    /// Cycle at which the front flit becomes SA-eligible (its arrival
+    /// + 2 pipeline cycles); `u32::MAX` when the queue is empty.
+    front_ready: u32,
+}
+
+impl VcState {
+    const IDLE: VcState = VcState {
+        head: 0,
+        len: 0,
+        front_out: HOLD_NONE,
+        hold_in: HOLD_NONE,
+        occupied: false,
+        front_leg: 0,
+        front_ready: u32::MAX,
+    };
+}
+
+/// Hot state of one output port, packed into a single record.
+#[derive(Debug, Clone, Copy)]
+struct OutState {
+    /// Free VCs at the output's leg endpoint.
+    free_vcs: VcFifo,
+    /// `(input port, input vc, endpoint vc, route token)` holding the
+    /// switch until the tail passes.
+    held: Option<(u8, u8, VcId, u32)>,
+    /// Round-robin pointer of the output's arbiter over `ports × vcs`
+    /// requesters: the index with highest priority next grant.
+    arb_next: u8,
+    /// Preset clock gating: whether any flow uses the port.
+    enabled: bool,
+}
+
+impl OutState {
+    const IDLE: OutState = OutState {
+        free_vcs: VcFifo { bits: 0, len: 0 },
+        held: None,
+        arb_next: 0,
+        enabled: false,
+    };
 }
 
 impl RouterBank {
@@ -104,36 +240,73 @@ impl RouterBank {
     ///
     /// # Panics
     ///
-    /// Panics if `num_vcs` or `depth` is zero.
+    /// Panics if `num_vcs` or `depth` is zero, or if `num_vcs` exceeds
+    /// 12 (the per-router occupancy bitset packs `5 * num_vcs` input
+    /// VCs into a u64, and free-VC FIFOs pack VC ids into nibbles).
     #[must_use]
     pub fn new(n: usize, num_vcs: usize, depth: usize) -> Self {
         assert!(num_vcs > 0, "need at least one VC");
+        assert!(
+            num_vcs <= 12,
+            "bitset router state supports at most 12 VCs per port"
+        );
         assert!(depth > 0, "need at least one buffer slot");
+        assert!(depth <= 255, "ring cursors are u8");
         let nq = n * PORTS * num_vcs;
         let np = n * PORTS;
+        const EMPTY: (Flit, u32) = (
+            Flit {
+                pkt: crate::flit::PacketSlot(0),
+                flow: FlowId(0),
+                seq: 0,
+                num_flits: 1,
+                vc: None,
+            },
+            0,
+        );
         RouterBank {
             n,
             num_vcs,
             depth,
             base_node: 0,
-            queues: vec![VecDeque::new(); nq],
-            occupied: vec![false; nq],
-            front_ready: vec![u64::MAX; nq],
+            buf: vec![EMPTY; nq * depth],
+            vcs: vec![VcState::IDLE; nq],
+            nonempty: vec![0; n],
             buffered: vec![0; n],
             total_buffered: 0,
-            free_vcs: vec![VecDeque::new(); np],
-            held: vec![None; np],
-            arbs: vec![RoundRobin::new(PORTS * num_vcs); np],
+            outs: vec![OutState::IDLE; np],
             in_enabled: vec![false; np],
-            out_enabled: vec![false; np],
-            want: vec![None; PORTS * num_vcs],
-            requests: vec![false; PORTS * num_vcs],
         }
     }
 
     /// Node id of bank slot `r`, for diagnostics.
     fn node_of(&self, r: usize) -> NodeId {
         NodeId(self.base_node + r as u16)
+    }
+
+    /// Front entry of input-VC ring `qi` (caller checks non-empty).
+    #[inline]
+    fn q_front(&self, qi: usize) -> &(Flit, u32) {
+        &self.buf[qi * self.depth + self.vcs[qi].head as usize]
+    }
+
+    /// Append to input-VC ring `qi` (caller checks capacity).
+    #[inline]
+    fn q_push(&mut self, qi: usize, entry: (Flit, u32)) {
+        let vc = &mut self.vcs[qi];
+        let pos = (vc.head as usize + vc.len as usize) % self.depth;
+        vc.len += 1;
+        self.buf[qi * self.depth + pos] = entry;
+    }
+
+    /// Pop the front of input-VC ring `qi` (caller checks non-empty).
+    #[inline]
+    fn q_pop(&mut self, qi: usize) -> (Flit, u32) {
+        let vc = &mut self.vcs[qi];
+        let head = vc.head as usize;
+        vc.head = ((head + 1) % self.depth) as u8;
+        vc.len -= 1;
+        self.buf[qi * self.depth + head]
     }
 
     /// Number of routers in the bank.
@@ -172,8 +345,8 @@ impl RouterBank {
     /// free-VC queue with the endpoint's `num_vcs` VCs.
     pub fn enable_output(&mut self, r: usize, dir: Direction) {
         let oi = r * PORTS + dir.index();
-        self.out_enabled[oi] = true;
-        self.free_vcs[oi] = (0..self.num_vcs as u8).map(VcId).collect();
+        self.outs[oi].enabled = true;
+        self.outs[oi].free_vcs = VcFifo::seed(self.num_vcs);
     }
 
     /// Number of clock-enabled ports (inputs + outputs) of router `r`
@@ -185,23 +358,23 @@ impl RouterBank {
             .iter()
             .filter(|e| **e)
             .count()
-            + self.out_enabled[range].iter().filter(|e| **e).count()
+            + self.outs[range].iter().filter(|o| o.enabled).count()
     }
 
     /// Occupancy of router `r`'s input port `dir`.
     #[must_use]
     pub fn input_occupancy(&self, r: usize, dir: Direction) -> usize {
         let base = (r * PORTS + dir.index()) * self.num_vcs;
-        self.queues[base..base + self.num_vcs]
+        self.vcs[base..base + self.num_vcs]
             .iter()
-            .map(VecDeque::len)
+            .map(|v| usize::from(v.len))
             .sum()
     }
 
     /// Free-VC count at router `r`'s output `dir` endpoint.
     #[must_use]
     pub fn output_free_vcs(&self, r: usize, dir: Direction) -> usize {
-        self.free_vcs[r * PORTS + dir.index()].len()
+        self.outs[r * PORTS + dir.index()].free_vcs.len()
     }
 
     /// Return a credit (freed endpoint VC) to output `dir` of router
@@ -211,13 +384,13 @@ impl RouterBank {
     ///
     /// Panics if the VC is already in the free queue (double-free).
     pub fn credit(&mut self, r: usize, dir: Direction, vc: VcId) {
-        let q = &mut self.free_vcs[r * PORTS + dir.index()];
+        let q = &mut self.outs[r * PORTS + dir.index()].free_vcs;
         assert!(
-            !q.contains(&vc),
+            !q.contains(vc),
             "{}: double credit for {vc} at output {dir}",
             self.node_of(r)
         );
-        q.push_back(vc);
+        q.push(vc);
         assert!(
             q.len() <= self.num_vcs,
             "{}: more credits than VCs at output {dir}",
@@ -244,31 +417,40 @@ impl RouterBank {
         let vc = flit
             .vc
             .unwrap_or_else(|| panic!("{}: flit arrived without a VC", self.node_of(r)));
-        let qi = (r * PORTS + in_dir.index()) * self.num_vcs + vc.0 as usize;
+        let pv = in_dir.index() * self.num_vcs + vc.0 as usize;
+        let qi = r * PORTS * self.num_vcs + pv;
         if flit.is_head() {
             assert!(
-                !self.occupied[qi] && self.queues[qi].is_empty(),
+                !self.vcs[qi].occupied && self.vcs[qi].len == 0,
                 "{}: head of {:?} arrived into occupied {vc} at input {in_dir}",
                 self.node_of(r),
-                flit.packet
+                flit.pkt
             );
-            self.occupied[qi] = true;
+            self.vcs[qi].occupied = true;
         } else {
             assert!(
-                self.occupied[qi],
+                self.vcs[qi].occupied,
                 "{}: body/tail arrived into idle {vc} at input {in_dir}",
                 self.node_of(r)
             );
         }
         assert!(
-            self.queues[qi].len() < self.depth,
+            usize::from(self.vcs[qi].len) < self.depth,
             "{}: buffer overflow at input {in_dir} {vc}",
             self.node_of(r)
         );
-        if self.queues[qi].is_empty() {
-            self.front_ready[qi] = cycle + 2;
+        // Ready stamps are u32 so buffer slots stay 16 bytes; a run
+        // would need ~4 billion cycles to reach this.
+        assert!(
+            cycle < u64::from(u32::MAX) - 2,
+            "cycle count exceeds the u32 buffer-stamp range"
+        );
+        if self.vcs[qi].len == 0 {
+            self.vcs[qi].front_ready = cycle as u32 + 2;
+            self.vcs[qi].front_out = HOLD_NONE;
         }
-        self.queues[qi].push_back((flit, cycle));
+        self.q_push(qi, (flit, cycle as u32));
+        self.nonempty[r] |= 1 << pv;
         self.buffered[r] += 1;
         self.total_buffered += 1;
         counters.buffer_writes += 1;
@@ -279,15 +461,17 @@ impl RouterBank {
     /// released by departing tails into the caller's scratch vectors.
     ///
     /// `head_out` resolves the output direction an SA-eligible head flit
-    /// requests at this router (the engine passes a [`LegLut`] lookup,
-    /// the standalone [`Router`] a [`FlowTable`] one).
+    /// requests at this router, plus an opaque route token carried on
+    /// the resulting departures (the engine passes a [`LegLut`] lookup
+    /// returning the leg index, the standalone [`Router`] a
+    /// [`FlowTable`] one).
     ///
     /// [`LegLut`]: crate::forward::LegLut
     pub fn allocate(
         &mut self,
         r: usize,
         cycle: u64,
-        head_out: impl Fn(FlowId) -> Direction,
+        head_out: impl Fn(FlowId) -> (Direction, u32),
         counters: &mut ActivityCounters,
         departures: &mut Vec<RouterDeparture>,
         credits: &mut Vec<CreditRelease>,
@@ -303,84 +487,112 @@ impl RouterBank {
         let base_p = r * PORTS;
 
         // Which (input, vc) is SA-eligible this cycle, and toward which
-        // output does its front flit point? `front_ready` answers the
-        // eligibility question without touching the queue itself.
-        self.want.fill(None);
-        let mut any = false;
-        for pv in 0..PORTS * nv {
-            if self.front_ready[base_q + pv] > cycle {
-                continue; // empty, still in BW, or just arrived
+        // output does its front flit point? Walking the set bits of the
+        // occupancy word visits exactly the non-empty VCs in the same
+        // ascending (port, vc) order as a full scan; `front_ready`
+        // answers the eligibility question without touching the queue.
+        // Eligible wanters land directly in their output's request mask.
+        let mut out_req: [u64; PORTS] = [0; PORTS];
+        let mut out_mask: u8 = 0;
+        let mut occ = self.nonempty[r];
+        while occ != 0 {
+            let pv = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let st = self.vcs[base_q + pv];
+            if u64::from(st.front_ready) > cycle {
+                continue; // still in BW or just arrived
             }
-            let (flit, _) = self.queues[base_q + pv]
-                .front()
-                .expect("ready VC has a front flit");
-            let out = if flit.is_head() {
-                head_out(flit.flow)
+            let out = if st.hold_in != HOLD_NONE {
+                // Body/tail follow the hold their head captured.
+                st.hold_in
+            } else if st.front_out != HOLD_NONE {
+                st.front_out
             } else {
-                // Body/tail follow the hold; find which output holds us.
-                let (p, v) = ((pv / nv) as u8, (pv % nv) as u8);
-                match (0..PORTS).find(
-                    |&o| matches!(self.held[base_p + o], Some((hp, hv, _)) if hp == p && hv == v),
-                ) {
-                    Some(o) => Direction::from_index(o),
-                    None => continue, // head not granted yet
+                let (flit, _) = self.q_front(base_q + pv);
+                if !flit.is_head() {
+                    continue; // head not granted yet
                 }
+                let (dir, leg) = head_out(flit.flow);
+                let o = dir.index() as u8;
+                self.vcs[base_q + pv].front_out = o;
+                self.vcs[base_q + pv].front_leg = leg;
+                o
             };
-            self.want[pv] = Some(out.index() as u8);
-            any = true;
+            out_req[usize::from(out)] |= 1 << pv;
+            out_mask |= 1 << out;
         }
-        if !any {
+        if out_mask == 0 {
             return;
         }
 
         // Output-major allocation: held outputs stream their holder; free
         // outputs arbitrate among eligible heads (needing a free VC).
-        // winners[o] = (input, vc, is_new_head)
-        let mut winners: [Option<(u8, u8, bool)>; PORTS] = [None; PORTS];
-        for (o, winner) in winners.iter_mut().enumerate() {
+        // Only outputs somebody wants are visited — an unwanted output
+        // can have no winner and its granted-nothing arbiter would not
+        // rotate, so skipping it is behavior-identical.
+        // winners[o] = (input, vc, is_new_head), valid where `win_mask`
+        // has bit `o`.
+        let mut winners: [(u8, u8, bool); PORTS] = [(0, 0, false); PORTS];
+        let mut win_mask: u8 = 0;
+        let mut outs = out_mask;
+        while outs != 0 {
+            let o = outs.trailing_zeros() as usize;
+            outs &= outs - 1;
             let oi = base_p + o;
-            if !self.out_enabled[oi] {
+            let ost = self.outs[oi];
+            if !ost.enabled {
                 continue;
             }
-            if let Some((hp, hv, _)) = self.held[oi] {
-                if self.want[hp as usize * nv + hv as usize] == Some(o as u8) {
-                    *winner = Some((hp, hv, false));
+            if let Some((hp, hv, _, _)) = ost.held {
+                let pvh = hp as usize * nv + hv as usize;
+                if out_req[o] & (1 << pvh) != 0 {
+                    winners[o] = (hp, hv, false);
+                    win_mask |= 1 << o;
                 }
                 continue;
             }
-            if self.free_vcs[oi].is_empty() {
+            if ost.free_vcs.is_empty() {
                 continue; // heads need a free endpoint VC to request
             }
-            self.requests.fill(false);
-            let mut any_req = false;
-            for (pv, w) in self.want.iter().enumerate() {
-                // Only heads can want a non-held output (bodies follow
-                // their hold), so every wanter here is a head.
-                if *w == Some(o as u8) {
-                    self.requests[pv] = true;
-                    any_req = true;
-                    counters.sa_requests += 1;
-                }
-            }
-            if any_req {
-                if let Some(g) = self.arbs[oi].grant(&self.requests) {
-                    *winner = Some(((g / nv) as u8, (g % nv) as u8, true));
-                }
-            }
+            // Only heads can want a non-held output (bodies follow
+            // their hold), so every requester here is a head, and each
+            // presented request is charged to the allocator.
+            let req = out_req[o];
+            counters.sa_requests += u64::from(req.count_ones());
+            // Round-robin grant, bit-compatible with
+            // [`RoundRobin::grant_mask`]: first requester at or after
+            // the rotating pointer wins and becomes lowest priority (a
+            // granted-nothing arbiter does not rotate).
+            let next = usize::from(ost.arb_next);
+            let above = req >> next;
+            let g = if above != 0 {
+                next + above.trailing_zeros() as usize
+            } else {
+                req.trailing_zeros() as usize
+            };
+            self.outs[oi].arb_next = ((g + 1) % (PORTS * nv)) as u8;
+            winners[o] = ((g / nv) as u8, (g % nv) as u8, true);
+            win_mask |= 1 << o;
         }
 
         // Input-port conflict resolution: one flit per input port per
         // cycle. Held streams take precedence over new heads; ties break
-        // by output index.
-        let mut port_taken = [false; PORTS];
-        for new_head in [false, true] {
-            for w in &mut winners {
-                if let Some((p, _, is_new)) = *w {
+        // by output index. A single winner cannot conflict, so the two
+        // passes run only when at least two outputs granted.
+        if win_mask & win_mask.wrapping_sub(1) != 0 {
+            let mut port_taken: u8 = 0;
+            for new_head in [false, true] {
+                let mut m = win_mask;
+                while m != 0 {
+                    let ob = m & m.wrapping_neg();
+                    let o = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (p, _, is_new) = winners[o];
                     if is_new == new_head {
-                        if port_taken[p as usize] {
-                            *w = None;
+                        if port_taken & (1 << p) != 0 {
+                            win_mask &= !ob;
                         } else {
-                            port_taken[p as usize] = true;
+                            port_taken |= 1 << p;
                         }
                     }
                 }
@@ -388,37 +600,51 @@ impl RouterBank {
         }
 
         // Execute grants.
-        for (o, w) in winners.iter().enumerate() {
-            let Some((p, v, is_new)) = *w else { continue };
+        let mut m = win_mask;
+        while m != 0 {
+            let o = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let (p, v, is_new) = winners[o];
             let oi = base_p + o;
-            let qi = base_q + p as usize * nv + v as usize;
-            let (mut flit, _) = self.queues[qi]
-                .pop_front()
-                .expect("winner has a front flit");
-            self.front_ready[qi] = self.queues[qi].front().map_or(u64::MAX, |(_, a)| a + 2);
+            let pv = p as usize * nv + v as usize;
+            let qi = base_q + pv;
+            let (mut flit, _) = self.q_pop(qi);
+            self.vcs[qi].front_out = HOLD_NONE;
+            if self.vcs[qi].len == 0 {
+                self.vcs[qi].front_ready = u32::MAX;
+                self.nonempty[r] &= !(1 << pv);
+            } else {
+                self.vcs[qi].front_ready = self.q_front(qi).1 + 2;
+            }
             self.buffered[r] -= 1;
             self.total_buffered -= 1;
             counters.buffer_reads += 1;
             counters.sa_grants += 1;
-            let endpoint_vc = if is_new {
-                let vc = self.free_vcs[oi]
-                    .pop_front()
+            let (endpoint_vc, leg) = if is_new {
+                let vc = self.outs[oi]
+                    .free_vcs
+                    .pop()
                     .expect("head grant requires a free VC");
-                self.held[oi] = Some((p, v, vc));
-                vc
+                let leg = self.vcs[qi].front_leg;
+                self.outs[oi].held = Some((p, v, vc, leg));
+                self.vcs[qi].hold_in = o as u8;
+                (vc, leg)
             } else {
-                self.held[oi].expect("streaming under a hold").2
+                let (_, _, vc, leg) = self.outs[oi].held.expect("streaming under a hold");
+                (vc, leg)
             };
             flit.vc = Some(endpoint_vc);
             if flit.is_tail() {
-                self.held[oi] = None;
+                self.outs[oi].held = None;
+                self.vcs[qi].hold_in = HOLD_NONE;
                 assert!(
-                    self.queues[qi].is_empty(),
+                    self.vcs[qi].len == 0,
                     "{}: tail departed but flits remain behind it",
                     self.node_of(r)
                 );
-                self.occupied[qi] = false;
+                self.vcs[qi].occupied = false;
                 credits.push(CreditRelease {
+                    router: r as u16,
                     in_dir: Direction::from_index(p as usize),
                     vc: VcId(v),
                 });
@@ -426,6 +652,7 @@ impl RouterBank {
             departures.push(RouterDeparture {
                 flit,
                 out_dir: Direction::from_index(o),
+                leg,
             });
         }
     }
@@ -536,7 +763,7 @@ impl Router {
         self.bank.allocate(
             0,
             cycle,
-            |flow| flows.leg_from(flow, node).out_dir,
+            |flow| (flows.leg_from(flow, node).out_dir, 0),
             counters,
             &mut departures,
             &mut credits,
@@ -548,7 +775,7 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{FlitKind, FlowId, Packet, PacketId};
+    use crate::flit::{FlitKind, FlowId, PacketSlot};
     use crate::forward::FlowTable;
     use crate::route::SourceRoute;
     use crate::topology::Mesh;
@@ -563,16 +790,10 @@ mod tests {
         FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)])
     }
 
-    fn packet_flits(n: u8) -> Vec<Flit> {
-        Packet {
-            id: PacketId(1),
-            flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(2),
-            gen_cycle: 0,
-            num_flits: n,
-        }
-        .into_flits(0)
+    fn packet_flits(slot: u32, flow: FlowId, n: u8) -> Vec<Flit> {
+        (0..n)
+            .map(|s| Flit::new(PacketSlot(slot), flow, s, n))
+            .collect()
     }
 
     fn prepared_router() -> Router {
@@ -583,12 +804,28 @@ mod tests {
     }
 
     #[test]
+    fn vc_fifo_matches_deque_semantics() {
+        let mut f = VcFifo::seed(3);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.pop(), Some(VcId(0)));
+        assert_eq!(f.pop(), Some(VcId(1)));
+        // Credits returning out of order come back in *return* order.
+        f.push(VcId(1));
+        f.push(VcId(0));
+        assert!(f.contains(VcId(2)) && f.contains(VcId(1)) && f.contains(VcId(0)));
+        assert_eq!(f.pop(), Some(VcId(2)));
+        assert_eq!(f.pop(), Some(VcId(1)));
+        assert_eq!(f.pop(), Some(VcId(0)));
+        assert_eq!(f.pop(), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
     fn head_waits_two_cycles_before_sa() {
         let mut r = prepared_router();
         let flows = table();
         let mut c = ActivityCounters::new();
-        let mut flits = packet_flits(2);
-        let mut head = flits.remove(0);
+        let mut head = packet_flits(1, FlowId(0), 2).remove(0);
         head.vc = Some(VcId(0));
         r.receive(Direction::Core, head, 5, &mut c);
         // SA at cycle 6 is too early (BW happens during 6).
@@ -609,7 +846,7 @@ mod tests {
         let flows = table();
         let mut c = ActivityCounters::new();
         // 4-flit packet arrives on consecutive cycles.
-        for (i, mut f) in packet_flits(4).into_iter().enumerate() {
+        for (i, mut f) in packet_flits(1, FlowId(0), 4).into_iter().enumerate() {
             f.vc = Some(VcId(0));
             r.receive(Direction::Core, f, 10 + i as u64, &mut c);
         }
@@ -641,8 +878,8 @@ mod tests {
         let flows = table();
         let mut c = ActivityCounters::new();
         // Exhaust both endpoint VCs.
-        r.bank.free_vcs[Direction::East.index()].clear();
-        let mut head = packet_flits(1).remove(0);
+        r.bank.outs[Direction::East.index()].free_vcs.clear();
+        let mut head = packet_flits(1, FlowId(0), 1).remove(0);
         head.vc = Some(VcId(0));
         r.receive(Direction::Core, head, 0, &mut c);
         let (d, _) = r.allocate(10, &flows, &mut c);
@@ -656,8 +893,8 @@ mod tests {
 
     #[test]
     fn two_flows_share_output_without_interleaving() {
-        // Two flows, both 0 -> 2, on different VCs: packets must not
-        // interleave on the East output.
+        // Two flows, both crossing East, on different VCs: packets must
+        // not interleave on the East output.
         let mesh = mesh();
         let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2));
         let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(3));
@@ -665,16 +902,8 @@ mod tests {
         let mut r = prepared_router();
         let mut c = ActivityCounters::new();
         // Packet A (flow 0) into vc0, packet B (flow 1) into vc1, same cycle.
-        for (flow, vc, pid) in [(FlowId(0), VcId(0), 10), (FlowId(1), VcId(1), 11)] {
-            let pkt = Packet {
-                id: PacketId(pid),
-                flow,
-                src: NodeId(0),
-                dst: NodeId(2),
-                gen_cycle: 0,
-                num_flits: 3,
-            };
-            for (i, mut f) in pkt.into_flits(0).into_iter().enumerate() {
+        for (flow, vc, slot) in [(FlowId(0), VcId(0), 10), (FlowId(1), VcId(1), 11)] {
+            for (i, mut f) in packet_flits(slot, flow, 3).into_iter().enumerate() {
                 f.vc = Some(vc);
                 r.receive(Direction::Core, f, i as u64, &mut c);
             }
@@ -683,7 +912,7 @@ mod tests {
         for cycle in 5..14 {
             let (d, _) = r.allocate(cycle, &flows, &mut c);
             for dep in d {
-                order.push((dep.flit.packet, dep.flit.kind));
+                order.push((dep.flit.pkt, dep.flit.kind()));
             }
         }
         assert_eq!(order.len(), 6);
@@ -712,28 +941,12 @@ mod tests {
         r.enable_output(Direction::North);
         let mut c = ActivityCounters::new();
         // Packet A (flow 0, 3 flits) into vc0 at cycles 0..2.
-        let pkt_a = Packet {
-            id: PacketId(1),
-            flow: FlowId(0),
-            src: NodeId(0),
-            dst: NodeId(2),
-            gen_cycle: 0,
-            num_flits: 3,
-        };
-        for (i, mut f) in pkt_a.into_flits(0).into_iter().enumerate() {
+        for (i, mut f) in packet_flits(1, FlowId(0), 3).into_iter().enumerate() {
             f.vc = Some(VcId(0));
             r.receive(Direction::Core, f, i as u64, &mut c);
         }
         // Packet B (flow 1, 1 flit) into vc1 at cycle 0 as well.
-        let pkt_b = Packet {
-            id: PacketId(2),
-            flow: FlowId(1),
-            src: NodeId(0),
-            dst: NodeId(4),
-            gen_cycle: 0,
-            num_flits: 1,
-        };
-        let mut head_b = pkt_b.into_flits(0).remove(0);
+        let mut head_b = packet_flits(2, FlowId(1), 1).remove(0);
         head_b.vc = Some(VcId(1));
         r.receive(Direction::Core, head_b, 0, &mut c);
 
@@ -741,7 +954,7 @@ mod tests {
         for cycle in 2..10 {
             let (d, _) = r.allocate(cycle, &flows, &mut c);
             for dep in d {
-                order.push((cycle, dep.out_dir, dep.flit.packet));
+                order.push((cycle, dep.out_dir, dep.flit.pkt));
             }
         }
         // One flit per cycle from the shared Core input.
@@ -755,7 +968,7 @@ mod tests {
         // not be interleaved with B on the input port).
         let a_cycles: Vec<u64> = order
             .iter()
-            .filter(|(_, _, p)| *p == PacketId(1))
+            .filter(|(_, _, p)| *p == PacketSlot(1))
             .map(|(c, _, _)| *c)
             .collect();
         assert_eq!(a_cycles.len(), 3);
@@ -766,7 +979,7 @@ mod tests {
         // B's single-flit packet eventually leaves via North.
         assert!(order
             .iter()
-            .any(|(_, d, p)| *p == PacketId(2) && *d == Direction::North));
+            .any(|(_, d, p)| *p == PacketSlot(2) && *d == Direction::North));
     }
 
     #[test]
@@ -783,10 +996,16 @@ mod tests {
         let mut r = Router::new(NodeId(0), 1, 2);
         r.enable_input(Direction::Core);
         let mut c = ActivityCounters::new();
-        for (i, mut f) in packet_flits(3).into_iter().enumerate() {
+        for (i, mut f) in packet_flits(1, FlowId(0), 3).into_iter().enumerate() {
             f.vc = Some(VcId(0));
             r.receive(Direction::Core, f, i as u64, &mut c);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 12 VCs")]
+    fn too_many_vcs_rejected() {
+        let _ = RouterBank::new(1, 13, 4);
     }
 
     #[test]

@@ -56,7 +56,7 @@ impl FlowStats {
 }
 
 /// Statistics over all flows of a simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     flows: BTreeMap<FlowId, FlowStats>,
     /// Histogram of head latencies (bucket = exact cycle count, capped).

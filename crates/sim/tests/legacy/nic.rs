@@ -1,0 +1,183 @@
+//! Network interfaces: packet injection queues, serialization into
+//! flits, and reception.
+//!
+//! A NIC owns the free-VC queue for the endpoint of its injection leg —
+//! in SMART this can be the destination NIC itself (pure single-cycle
+//! flow) or the input port of the first stop router. On the receive
+//! side the NIC has `num_vcs` reception VCs; a tail arrival frees its VC
+//! and returns a credit to whichever sender tracks this NIC.
+
+use crate::counters::ActivityCounters;
+use crate::flit::{into_flits, Flit, FlowId, Packet, VcId};
+use crate::topology::NodeId;
+use std::collections::VecDeque;
+
+/// A packet-latency sample produced when flits arrive at their
+/// destination NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxEvent {
+    /// A head flit arrived: `(flow, head_latency, source_queue_delay)`.
+    Head(FlowId, u64, u64),
+    /// A tail arrived: `(flow, packet_latency, freed_vc)`.
+    Tail(FlowId, u64, VcId),
+}
+
+/// State of one in-progress packet transmission.
+#[derive(Debug, Clone)]
+struct CurrentTx {
+    flits: VecDeque<Flit>,
+}
+
+/// A network interface (one per node).
+#[derive(Debug, Clone)]
+pub struct Nic {
+    node: NodeId,
+    /// Packets waiting to enter the network, in generation order.
+    inject_queue: VecDeque<Packet>,
+    current: Option<CurrentTx>,
+    /// Free VCs at this NIC's injection-leg endpoint (only meaningful if
+    /// the node sources at least one flow).
+    free_vcs: VecDeque<VcId>,
+    /// Reception VCs: `true` while occupied by an in-flight packet.
+    rx_occupied: Vec<bool>,
+    /// Head send cycle per rx VC, for packet-latency computation.
+    rx_head_send: Vec<u64>,
+    num_vcs: usize,
+}
+
+impl Nic {
+    /// A NIC with `num_vcs` injection-endpoint and reception VCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs` is zero.
+    #[must_use]
+    pub fn new(node: NodeId, num_vcs: usize) -> Self {
+        assert!(num_vcs > 0, "need at least one VC");
+        Nic {
+            node,
+            inject_queue: VecDeque::new(),
+            current: None,
+            free_vcs: (0..num_vcs as u8).map(VcId).collect(),
+            rx_occupied: vec![false; num_vcs],
+            rx_head_send: vec![0; num_vcs],
+            num_vcs,
+        }
+    }
+
+    /// This NIC's node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queue a generated packet for injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's source is not this node.
+    pub fn offer(&mut self, packet: Packet) {
+        assert_eq!(packet.src, self.node, "packet offered to the wrong NIC");
+        self.inject_queue.push_back(packet);
+    }
+
+    /// Packets (whole or partially sent) still waiting at this NIC.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.inject_queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// Return a credit for the injection-leg endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free.
+    pub fn credit(&mut self, vc: VcId) {
+        assert!(
+            !self.free_vcs.contains(&vc),
+            "{}: double credit for {vc} at NIC",
+            self.node
+        );
+        self.free_vcs.push_back(vc);
+        assert!(self.free_vcs.len() <= self.num_vcs);
+    }
+
+    /// Try to send one flit during `cycle`. Returns the flit to launch
+    /// onto the injection leg, if any.
+    ///
+    /// A new packet starts only when the endpoint has a free VC
+    /// (virtual cut-through); once started, a packet streams one flit
+    /// per cycle without stalling.
+    pub fn try_inject(&mut self, cycle: u64, counters: &mut ActivityCounters) -> Option<Flit> {
+        if self.current.is_none() {
+            let packet = self.inject_queue.front()?;
+            let _ = packet;
+            let vc = self.free_vcs.pop_front()?;
+            let packet = self.inject_queue.pop_front().expect("front checked above");
+            let mut flits: VecDeque<Flit> = into_flits(packet, cycle).into();
+            for f in &mut flits {
+                f.vc = Some(vc);
+            }
+            counters.packets_injected += 1;
+            self.current = Some(CurrentTx { flits });
+        }
+        let tx = self.current.as_mut().expect("set above");
+        let flit = tx.flits.pop_front().expect("current tx is nonempty");
+        if tx.flits.is_empty() {
+            self.current = None;
+        }
+        Some(flit)
+    }
+
+    /// Receive a flit arriving at the end of `cycle`; returns the
+    /// latency events and (for tails) the freed reception VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on reception-VC protocol violations.
+    pub fn receive(
+        &mut self,
+        flit: &Flit,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+    ) -> Vec<RxEvent> {
+        let vc = flit
+            .vc
+            .unwrap_or_else(|| panic!("{}: flit without VC at NIC", self.node));
+        let slot = vc.0 as usize;
+        counters.flits_delivered += 1;
+        let mut events = Vec::new();
+        if flit.is_head() {
+            assert!(
+                !self.rx_occupied[slot],
+                "{}: head arrived into occupied rx {vc}",
+                self.node
+            );
+            self.rx_occupied[slot] = true;
+            self.rx_head_send[slot] = flit.inject_cycle;
+            let head_latency = cycle - flit.inject_cycle + 1;
+            let src_q = flit.inject_cycle - flit.gen_cycle;
+            events.push(RxEvent::Head(flit.flow, head_latency, src_q));
+        }
+        if flit.is_tail() {
+            assert!(
+                self.rx_occupied[slot],
+                "{}: tail arrived into idle rx {vc}",
+                self.node
+            );
+            self.rx_occupied[slot] = false;
+            let packet_latency = cycle - self.rx_head_send[slot] + 1;
+            counters.packets_delivered += 1;
+            events.push(RxEvent::Tail(flit.flow, packet_latency, vc));
+        }
+        events
+    }
+
+    /// `true` when nothing is queued, in flight, or half-received.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.inject_queue.is_empty()
+            && self.current.is_none()
+            && self.rx_occupied.iter().all(|o| !o)
+    }
+}

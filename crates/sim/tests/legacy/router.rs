@@ -1,0 +1,546 @@
+//! The router: input-port VC buffers, switch allocation with
+//! virtual-cut-through switch hold, and preset-aware output ports.
+//!
+//! The pipeline is the paper's 3-stage organization (Fig 6):
+//!
+//! * **BW** — a flit arriving at the end of cycle *a* is buffer-written
+//!   during *a+1*;
+//! * **SA** — it may arbitrate from cycle *a+2*;
+//! * **ST(+LT)** — on a grant at cycle *g* it traverses the crossbar (and,
+//!   for SMART, the entire multi-hop link segment) during *g+1*.
+//!
+//! Virtual cut-through: a head flit's grant captures the output port and
+//! one free VC at the *endpoint of its leg* (which for SMART may be a
+//! router several hops away); body flits stream behind it; the tail
+//! releases the hold and triggers the credit that frees this router's
+//! input VC back at the upstream sender.
+//!
+//! The state of *all* routers lives in one [`RouterBank`]: flat
+//! structure-of-arrays storage indexed by `(router, port, vc)`, so the
+//! engine's per-cycle sweep walks dense arrays instead of chasing
+//! per-router collections, and switch allocation reuses scratch buffers
+//! instead of allocating per call. [`Router`] wraps a 1-router bank for
+//! standalone protocol tests.
+
+use crate::arbiter::RoundRobin;
+use crate::counters::ActivityCounters;
+use crate::flit::{Flit, FlowId, VcId};
+use crate::forward::FlowTable;
+use crate::topology::{Direction, NodeId, PORTS};
+use std::collections::VecDeque;
+
+/// A flit leaving this router, with the context the engine needs to
+/// schedule its arrival.
+#[derive(Debug, Clone)]
+pub struct RouterDeparture {
+    /// The flit (its `vc` field already set to the endpoint VC).
+    pub flit: Flit,
+    /// Output direction granted.
+    pub out_dir: Direction,
+}
+
+/// A credit released by a departing tail: the upstream sender of
+/// `in_dir` gets VC `vc` back.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditRelease {
+    /// Input port whose VC was freed.
+    pub in_dir: Direction,
+    /// The freed VC.
+    pub vc: VcId,
+}
+
+/// The hot state of every router in the mesh, stored as flat
+/// structure-of-arrays buffers.
+///
+/// Input-side arrays are indexed by `(router * 5 + port) * num_vcs + vc`,
+/// output-side arrays by `router * 5 + port`. The per-cycle sweep reads
+/// the dense [`front ready`](RouterBank::receive) array to find
+/// SA-eligible VCs without touching the flit queues of idle ports, and
+/// [`RouterBank::allocate`] appends into caller-owned scratch vectors so
+/// steady-state simulation performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct RouterBank {
+    n: usize,
+    num_vcs: usize,
+    depth: usize,
+    /// Node id of bank slot 0, for diagnostics: the engine's bank maps
+    /// slot `r` to node `r`, while a standalone [`Router`] pins its own
+    /// node id here so protocol panics name the right router.
+    base_node: u16,
+    /// Buffered `(flit, buffer-write cycle)` pairs per input VC.
+    queues: Vec<VecDeque<(Flit, u64)>>,
+    /// `true` while a packet occupies the VC (head arrived, tail not yet
+    /// departed).
+    occupied: Vec<bool>,
+    /// Cycle at which the front flit becomes SA-eligible (its arrival
+    /// + 2 pipeline cycles); `u64::MAX` when the queue is empty.
+    front_ready: Vec<u64>,
+    /// Flits buffered per router (drives the idle-router skip).
+    buffered: Vec<u32>,
+    /// Flits buffered across the whole bank.
+    total_buffered: u64,
+    /// Free VCs at each output's leg endpoint.
+    free_vcs: Vec<VecDeque<VcId>>,
+    /// `(input port, input vc, endpoint vc)` holding each output's
+    /// switch until the tail passes.
+    held: Vec<Option<(u8, u8, VcId)>>,
+    /// Output arbiters over `ports × vcs` requesters.
+    arbs: Vec<RoundRobin>,
+    /// Preset clock gating: whether any flow uses each input port.
+    in_enabled: Vec<bool>,
+    /// Preset clock gating: whether any flow uses each output port.
+    out_enabled: Vec<bool>,
+    /// Allocation scratch: desired output per `(port, vc)`, reused
+    /// across calls.
+    want: Vec<Option<u8>>,
+    /// Allocation scratch: the arbiter request vector, reused across
+    /// calls.
+    requests: Vec<bool>,
+}
+
+impl RouterBank {
+    /// A bank of `n` 5-port routers with `num_vcs` VCs of `depth` flits
+    /// per input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs` or `depth` is zero.
+    #[must_use]
+    pub fn new(n: usize, num_vcs: usize, depth: usize) -> Self {
+        assert!(num_vcs > 0, "need at least one VC");
+        assert!(depth > 0, "need at least one buffer slot");
+        let nq = n * PORTS * num_vcs;
+        let np = n * PORTS;
+        RouterBank {
+            n,
+            num_vcs,
+            depth,
+            base_node: 0,
+            queues: vec![VecDeque::new(); nq],
+            occupied: vec![false; nq],
+            front_ready: vec![u64::MAX; nq],
+            buffered: vec![0; n],
+            total_buffered: 0,
+            free_vcs: vec![VecDeque::new(); np],
+            held: vec![None; np],
+            arbs: vec![RoundRobin::new(PORTS * num_vcs); np],
+            in_enabled: vec![false; np],
+            out_enabled: vec![false; np],
+            want: vec![None; PORTS * num_vcs],
+            requests: vec![false; PORTS * num_vcs],
+        }
+    }
+
+    /// Node id of bank slot `r`, for diagnostics.
+    fn node_of(&self, r: usize) -> NodeId {
+        NodeId(self.base_node + r as u16)
+    }
+
+    /// Number of routers in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for a bank of zero routers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Flits buffered across all routers — `0` means every router is
+    /// drained (the engine's quiescence check reads this instead of
+    /// walking every queue).
+    #[must_use]
+    pub fn total_buffered(&self) -> u64 {
+        self.total_buffered
+    }
+
+    /// `true` when no flit is buffered anywhere in router `r`.
+    #[must_use]
+    pub fn is_drained(&self, r: usize) -> bool {
+        self.buffered[r] == 0
+    }
+
+    /// Mark input port `dir` of router `r` as used by some flow
+    /// (ungated), per presets.
+    pub fn enable_input(&mut self, r: usize, dir: Direction) {
+        self.in_enabled[r * PORTS + dir.index()] = true;
+    }
+
+    /// Mark output port `dir` of router `r` as used and seed its
+    /// free-VC queue with the endpoint's `num_vcs` VCs.
+    pub fn enable_output(&mut self, r: usize, dir: Direction) {
+        let oi = r * PORTS + dir.index();
+        self.out_enabled[oi] = true;
+        self.free_vcs[oi] = (0..self.num_vcs as u8).map(VcId).collect();
+    }
+
+    /// Number of clock-enabled ports (inputs + outputs) of router `r`
+    /// for gating accounting.
+    #[must_use]
+    pub fn enabled_ports(&self, r: usize) -> usize {
+        let range = r * PORTS..(r + 1) * PORTS;
+        self.in_enabled[range.clone()]
+            .iter()
+            .filter(|e| **e)
+            .count()
+            + self.out_enabled[range].iter().filter(|e| **e).count()
+    }
+
+    /// Occupancy of router `r`'s input port `dir`.
+    #[must_use]
+    pub fn input_occupancy(&self, r: usize, dir: Direction) -> usize {
+        let base = (r * PORTS + dir.index()) * self.num_vcs;
+        self.queues[base..base + self.num_vcs]
+            .iter()
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Free-VC count at router `r`'s output `dir` endpoint.
+    #[must_use]
+    pub fn output_free_vcs(&self, r: usize, dir: Direction) -> usize {
+        self.free_vcs[r * PORTS + dir.index()].len()
+    }
+
+    /// Return a credit (freed endpoint VC) to output `dir` of router
+    /// `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already in the free queue (double-free).
+    pub fn credit(&mut self, r: usize, dir: Direction, vc: VcId) {
+        let q = &mut self.free_vcs[r * PORTS + dir.index()];
+        assert!(
+            !q.contains(&vc),
+            "{}: double credit for {vc} at output {dir}",
+            self.node_of(r)
+        );
+        q.push_back(vc);
+        assert!(
+            q.len() <= self.num_vcs,
+            "{}: more credits than VCs at output {dir}",
+            self.node_of(r)
+        );
+    }
+
+    /// Buffer-write a flit arriving at router `r` (end-of-cycle `cycle`
+    /// arrival) into input `in_dir`, VC `flit.vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations: missing VC allocation, overflow,
+    /// a head arriving into an occupied VC, or a body arriving into an
+    /// idle one.
+    pub fn receive(
+        &mut self,
+        r: usize,
+        in_dir: Direction,
+        flit: Flit,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+    ) {
+        let vc = flit
+            .vc
+            .unwrap_or_else(|| panic!("{}: flit arrived without a VC", self.node_of(r)));
+        let qi = (r * PORTS + in_dir.index()) * self.num_vcs + vc.0 as usize;
+        if flit.is_head() {
+            assert!(
+                !self.occupied[qi] && self.queues[qi].is_empty(),
+                "{}: head of {:?} arrived into occupied {vc} at input {in_dir}",
+                self.node_of(r),
+                flit.packet
+            );
+            self.occupied[qi] = true;
+        } else {
+            assert!(
+                self.occupied[qi],
+                "{}: body/tail arrived into idle {vc} at input {in_dir}",
+                self.node_of(r)
+            );
+        }
+        assert!(
+            self.queues[qi].len() < self.depth,
+            "{}: buffer overflow at input {in_dir} {vc}",
+            self.node_of(r)
+        );
+        if self.queues[qi].is_empty() {
+            self.front_ready[qi] = cycle + 2;
+        }
+        self.queues[qi].push_back((flit, cycle));
+        self.buffered[r] += 1;
+        self.total_buffered += 1;
+        counters.buffer_writes += 1;
+    }
+
+    /// Run switch allocation for router `r` at `cycle`, appending
+    /// departures (flits entering ST in cycle `cycle + 1`) and credits
+    /// released by departing tails into the caller's scratch vectors.
+    ///
+    /// `head_out` resolves the output direction an SA-eligible head flit
+    /// requests at this router (the engine passes a [`LegLut`] lookup,
+    /// the standalone [`Router`] a [`FlowTable`] one).
+    ///
+    /// [`LegLut`]: crate::forward::LegLut
+    pub fn allocate(
+        &mut self,
+        r: usize,
+        cycle: u64,
+        head_out: impl Fn(FlowId) -> Direction,
+        counters: &mut ActivityCounters,
+        departures: &mut Vec<RouterDeparture>,
+        credits: &mut Vec<CreditRelease>,
+    ) {
+        // An empty router requests nothing and streams nothing, and a
+        // granted-nothing arbiter does not rotate: skipping is
+        // behavior-identical and makes idle routers ~free.
+        if self.buffered[r] == 0 {
+            return;
+        }
+        let nv = self.num_vcs;
+        let base_q = r * PORTS * nv;
+        let base_p = r * PORTS;
+
+        // Which (input, vc) is SA-eligible this cycle, and toward which
+        // output does its front flit point? `front_ready` answers the
+        // eligibility question without touching the queue itself.
+        self.want.fill(None);
+        let mut any = false;
+        for pv in 0..PORTS * nv {
+            if self.front_ready[base_q + pv] > cycle {
+                continue; // empty, still in BW, or just arrived
+            }
+            let (flit, _) = self.queues[base_q + pv]
+                .front()
+                .expect("ready VC has a front flit");
+            let out = if flit.is_head() {
+                head_out(flit.flow)
+            } else {
+                // Body/tail follow the hold; find which output holds us.
+                let (p, v) = ((pv / nv) as u8, (pv % nv) as u8);
+                match (0..PORTS).find(
+                    |&o| matches!(self.held[base_p + o], Some((hp, hv, _)) if hp == p && hv == v),
+                ) {
+                    Some(o) => Direction::from_index(o),
+                    None => continue, // head not granted yet
+                }
+            };
+            self.want[pv] = Some(out.index() as u8);
+            any = true;
+        }
+        if !any {
+            return;
+        }
+
+        // Output-major allocation: held outputs stream their holder; free
+        // outputs arbitrate among eligible heads (needing a free VC).
+        // winners[o] = (input, vc, is_new_head)
+        let mut winners: [Option<(u8, u8, bool)>; PORTS] = [None; PORTS];
+        for (o, winner) in winners.iter_mut().enumerate() {
+            let oi = base_p + o;
+            if !self.out_enabled[oi] {
+                continue;
+            }
+            if let Some((hp, hv, _)) = self.held[oi] {
+                if self.want[hp as usize * nv + hv as usize] == Some(o as u8) {
+                    *winner = Some((hp, hv, false));
+                }
+                continue;
+            }
+            if self.free_vcs[oi].is_empty() {
+                continue; // heads need a free endpoint VC to request
+            }
+            self.requests.fill(false);
+            let mut any_req = false;
+            for (pv, w) in self.want.iter().enumerate() {
+                // Only heads can want a non-held output (bodies follow
+                // their hold), so every wanter here is a head.
+                if *w == Some(o as u8) {
+                    self.requests[pv] = true;
+                    any_req = true;
+                    counters.sa_requests += 1;
+                }
+            }
+            if any_req {
+                if let Some(g) = self.arbs[oi].grant(&self.requests) {
+                    *winner = Some(((g / nv) as u8, (g % nv) as u8, true));
+                }
+            }
+        }
+
+        // Input-port conflict resolution: one flit per input port per
+        // cycle. Held streams take precedence over new heads; ties break
+        // by output index.
+        let mut port_taken = [false; PORTS];
+        for new_head in [false, true] {
+            for w in &mut winners {
+                if let Some((p, _, is_new)) = *w {
+                    if is_new == new_head {
+                        if port_taken[p as usize] {
+                            *w = None;
+                        } else {
+                            port_taken[p as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Execute grants.
+        for (o, w) in winners.iter().enumerate() {
+            let Some((p, v, is_new)) = *w else { continue };
+            let oi = base_p + o;
+            let qi = base_q + p as usize * nv + v as usize;
+            let (mut flit, _) = self.queues[qi]
+                .pop_front()
+                .expect("winner has a front flit");
+            self.front_ready[qi] = self.queues[qi].front().map_or(u64::MAX, |(_, a)| a + 2);
+            self.buffered[r] -= 1;
+            self.total_buffered -= 1;
+            counters.buffer_reads += 1;
+            counters.sa_grants += 1;
+            let endpoint_vc = if is_new {
+                let vc = self.free_vcs[oi]
+                    .pop_front()
+                    .expect("head grant requires a free VC");
+                self.held[oi] = Some((p, v, vc));
+                vc
+            } else {
+                self.held[oi].expect("streaming under a hold").2
+            };
+            flit.vc = Some(endpoint_vc);
+            if flit.is_tail() {
+                self.held[oi] = None;
+                assert!(
+                    self.queues[qi].is_empty(),
+                    "{}: tail departed but flits remain behind it",
+                    self.node_of(r)
+                );
+                self.occupied[qi] = false;
+                credits.push(CreditRelease {
+                    in_dir: Direction::from_index(p as usize),
+                    vc: VcId(v),
+                });
+            }
+            departures.push(RouterDeparture {
+                flit,
+                out_dir: Direction::from_index(o),
+            });
+        }
+    }
+}
+
+/// A standalone router: a 1-router [`RouterBank`] with the bank index
+/// pinned, for protocol-level unit tests and external experimentation.
+/// The engine itself drives the bank directly.
+#[derive(Debug, Clone)]
+pub struct Router {
+    bank: RouterBank,
+}
+
+impl Router {
+    /// A 5-port router with `num_vcs` VCs of `depth` flits per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vcs` or `depth` is zero.
+    #[must_use]
+    pub fn new(node: NodeId, num_vcs: usize, depth: usize) -> Self {
+        let mut bank = RouterBank::new(1, num_vcs, depth);
+        bank.base_node = node.0;
+        Router { bank }
+    }
+
+    /// This router's node id.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.bank.node_of(0)
+    }
+
+    /// Mark an input port as used by some flow (ungated), per presets.
+    pub fn enable_input(&mut self, dir: Direction) {
+        self.bank.enable_input(0, dir);
+    }
+
+    /// Mark an output port as used and seed its free-VC queue with the
+    /// endpoint's `num_vcs` VCs.
+    pub fn enable_output(&mut self, dir: Direction) {
+        self.bank.enable_output(0, dir);
+    }
+
+    /// Number of clock-enabled ports (inputs + outputs) for gating
+    /// accounting.
+    #[must_use]
+    pub fn enabled_ports(&self) -> usize {
+        self.bank.enabled_ports(0)
+    }
+
+    /// Occupancy of input port `dir`.
+    #[must_use]
+    pub fn input_occupancy(&self, dir: Direction) -> usize {
+        self.bank.input_occupancy(0, dir)
+    }
+
+    /// Free-VC count at output `dir`'s endpoint.
+    #[must_use]
+    pub fn output_free_vcs(&self, dir: Direction) -> usize {
+        self.bank.output_free_vcs(0, dir)
+    }
+
+    /// `true` when no flit is buffered anywhere in this router.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.bank.is_drained(0)
+    }
+
+    /// Return a credit (freed endpoint VC) to output port `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already in the free queue (double-free).
+    pub fn credit(&mut self, dir: Direction, vc: VcId) {
+        self.bank.credit(0, dir, vc);
+    }
+
+    /// Buffer-write an arriving flit (end-of-cycle `cycle` arrival) into
+    /// input `in_dir`, VC `flit.vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations: missing VC allocation, overflow,
+    /// a head arriving into an occupied VC, or a body arriving into an
+    /// idle one.
+    pub fn receive(
+        &mut self,
+        in_dir: Direction,
+        flit: Flit,
+        cycle: u64,
+        counters: &mut ActivityCounters,
+    ) {
+        self.bank.receive(0, in_dir, flit, cycle, counters);
+    }
+
+    /// Run switch allocation for `cycle` and return departures (flits
+    /// entering ST in cycle `cycle + 1`) plus any credits released by
+    /// departing tails.
+    pub fn allocate(
+        &mut self,
+        cycle: u64,
+        flows: &FlowTable,
+        counters: &mut ActivityCounters,
+    ) -> (Vec<RouterDeparture>, Vec<CreditRelease>) {
+        let mut departures = Vec::new();
+        let mut credits = Vec::new();
+        let node = self.node();
+        self.bank.allocate(
+            0,
+            cycle,
+            |flow| flows.leg_from(flow, node).out_dir,
+            counters,
+            &mut departures,
+            &mut credits,
+        );
+        (departures, credits)
+    }
+}

@@ -78,6 +78,25 @@ pub enum SpatialPattern {
         /// in `[0, 1]`.
         weight: f64,
     },
+    /// Like [`SpatialPattern::Hotspot`], but each source's background
+    /// budget lands on `background` seeded-sampled destinations instead
+    /// of every other node: the flow set is `O(N · (targets +
+    /// background))` where the full hotspot's is `O(N²)`, which keeps
+    /// large-mesh sweeps tractable while preserving the per-source
+    /// budget exactly.
+    HotspotSampled {
+        /// The congested destinations.
+        targets: Vec<NodeId>,
+        /// Fraction of each source's budget aimed at the targets,
+        /// in `[0, 1]`.
+        weight: f64,
+        /// Distinct background destinations sampled per source; clamped
+        /// to the available non-target, non-self nodes.
+        background: usize,
+        /// RNG seed: the sampled flow set is a pure function of
+        /// `(mesh, targets, weight, background, seed)`.
+        seed: u64,
+    },
 }
 
 impl SpatialPattern {
@@ -95,6 +114,33 @@ impl SpatialPattern {
             "hotspot weight {weight} outside [0,1]"
         );
         SpatialPattern::Hotspot { targets, weight }
+    }
+
+    /// A sampled-background hotspot: `weight` of every source's budget
+    /// converges on `targets`, the rest spreads over `background`
+    /// seeded-sampled destinations per source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty or `weight` is outside `[0, 1]`.
+    #[must_use]
+    pub fn hotspot_sampled(
+        targets: Vec<NodeId>,
+        weight: f64,
+        background: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!targets.is_empty(), "hotspot needs at least one target");
+        assert!(
+            (0.0..=1.0).contains(&weight),
+            "hotspot weight {weight} outside [0,1]"
+        );
+        SpatialPattern::HotspotSampled {
+            targets,
+            weight,
+            background,
+            seed,
+        }
     }
 
     /// The canonical pattern battery for matrix sweeps: the six
@@ -131,6 +177,12 @@ impl SpatialPattern {
             SpatialPattern::Hotspot { targets, weight } => {
                 format!("hotspot{}@{weight}", targets.len())
             }
+            SpatialPattern::HotspotSampled {
+                targets,
+                weight,
+                background,
+                ..
+            } => format!("hotspot{}@{weight}~{background}", targets.len()),
         }
     }
 
@@ -147,7 +199,9 @@ impl SpatialPattern {
     pub fn destination(&self, mesh: Mesh, node: NodeId) -> Option<NodeId> {
         let c = mesh.coord(node);
         match self {
-            SpatialPattern::Uniform { .. } | SpatialPattern::Hotspot { .. } => None,
+            SpatialPattern::Uniform { .. }
+            | SpatialPattern::Hotspot { .. }
+            | SpatialPattern::HotspotSampled { .. } => None,
             SpatialPattern::Transpose => {
                 assert_eq!(
                     mesh.width(),
@@ -267,6 +321,67 @@ impl SpatialPattern {
                                 dst: d,
                                 weight: per_other,
                             });
+                        }
+                    }
+                }
+            }
+            SpatialPattern::HotspotSampled {
+                targets,
+                weight,
+                background,
+                seed,
+            } => {
+                assert!(!targets.is_empty(), "hotspot needs at least one target");
+                assert!(
+                    (0.0..=1.0).contains(weight),
+                    "hotspot weight {weight} outside [0,1]"
+                );
+                for t in targets {
+                    assert!(
+                        (t.0 as usize) < mesh.len(),
+                        "hotspot target {t} outside the mesh"
+                    );
+                }
+                // Candidate background destinations, shared by every
+                // source (each source additionally excludes itself when
+                // drawing).
+                let pool: Vec<NodeId> = mesh.nodes().filter(|n| !targets.contains(n)).collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                for src in mesh.nodes() {
+                    let avail = pool.len() - usize::from(!targets.contains(&src));
+                    let k = (*background).min(avail);
+                    // With no background destination drawable, the
+                    // hotspot flows absorb the whole budget instead of
+                    // silently dropping it (same rule as `Hotspot`).
+                    let hot_share = if k == 0 { 1.0 } else { *weight };
+                    let per_target = hot_share / targets.len() as f64;
+                    if per_target > 0.0 {
+                        for t in targets {
+                            if src != *t {
+                                out.push(PatternFlow {
+                                    src,
+                                    dst: *t,
+                                    weight: per_target,
+                                });
+                            }
+                        }
+                    }
+                    if *weight < 1.0 && k > 0 {
+                        let per_dst = (1.0 - weight) / k as f64;
+                        // Rejection-sample k distinct non-self pool
+                        // nodes; k is small by construction, so the
+                        // linear dedup scan stays cheap.
+                        let mut picked: Vec<NodeId> = Vec::with_capacity(k);
+                        while picked.len() < k {
+                            let d = pool[rng.gen_range(0..pool.len())];
+                            if d != src && !picked.contains(&d) {
+                                out.push(PatternFlow {
+                                    src,
+                                    dst: d,
+                                    weight: per_dst,
+                                });
+                                picked.push(d);
+                            }
                         }
                     }
                 }
@@ -446,6 +561,66 @@ mod tests {
         let flows = p.flows(mesh());
         assert_eq!(flows.len(), 15);
         assert!(flows.iter().all(|f| f.dst == NodeId(0)));
+    }
+
+    #[test]
+    fn sampled_hotspot_keeps_the_budget_with_few_flows() {
+        // 32x32: the full hotspot would emit ~1M background flows; the
+        // sampled variant stays linear in the mesh size.
+        let m = Mesh::new(32, 32);
+        let targets = vec![NodeId(100), NodeId(200)];
+        let p = SpatialPattern::hotspot_sampled(targets.clone(), 0.6, 8, 7);
+        let flows = p.flows(m);
+        assert!(flows.len() <= m.len() * (targets.len() + 8));
+        for src in m.nodes() {
+            let mine: Vec<&PatternFlow> = flows.iter().filter(|f| f.src == src).collect();
+            let total: f64 = mine.iter().map(|f| f.weight).sum();
+            if targets.contains(&src) {
+                assert!(total <= 1.0 + 1e-9, "{src}: {total}");
+            } else {
+                assert!((total - 1.0).abs() < 1e-9, "{src}: {total}");
+            }
+            // Background picks are distinct, non-self, non-target.
+            let bg: Vec<NodeId> = mine
+                .iter()
+                .filter(|f| !targets.contains(&f.dst))
+                .map(|f| f.dst)
+                .collect();
+            assert_eq!(bg.len(), 8);
+            for (i, d) in bg.iter().enumerate() {
+                assert_ne!(*d, src);
+                assert!(!bg[..i].contains(d), "{src} sampled {d} twice");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_hotspot_is_deterministic_per_seed() {
+        let m = Mesh::new(8, 8);
+        let p = |seed| SpatialPattern::hotspot_sampled(vec![NodeId(0)], 0.5, 4, seed);
+        assert_eq!(p(1).flows(m), p(1).flows(m));
+        assert_ne!(p(1).flows(m), p(2).flows(m));
+    }
+
+    #[test]
+    fn sampled_hotspot_clamps_to_available_background() {
+        // 2x2 with one target: each source has at most 2 background
+        // candidates (3 non-target nodes minus itself).
+        let m = Mesh::new(2, 2);
+        let p = SpatialPattern::hotspot_sampled(vec![NodeId(0)], 0.5, 10, 3);
+        let flows = p.flows(m);
+        for src in m.nodes() {
+            let total: f64 = flows
+                .iter()
+                .filter(|f| f.src == src)
+                .map(|f| f.weight)
+                .sum();
+            if src == NodeId(0) {
+                assert!(total <= 1.0 + 1e-12);
+            } else {
+                assert!((total - 1.0).abs() < 1e-12, "{src}: {total}");
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,41 @@ proptest! {
     }
 
     #[test]
+    fn sampled_hotspot_normalizes_and_stays_linear(
+        mesh in prop::sample::select(pow2_meshes()),
+        weight in 0.0f64..1.0,
+        ntargets in 1usize..4,
+        background in 1usize..9,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(mesh.len() > 4);
+        let targets: Vec<NodeId> = (0..ntargets as u16).map(NodeId).collect();
+        let flows = SpatialPattern::hotspot_sampled(targets.clone(), weight, background, seed)
+            .flows(mesh);
+        // Flow count is linear in the mesh, not quadratic.
+        prop_assert!(flows.len() <= mesh.len() * (ntargets + background));
+        for src in mesh.nodes() {
+            let mine: Vec<_> = flows.iter().filter(|f| f.src == src).collect();
+            let total: f64 = mine.iter().map(|f| f.weight).sum();
+            if targets.contains(&src) {
+                prop_assert!(total <= 1.0 + 1e-9, "{}: {}", src, total);
+            } else {
+                // The source's whole budget survives sampling.
+                prop_assert!((total - 1.0).abs() < 1e-9, "{}: {}", src, total);
+            }
+            // No self-flows; background picks are distinct.
+            let mut seen = vec![false; mesh.len()];
+            for f in &mine {
+                prop_assert!(f.dst != src, "{} sends to itself", src);
+                if !targets.contains(&f.dst) {
+                    prop_assert!(!seen[f.dst.0 as usize], "{} sampled {} twice", src, f.dst);
+                    seen[f.dst.0 as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
     fn routed_flow_ids_are_dense_and_rates_scaled(
         mesh in prop::sample::select(pow2_meshes()),
         rate in 0.001f64..0.2,
