@@ -49,7 +49,16 @@ impl SmartNoc {
     /// Compile `routes` and bring up the network with presets applied.
     #[must_use]
     pub fn new(cfg: &NocConfig, routes: &[(FlowId, SourceRoute)]) -> Self {
-        let app = compile(cfg.mesh, cfg.hpc_max, routes);
+        SmartNoc::from_compiled(cfg, compile(cfg.mesh, cfg.hpc_max, routes))
+    }
+
+    /// Bring up the network from an already-compiled application —
+    /// `compile` is a pure function of `(mesh, hpc_max, routes)`, so
+    /// reusing a cached [`CompiledApp`] produces a network bit-identical
+    /// to [`SmartNoc::new`] while skipping the compilation entirely
+    /// (the `smart-server` compiled-design cache's fast path).
+    #[must_use]
+    pub fn from_compiled(cfg: &NocConfig, app: CompiledApp) -> Self {
         let net = Network::new(cfg.sim_config(), app.flows.clone());
         SmartNoc { app, net }
     }
@@ -88,7 +97,13 @@ impl MeshNoc {
     /// Bring up the baseline (every router stops; ST and LT separate).
     #[must_use]
     pub fn new(cfg: &NocConfig, routes: &[(FlowId, SourceRoute)]) -> Self {
-        let flows = FlowTable::mesh_baseline(cfg.mesh, routes);
+        MeshNoc::from_table(cfg, FlowTable::mesh_baseline(cfg.mesh, routes))
+    }
+
+    /// Bring up the baseline from an already-built flow table (the
+    /// cached-artifact fast path mirroring [`SmartNoc::from_compiled`]).
+    #[must_use]
+    pub fn from_table(cfg: &NocConfig, flows: FlowTable) -> Self {
         MeshNoc {
             net: Network::new(cfg.sim_config(), flows),
         }

@@ -1,0 +1,286 @@
+//! Compiled-design artifacts behind one reusable handle.
+//!
+//! Every [`Experiment`] run pays three construction costs before the
+//! first simulated cycle: the workload is **materialized** (NMAP
+//! placement + contention-aware routing), the baseline [`FlowTable`]
+//! (and its dense `LegLut`) is built, and — for SMART designs — the
+//! preset compiler runs to fixpoint. All three are pure functions of
+//! `(config, design, workload)`, so a [`CompiledDesign`] freezes them
+//! once and [`Experiment::run_compiled`] replays them for free: the
+//! `smart-server` cache keys handles by [`config_key`] and serves
+//! repeat requests without recompiling anything, bit-identical to a
+//! cold run.
+
+use crate::experiment::Experiment;
+use crate::workload::{RoutedWorkload, Workload};
+use smart_core::compile::{compile, CompiledApp};
+use smart_core::config::NocConfig;
+use smart_core::noc::{Design, DesignKind, MeshNoc, SmartNoc};
+use smart_core::{DedicatedFlow, DedicatedNoc};
+use smart_sim::FlowTable;
+
+/// The per-design compiled artifact a [`CompiledDesign`] carries on top
+/// of the routed workload and baseline flow table.
+#[derive(Debug, Clone)]
+enum DesignArtifact {
+    /// The baseline mesh needs only the flow table.
+    Mesh,
+    /// SMART: the preset compiler's output (stops, presets, flow plans).
+    Smart(CompiledApp),
+    /// Dedicated: the endpoint wiring list.
+    Dedicated(Vec<DedicatedFlow>),
+}
+
+/// Everything [`Experiment`] constructs before simulating, frozen for
+/// reuse: the routed workload, the baseline flow table, and the
+/// design-specific compiled artifact. Instantiating a network from a
+/// handle is bit-identical to building it from scratch — the cache
+/// trades memory for compilation, never accuracy.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    cfg: NocConfig,
+    kind: DesignKind,
+    routed: RoutedWorkload,
+    table: FlowTable,
+    artifact: DesignArtifact,
+}
+
+impl CompiledDesign {
+    /// Materialize `workload` onto `cfg`'s mesh and compile it for
+    /// `kind` — the full cold-start cost, paid once.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Workload::materialize`].
+    #[must_use]
+    pub fn compile(cfg: &NocConfig, kind: DesignKind, workload: &Workload) -> Self {
+        CompiledDesign::from_routed(cfg, kind, workload.materialize(cfg))
+    }
+
+    /// Compile an already-routed workload for `kind` (lets callers that
+    /// share one routed form across designs skip re-materialization).
+    #[must_use]
+    pub fn from_routed(cfg: &NocConfig, kind: DesignKind, routed: RoutedWorkload) -> Self {
+        let table = FlowTable::mesh_baseline(cfg.mesh, &routed.routes);
+        let artifact = match kind {
+            DesignKind::Mesh => DesignArtifact::Mesh,
+            DesignKind::Smart => {
+                DesignArtifact::Smart(compile(cfg.mesh, cfg.hpc_max, &routed.routes))
+            }
+            DesignKind::Dedicated => DesignArtifact::Dedicated(
+                routed
+                    .routes
+                    .iter()
+                    .map(|(f, r)| DedicatedFlow {
+                        flow: *f,
+                        src: r.source(),
+                        dst: r.destination(cfg.mesh),
+                    })
+                    .collect(),
+            ),
+        };
+        CompiledDesign {
+            cfg: cfg.clone(),
+            kind,
+            routed,
+            table,
+            artifact,
+        }
+    }
+
+    /// Bring up a fresh network from the cached artifacts — no routing,
+    /// no preset compilation, no flow-table construction. The result is
+    /// indistinguishable from [`Design::build`] on the same inputs.
+    #[must_use]
+    pub fn instantiate(&self) -> Design {
+        match &self.artifact {
+            DesignArtifact::Mesh => {
+                Design::Mesh(MeshNoc::from_table(&self.cfg, self.table.clone()))
+            }
+            DesignArtifact::Smart(app) => {
+                Design::Smart(SmartNoc::from_compiled(&self.cfg, app.clone()))
+            }
+            DesignArtifact::Dedicated(flows) => {
+                Design::Dedicated(DedicatedNoc::new(&self.cfg, flows))
+            }
+        }
+    }
+
+    /// The design point this handle was compiled at.
+    #[must_use]
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Which design the artifact serves.
+    #[must_use]
+    pub fn kind(&self) -> DesignKind {
+        self.kind
+    }
+
+    /// The routed workload (rates, routes, temporal model).
+    #[must_use]
+    pub fn routed(&self) -> &RoutedWorkload {
+        &self.routed
+    }
+
+    /// The baseline flow table traffic sources resolve endpoints
+    /// against.
+    #[must_use]
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// The compiled SMART application, for designs that have one.
+    #[must_use]
+    pub fn compiled_app(&self) -> Option<&CompiledApp> {
+        match &self.artifact {
+            DesignArtifact::Smart(app) => Some(app),
+            _ => None,
+        }
+    }
+}
+
+impl Experiment {
+    /// Freeze this experiment's construction work (materialization,
+    /// flow table, preset compilation) into a reusable handle —
+    /// [`Experiment::run_compiled`] then replays runs without paying it
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Workload::materialize`].
+    #[must_use]
+    pub fn compile_design(&self) -> CompiledDesign {
+        CompiledDesign::compile(self.config(), self.design_kind(), self.workload_ref())
+    }
+}
+
+/// FNV-1a over `bytes` — a small, dependency-free, endian-stable hash.
+/// Collision resistance is not a goal (cache keys index a same-process
+/// `HashMap`); stability under equal input is.
+#[must_use]
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical encoding [`config_key`] hashes: every [`NocConfig`]
+/// field (via the derived `Debug`, which prints them all, floats in
+/// shortest-round-trip form), the design kind, and the full workload
+/// spec. Two inputs encode equal iff every field is equal.
+#[must_use]
+pub fn config_encoding(cfg: &NocConfig, kind: DesignKind, workload: &Workload) -> String {
+    format!("{cfg:?}|{kind:?}|{workload:?}")
+}
+
+/// The stable cache key of one `(config, design, workload)` triple —
+/// the `smart-server` compiled-artifact cache's index. Equal triples
+/// key equal; perturbing any config field, the design, or the workload
+/// changes the encoding and (modulo FNV collisions) the key.
+#[must_use]
+pub fn config_key(cfg: &NocConfig, kind: DesignKind, workload: &Workload) -> u64 {
+    stable_hash64(config_encoding(cfg, kind, workload).as_bytes())
+}
+
+/// The design-independent part of [`config_key`]: keys the routed form
+/// of a workload on a design point, letting caches share one
+/// materialization across the design axis (exactly what
+/// [`crate::ExperimentMatrix`] does serially).
+#[must_use]
+pub fn workload_key(cfg: &NocConfig, workload: &Workload) -> u64 {
+    stable_hash64(format!("{cfg:?}|{workload:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentReport, RunPlan};
+
+    #[test]
+    fn compiled_run_matches_cold_run_bit_exactly() {
+        let cfg = NocConfig::paper_4x4();
+        for kind in DesignKind::ALL {
+            for workload in [
+                Workload::fig7(),
+                Workload::app("VOPD"),
+                Workload::uniform(6, 0.02, 9),
+            ] {
+                let exp = Experiment::new(cfg.clone())
+                    .design(kind)
+                    .workload(workload.clone())
+                    .plan(RunPlan::smoke());
+                let cold = exp.run();
+                let handle = exp.compile_design();
+                let warm = exp.run_compiled(&handle);
+                let again = exp.run_compiled(&handle);
+                assert_eq!(cold.snapshot_line(), warm.snapshot_line(), "{kind:?}");
+                assert_eq!(cold.flow_latencies, warm.flow_latencies, "{kind:?}");
+                assert_eq!(warm.snapshot_line(), again.snapshot_line(), "reusable");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_smart_exposes_the_app() {
+        let cfg = NocConfig::paper_4x4();
+        let smart = CompiledDesign::compile(&cfg, DesignKind::Smart, &Workload::fig7());
+        assert!(smart.compiled_app().is_some());
+        assert_eq!(smart.kind(), DesignKind::Smart);
+        assert_eq!(smart.routed().name, "fig7");
+        let mesh = CompiledDesign::compile(&cfg, DesignKind::Mesh, &Workload::fig7());
+        assert!(mesh.compiled_app().is_none());
+    }
+
+    #[test]
+    fn equal_triples_key_equal() {
+        let cfg = NocConfig::paper_4x4();
+        let w = Workload::uniform(8, 0.02, 42);
+        assert_eq!(
+            config_key(&cfg, DesignKind::Smart, &w),
+            config_key(
+                &NocConfig::paper_4x4(),
+                DesignKind::Smart,
+                &Workload::uniform(8, 0.02, 42)
+            ),
+        );
+    }
+
+    #[test]
+    fn perturbations_change_the_key() {
+        let cfg = NocConfig::paper_4x4();
+        let w = Workload::uniform(8, 0.02, 42);
+        let base = config_key(&cfg, DesignKind::Smart, &w);
+        let mut hpc = cfg.clone();
+        hpc.hpc_max = 4;
+        assert_ne!(base, config_key(&hpc, DesignKind::Smart, &w));
+        assert_ne!(base, config_key(&cfg, DesignKind::Mesh, &w));
+        assert_ne!(
+            base,
+            config_key(&cfg, DesignKind::Smart, &Workload::uniform(8, 0.02, 43))
+        );
+        assert_ne!(
+            base,
+            config_key(&NocConfig::scaled(8), DesignKind::Smart, &w)
+        );
+    }
+
+    #[test]
+    fn report_fields_survive_the_compiled_path() {
+        // Not just the snapshot line: compile metrics and power agree too.
+        let cfg = NocConfig::paper_4x4();
+        let exp = Experiment::new(cfg)
+            .workload(Workload::app("PIP"))
+            .plan(RunPlan::smoke())
+            .measure_power();
+        let cold = exp.run();
+        let warm = exp.run_compiled(&exp.compile_design());
+        let stops = |r: &ExperimentReport| r.compile.as_ref().map(|c| c.stops.clone());
+        assert_eq!(stops(&cold), stops(&warm));
+        assert_eq!(cold.power, warm.power);
+    }
+}

@@ -9,7 +9,9 @@ use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
 use smart_sim::{BernoulliTraffic, FlowId, FlowTable, Mesh, NodeId, ScriptedTraffic};
-use smart_traffic::{ModulatedTraffic, TemporalModel, TraceFile, TraceRecorder, TraceTraffic};
+use smart_traffic::{
+    ModulatedTraffic, PhaseOutcome, TemporalModel, TraceFile, TraceRecorder, TraceTraffic,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -335,6 +337,21 @@ impl ExperimentReport {
         }
     }
 
+    /// This report as a design-agnostic [`PhaseOutcome`] snapshot — the
+    /// input shape of [`smart_traffic::TraceDiffReport`], so one
+    /// recorded trace replayed on two designs can be diffed
+    /// structurally (delivered-packet and per-flow latency deltas).
+    #[must_use]
+    pub fn to_phase_outcome(&self) -> PhaseOutcome {
+        PhaseOutcome {
+            label: self.design.label().to_owned(),
+            packets_delivered: self.packets_delivered,
+            flits_delivered: self.flits_delivered,
+            avg_network_latency: self.avg_network_latency,
+            flow_latencies: self.flow_latencies.clone(),
+        }
+    }
+
     /// Average head-flit latency of one flow, if it delivered packets.
     #[must_use]
     pub fn flow_latency(&self, flow: FlowId) -> Option<f64> {
@@ -480,6 +497,18 @@ impl Experiment {
         &self.cfg
     }
 
+    /// Which design this experiment builds.
+    #[must_use]
+    pub fn design_kind(&self) -> DesignKind {
+        self.design
+    }
+
+    /// The workload this experiment offers.
+    #[must_use]
+    pub fn workload_ref(&self) -> &Workload {
+        &self.workload
+    }
+
     /// Map, build, drive and measure.
     ///
     /// # Panics
@@ -498,7 +527,37 @@ impl Experiment {
     pub fn run_routed(&self, routed: &RoutedWorkload) -> ExperimentReport {
         let table = FlowTable::mesh_baseline(self.cfg.mesh, &routed.routes);
         let mut traffic = self.drive.build(&self.traffic_ctx(routed, &table));
-        self.execute(routed, traffic.as_mut())
+        let mut design = Design::build(self.design, &self.cfg, &routed.routes);
+        self.execute(&mut design, routed, traffic.as_mut())
+    }
+
+    /// Run against a pre-compiled design handle, skipping workload
+    /// materialization, flow-table construction and preset compilation
+    /// entirely — bit-identical to [`Experiment::run_routed`] on the
+    /// same inputs (the `smart-server` cache's fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was compiled for a different design kind or
+    /// mesh than this experiment's.
+    #[must_use]
+    pub fn run_compiled(&self, compiled: &crate::compiled::CompiledDesign) -> ExperimentReport {
+        assert_eq!(
+            compiled.kind(),
+            self.design,
+            "compiled handle serves a different design"
+        );
+        assert_eq!(
+            compiled.config().mesh,
+            self.cfg.mesh,
+            "compiled handle serves a different mesh"
+        );
+        let routed = compiled.routed();
+        let mut traffic = self
+            .drive
+            .build(&self.traffic_ctx(routed, compiled.flow_table()));
+        let mut design = compiled.instantiate();
+        self.execute(&mut design, routed, traffic.as_mut())
     }
 
     /// Run like [`Experiment::run`], additionally recording every
@@ -515,7 +574,8 @@ impl Experiment {
         let table = FlowTable::mesh_baseline(self.cfg.mesh, &routed.routes);
         let inner = self.drive.build(&self.traffic_ctx(&routed, &table));
         let mut recorder = TraceRecorder::new(inner, self.cfg.flits_per_packet());
-        let report = self.execute(&routed, &mut recorder);
+        let mut design = Design::build(self.design, &self.cfg, &routed.routes);
+        let report = self.execute(&mut design, &routed, &mut recorder);
         (report, recorder.into_trace())
     }
 
@@ -535,22 +595,24 @@ impl Experiment {
         }
     }
 
-    /// Build the design, drive it with `traffic` through the plan, and
-    /// assemble the report — the shared tail of every run flavor.
+    /// Drive an already-built design with `traffic` through the plan
+    /// and assemble the report — the shared tail of every run flavor
+    /// (cold [`Design::build`] and cached
+    /// [`crate::compiled::CompiledDesign::instantiate`] alike).
     fn execute(
         &self,
+        design: &mut Design,
         routed: &RoutedWorkload,
         traffic: &mut dyn TrafficSource,
     ) -> ExperimentReport {
         let cfg = &self.cfg;
-        let mut design = Design::build(self.design, cfg, &routed.routes);
         design.set_stats_from(self.plan.warmup);
         design.run_with(traffic, self.plan.warmup);
         design.reset_counters();
         design.run_with(traffic, self.plan.measure);
         let drained = design.drain(self.plan.drain);
 
-        let compile = match &design {
+        let compile = match &*design {
             Design::Smart(smart) => Some(CompileMetrics::from_compiled(
                 smart.compiled(),
                 routed,

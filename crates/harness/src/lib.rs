@@ -48,15 +48,19 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod experiment;
 pub mod matrix;
+pub mod runner;
 pub mod schedule;
 pub mod workload;
 
+pub use compiled::{config_encoding, config_key, stable_hash64, workload_key, CompiledDesign};
 pub use experiment::{
     CompileMetrics, Drive, Experiment, ExperimentReport, RunPlan, TrafficContext, TrafficFactory,
 };
 pub use matrix::{ExperimentMatrix, MatrixOutcome};
+pub use runner::{run_cells, run_cells_observed};
 pub use schedule::{
     AppPhase, AppSchedule, MultiAppExperiment, PhaseTransition, ScheduleDesign, ScheduleError,
     ScheduleMatrix, ScheduleOutcome, ScheduleReport,
@@ -66,5 +70,6 @@ pub use workload::{RoutedWorkload, Workload};
 // The traffic subsystem the drives are built from, re-exported so
 // downstream users (bench, examples) need no extra dependency.
 pub use smart_traffic::{
-    ModulatedTraffic, SpatialPattern, TemporalModel, TraceFile, TraceRecorder, TraceTraffic,
+    FlowDelta, ModulatedTraffic, PhaseOutcome, SpatialPattern, TemporalModel, TraceDiffReport,
+    TraceFile, TraceRecorder, TraceTraffic,
 };

@@ -1,57 +1,11 @@
-//! Fan-out over designs × workloads with a scoped-thread runner.
+//! Fan-out over designs × workloads on the shared scoped-thread
+//! [`crate::runner`].
 
 use crate::experiment::{Experiment, ExperimentReport, RunPlan};
+use crate::runner::run_cells;
 use crate::workload::{RoutedWorkload, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Run cells `0..n` on up to `threads` scoped worker threads, returning
-/// results in index order plus the number of workers that executed at
-/// least one cell. With one worker the cells run serially on the
-/// caller's thread. Each cell must be a pure function of its index, so
-/// a parallel run is bit-identical to a serial one — the determinism
-/// guarantee shared by [`ExperimentMatrix`] and the schedule matrix.
-pub(crate) fn run_cells<T, F>(n: usize, threads: usize, cell: F) -> (Vec<T>, usize)
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = threads.min(n).max(1);
-    if workers == 1 {
-        return ((0..n).map(cell).collect(), 1);
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let participants = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut ran_one = false;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = cell(i);
-                    slots.lock().expect("no poisoned slot")[i] = Some(result);
-                    ran_one = true;
-                }
-                if ran_one {
-                    participants.fetch_add(1, Ordering::Relaxed);
-                }
-            });
-        }
-    });
-    let results = slots
-        .into_inner()
-        .expect("no poisoned slot")
-        .into_iter()
-        .map(|r| r.expect("every cell ran"))
-        .collect();
-    (results, participants.load(Ordering::Relaxed))
-}
 
 /// A design × workload matrix: every cell is one [`Experiment`], cells
 /// run in parallel on scoped threads, and reports come back in

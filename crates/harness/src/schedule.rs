@@ -20,7 +20,7 @@
 use crate::experiment::{
     CompileMetrics, Drive, Experiment, ExperimentReport, RawMeasurements, RunPlan, TrafficContext,
 };
-use crate::matrix::run_cells;
+use crate::runner::run_cells;
 use crate::workload::{RoutedWorkload, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::{DesignKind, SmartNoc};

@@ -1,0 +1,46 @@
+//! The experiment daemon: accept JSONL requests over TCP and stream
+//! results until a `shutdown` request arrives.
+//!
+//! ```text
+//! cargo run --release -p smart-server --bin smart_server -- \
+//!     [--addr 127.0.0.1:7433] [--threads N] [--cache N]
+//! ```
+//!
+//! `--addr` is the listen address (port 0 picks an ephemeral port,
+//! printed on stdout); `--threads` sizes the per-request worker pool
+//! (default: all cores); `--cache` bounds the compiled-design cache
+//! (default 64). Protocol reference: the `smart_server::protocol`
+//! module docs and the README's "Experiment service" section.
+
+use smart_server::{Server, ServiceConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let addr = flag("--addr").unwrap_or_else(|| "127.0.0.1:7433".to_owned());
+    let mut cfg = ServiceConfig::default();
+    if let Some(threads) = flag("--threads") {
+        cfg.threads = threads
+            .parse()
+            .unwrap_or_else(|e| panic!("--threads {threads}: {e}"));
+    }
+    if let Some(cache) = flag("--cache") {
+        cfg.cache_capacity = cache
+            .parse()
+            .unwrap_or_else(|e| panic!("--cache {cache}: {e}"));
+    }
+
+    let server = Server::bind(&addr, cfg).unwrap_or_else(|e| panic!("bind {addr}: {e}"));
+    let bound = server.local_addr().expect("bound socket has an address");
+    println!(
+        "smart_server listening on {bound} ({} worker threads, cache {})",
+        cfg.threads, cfg.cache_capacity
+    );
+    server.run().expect("accept loop");
+    println!("smart_server: shutdown request honored, exiting");
+}

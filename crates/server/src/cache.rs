@@ -1,0 +1,190 @@
+//! The compiled-artifact cache: [`CompiledDesign`] handles keyed by the
+//! stable [`config_key`] hash, plus routed workloads keyed by
+//! [`workload_key`] so the design axis of one request shares a single
+//! materialization (the same trick `ExperimentMatrix` plays serially).
+//!
+//! Compilation happens **outside** the lock — concurrent requests for
+//! different keys compile in parallel; concurrent requests for the same
+//! key may compile twice, and the second insert wins harmlessly because
+//! compilation is a pure function of the key. Eviction is FIFO by first
+//! insertion, bounded by `capacity`.
+
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_harness::{config_key, workload_key, CompiledDesign, RoutedWorkload, Workload};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Keyed store state behind one lock.
+struct CacheState {
+    /// Routed workloads by [`workload_key`].
+    routed: HashMap<u64, Arc<RoutedWorkload>>,
+    /// Compiled designs by [`config_key`].
+    designs: HashMap<u64, Arc<CompiledDesign>>,
+    /// Design keys in first-insertion order (FIFO eviction queue).
+    order: VecDeque<u64>,
+}
+
+/// A bounded, thread-safe cache of compiled design handles.
+pub struct DesignCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DesignCache {
+    /// An empty cache holding at most `capacity` compiled designs
+    /// (routed workloads ride along uncapped — they are shared by the
+    /// cached designs and small in comparison).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        DesignCache {
+            state: Mutex::new(CacheState {
+                routed: HashMap::new(),
+                designs: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The compiled handle for `(cfg, kind, workload)`, compiling on a
+    /// miss. The boolean is `true` on a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as `Workload::materialize`
+    /// (unknown application name, pattern on an incompatible mesh) —
+    /// callers validate specs first or wrap in `catch_unwind`.
+    pub fn design(
+        &self,
+        cfg: &NocConfig,
+        kind: DesignKind,
+        workload: &Workload,
+    ) -> (Arc<CompiledDesign>, bool) {
+        let key = config_key(cfg, kind, workload);
+        if let Some(found) = self
+            .state
+            .lock()
+            .expect("unpoisoned cache")
+            .designs
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(found), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside the lock; share the routed form across kinds.
+        let routed = self.routed(cfg, workload);
+        let compiled = Arc::new(CompiledDesign::from_routed(cfg, kind, (*routed).clone()));
+        let mut state = self.state.lock().expect("unpoisoned cache");
+        let state = &mut *state;
+        if let std::collections::hash_map::Entry::Vacant(slot) = state.designs.entry(key) {
+            slot.insert(Arc::clone(&compiled));
+            state.order.push_back(key);
+            while state.designs.len() > self.capacity {
+                if let Some(evicted) = state.order.pop_front() {
+                    state.designs.remove(&evicted);
+                }
+            }
+        }
+        (compiled, false)
+    }
+
+    /// The routed (placed + routed) form of `workload` on `cfg`,
+    /// materializing on a miss. Shared across the design axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as `Workload::materialize`.
+    pub fn routed(&self, cfg: &NocConfig, workload: &Workload) -> Arc<RoutedWorkload> {
+        let key = workload_key(cfg, workload);
+        if let Some(found) = self
+            .state
+            .lock()
+            .expect("unpoisoned cache")
+            .routed
+            .get(&key)
+        {
+            return Arc::clone(found);
+        }
+        let routed = Arc::new(workload.materialize(cfg));
+        let mut state = self.state.lock().expect("unpoisoned cache");
+        Arc::clone(state.routed.entry(key).or_insert(routed))
+    }
+
+    /// Compiled-design lookups that hit.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Compiled-design lookups that missed (and compiled).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Compiled designs currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("unpoisoned cache").designs.len()
+    }
+
+    /// `true` when no design is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_handle() {
+        let cache = DesignCache::new(8);
+        let cfg = NocConfig::paper_4x4();
+        let w = Workload::fig7();
+        let (first, hit1) = cache.design(&cfg, DesignKind::Smart, &w);
+        let (second, hit2) = cache.design(&cfg, DesignKind::Smart, &w);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn designs_share_one_routed_workload() {
+        let cache = DesignCache::new(8);
+        let cfg = NocConfig::paper_4x4();
+        let w = Workload::app("PIP");
+        cache.design(&cfg, DesignKind::Mesh, &w);
+        cache.design(&cfg, DesignKind::Smart, &w);
+        let routed = cache.routed(&cfg, &w);
+        assert_eq!(routed.name, "PIP");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = DesignCache::new(2);
+        let cfg = NocConfig::paper_4x4();
+        let w = Workload::fig7();
+        cache.design(&cfg, DesignKind::Mesh, &w);
+        cache.design(&cfg, DesignKind::Smart, &w);
+        cache.design(&cfg, DesignKind::Dedicated, &w);
+        assert_eq!(cache.len(), 2);
+        // Mesh (oldest) was evicted; re-requesting it misses.
+        let (_, hit) = cache.design(&cfg, DesignKind::Mesh, &w);
+        assert!(!hit);
+        // Dedicated is still resident.
+        let (_, hit) = cache.design(&cfg, DesignKind::Dedicated, &w);
+        assert!(hit);
+    }
+}

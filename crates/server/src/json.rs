@@ -1,0 +1,178 @@
+//! Flat-JSON field extraction and rendering, shared by the request and
+//! response codecs.
+//!
+//! The protocol's lines are flat objects whose keys are fixed
+//! identifiers and whose string values come from a restricted grammar
+//! (job ids, design labels, workload specs) — the same hand-rolled
+//! discipline as `smart-traffic/trace-v1`, so no JSON dependency is
+//! needed. Extractors return `None` on a missing or malformed field;
+//! they never panic on arbitrary input (property-tested in
+//! `tests/protocol_properties.rs`).
+
+/// Extract a `"key":"value"` string field from a flat JSON object line.
+#[must_use]
+pub fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    rest.split('"').next()
+}
+
+/// Extract a `"key":123` unsigned numeric field.
+#[must_use]
+pub fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extract a `"key":-123` signed numeric field.
+#[must_use]
+pub fn i64_field(line: &str, key: &str) -> Option<i64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let token: String = rest
+        .chars()
+        .enumerate()
+        .take_while(|(i, c)| c.is_ascii_digit() || (*i == 0 && *c == '-'))
+        .map(|(_, c)| c)
+        .collect();
+    token.parse().ok()
+}
+
+/// Extract a `"key":<float>` field. The value `null` parses as NaN —
+/// the codec writes non-finite floats as `null` (JSON has no NaN), and
+/// every NaN in the protocol means "nothing was measured".
+#[must_use]
+pub fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &line[line.find(&needle)? + needle.len()..];
+    let token = rest.split([',', '}']).next()?.trim();
+    if token == "null" {
+        return Some(f64::NAN);
+    }
+    // Reject tokens str::parse would take but JSON couldn't carry
+    // (inf/NaN spellings), so round-trips stay within the format.
+    if !token
+        .chars()
+        .all(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        return None;
+    }
+    token.parse().ok()
+}
+
+/// Render a float for a JSON line: shortest-round-trip `Display` for
+/// finite values (bit-exact when parsed back), `null` for the rest.
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escape a free-form string (an error message) for embedding in a
+/// line: quotes, backslashes and control characters become `\uXXXX`, so
+/// the escaped form contains no raw `"` and [`str_field`]'s
+/// split-at-quote extraction stays correct.
+#[must_use]
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, '"' | '\\') || (c as u32) < 0x20 {
+            out.push_str(&format!("\\u{:04x}", c as u32));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Invert [`escape_str`]: decode `\uXXXX` sequences, passing everything
+/// else (including malformed escapes) through unchanged.
+#[must_use]
+pub fn unescape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            let rest: String = chars.clone().take(5).collect();
+            if let Some(hex) = rest.strip_prefix('u') {
+                if hex.len() == 4 {
+                    if let Some(ch) = u32::from_str_radix(hex, 16).ok().and_then(char::from_u32) {
+                        out.push(ch);
+                        for _ in 0..5 {
+                            chars.next();
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_and_numeric_fields_extract() {
+        let line = "{\"id\":\"job-1\",\"cells\":12,\"delta\":-3,\"lat\":16.25}";
+        assert_eq!(str_field(line, "id"), Some("job-1"));
+        assert_eq!(u64_field(line, "cells"), Some(12));
+        assert_eq!(i64_field(line, "delta"), Some(-3));
+        assert_eq!(f64_field(line, "lat"), Some(16.25));
+        assert_eq!(str_field(line, "missing"), None);
+        assert_eq!(u64_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn null_floats_round_trip_as_nan() {
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        let line = format!("{{\"lat\":{}}}", fmt_f64(f64::NAN));
+        assert!(f64_field(&line, "lat").expect("present").is_nan());
+    }
+
+    #[test]
+    fn full_precision_floats_round_trip() {
+        for x in [0.1 + 0.2, 1.0 / 3.0, 1e-300, -42.5, 2.0f64.powi(60)] {
+            let line = format!("{{\"x\":{}}}", fmt_f64(x));
+            assert_eq!(f64_field(&line, "x"), Some(x), "{line}");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_messages() {
+        for s in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand tab\t",
+            "already-escaped \\u0022 stays",
+            "",
+        ] {
+            let escaped = escape_str(s);
+            assert!(!escaped.contains('"'), "{escaped}");
+            assert_eq!(unescape_str(&escaped), s);
+        }
+    }
+
+    #[test]
+    fn malformed_values_are_none_not_panics() {
+        for line in [
+            "{\"x\":}",
+            "{\"x\":abc}",
+            "{\"x\":\"str\"}",
+            "{\"x\":inf}",
+            "not json at all",
+            "",
+        ] {
+            assert_eq!(f64_field(line, "x"), None, "{line:?}");
+            assert_eq!(u64_field(line, "x"), None, "{line:?}");
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Design-space search over mapping × design × segmentation, scored
+//! with the Smapper objective
+//! `score = -(log10(energy) + log10(area) + log10(cycles))` — higher is
+//! better; each factor-of-ten saved in energy, silicon or latency adds
+//! one point.
+//!
+//! * **mapping axis** — which workload is placed ([`WorkloadSpec`]),
+//! * **design axis** — Mesh / SMART / Dedicated ([`DesignKind`]),
+//! * **segmentation axis** — `HPC_max`, the link segmentation the SMART
+//!   presets are compiled against.
+//!
+//! Energy and cycles come from a full simulation of each candidate
+//! (through the shared [`DesignCache`], so repeated points are free);
+//! area comes from the analytic wire/buffer model below. Two
+//! strategies: [`SearchStrategy::Exhaustive`] scores every point in
+//! parallel, [`SearchStrategy::Greedy`] hill-climbs from the first
+//! point, evaluating only visited neighborhoods.
+
+use crate::cache::DesignCache;
+use crate::protocol::{PlanSpec, SearchStrategy, WorkloadSpec};
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_harness::{run_cells_observed, CompiledDesign, Experiment, Workload};
+use std::collections::HashMap;
+
+/// Input buffer cell area, µm² per bit (45 nm SRAM-cell scale).
+const BUFFER_UM2_PER_BIT: f64 = 0.6;
+/// Crossbar area, µm² per crosspoint bit.
+const XBAR_UM2_PER_BIT: f64 = 0.3;
+/// Repeated-wire pitch, mm per track (140 nm double spacing).
+const WIRE_PITCH_MM: f64 = 0.000_14;
+/// Per-hop SMART crossbar overhead: the bypass path deepens the switch
+/// by one mux stage per additional hop of reach.
+const SMART_XBAR_PER_HOP: f64 = 0.04;
+
+/// The searched space: every axis plus the per-candidate run schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Mesh edge (`k × k`).
+    pub mesh: u16,
+    /// Design axis.
+    pub designs: Vec<DesignKind>,
+    /// Mapping axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Segmentation axis (`HPC_max` values).
+    pub hpc: Vec<u64>,
+    /// Run schedule shared by every candidate.
+    pub plan: PlanSpec,
+}
+
+impl SearchSpace {
+    /// Total points in the space.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workloads.len() * self.designs.len() * self.hpc.len()
+    }
+
+    /// `true` when any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattened index of `(workload wi, design di, hpc hi)` —
+    /// workload-major, design-middle, hpc-minor.
+    #[must_use]
+    pub fn index(&self, wi: usize, di: usize, hi: usize) -> usize {
+        (wi * self.designs.len() + di) * self.hpc.len() + hi
+    }
+
+    /// Invert [`SearchSpace::index`].
+    #[must_use]
+    pub fn coords(&self, index: usize) -> (usize, usize, usize) {
+        let hi = index % self.hpc.len();
+        let rest = index / self.hpc.len();
+        (rest / self.designs.len(), rest % self.designs.len(), hi)
+    }
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateScore {
+    /// Flattened index into the space.
+    pub index: usize,
+    /// Design of the candidate.
+    pub design: DesignKind,
+    /// Workload spec string of the candidate.
+    pub workload: String,
+    /// `HPC_max` of the candidate.
+    pub hpc: u64,
+    /// Simulated energy over the run, picojoules.
+    pub energy_pj: f64,
+    /// Analytic area, mm².
+    pub area_mm2: f64,
+    /// Average packet latency, cycles.
+    pub cycles: f64,
+    /// The Smapper score (`-inf` when nothing was measured).
+    pub score: f64,
+}
+
+/// A finished search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Points in the space.
+    pub space: usize,
+    /// The strategy that ran.
+    pub strategy: SearchStrategy,
+    /// Evaluated candidates, in index order.
+    pub candidates: Vec<CandidateScore>,
+    /// Flattened index of the winner.
+    pub winner_index: usize,
+    /// The winning score.
+    pub winner_score: f64,
+}
+
+impl SearchOutcome {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    ///
+    /// Never — an outcome always holds its winner.
+    #[must_use]
+    pub fn winner(&self) -> &CandidateScore {
+        self.candidates
+            .iter()
+            .find(|c| c.index == self.winner_index)
+            .expect("winner is always an evaluated candidate")
+    }
+
+    /// Stable full-precision text rendering (the search golden's
+    /// format): one `candidate` line per evaluated point in index
+    /// order, then one `winner` line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.candidates {
+            out.push_str(&format!(
+                "candidate index={} design={} workload={} hpc={} energy_pj={} area_mm2={} \
+                 cycles={} score={}\n",
+                c.index,
+                c.design.label(),
+                c.workload,
+                c.hpc,
+                c.energy_pj,
+                c.area_mm2,
+                c.cycles,
+                c.score
+            ));
+        }
+        let w = self.winner();
+        out.push_str(&format!(
+            "winner index={} design={} workload={} hpc={} score={} evaluated={} space={}\n",
+            w.index,
+            w.design.label(),
+            w.workload,
+            w.hpc,
+            w.score,
+            self.candidates.len(),
+            self.space
+        ));
+        out
+    }
+}
+
+/// Run a search, streaming each scored candidate through `emit` as it
+/// finishes (exhaustive searches evaluate in parallel, so emission
+/// order is nondeterministic; the returned outcome is always in index
+/// order).
+///
+/// # Errors
+///
+/// Returns a description when the space is empty or a workload spec
+/// does not resolve.
+///
+/// # Panics
+///
+/// Panics under the same conditions as `Workload::materialize` (e.g. a
+/// synthetic pattern on an incompatible mesh) — the server wraps
+/// handlers in `catch_unwind`.
+pub fn run(
+    space: &SearchSpace,
+    strategy: SearchStrategy,
+    threads: usize,
+    cache: &DesignCache,
+    emit: &(dyn Fn(&CandidateScore) + Sync),
+) -> Result<SearchOutcome, String> {
+    if space.is_empty() {
+        return Err("empty search space".to_owned());
+    }
+    // Resolve every workload up front so bad specs fail before any
+    // simulation starts.
+    let workloads: Vec<Workload> = space
+        .workloads
+        .iter()
+        .map(WorkloadSpec::to_workload)
+        .collect::<Result<_, _>>()?;
+    let evaluate = |index: usize| -> CandidateScore {
+        let (wi, di, hi) = space.coords(index);
+        score_candidate(space, index, workloads[wi].clone(), di, hi, cache)
+    };
+    let candidates = match strategy {
+        SearchStrategy::Exhaustive => {
+            let (scored, _) = run_cells_observed(space.len(), threads, None, evaluate, |_, c| {
+                emit(c);
+            });
+            scored
+                .into_iter()
+                .map(|c| c.expect("no cancel flag, so every point scored"))
+                .collect()
+        }
+        SearchStrategy::Greedy => greedy(space, &evaluate, emit),
+    };
+    Ok(finish(space, strategy, candidates))
+}
+
+/// Score one point: simulate (through the cache) for energy and
+/// latency, apply the analytic area model, combine.
+fn score_candidate(
+    space: &SearchSpace,
+    index: usize,
+    workload: Workload,
+    di: usize,
+    hi: usize,
+    cache: &DesignCache,
+) -> CandidateScore {
+    let design = space.designs[di];
+    let hpc = space.hpc[hi];
+    let mut cfg = NocConfig::scaled(space.mesh);
+    cfg.hpc_max = hpc as usize;
+    let (handle, _) = cache.design(&cfg, design, &workload);
+    let report = Experiment::new(cfg.clone())
+        .design(design)
+        .workload(workload)
+        .plan(space.plan.to_plan())
+        .measure_power()
+        .run_compiled(&handle);
+    let seconds = report.total_cycles as f64 / (cfg.clock_ghz * 1e9);
+    let energy_pj = report
+        .power
+        .as_ref()
+        .map_or(f64::NAN, |p| p.total_w() * seconds * 1e12);
+    let area_mm2 = area_mm2(&cfg, design, &handle);
+    let cycles = report.avg_packet_latency;
+    let score = if report.measured_packets == 0 {
+        // A design that moved no traffic cannot win on cheapness.
+        f64::NEG_INFINITY
+    } else {
+        -(energy_pj.log10() + area_mm2.log10() + cycles.log10())
+    };
+    CandidateScore {
+        index,
+        design,
+        workload: space.workloads[space.coords(index).0].render(),
+        hpc,
+        energy_pj,
+        area_mm2,
+        cycles,
+        score,
+    }
+}
+
+/// Serial greedy hill-climb: start at point `(0, 0, 0)`, repeatedly
+/// move to the best strictly-improving ±1 axis neighbor, memoizing
+/// evaluations.
+fn greedy(
+    space: &SearchSpace,
+    evaluate: &dyn Fn(usize) -> CandidateScore,
+    emit: &(dyn Fn(&CandidateScore) + Sync),
+) -> Vec<CandidateScore> {
+    let mut seen: HashMap<usize, CandidateScore> = HashMap::new();
+    let score_at = |pos: (usize, usize, usize), seen: &mut HashMap<usize, CandidateScore>| {
+        let index = space.index(pos.0, pos.1, pos.2);
+        if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(index) {
+            let c = evaluate(index);
+            emit(&c);
+            slot.insert(c);
+        }
+        seen[&index].score
+    };
+    let mut here = (0usize, 0usize, 0usize);
+    let mut best = score_at(here, &mut seen);
+    loop {
+        let (wi, di, hi) = here;
+        let mut neighbors = Vec::with_capacity(6);
+        if wi > 0 {
+            neighbors.push((wi - 1, di, hi));
+        }
+        if wi + 1 < space.workloads.len() {
+            neighbors.push((wi + 1, di, hi));
+        }
+        if di > 0 {
+            neighbors.push((wi, di - 1, hi));
+        }
+        if di + 1 < space.designs.len() {
+            neighbors.push((wi, di + 1, hi));
+        }
+        if hi > 0 {
+            neighbors.push((wi, di, hi - 1));
+        }
+        if hi + 1 < space.hpc.len() {
+            neighbors.push((wi, di, hi + 1));
+        }
+        let step = neighbors
+            .into_iter()
+            .map(|pos| (score_at(pos, &mut seen), pos))
+            .filter(|(s, _)| *s > best)
+            .max_by(|(a, _), (b, _)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        match step {
+            Some((score, pos)) => {
+                here = pos;
+                best = score;
+            }
+            None => break,
+        }
+    }
+    let mut candidates: Vec<CandidateScore> = seen.into_values().collect();
+    candidates.sort_by_key(|c| c.index);
+    candidates
+}
+
+/// Pick the winner (highest score, ties to the lowest index) and
+/// assemble the outcome.
+fn finish(
+    space: &SearchSpace,
+    strategy: SearchStrategy,
+    candidates: Vec<CandidateScore>,
+) -> SearchOutcome {
+    let winner = candidates
+        .iter()
+        .max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // Ties (and NaN) resolve toward the lower index.
+                .then(b.index.cmp(&a.index))
+        })
+        .expect("non-empty space yields candidates");
+    SearchOutcome {
+        space: space.len(),
+        strategy,
+        winner_index: winner.index,
+        winner_score: winner.score,
+        candidates: candidates.clone(),
+    }
+}
+
+/// Analytic silicon area of one design point, mm² — buffers and
+/// crossbars at 45 nm cell densities plus repeated link wires at the
+/// double-spaced pitch.
+#[must_use]
+pub fn area_mm2(cfg: &NocConfig, design: DesignKind, handle: &CompiledDesign) -> f64 {
+    let n = cfg.mesh.len() as f64;
+    let w = f64::from(cfg.mesh.width());
+    let h = f64::from(cfg.mesh.height());
+    let flit_bits = f64::from(cfg.flit_bits);
+    let ports = f64::from(cfg.router_ports);
+    let buffer_um2 =
+        ports * cfg.vcs_per_port as f64 * cfg.vc_depth as f64 * flit_bits * BUFFER_UM2_PER_BIT;
+    let xbar_um2 = ports * ports * flit_bits * XBAR_UM2_PER_BIT;
+    // Directed inter-router channels of a w × h mesh.
+    let links = 2.0 * (w * (h - 1.0) + h * (w - 1.0));
+    let link_mm2 =
+        links * cfg.hop_mm * f64::from(cfg.channel_bits + cfg.credit_bits) * WIRE_PITCH_MM;
+    match design {
+        DesignKind::Mesh => n * (buffer_um2 + xbar_um2) * 1e-6 + link_mm2,
+        DesignKind::Smart => {
+            // The bypass path deepens the crossbar per hop of reach, and
+            // every channel carries SSR request wires sized to address
+            // HPC_max hops ahead.
+            let smart_xbar = xbar_um2 * (1.0 + SMART_XBAR_PER_HOP * cfg.hpc_max as f64);
+            let ssr_bits = (usize::BITS - cfg.hpc_max.leading_zeros()) as f64;
+            let ssr_mm2 = links * cfg.hop_mm * ssr_bits * WIRE_PITCH_MM;
+            n * (buffer_um2 + smart_xbar) * 1e-6 + link_mm2 + ssr_mm2
+        }
+        DesignKind::Dedicated => {
+            // Point-to-point wiring pays per flow: a full-width channel
+            // along the whole route plus a FIFO at each endpoint. More
+            // flows, more silicon — the yardstick is not free.
+            let routes = &handle.routed().routes;
+            let wire_mm2: f64 = routes
+                .iter()
+                .map(|(_, r)| {
+                    r.num_hops() as f64 * cfg.hop_mm * f64::from(cfg.channel_bits) * WIRE_PITCH_MM
+                })
+                .sum();
+            let fifo_um2 =
+                2.0 * cfg.vc_depth as f64 * flit_bits * BUFFER_UM2_PER_BIT * routes.len() as f64;
+            wire_mm2 + fifo_um2 * 1e-6
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smart_harness::RunPlan;
+
+    fn small_space() -> SearchSpace {
+        SearchSpace {
+            mesh: 4,
+            designs: vec![DesignKind::Mesh, DesignKind::Smart],
+            workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("PIP".into())],
+            hpc: vec![1, 8],
+            plan: PlanSpec::from(RunPlan::smoke()),
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let space = small_space();
+        for i in 0..space.len() {
+            let (wi, di, hi) = space.coords(i);
+            assert_eq!(space.index(wi, di, hi), i);
+        }
+    }
+
+    #[test]
+    fn exhaustive_scores_every_point_deterministically() {
+        let space = small_space();
+        let cache = DesignCache::new(32);
+        let first =
+            run(&space, SearchStrategy::Exhaustive, 4, &cache, &|_| {}).expect("search runs");
+        let second =
+            run(&space, SearchStrategy::Exhaustive, 1, &cache, &|_| {}).expect("search runs");
+        assert_eq!(first.candidates.len(), space.len());
+        assert_eq!(first.render(), second.render(), "parallel == serial");
+        let w = first.winner();
+        assert!(w.score.is_finite());
+        assert!(w.energy_pj > 0.0 && w.area_mm2 > 0.0 && w.cycles > 0.0);
+    }
+
+    #[test]
+    fn greedy_evaluates_a_subset_and_agrees_on_local_quality() {
+        let space = small_space();
+        let cache = DesignCache::new(32);
+        let outcome = run(&space, SearchStrategy::Greedy, 1, &cache, &|_| {}).expect("search runs");
+        assert!(!outcome.candidates.is_empty());
+        assert!(outcome.candidates.len() <= space.len());
+        // The climb never returns a point worse than its start.
+        let start = outcome
+            .candidates
+            .iter()
+            .find(|c| c.index == 0)
+            .expect("start evaluated");
+        assert!(outcome.winner_score >= start.score);
+    }
+
+    #[test]
+    fn smart_area_grows_with_segmentation() {
+        let w = Workload::fig7();
+        let mut low = NocConfig::paper_4x4();
+        low.hpc_max = 1;
+        let mut high = NocConfig::paper_4x4();
+        high.hpc_max = 8;
+        let hl = CompiledDesign::compile(&low, DesignKind::Smart, &w);
+        let hh = CompiledDesign::compile(&high, DesignKind::Smart, &w);
+        assert!(area_mm2(&high, DesignKind::Smart, &hh) > area_mm2(&low, DesignKind::Smart, &hl));
+        // SMART always pays more silicon than the plain mesh it extends.
+        let mesh = CompiledDesign::compile(&low, DesignKind::Mesh, &w);
+        assert!(area_mm2(&low, DesignKind::Smart, &hl) > area_mm2(&low, DesignKind::Mesh, &mesh));
+    }
+
+    #[test]
+    fn empty_space_is_an_error() {
+        let mut space = small_space();
+        space.hpc.clear();
+        let cache = DesignCache::new(4);
+        assert!(run(&space, SearchStrategy::Exhaustive, 1, &cache, &|_| {}).is_err());
+    }
+}

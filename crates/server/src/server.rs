@@ -1,0 +1,279 @@
+//! The TCP front end: a hand-rolled JSONL-over-TCP accept loop on
+//! `std::net` (one thread per connection, no async runtime), plus the
+//! matching blocking [`Client`].
+//!
+//! Wire discipline per connection: the client writes request documents
+//! (header line + declared body lines); the server streams response
+//! event lines, ending each request with exactly one terminal event.
+//! A malformed *body* poisons only its request (the declared line count
+//! was still consumed, so the stream stays in sync); a malformed
+//! *header* closes the connection, because nothing downstream can be
+//! trusted to align with line boundaries.
+
+use crate::protocol::{ProtocolError, Request, RequestHeader, ResponseEvent};
+use crate::service::{EventSink, Service, ServiceConfig};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A bound (not yet running) experiment server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop (by submitting a `shutdown` request over
+    /// a fresh connection) and wait for the accept loop to exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors and the accept loop's exit status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept-loop thread itself panicked.
+    pub fn shutdown(self) -> io::Result<()> {
+        let mut client = Client::connect(self.addr)?;
+        client.submit(&Request::Shutdown {
+            id: "shutdown".to_owned(),
+        })?;
+        self.join.join().expect("accept loop does not panic")
+    }
+}
+
+/// Writes each event as one line, flushed immediately so clients see
+/// results stream in as cells finish.
+struct LineSink {
+    writer: Mutex<BufWriter<TcpStream>>,
+}
+
+impl EventSink for LineSink {
+    fn emit(&self, event: &ResponseEvent) {
+        let mut w = self.writer.lock().expect("unpoisoned writer");
+        // A client that hung up mid-stream is not an error worth
+        // crashing the connection thread over; drop the event.
+        let _ = writeln!(w, "{}", event.to_line());
+        let _ = w.flush();
+    }
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(Service::new(cfg)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Run the accept loop on the calling thread until a `shutdown`
+    /// request arrives. Each connection gets its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn run(self) -> io::Result<()> {
+        let own_addr = self.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = stream?;
+            // Line-at-a-time streaming: Nagle + delayed ACK would add
+            // ~40 ms to every request after the first on a connection.
+            let _ = stream.set_nodelay(true);
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&self.stop);
+            std::thread::spawn(move || {
+                if serve_connection(&stream, &service) {
+                    stop.store(true, Ordering::Relaxed);
+                    // Unblock the accept loop so it observes the flag.
+                    drop(TcpStream::connect(own_addr));
+                }
+            });
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, join })
+    }
+}
+
+/// Serve one connection to completion. Returns `true` when a shutdown
+/// request was handled.
+fn serve_connection(stream: &TcpStream, service: &Service) -> bool {
+    let Ok(read_half) = stream.try_clone() else {
+        return false;
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return false;
+    };
+    let mut reader = BufReader::new(read_half);
+    let sink = LineSink {
+        writer: Mutex::new(BufWriter::new(write_half)),
+    };
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let header = match RequestHeader::parse(line.trim_end()) {
+            Ok(h) => h,
+            Err(err) => {
+                // With no trusted line count the stream cannot resync.
+                emit_protocol_error(&sink, "-", &err);
+                return false;
+            }
+        };
+        let mut body = Vec::with_capacity(header.lines);
+        for _ in 0..header.lines {
+            let mut body_line = String::new();
+            match reader.read_line(&mut body_line) {
+                Ok(0) | Err(_) => {
+                    emit_protocol_error(
+                        &sink,
+                        &header.id,
+                        &ProtocolError {
+                            line: 0,
+                            message: "connection closed mid-request".to_owned(),
+                        },
+                    );
+                    return false;
+                }
+                Ok(_) => body.push(body_line.trim_end().to_owned()),
+            }
+        }
+        let body_refs: Vec<&str> = body.iter().map(String::as_str).collect();
+        match Request::from_lines(&header, &body_refs) {
+            Ok(request) => {
+                // The declared body was consumed, so a handler panic
+                // (or error) poisons only this request.
+                match catch_unwind(AssertUnwindSafe(|| service.handle(&request, &sink))) {
+                    Ok(false) => {}
+                    Ok(true) => return true,
+                    Err(panic) => {
+                        let message = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "request handler panicked".to_owned());
+                        sink.emit(&ResponseEvent::Error {
+                            id: header.id.clone(),
+                            message,
+                        });
+                    }
+                }
+            }
+            Err(err) => emit_protocol_error(&sink, &header.id, &err),
+        }
+    }
+}
+
+/// Turn a parse failure into the stream's terminal error event.
+fn emit_protocol_error(sink: &dyn EventSink, id: &str, err: &ProtocolError) {
+    sink.emit(&ResponseEvent::Error {
+        id: id.to_owned(),
+        message: err.to_string(),
+    });
+}
+
+/// A blocking client for the JSONL protocol: submit a request, collect
+/// the streamed events through the terminal one.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // See the server side: request documents must not sit in
+        // Nagle's buffer behind an unacknowledged previous exchange.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Submit one request and read events until the terminal one
+    /// (inclusive). Returns every event in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure, an unparseable response
+    /// line, or a stream that ends without a terminal event.
+    pub fn submit(&mut self, request: &Request) -> io::Result<Vec<ResponseEvent>> {
+        let stream = self.reader.get_mut();
+        stream.write_all(request.to_jsonl().as_bytes())?;
+        stream.flush()?;
+        let mut events = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the stream before a terminal event",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = ResponseEvent::parse(line.trim_end())
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+            let terminal = event.is_terminal();
+            events.push(event);
+            if terminal {
+                return Ok(events);
+            }
+        }
+    }
+}

@@ -1,0 +1,735 @@
+//! Transport-independent request handling: one [`Service`] owns the
+//! worker pool sizing, the [`DesignCache`], and the table of cancellable
+//! in-flight jobs; [`Service::handle`] executes a [`Request`] and
+//! streams [`ResponseEvent`]s into any [`EventSink`]. The TCP front end
+//! ([`crate::server`]) is one sink; tests drive the service directly
+//! with an in-memory one.
+//!
+//! Determinism: every run-type request fans its cells out through
+//! `smart-harness`'s shared cell runner, whose parallel results are
+//! bit-identical to a serial run. Events *stream* in completion order
+//! (nondeterministic under threads), but each carries its cell index,
+//! so re-ordering by index recovers the deterministic result exactly.
+
+use crate::cache::DesignCache;
+use crate::protocol::{PlanSpec, Request, ResponseEvent, WorkloadSpec};
+use crate::search::{self, SearchSpace};
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_harness::{
+    run_cells_observed, AppSchedule, CompiledDesign, Drive, Experiment, MultiAppExperiment,
+    ScheduleDesign, TraceDiffReport, TraceFile, Workload,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs for one service instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads per run-type request.
+    pub threads: usize,
+    /// Compiled designs the cache may hold.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Where response events go. The TCP server writes lines to the
+/// connection; tests collect into a `Mutex<Vec<_>>`.
+pub trait EventSink: Sync {
+    /// Deliver one event. Called from worker threads as cells finish.
+    fn emit(&self, event: &ResponseEvent);
+}
+
+impl EventSink for Mutex<Vec<ResponseEvent>> {
+    fn emit(&self, event: &ResponseEvent) {
+        self.lock().expect("unpoisoned sink").push(event.clone());
+    }
+}
+
+/// The experiment service: cache + job table + counters.
+pub struct Service {
+    cfg: ServiceConfig,
+    cache: DesignCache,
+    jobs: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    jobs_run: AtomicU64,
+}
+
+/// Deregisters a job id when the handler leaves (including by panic, so
+/// a crashed job never wedges its id).
+struct JobGuard<'a> {
+    service: &'a Service,
+    id: String,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        self.service
+            .jobs
+            .lock()
+            .expect("unpoisoned job table")
+            .remove(&self.id);
+    }
+}
+
+/// Per-job plumbing every engine threads through: the job id the
+/// response events carry, the cooperative-cancellation flag (engines
+/// whose work is too short to cancel pass `None`), and the event sink.
+struct Job<'a> {
+    id: &'a str,
+    cancel: Option<&'a AtomicBool>,
+    sink: &'a dyn EventSink,
+}
+
+impl Service {
+    /// A fresh service with an empty cache.
+    #[must_use]
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Service {
+            cfg: ServiceConfig {
+                threads: cfg.threads.max(1),
+                cache_capacity: cfg.cache_capacity,
+            },
+            cache: DesignCache::new(cfg.cache_capacity),
+            jobs_run: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared compiled-design cache.
+    #[must_use]
+    pub fn cache(&self) -> &DesignCache {
+        &self.cache
+    }
+
+    /// Execute one request, streaming events into `sink`. Always emits
+    /// exactly one terminal event. Returns `true` only for
+    /// [`Request::Shutdown`] — the front end's signal to stop accepting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload that validated still fails to materialize
+    /// (e.g. a synthetic pattern on an incompatible mesh) — the TCP
+    /// front end wraps handlers in `catch_unwind` and turns panics into
+    /// [`ResponseEvent::Error`].
+    pub fn handle(&self, request: &Request, sink: &dyn EventSink) -> bool {
+        let id = request.id().to_owned();
+        let done = |cells: u64, cache_hits: u64| ResponseEvent::Done {
+            id: id.clone(),
+            cells,
+            cache_hits,
+        };
+        let fail = |message: String| {
+            sink.emit(&ResponseEvent::Error {
+                id: id.clone(),
+                message,
+            });
+            false
+        };
+        match request {
+            Request::Experiment {
+                mesh,
+                design,
+                workload,
+                plan,
+                ..
+            } => match self.register(&id) {
+                Ok((guard, cancel)) => {
+                    let job = Job {
+                        id: &id,
+                        cancel: Some(&cancel),
+                        sink,
+                    };
+                    let outcome = self.run_matrix(
+                        &job,
+                        *mesh,
+                        &[*design],
+                        std::slice::from_ref(workload),
+                        *plan,
+                    );
+                    drop(guard);
+                    match outcome {
+                        Ok((cells, hits)) => {
+                            sink.emit(&done(cells, hits));
+                            false
+                        }
+                        Err(m) => fail(m),
+                    }
+                }
+                Err(m) => fail(m),
+            },
+            Request::Matrix {
+                mesh,
+                designs,
+                workloads,
+                plan,
+                ..
+            } => match self.register(&id) {
+                Ok((guard, cancel)) => {
+                    let job = Job {
+                        id: &id,
+                        cancel: Some(&cancel),
+                        sink,
+                    };
+                    let outcome = self.run_matrix(&job, *mesh, designs, workloads, *plan);
+                    drop(guard);
+                    match outcome {
+                        Ok((cells, hits)) => {
+                            sink.emit(&done(cells, hits));
+                            false
+                        }
+                        Err(m) => fail(m),
+                    }
+                }
+                Err(m) => fail(m),
+            },
+            Request::Schedule {
+                mesh,
+                designs,
+                drain_budget,
+                phases,
+                ..
+            } => match self.register(&id) {
+                Ok((guard, cancel)) => {
+                    let job = Job {
+                        id: &id,
+                        cancel: Some(&cancel),
+                        sink,
+                    };
+                    let outcome = self.run_schedule(&job, *mesh, designs, *drain_budget, phases);
+                    drop(guard);
+                    match outcome {
+                        Ok(cells) => {
+                            sink.emit(&done(cells, 0));
+                            false
+                        }
+                        Err(m) => fail(m),
+                    }
+                }
+                Err(m) => fail(m),
+            },
+            Request::Search {
+                mesh,
+                strategy,
+                designs,
+                workloads,
+                hpc,
+                plan,
+                ..
+            } => {
+                self.jobs_run.fetch_add(1, Ordering::Relaxed);
+                let space = SearchSpace {
+                    mesh: *mesh,
+                    designs: designs.clone(),
+                    workloads: workloads.clone(),
+                    hpc: hpc.clone(),
+                    plan: *plan,
+                };
+                sink.emit(&ResponseEvent::Accepted {
+                    id: id.clone(),
+                    cells: space.len() as u64,
+                });
+                let emit = |c: &search::CandidateScore| {
+                    sink.emit(&ResponseEvent::Candidate {
+                        index: c.index as u64,
+                        design: c.design.label().to_owned(),
+                        workload: c.workload.clone(),
+                        hpc: c.hpc,
+                        energy_pj: c.energy_pj,
+                        area_mm2: c.area_mm2,
+                        cycles: c.cycles,
+                        score: c.score,
+                    });
+                };
+                match search::run(&space, *strategy, self.cfg.threads, &self.cache, &emit) {
+                    Ok(outcome) => {
+                        sink.emit(&ResponseEvent::Winner {
+                            index: outcome.winner_index as u64,
+                            score: outcome.winner_score,
+                            evaluated: outcome.candidates.len() as u64,
+                        });
+                        sink.emit(&done(outcome.candidates.len() as u64, 0));
+                        false
+                    }
+                    Err(m) => fail(m),
+                }
+            }
+            Request::TraceDiff {
+                mesh,
+                baseline,
+                candidate,
+                workload,
+                plan,
+                trace,
+                ..
+            } => {
+                self.jobs_run.fetch_add(1, Ordering::Relaxed);
+                let job = Job {
+                    id: &id,
+                    cancel: None,
+                    sink,
+                };
+                match self.run_trace_diff(
+                    &job,
+                    *mesh,
+                    (*baseline, *candidate),
+                    workload,
+                    *plan,
+                    trace,
+                ) {
+                    Ok(hits) => {
+                        sink.emit(&done(2, hits));
+                        false
+                    }
+                    Err(m) => fail(m),
+                }
+            }
+            Request::Cancel { target, .. } => {
+                let flag = self
+                    .jobs
+                    .lock()
+                    .expect("unpoisoned job table")
+                    .get(target)
+                    .cloned();
+                match flag {
+                    Some(cancel) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        sink.emit(&done(0, 0));
+                        false
+                    }
+                    None => fail(format!("no running job {target:?}")),
+                }
+            }
+            Request::Stats { .. } => {
+                sink.emit(&ResponseEvent::Stats {
+                    jobs: self.jobs_run.load(Ordering::Relaxed),
+                    cache_hits: self.cache.hits(),
+                    cache_misses: self.cache.misses(),
+                    cached_designs: self.cache.len() as u64,
+                });
+                sink.emit(&done(0, 0));
+                false
+            }
+            Request::Shutdown { .. } => {
+                sink.emit(&done(0, 0));
+                true
+            }
+        }
+    }
+
+    /// Register a cancellable job, refusing duplicate live ids.
+    fn register(&self, id: &str) -> Result<(JobGuard<'_>, Arc<AtomicBool>), String> {
+        self.jobs_run.fetch_add(1, Ordering::Relaxed);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut jobs = self.jobs.lock().expect("unpoisoned job table");
+        if jobs.contains_key(id) {
+            return Err(format!("job id {id:?} is already running"));
+        }
+        jobs.insert(id.to_owned(), Arc::clone(&cancel));
+        Ok((
+            JobGuard {
+                service: self,
+                id: id.to_owned(),
+            },
+            cancel,
+        ))
+    }
+
+    /// The experiment/matrix engine: compile every cell through the
+    /// cache (workload-major, design-minor — `ExperimentMatrix`'s cell
+    /// order), then fan the runs out on the worker pool, streaming a
+    /// [`ResponseEvent::Cell`] per finished cell. Returns
+    /// `(completed cells, cells served from cache)`.
+    fn run_matrix(
+        &self,
+        job: &Job<'_>,
+        mesh: u16,
+        designs: &[DesignKind],
+        workloads: &[WorkloadSpec],
+        plan: PlanSpec,
+    ) -> Result<(u64, u64), String> {
+        let cfg = NocConfig::scaled(mesh);
+        let mut cells: Vec<(DesignKind, Workload, Arc<CompiledDesign>, bool)> =
+            Vec::with_capacity(designs.len() * workloads.len());
+        for spec in workloads {
+            let workload = spec.to_workload()?;
+            for design in designs {
+                let (handle, cached) = self.cache.design(&cfg, *design, &workload);
+                cells.push((*design, workload.clone(), handle, cached));
+            }
+        }
+        job.sink.emit(&ResponseEvent::Accepted {
+            id: job.id.to_owned(),
+            cells: cells.len() as u64,
+        });
+        let run_one = |i: usize| {
+            let (design, workload, handle, _) = &cells[i];
+            Experiment::new(cfg.clone())
+                .design(*design)
+                .workload(workload.clone())
+                .plan(plan.to_plan())
+                .run_compiled(handle)
+        };
+        let (slots, _) = run_cells_observed(
+            cells.len(),
+            self.cfg.threads,
+            job.cancel,
+            run_one,
+            |i, report| {
+                job.sink.emit(&ResponseEvent::Cell {
+                    index: i as u64,
+                    design: report.design.label().to_owned(),
+                    workload: report.workload.clone(),
+                    injected: report.packets_injected,
+                    delivered: report.packets_delivered,
+                    flits: report.flits_delivered,
+                    latency: report.avg_network_latency,
+                    measured: report.measured_packets,
+                    cycles: report.total_cycles,
+                    cached: cells[i].3,
+                });
+            },
+        );
+        let completed = slots.iter().filter(|s| s.is_some()).count();
+        let hits = slots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| s.is_some() && cells[*i].3)
+            .count();
+        Ok((completed as u64, hits as u64))
+    }
+
+    /// The schedule engine: one cell per schedule design, each running
+    /// the full multi-phase schedule; streams a [`ResponseEvent::Phase`]
+    /// per finished phase (or a [`ResponseEvent::CellError`] when a
+    /// design exhausts its drain budget). Schedules rebuild their
+    /// network at every phase, so they bypass the compiled-design cache.
+    fn run_schedule(
+        &self,
+        job: &Job<'_>,
+        mesh: u16,
+        designs: &[ScheduleDesign],
+        drain_budget: u64,
+        phases: &[(WorkloadSpec, PlanSpec)],
+    ) -> Result<u64, String> {
+        let cfg = NocConfig::scaled(mesh);
+        let mut schedule = AppSchedule::new().drain_budget(drain_budget);
+        for (spec, plan) in phases {
+            schedule = schedule.then(spec.to_workload()?, plan.to_plan());
+        }
+        job.sink.emit(&ResponseEvent::Accepted {
+            id: job.id.to_owned(),
+            cells: designs.len() as u64,
+        });
+        let run_one = |i: usize| {
+            MultiAppExperiment::new(cfg.clone(), schedule.clone())
+                .design(designs[i])
+                .run()
+        };
+        let (slots, _) = run_cells_observed(
+            designs.len(),
+            self.cfg.threads,
+            job.cancel,
+            run_one,
+            |i, outcome| match outcome {
+                Ok(report) => {
+                    for (pi, phase) in report.phases.iter().enumerate() {
+                        job.sink.emit(&ResponseEvent::Phase {
+                            index: i as u64,
+                            phase: pi as u64,
+                            design: report.design.label().to_owned(),
+                            workload: phase.workload.clone(),
+                            delivered: phase.packets_delivered,
+                            latency: phase.avg_network_latency,
+                            drain_cycles: report.transitions[pi].drain_cycles,
+                            stores: report.transitions[pi].store_count as u64,
+                        });
+                    }
+                }
+                Err(err) => job.sink.emit(&ResponseEvent::CellError {
+                    index: i as u64,
+                    message: err.to_string(),
+                }),
+            },
+        );
+        Ok(slots.iter().filter(|s| s.is_some()).count() as u64)
+    }
+
+    /// The trace-diff engine: replay one trace on both designs (through
+    /// the cache), then stream the per-flow deltas and the summary.
+    /// Returns the number of replays served from cache.
+    fn run_trace_diff(
+        &self,
+        job: &Job<'_>,
+        mesh: u16,
+        (baseline, candidate): (DesignKind, DesignKind),
+        workload: &WorkloadSpec,
+        plan: PlanSpec,
+        trace: &TraceFile,
+    ) -> Result<u64, String> {
+        let cfg = NocConfig::scaled(mesh);
+        let workload = workload.to_workload()?;
+        job.sink.emit(&ResponseEvent::Accepted {
+            id: job.id.to_owned(),
+            cells: 2,
+        });
+        let mut hits = 0u64;
+        let mut replay = |design: DesignKind| {
+            let (handle, cached) = self.cache.design(&cfg, design, &workload);
+            hits += u64::from(cached);
+            Experiment::new(cfg.clone())
+                .design(design)
+                .workload(workload.clone())
+                .plan(plan.to_plan())
+                .drive(Drive::Trace(trace.clone()))
+                .run_compiled(&handle)
+                .to_phase_outcome()
+        };
+        let base = replay(baseline);
+        let cand = replay(candidate);
+        let report = TraceDiffReport::between(&base, &cand);
+        for delta in &report.flows {
+            job.sink.emit(&ResponseEvent::FlowDiff {
+                flow: u64::from(delta.flow.0),
+                baseline: delta.baseline.unwrap_or(f64::NAN),
+                candidate: delta.candidate.unwrap_or(f64::NAN),
+            });
+        }
+        job.sink.emit(&ResponseEvent::DiffSummary {
+            baseline: report.baseline.clone(),
+            candidate: report.candidate.clone(),
+            delivered_delta: report.delivered_delta,
+            flit_delta: report.flit_delta,
+            latency_delta: report.latency_delta,
+        });
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SearchStrategy;
+    use smart_harness::{ExperimentMatrix, RunPlan};
+
+    fn collect(service: &Service, request: &Request) -> Vec<ResponseEvent> {
+        let sink: Mutex<Vec<ResponseEvent>> = Mutex::new(Vec::new());
+        let shutdown = service.handle(request, &sink);
+        assert_eq!(shutdown, matches!(request, Request::Shutdown { .. }));
+        let events = sink.into_inner().expect("unpoisoned sink");
+        assert!(events.last().expect("terminal event").is_terminal());
+        events
+    }
+
+    fn cell_lines(events: &[ResponseEvent]) -> Vec<String> {
+        let mut cells: Vec<(u64, String)> = events
+            .iter()
+            .filter_map(|e| match e {
+                ResponseEvent::Cell { index, .. } => {
+                    Some((*index, e.snapshot_line().expect("cell")))
+                }
+                _ => None,
+            })
+            .collect();
+        cells.sort_by_key(|(i, _)| *i);
+        cells.into_iter().map(|(_, l)| l).collect()
+    }
+
+    fn matrix_request(id: &str) -> Request {
+        Request::Matrix {
+            id: id.into(),
+            mesh: 4,
+            designs: vec![DesignKind::Mesh, DesignKind::Smart, DesignKind::Dedicated],
+            workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("PIP".into())],
+            plan: PlanSpec::from(RunPlan::smoke()),
+        }
+    }
+
+    #[test]
+    fn matrix_results_match_direct_runs_bit_exactly() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        });
+        let events = collect(&service, &matrix_request("m1"));
+        let served = cell_lines(&events);
+        // The serial reference: same axes, same order, direct harness.
+        let reference: Vec<String> = ExperimentMatrix::new(NocConfig::paper_4x4())
+            .designs(&[DesignKind::Mesh, DesignKind::Smart, DesignKind::Dedicated])
+            .workloads(vec![Workload::fig7(), Workload::app("PIP")])
+            .plan(RunPlan::smoke())
+            .threads(1)
+            .run()
+            .iter()
+            .map(smart_harness::ExperimentReport::snapshot_line)
+            .collect();
+        assert_eq!(served, reference);
+    }
+
+    #[test]
+    fn repeat_request_is_fully_cached_and_identical() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        });
+        let cold = collect(&service, &matrix_request("m1"));
+        let warm = collect(&service, &matrix_request("m2"));
+        assert_eq!(cell_lines(&cold), cell_lines(&warm));
+        let hits = |events: &[ResponseEvent]| match events.last() {
+            Some(ResponseEvent::Done { cache_hits, .. }) => *cache_hits,
+            other => panic!("no done event: {other:?}"),
+        };
+        assert_eq!(hits(&cold), 0);
+        assert_eq!(hits(&warm), 6, "every warm cell comes from cache");
+    }
+
+    #[test]
+    fn schedule_streams_phases_per_design() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            cache_capacity: 16,
+        });
+        let request = Request::Schedule {
+            id: "s1".into(),
+            mesh: 4,
+            designs: vec![ScheduleDesign::Smart, ScheduleDesign::Reconfigurable],
+            drain_budget: 50_000,
+            phases: vec![
+                (
+                    WorkloadSpec::App("VOPD".into()),
+                    PlanSpec::from(RunPlan::smoke()),
+                ),
+                (
+                    WorkloadSpec::App("PIP".into()),
+                    PlanSpec::from(RunPlan::smoke()),
+                ),
+            ],
+        };
+        let events = collect(&service, &request);
+        let phases = events
+            .iter()
+            .filter(|e| matches!(e, ResponseEvent::Phase { .. }))
+            .count();
+        assert_eq!(phases, 4, "2 designs x 2 phases: {events:?}");
+    }
+
+    #[test]
+    fn search_streams_candidates_and_a_winner() {
+        let service = Service::new(ServiceConfig {
+            threads: 2,
+            cache_capacity: 32,
+        });
+        let request = Request::Search {
+            id: "q1".into(),
+            mesh: 4,
+            strategy: SearchStrategy::Exhaustive,
+            designs: vec![DesignKind::Mesh, DesignKind::Smart],
+            workloads: vec![WorkloadSpec::Fig7],
+            hpc: vec![1, 8],
+            plan: PlanSpec::from(RunPlan::smoke()),
+        };
+        let events = collect(&service, &request);
+        let candidates = events
+            .iter()
+            .filter(|e| matches!(e, ResponseEvent::Candidate { .. }))
+            .count();
+        assert_eq!(candidates, 4);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ResponseEvent::Winner { .. })));
+    }
+
+    #[test]
+    fn trace_diff_isolates_the_design_change() {
+        let service = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        let request = Request::TraceDiff {
+            id: "d1".into(),
+            mesh: 4,
+            baseline: DesignKind::Mesh,
+            candidate: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: PlanSpec::from(RunPlan::smoke()),
+            trace: TraceFile {
+                flits_per_packet: 8,
+                events: (0..8).map(|i| (i * 40, smart_sim::FlowId(0))).collect(),
+            },
+        };
+        let events = collect(&service, &request);
+        let summary = events
+            .iter()
+            .find_map(|e| match e {
+                ResponseEvent::DiffSummary {
+                    delivered_delta,
+                    latency_delta,
+                    ..
+                } => Some((*delivered_delta, *latency_delta)),
+                _ => None,
+            })
+            .expect("diff summary");
+        assert_eq!(summary.0, 0, "same trace, same deliveries: {events:?}");
+        assert!(summary.1 < 0.0, "SMART should beat the mesh: {events:?}");
+    }
+
+    #[test]
+    fn unknown_cancel_target_is_an_error() {
+        let service = Service::new(ServiceConfig::default());
+        let events = collect(
+            &service,
+            &Request::Cancel {
+                id: "c1".into(),
+                target: "ghost".into(),
+            },
+        );
+        assert!(matches!(events.last(), Some(ResponseEvent::Error { .. })));
+    }
+
+    #[test]
+    fn bad_workload_fails_without_panicking() {
+        let service = Service::new(ServiceConfig::default());
+        let request = Request::Experiment {
+            id: "e1".into(),
+            mesh: 4,
+            design: DesignKind::Mesh,
+            workload: WorkloadSpec::App("DOOM".into()),
+            plan: PlanSpec::from(RunPlan::smoke()),
+        };
+        let events = collect(&service, &request);
+        assert!(matches!(events.last(), Some(ResponseEvent::Error { .. })));
+    }
+
+    #[test]
+    fn stats_count_jobs_and_cache_traffic() {
+        let service = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        collect(&service, &matrix_request("m1"));
+        collect(&service, &matrix_request("m2"));
+        let events = collect(&service, &Request::Stats { id: "st".into() });
+        match events.first() {
+            Some(ResponseEvent::Stats {
+                jobs,
+                cache_hits,
+                cache_misses,
+                cached_designs,
+            }) => {
+                assert_eq!(*jobs, 2);
+                assert_eq!(*cache_misses, 6);
+                assert_eq!(*cache_hits, 6);
+                assert_eq!(*cached_designs, 6);
+            }
+            other => panic!("expected stats first: {other:?}"),
+        }
+    }
+}

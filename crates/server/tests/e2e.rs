@@ -1,0 +1,223 @@
+//! End-to-end smoke test over a real TCP socket: spawn the server on an
+//! ephemeral port, drive the full request vocabulary through the
+//! blocking [`Client`], and hold the streamed results to the same
+//! bit-exactness bar the in-process service tests use — a served matrix
+//! must reproduce a direct `ExperimentMatrix` run line for line, and a
+//! resubmission must come entirely from the compiled-design cache
+//! without changing a byte.
+
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_harness::{ExperimentMatrix, RunPlan, Workload};
+use smart_server::{
+    Client, PlanSpec, Request, ResponseEvent, SearchStrategy, Server, ServiceConfig, WorkloadSpec,
+};
+use smart_traffic::TraceFile;
+
+const DESIGNS: [DesignKind; 3] = [DesignKind::Mesh, DesignKind::Smart, DesignKind::Dedicated];
+
+fn workload_specs() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Fig7,
+        WorkloadSpec::App("PIP".to_owned()),
+        WorkloadSpec::Uniform {
+            flows: 6,
+            rate: 0.02,
+            seed: 9,
+        },
+    ]
+}
+
+fn matrix_request(id: &str) -> Request {
+    Request::Matrix {
+        id: id.to_owned(),
+        mesh: 4,
+        designs: DESIGNS.to_vec(),
+        workloads: workload_specs(),
+        plan: PlanSpec::from(RunPlan::smoke()),
+    }
+}
+
+/// Cell events of one response, sorted back into matrix order, as
+/// `(snapshot_line, cached)` pairs.
+fn cells_of(events: &[ResponseEvent]) -> Vec<(String, bool)> {
+    let mut cells: Vec<(u64, String, bool)> = events
+        .iter()
+        .filter_map(|e| match e {
+            ResponseEvent::Cell { index, cached, .. } => {
+                Some((*index, e.snapshot_line().expect("cell"), *cached))
+            }
+            _ => None,
+        })
+        .collect();
+    cells.sort_by_key(|(i, _, _)| *i);
+    cells
+        .into_iter()
+        .map(|(_, line, cached)| (line, cached))
+        .collect()
+}
+
+fn done_hits(events: &[ResponseEvent]) -> u64 {
+    match events.last() {
+        Some(ResponseEvent::Done { cache_hits, .. }) => *cache_hits,
+        other => panic!("stream did not end in a done event: {other:?}"),
+    }
+}
+
+#[test]
+fn served_requests_are_bit_exact_cached_and_searchable() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            threads: 2,
+            cache_capacity: 32,
+        },
+    )
+    .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn accept loop");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // 1. A served matrix reproduces the direct serial harness run.
+    let cold = client.submit(&matrix_request("cold")).expect("matrix");
+    let cold_cells = cells_of(&cold);
+    let reference: Vec<String> = ExperimentMatrix::new(NocConfig::paper_4x4())
+        .designs(&DESIGNS)
+        .workloads(vec![
+            Workload::fig7(),
+            Workload::app("PIP"),
+            Workload::uniform(6, 0.02, 9),
+        ])
+        .plan(RunPlan::smoke())
+        .threads(1)
+        .run()
+        .iter()
+        .map(smart_harness::ExperimentReport::snapshot_line)
+        .collect();
+    assert_eq!(
+        cold_cells
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>(),
+        reference,
+        "served matrix diverged from the direct run"
+    );
+    assert_eq!(done_hits(&cold), 0, "first submission cannot hit cache");
+
+    // 2. Resubmitting is fully cached and does not change a byte.
+    let warm = client.submit(&matrix_request("warm")).expect("matrix");
+    let warm_cells = cells_of(&warm);
+    assert_eq!(
+        warm_cells
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>(),
+        reference,
+        "cache changed results"
+    );
+    assert!(
+        warm_cells.iter().all(|(_, cached)| *cached),
+        "every warm cell should come from the cache"
+    );
+    assert_eq!(done_hits(&warm), reference.len() as u64);
+
+    // 3. A search streams one candidate per point plus a winner.
+    let search = client
+        .submit(&Request::Search {
+            id: "search".to_owned(),
+            mesh: 4,
+            strategy: SearchStrategy::Exhaustive,
+            designs: vec![DesignKind::Mesh, DesignKind::Smart],
+            workloads: vec![WorkloadSpec::Fig7],
+            hpc: vec![1, 8],
+            plan: PlanSpec::from(RunPlan::smoke()),
+        })
+        .expect("search");
+    let candidates: Vec<(u64, f64)> = search
+        .iter()
+        .filter_map(|e| match e {
+            ResponseEvent::Candidate { index, score, .. } => Some((*index, *score)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(candidates.len(), 4, "2 designs x 1 workload x 2 hpc");
+    let winner = search
+        .iter()
+        .find_map(|e| match e {
+            ResponseEvent::Winner { index, score, .. } => Some((*index, *score)),
+            _ => None,
+        })
+        .expect("winner event");
+    let best = candidates
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("candidates");
+    assert_eq!(winner, best, "winner must carry the best streamed score");
+
+    // 4. A trace diff isolates the design change on a shared trace.
+    let diff = client
+        .submit(&Request::TraceDiff {
+            id: "diff".to_owned(),
+            mesh: 4,
+            baseline: DesignKind::Mesh,
+            candidate: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: PlanSpec::from(RunPlan::smoke()),
+            trace: TraceFile {
+                flits_per_packet: 8,
+                events: (0..8).map(|i| (i * 40, smart_sim::FlowId(0))).collect(),
+            },
+        })
+        .expect("trace diff");
+    let (delivered_delta, latency_delta) = diff
+        .iter()
+        .find_map(|e| match e {
+            ResponseEvent::DiffSummary {
+                delivered_delta,
+                latency_delta,
+                ..
+            } => Some((*delivered_delta, *latency_delta)),
+            _ => None,
+        })
+        .expect("diff summary");
+    assert_eq!(delivered_delta, 0, "same trace, same deliveries");
+    assert!(latency_delta < 0.0, "SMART should beat the mesh");
+
+    // 5. Stats reflect the traffic this connection generated.
+    let stats = client
+        .submit(&Request::Stats {
+            id: "stats".to_owned(),
+        })
+        .expect("stats");
+    let (jobs, hits) = stats
+        .iter()
+        .find_map(|e| match e {
+            ResponseEvent::Stats {
+                jobs, cache_hits, ..
+            } => Some((*jobs, *cache_hits)),
+            _ => None,
+        })
+        .expect("stats event");
+    assert_eq!(jobs, 4, "matrix x2 + search + diff");
+    assert!(hits >= reference.len() as u64, "warm matrix hit the cache");
+
+    // 6. A malformed body poisons only its request; the connection and
+    // the protocol stream stay usable.
+    let events = client
+        .submit(&Request::Matrix {
+            id: "bad".to_owned(),
+            mesh: 4,
+            designs: vec![DesignKind::Mesh],
+            workloads: vec![WorkloadSpec::App("NO_SUCH_APP".to_owned())],
+            plan: PlanSpec::from(RunPlan::smoke()),
+        })
+        .expect("error streams, connection survives");
+    assert!(
+        matches!(events.last(), Some(ResponseEvent::Error { .. })),
+        "unknown app must surface as an error event: {events:?}"
+    );
+    let after = client.submit(&matrix_request("after")).expect("matrix");
+    assert_eq!(done_hits(&after), reference.len() as u64);
+
+    handle.shutdown().expect("shutdown handshake");
+}

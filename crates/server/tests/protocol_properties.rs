@@ -1,0 +1,276 @@
+//! Property tests for the JSONL protocol and the compiled-design cache
+//! key: every structured request/response round-trips through its wire
+//! form, arbitrary and truncated input never panics the parsers, and
+//! the config hash is stable under equality / sensitive to perturbation.
+
+use proptest::prelude::*;
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_harness::{config_key, ScheduleDesign, Workload};
+use smart_server::{PlanSpec, Request, RequestHeader, ResponseEvent, SearchStrategy, WorkloadSpec};
+use smart_traffic::TraceFile;
+
+const APPS: [&str; 8] = [
+    "H264", "MMS_DEC", "MMS_ENC", "MMS_MP3", "MWD", "VOPD", "WLAN", "PIP",
+];
+const PATTERNS: [&str; 6] = [
+    "transpose",
+    "bit-complement",
+    "bit-reverse",
+    "shuffle",
+    "tornado",
+    "neighbor",
+];
+const ID_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+
+fn workload_spec(sel: usize, flows: u64, rate: f64, seed: u64) -> WorkloadSpec {
+    match sel % 4 {
+        0 => WorkloadSpec::Fig7,
+        1 => WorkloadSpec::App(APPS[seed as usize % APPS.len()].to_owned()),
+        2 => WorkloadSpec::Uniform { flows, rate, seed },
+        _ => WorkloadSpec::Pattern {
+            name: PATTERNS[seed as usize % PATTERNS.len()].to_owned(),
+            rate,
+        },
+    }
+}
+
+fn plan_spec(warmup: u64, measure: u64, drain: u64, seed: u64) -> PlanSpec {
+    PlanSpec {
+        warmup,
+        measure,
+        drain,
+        seed,
+    }
+}
+
+fn id_from(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| ID_CHARS[i % ID_CHARS.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn workload_specs_round_trip(
+        parts in (0usize..4, 1u64..50, 0.0f64..0.5, 0u64..1000)
+    ) {
+        let (sel, flows, rate, seed) = parts;
+        let spec = workload_spec(sel, flows, rate, seed);
+        prop_assert_eq!(WorkloadSpec::parse(&spec.render()), Ok(spec.clone()));
+        // Every grammatical spec also resolves to a real workload.
+        prop_assert!(spec.to_workload().is_ok(), "{:?}", spec);
+    }
+
+    #[test]
+    fn experiment_and_matrix_requests_round_trip(
+        id_idx in prop::collection::vec(0usize..64, 1..12),
+        parts in (0usize..4, 1u64..50, 0.0f64..0.5, 0u64..1000),
+        plan_parts in (0u64..5000, 1u64..50_000, 0u64..20_000),
+        shape in (2u64..17, 0usize..3)
+    ) {
+        let (sel, flows, rate, seed) = parts;
+        let (warmup, measure, drain) = plan_parts;
+        let (mesh, design_sel) = shape;
+        let id = id_from(&id_idx);
+        let design = DesignKind::ALL[design_sel];
+        let plan = plan_spec(warmup, measure, drain, seed);
+        let experiment = Request::Experiment {
+            id: id.clone(),
+            mesh: mesh as u16,
+            design,
+            workload: workload_spec(sel, flows, rate, seed),
+            plan,
+        };
+        prop_assert_eq!(Request::parse(&experiment.to_jsonl()), Ok(experiment));
+        let matrix = Request::Matrix {
+            id,
+            mesh: mesh as u16,
+            designs: DesignKind::ALL[..=design_sel].to_vec(),
+            workloads: (0..4).map(|s| workload_spec(s, flows, rate, seed + s as u64)).collect(),
+            plan,
+        };
+        prop_assert_eq!(Request::parse(&matrix.to_jsonl()), Ok(matrix));
+    }
+
+    #[test]
+    fn schedule_search_and_diff_requests_round_trip(
+        id_idx in prop::collection::vec(0usize..64, 1..12),
+        phases in prop::collection::vec(
+            (0usize..4, 1u64..20, 0.0f64..0.3, 0u64..500), 1..5),
+        plan_parts in (0u64..5000, 1u64..50_000, 0u64..20_000, 0u64..1000),
+        events in prop::collection::vec((0u64..10_000, 0u64..64), 0..30)
+    ) {
+        let (warmup, measure, drain, seed) = plan_parts;
+        let id = id_from(&id_idx);
+        let plan = plan_spec(warmup, measure, drain, seed);
+        let schedule = Request::Schedule {
+            id: id.clone(),
+            mesh: 4,
+            designs: vec![ScheduleDesign::Smart, ScheduleDesign::Reconfigurable],
+            drain_budget: drain + 1,
+            phases: phases
+                .iter()
+                .map(|(sel, flows, rate, seed)| (workload_spec(*sel, *flows, *rate, *seed), plan))
+                .collect(),
+        };
+        prop_assert_eq!(Request::parse(&schedule.to_jsonl()), Ok(schedule));
+        let search = Request::Search {
+            id: id.clone(),
+            mesh: 4,
+            strategy: if seed % 2 == 0 { SearchStrategy::Exhaustive } else { SearchStrategy::Greedy },
+            designs: DesignKind::ALL.to_vec(),
+            workloads: phases
+                .iter()
+                .map(|(sel, flows, rate, seed)| workload_spec(*sel, *flows, *rate, *seed))
+                .collect(),
+            hpc: vec![1 + seed % 8, 8, 16],
+            plan,
+        };
+        prop_assert_eq!(Request::parse(&search.to_jsonl()), Ok(search));
+        let diff = Request::TraceDiff {
+            id,
+            mesh: 4,
+            baseline: DesignKind::Mesh,
+            candidate: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan,
+            trace: TraceFile {
+                flits_per_packet: 8,
+                events: events
+                    .iter()
+                    .map(|(c, f)| (*c, smart_sim::FlowId(*f as u32)))
+                    .collect(),
+            },
+        };
+        prop_assert_eq!(Request::parse(&diff.to_jsonl()), Ok(diff));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parsers(
+        bytes in prop::collection::vec(0u8..=255, 0..300)
+    ) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // Any outcome is fine; panicking is not.
+        let _ = Request::parse(&text);
+        for line in text.lines() {
+            let _ = RequestHeader::parse(line);
+            let _ = ResponseEvent::parse(line);
+        }
+    }
+
+    #[test]
+    fn truncated_valid_documents_never_panic(
+        parts in (0usize..4, 1u64..50, 0.0f64..0.5, 0u64..1000),
+        cut_permille in 0u64..1000
+    ) {
+        let (sel, flows, rate, seed) = parts;
+        let request = Request::Matrix {
+            id: "trunc".to_owned(),
+            mesh: 4,
+            designs: DesignKind::ALL.to_vec(),
+            workloads: vec![workload_spec(sel, flows, rate, seed)],
+            plan: plan_spec(0, 2000, 2000, seed),
+        };
+        let text = request.to_jsonl();
+        let mut cut = (text.len() as u64 * cut_permille / 1000) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = Request::parse(&text[..cut]);
+    }
+
+    #[test]
+    fn response_events_round_trip(
+        counts in (0u64..1000, 0u64..1000, 0u64..1000),
+        floats in (0.0f64..500.0, -20.0f64..20.0),
+        id_idx in prop::collection::vec(0usize..64, 1..12)
+    ) {
+        let (index, cells, hits) = counts;
+        let (latency, score) = floats;
+        let id = id_from(&id_idx);
+        let events = vec![
+            ResponseEvent::Accepted { id: id.clone(), cells },
+            ResponseEvent::Cell {
+                index,
+                design: "SMART".to_owned(),
+                workload: "fig7".to_owned(),
+                injected: cells,
+                delivered: cells,
+                flits: cells * 8,
+                latency,
+                measured: cells,
+                cycles: cells * 4,
+                cached: index % 2 == 0,
+            },
+            ResponseEvent::Candidate {
+                index,
+                design: "Mesh".to_owned(),
+                workload: "app:VOPD".to_owned(),
+                hpc: 1 + index % 8,
+                energy_pj: latency * 1e3,
+                area_mm2: latency + 0.5,
+                cycles: latency,
+                score,
+            },
+            ResponseEvent::Winner { index, score, evaluated: cells },
+            ResponseEvent::FlowDiff { flow: index, baseline: latency, candidate: score },
+            ResponseEvent::Stats {
+                jobs: cells,
+                cache_hits: hits,
+                cache_misses: cells,
+                cached_designs: hits,
+            },
+            ResponseEvent::Done { id: id.clone(), cells, cache_hits: hits },
+            ResponseEvent::Error { id, message: format!("fail {score}: \"quoted\"\n{latency}") },
+        ];
+        for event in events {
+            let line = event.to_line();
+            prop_assert_eq!(ResponseEvent::parse(&line), Ok(event), "{}", line);
+        }
+    }
+
+    #[test]
+    fn equal_triples_key_equal_and_perturbations_differ(
+        parts in (1u64..50, 0.0f64..0.5, 0u64..1000),
+        shape in (1usize..16, 0usize..3)
+    ) {
+        let (flows, rate, seed) = parts;
+        let (hpc, design_sel) = shape;
+        let design = DesignKind::ALL[design_sel];
+        let mut cfg = NocConfig::paper_4x4();
+        cfg.hpc_max = hpc;
+        let w = Workload::uniform(flows as usize, rate, seed);
+
+        // Equality: rebuilding the identical triple keys identically.
+        let mut cfg2 = NocConfig::paper_4x4();
+        cfg2.hpc_max = hpc;
+        let base = config_key(&cfg, design, &w);
+        prop_assert_eq!(
+            base,
+            config_key(&cfg2, design, &Workload::uniform(flows as usize, rate, seed))
+        );
+
+        // Sensitivity: any single-field perturbation moves the key.
+        let mut hpc_bump = cfg.clone();
+        hpc_bump.hpc_max = hpc + 1;
+        prop_assert_ne!(base, config_key(&hpc_bump, design, &w));
+        let other_design = DesignKind::ALL[(design_sel + 1) % 3];
+        prop_assert_ne!(base, config_key(&cfg, other_design, &w));
+        prop_assert_ne!(
+            base,
+            config_key(&cfg, design, &Workload::uniform(flows as usize + 1, rate, seed))
+        );
+        prop_assert_ne!(
+            base,
+            config_key(&cfg, design, &Workload::uniform(flows as usize, rate + 0.625, seed))
+        );
+        prop_assert_ne!(
+            base,
+            config_key(&cfg, design, &Workload::uniform(flows as usize, rate, seed + 1))
+        );
+    }
+}

@@ -20,7 +20,9 @@
 //!   [`TraceRecorder`] (capture `(cycle, flow)` injections from any
 //!   live source) and [`TraceTraffic`] (deterministic replay through
 //!   `ScriptedTraffic`), so any stochastic scenario can be frozen into
-//!   a reproducible artifact.
+//!   a reproducible artifact — and [`TraceDiffReport`] compares one
+//!   frozen schedule replayed on two designs (delivered-packet and
+//!   per-flow latency deltas isolate the design change).
 //!
 //! ```
 //! use smart_sim::forward::FlowTable;
@@ -46,8 +48,10 @@
 
 pub mod spatial;
 pub mod temporal;
+pub mod tracediff;
 pub mod tracefile;
 
 pub use spatial::{PatternFlow, SpatialPattern};
 pub use temporal::{ModulatedTraffic, TemporalModel};
+pub use tracediff::{FlowDelta, PhaseOutcome, TraceDiffReport};
 pub use tracefile::{TraceFile, TraceParseError, TraceRecorder, TraceTraffic, TRACE_SCHEMA};

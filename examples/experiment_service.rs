@@ -1,0 +1,85 @@
+//! The experiment service end to end, in one process: spawn the JSONL
+//! server on an ephemeral port, submit a small designs × workloads
+//! matrix twice (cold, then served from the compiled-design cache),
+//! stream a design-space search, and shut the daemon down.
+//!
+//! ```text
+//! cargo run --release --example experiment_service
+//! ```
+//!
+//! The same wire protocol works across machines — point
+//! `smart_server::Client` (or `nc`) at a standalone
+//! `cargo run -p smart-server --bin smart_server` daemon.
+
+use smart_server::{
+    Client, PlanSpec, Request, ResponseEvent, SearchStrategy, Server, ServiceConfig, WorkloadSpec,
+};
+
+fn main() {
+    let server =
+        Server::bind("127.0.0.1:0", ServiceConfig::default()).expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.spawn().expect("spawn the accept loop");
+    println!("experiment service listening on {addr}\n");
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A 3-design x 2-workload matrix; cells stream back as they finish.
+    let matrix = |id: &str| Request::Matrix {
+        id: id.to_owned(),
+        mesh: 4,
+        designs: smart_core::noc::DesignKind::ALL.to_vec(),
+        workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("VOPD".to_owned())],
+        plan: PlanSpec {
+            warmup: 0,
+            measure: 2_000,
+            drain: 2_000,
+            seed: 0xC0FFEE,
+        },
+    };
+    println!("matrix, cold (every cell compiled):");
+    for event in client.submit(&matrix("cold")).expect("matrix streams") {
+        println!("  {}", event.to_line());
+    }
+    println!("\nmatrix again (every cell from the compiled-design cache):");
+    for event in client.submit(&matrix("warm")).expect("matrix streams") {
+        println!("  {}", event.to_line());
+    }
+
+    // A small exhaustive search over mapping x design x segmentation.
+    println!("\nsearch, 2 designs x fig7 x HPC_max in {{1, 8}}:");
+    let search = Request::Search {
+        id: "sweep".to_owned(),
+        mesh: 4,
+        strategy: SearchStrategy::Exhaustive,
+        designs: vec![
+            smart_core::noc::DesignKind::Mesh,
+            smart_core::noc::DesignKind::Smart,
+        ],
+        workloads: vec![WorkloadSpec::Fig7],
+        hpc: vec![1, 8],
+        plan: PlanSpec {
+            warmup: 0,
+            measure: 2_000,
+            drain: 2_000,
+            seed: 0xC0FFEE,
+        },
+    };
+    let events = client.submit(&search).expect("search streams");
+    for event in &events {
+        println!("  {}", event.to_line());
+    }
+    let winner = events
+        .iter()
+        .find_map(|e| match e {
+            ResponseEvent::Winner { index, score, .. } => Some((*index, *score)),
+            _ => None,
+        })
+        .expect("a non-empty space crowns a winner");
+    println!(
+        "\nwinner: candidate {} (Smapper score {:.4})",
+        winner.0, winner.1
+    );
+
+    handle.shutdown().expect("shutdown handshake");
+    println!("server shut down cleanly");
+}
