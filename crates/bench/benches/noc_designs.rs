@@ -61,7 +61,7 @@ fn bench_mapping(c: &mut Criterion) {
         b.iter(|| {
             mapped
                 .iter()
-                .map(|m| compile(cfg.mesh, cfg.hpc_max, &m.routes).avg_stops())
+                .map(|m| compile(cfg.topology, cfg.hpc_max, &m.routes).avg_stops())
                 .sum::<f64>()
         });
     });

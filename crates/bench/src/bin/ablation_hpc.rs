@@ -55,7 +55,7 @@ fn main() {
                     PlacementMode::Random(seed) => MappedApp::with_placement(
                         &cfg,
                         &graph,
-                        place_random(cfg.mesh, &graph, seed),
+                        place_random(cfg.topology, &graph, seed),
                     ),
                 };
                 let r = Experiment::new(cfg.clone())

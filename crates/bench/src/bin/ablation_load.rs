@@ -28,11 +28,16 @@ fn main() {
         }
     };
     let cfg = NocConfig::paper_4x4();
-    let pairs = pattern.pairs(cfg.mesh);
+    let pairs = pattern.pairs(cfg.topology);
     let routes: Vec<(FlowId, SourceRoute)> = pairs
         .iter()
         .enumerate()
-        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(cfg.mesh, *s, *d)))
+        .map(|(i, (s, d))| {
+            (
+                FlowId(i as u32),
+                SourceRoute::xy(cfg.topology, *s, *d).unwrap(),
+            )
+        })
         .collect();
 
     println!(
@@ -49,7 +54,7 @@ fn main() {
     for load_pct in [1usize, 2, 4, 6, 8, 12, 16, 20, 28, 36] {
         let per_node_flits = load_pct as f64 / 100.0;
         // Rate per flow: nodes inject on all their outgoing flows evenly.
-        let flows_per_node = routes.len() as f64 / f64::from(cfg.mesh.len() as u32);
+        let flows_per_node = routes.len() as f64 / f64::from(cfg.topology.len() as u32);
         let rate = per_node_flits / f64::from(cfg.flits_per_packet()) / flows_per_node;
         let rates: Vec<(FlowId, f64)> = routes.iter().map(|(f, _)| (*f, rate)).collect();
         let workload = RoutedWorkload {

@@ -76,12 +76,12 @@ fn main() {
         &plan,
         "fixed random placement (heterogeneous SoC)",
         |graph, opts| {
-            let placement = place_random(cfg.mesh, graph, 1234);
+            let placement = place_random(cfg.topology, graph, 1234);
             let flows = routable_flows(graph, &placement);
             let routes: Vec<(FlowId, SourceRoute)> = if opts.allow_detours {
-                select_routes_with(cfg.mesh, &flows, opts)
+                select_routes_with(cfg.topology, &flows, opts)
             } else {
-                select_routes(cfg.mesh, &flows)
+                select_routes(cfg.topology, &flows)
             };
             let mut app = MappedApp::with_placement(&cfg, graph, placement);
             app.routes = routes;

@@ -20,14 +20,14 @@ fn main() {
         smart_taskgraph::apps::vopd(),
     ] {
         let mapped = MappedApp::from_graph(&cfg, &graph);
-        let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+        let app = compile(cfg.topology, cfg.hpc_max, &mapped.routes);
         println!("== {} ==", graph.name());
-        println!("{}", render_topology(cfg.mesh, &app));
-        println!("{}\n", topology_summary(cfg.mesh, &app));
+        println!("{}", render_topology(cfg.topology, &app));
+        println!("{}\n", topology_summary(cfg.topology, &app));
     }
     println!(
         "One physical mesh, three virtual topologies — switching between\n\
          them costs {} store instructions (see `reconfig_cost`).",
-        cfg.mesh.len()
+        cfg.topology.len()
     );
 }

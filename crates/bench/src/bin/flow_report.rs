@@ -22,14 +22,14 @@ fn main() {
     };
     let cfg = NocConfig::paper_4x4();
     let mapped = MappedApp::from_graph(&cfg, &graph);
-    let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
-    let report = analyze(cfg.mesh, &app, &mapped.rates, cfg.flits_per_packet());
+    let app = compile(cfg.topology, cfg.hpc_max, &mapped.routes);
+    let report = analyze(cfg.topology, &app, &mapped.rates, cfg.flits_per_packet());
 
     println!(
         "{} on the {}x{} SMART mesh (HPC_max {}):\n",
         graph.name(),
-        cfg.mesh.width(),
-        cfg.mesh.height(),
+        cfg.topology.width(),
+        cfg.topology.height(),
         cfg.hpc_max
     );
     for (i, f) in graph.flows().iter().enumerate() {
@@ -46,7 +46,7 @@ fn main() {
     println!(
         "zero-load averages: SMART {:.2} cycles; bypass fraction {:.0}%",
         report.avg_zero_load_latency(),
-        app.bypass_fraction(cfg.mesh) * 100.0
+        app.bypass_fraction(cfg.topology) * 100.0
     );
     if report.oversubscribed().is_empty() {
         println!("bandwidth check: all links under 1 flit/cycle — feasible.");

@@ -34,7 +34,7 @@ fn main() {
     let mut traffic = BernoulliTraffic::new(
         &mapped.rates,
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
         cfg.flits_per_packet(),
         31,
     );
@@ -46,7 +46,7 @@ fn main() {
     // allocation); collect once here for random access.
     let counts: std::collections::HashMap<LinkId, u64> = noc.network().link_flit_counts().collect();
     let max = counts.values().copied().max().unwrap_or(1) as f64;
-    let mesh = cfg.mesh;
+    let mesh = cfg.topology;
     let get = |from: Coord, dir: Direction| -> f64 {
         let n = mesh.node_at(from);
         let fwd = counts.get(&LinkId { from: n, dir }).copied().unwrap_or(0);

@@ -32,7 +32,7 @@ fn main() {
         let mut traffic = BernoulliTraffic::new(
             &mapped.rates,
             live.network().flows(),
-            cfg.mesh,
+            cfg.topology,
             cfg.flits_per_packet(),
             7,
         );
@@ -51,6 +51,6 @@ fn main() {
          double-word register per router), matching the paper's \"16 registers\n\
          ... correspond to 16 instructions\" for the 16-node mesh. The network\n\
          is drained before each register write, as the paper requires.",
-        cfg.mesh.len()
+        cfg.topology.len()
     );
 }

@@ -35,6 +35,6 @@ fn main() {
          store per router ({} on this mesh) per application switch; the live\n\
          Reconfigurable design additionally drains in-flight traffic before\n\
          each switch, as the paper requires.",
-        cfg.mesh.len()
+        cfg.topology.len()
     );
 }

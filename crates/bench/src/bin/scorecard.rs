@@ -104,7 +104,7 @@ fn main() {
         .plan(RunPlan::measure_all(0, 0, 0))
         .run();
     let metrics = fig7.compile.expect("SMART reports compile metrics");
-    let fig7_ok = fig7_flows(cfg.mesh).iter().all(|(f, _, exp)| {
+    let fig7_ok = fig7_flows(cfg.topology).iter().all(|(f, _, exp)| {
         metrics
             .zero_load_latency
             .iter()
@@ -120,9 +120,9 @@ fn main() {
     // --- Section V. ---
     card.check(
         "reconfiguration cost (stores)",
-        format!("{}", cfg.mesh.len()),
+        format!("{}", cfg.topology.len()),
         "16",
-        cfg.mesh.len() == 16,
+        cfg.topology.len() == 16,
     );
 
     // --- Fig 10. ---

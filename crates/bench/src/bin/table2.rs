@@ -15,8 +15,8 @@ fn main() {
     println!(
         "{:<16} {}x{} mesh",
         "Topology",
-        c.mesh.width(),
-        c.mesh.height()
+        c.topology.width(),
+        c.topology.height()
     );
     println!("{:<16} {} bits", "Channel width", c.channel_bits);
     println!("{:<16} {} bits", "Credit width", c.credit_bits);

@@ -115,6 +115,18 @@ pub fn run_scorecard(scale: f64) -> Vec<PerfResult> {
         measures(&r)
     }));
 
+    // 8×8 torus under tornado traffic on SMART: every route crosses a
+    // wrap seam, so this cell regression-gates the wrap-link bypass
+    // path the mesh cells never touch.
+    out.push(time_cell("torus_8x8", || {
+        let r = Experiment::new(NocConfig::scaled_torus(8))
+            .design(DesignKind::Smart)
+            .workload(Workload::patterned(SpatialPattern::Tornado, 0.02))
+            .plan(RunPlan::measure_all(cycles(120_000), 10_000, 0xC0FFEE))
+            .run();
+        measures(&r)
+    }));
+
     // The 8-application reconfiguration schedule on the live design:
     // repeated build/drain/store-replay transitions (Fig 1, Section V).
     out.push(time_cell("reconfig_8apps", || {

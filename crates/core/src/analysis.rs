@@ -3,7 +3,7 @@
 //! flow runs before committing presets to the configuration registers.
 
 use crate::compile::CompiledApp;
-use smart_sim::{FlowId, LinkId, Mesh};
+use smart_sim::{FlowId, LinkId, Topology};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -118,11 +118,12 @@ impl fmt::Display for AnalysisReport {
 /// Panics if a rate references an unknown flow.
 #[must_use]
 pub fn analyze(
-    mesh: Mesh,
+    topo: impl Into<Topology>,
     app: &CompiledApp,
     rates: &[(FlowId, f64)],
     flits_per_packet: u8,
 ) -> AnalysisReport {
+    let mesh = topo.into();
     let mut flows = BTreeMap::new();
     let mut per_link: BTreeMap<LinkId, (Vec<FlowId>, f64)> = BTreeMap::new();
     let rate_of: BTreeMap<FlowId, f64> = rates.iter().copied().collect();
@@ -172,14 +173,20 @@ mod tests {
     use crate::compile::compile;
     use smart_sim::{NodeId, SourceRoute};
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     fn two_flow_app() -> (CompiledApp, Vec<(FlowId, f64)>) {
         let routes = vec![
-            (FlowId(0), SourceRoute::xy(mesh(), NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(mesh(), NodeId(4), NodeId(7))),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(1),
+                SourceRoute::xy(mesh(), NodeId(4), NodeId(7)).unwrap(),
+            ),
         ];
         let app = compile(mesh(), 8, &routes);
         let rates = vec![(FlowId(0), 0.01), (FlowId(1), 0.02)];
@@ -213,7 +220,10 @@ mod tests {
 
     #[test]
     fn oversubscription_detected() {
-        let routes = vec![(FlowId(0), SourceRoute::xy(mesh(), NodeId(0), NodeId(1)))];
+        let routes = vec![(
+            FlowId(0),
+            SourceRoute::xy(mesh(), NodeId(0), NodeId(1)).unwrap(),
+        )];
         let app = compile(mesh(), 8, &routes);
         let rep = analyze(mesh(), &app, &[(FlowId(0), 0.2)], 8);
         // 0.2 × 8 = 1.6 flits/cycle > link capacity.

@@ -22,7 +22,7 @@
 
 use crate::preset::{InputMux, MeshPresets, XbarSelect};
 use smart_sim::forward::{Endpoint, FlowPlan, Segment, Sender};
-use smart_sim::{Direction, FlowId, FlowTable, LinkId, Mesh, NodeId, SourceRoute};
+use smart_sim::{Direction, FlowId, FlowTable, LinkId, NodeId, SourceRoute, Topology};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Result of compiling one application onto the SMART mesh.
@@ -50,7 +50,8 @@ impl CompiledApp {
 
     /// Fraction of (flow, router) visits that are bypassed.
     #[must_use]
-    pub fn bypass_fraction(&self, mesh: Mesh) -> f64 {
+    pub fn bypass_fraction(&self, topo: impl Into<Topology>) -> f64 {
+        let mesh = topo.into();
         let mut visits = 0usize;
         let mut stops = 0usize;
         for plan in self.flows.iter() {
@@ -75,7 +76,7 @@ struct FlowUse {
     outputs: Vec<Direction>,
 }
 
-fn flow_use(mesh: Mesh, flow: FlowId, route: &SourceRoute) -> FlowUse {
+fn flow_use(mesh: Topology, flow: FlowId, route: &SourceRoute) -> FlowUse {
     let routers = route.routers(mesh);
     let outputs = route.outputs();
     let mut inputs = Vec::with_capacity(routers.len());
@@ -99,7 +100,12 @@ fn flow_use(mesh: Mesh, flow: FlowId, route: &SourceRoute) -> FlowUse {
 /// presets would be inconsistent (a compiler bug, not a user error —
 /// the stop rules guarantee consistency for any route set).
 #[must_use]
-pub fn compile(mesh: Mesh, hpc_max: usize, routes: &[(FlowId, SourceRoute)]) -> CompiledApp {
+pub fn compile(
+    topo: impl Into<Topology>,
+    hpc_max: usize,
+    routes: &[(FlowId, SourceRoute)],
+) -> CompiledApp {
+    let mesh = topo.into();
     assert!(hpc_max > 0, "HPC_max must be at least 1");
     let uses: Vec<FlowUse> = routes.iter().map(|(f, r)| flow_use(mesh, *f, r)).collect();
 
@@ -266,7 +272,7 @@ fn stop_indices(u: &FlowUse, stop_inputs: &HashMap<NodeId, BTreeSet<Direction>>)
 }
 
 /// Build the flow plan given its stop indices.
-fn build_plan(mesh: Mesh, u: &FlowUse, route: &SourceRoute, stops: &[usize]) -> FlowPlan {
+fn build_plan(mesh: Topology, u: &FlowUse, route: &SourceRoute, stops: &[usize]) -> FlowPlan {
     let links = route.links(mesh);
     let last = u.routers.len() - 1;
     let mut legs = Vec::new();
@@ -329,8 +335,8 @@ fn build_plan(mesh: Mesh, u: &FlowUse, route: &SourceRoute, stops: &[usize]) -> 
 mod tests {
     use super::*;
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     fn route(path: &[u16]) -> SourceRoute {

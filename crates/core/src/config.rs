@@ -2,14 +2,14 @@
 
 use smart_link::{CalibratedLinkModel, CircuitVariant, Gbps, LinkStyle, WireSpacing};
 use smart_sim::flit::HeaderLayout;
-use smart_sim::{Mesh, SimConfig};
+use smart_sim::{Mesh, SimConfig, Topology, Torus};
 
 /// The full design point of Table II, plus the link model that sets
 /// `HPC_max` (the maximum hops a flit may traverse per cycle).
 #[derive(Debug, Clone)]
 pub struct NocConfig {
-    /// Mesh dimensions (Table II: 4×4).
-    pub mesh: Mesh,
+    /// Fabric shape and dimensions (Table II: 4×4 mesh).
+    pub topology: Topology,
     /// Supply voltage, volts (0.9 V).
     pub vdd: f64,
     /// Clock frequency, GHz (2 GHz).
@@ -48,7 +48,7 @@ impl NocConfig {
         );
         let clock_ghz = 2.0;
         NocConfig {
-            mesh: Mesh::paper_4x4(),
+            topology: Topology::Mesh(Mesh::paper_4x4()),
             vdd: 0.9,
             clock_ghz,
             channel_bits: 32,
@@ -67,7 +67,27 @@ impl NocConfig {
     #[must_use]
     pub fn scaled(k: u16) -> Self {
         NocConfig {
-            mesh: Mesh::new(k, k),
+            topology: Topology::Mesh(Mesh::new(k, k)),
+            ..NocConfig::paper_4x4()
+        }
+    }
+
+    /// Same design point on a `k × k` torus: every row and column closes
+    /// into a ring, so wrap links let SMART bypass cross the die seam in
+    /// the same single cycle as any other `HPC_max`-hop stretch.
+    #[must_use]
+    pub fn scaled_torus(k: u16) -> Self {
+        NocConfig {
+            topology: Topology::Torus(Torus::new(k, k)),
+            ..NocConfig::paper_4x4()
+        }
+    }
+
+    /// This design point on an explicit topology (mesh or torus).
+    #[must_use]
+    pub fn with_topology(topo: impl Into<Topology>) -> Self {
+        NocConfig {
+            topology: topo.into(),
             ..NocConfig::paper_4x4()
         }
     }
@@ -91,7 +111,7 @@ impl NocConfig {
     #[must_use]
     pub fn sim_config(&self) -> SimConfig {
         SimConfig {
-            mesh: self.mesh,
+            topology: self.topology,
             vcs_per_port: self.vcs_per_port,
             vc_depth: self.vc_depth,
             flits_per_packet: self.flits_per_packet(),
@@ -102,7 +122,7 @@ impl NocConfig {
     /// 4-bit body/tail).
     #[must_use]
     pub fn header_layout(&self) -> HeaderLayout {
-        HeaderLayout::for_config(self.mesh, self.vcs_per_port)
+        HeaderLayout::for_config(self.topology, self.vcs_per_port)
     }
 
     /// Per-wire data rate at one bit per cycle.
@@ -137,7 +157,7 @@ mod tests {
     #[test]
     fn paper_config_matches_table2() {
         let c = NocConfig::paper_4x4();
-        assert_eq!(c.mesh.len(), 16);
+        assert_eq!(c.topology.len(), 16);
         assert_eq!(c.channel_bits, 32);
         assert_eq!(c.credit_bits, 2);
         assert_eq!(c.vcs_per_port, 2);
@@ -177,8 +197,20 @@ mod tests {
     #[test]
     fn scaled_mesh_keeps_design_point() {
         let c = NocConfig::scaled(8);
-        assert_eq!(c.mesh.len(), 64);
+        assert_eq!(c.topology.len(), 64);
         assert_eq!(c.hpc_max, 8);
         assert_eq!(c.flits_per_packet(), 8);
+    }
+
+    #[test]
+    fn scaled_torus_keeps_design_point_with_narrower_header() {
+        let c = NocConfig::scaled_torus(8);
+        assert_eq!(c.topology.len(), 64);
+        assert!(c.topology.is_torus());
+        assert_eq!(c.hpc_max, 8);
+        // Wrap links halve the diameter: 8 route hops max instead of 14,
+        // so the torus head flit needs fewer route bits than the mesh.
+        let mesh_bits = NocConfig::scaled(8).header_layout().route_bits;
+        assert!(c.header_layout().route_bits < mesh_bits);
     }
 }

@@ -22,7 +22,7 @@ use smart_sim::arbiter::RoundRobin;
 use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{FlowId, Mesh, NodeId, Packet};
+use smart_sim::{FlowId, NodeId, Packet, Topology};
 use std::collections::{HashMap, VecDeque};
 
 /// One flow over a dedicated link.
@@ -72,7 +72,7 @@ struct Sink {
 /// The ideal dedicated-topology NoC.
 #[derive(Debug)]
 pub struct DedicatedNoc {
-    mesh: Mesh,
+    mesh: Topology,
     flits_per_packet: u8,
     flows: Vec<DedicatedFlow>,
     flow_index: HashMap<FlowId, usize>,
@@ -102,7 +102,7 @@ impl DedicatedNoc {
     /// Panics on duplicate flow ids or a flow from a node to itself.
     #[must_use]
     pub fn new(cfg: &NocConfig, flows: &[DedicatedFlow]) -> Self {
-        let mesh = cfg.mesh;
+        let mesh = cfg.topology;
         let mut flow_index = HashMap::new();
         let mut by_dst: HashMap<NodeId, Vec<FlowId>> = HashMap::new();
         for (i, f) in flows.iter().enumerate() {
@@ -131,7 +131,7 @@ impl DedicatedNoc {
         }
         let wire_mm = flows
             .iter()
-            .map(|f| f64::from(mesh.manhattan(f.src, f.dst)) * cfg.hop_mm)
+            .map(|f| f64::from(mesh.distance(f.src, f.dst)) * cfg.hop_mm)
             .collect();
         DedicatedNoc {
             mesh,
@@ -323,9 +323,9 @@ impl DedicatedNoc {
         self.is_quiescent()
     }
 
-    /// The mesh/floorplan underneath (for reporting).
+    /// The topology/floorplan underneath (for reporting).
     #[must_use]
-    pub fn mesh(&self) -> Mesh {
+    pub fn mesh(&self) -> Topology {
         self.mesh
     }
 

@@ -23,7 +23,7 @@
 //! use smart_sim::{FlowId, NodeId, Packet, PacketId, SourceRoute};
 //!
 //! let cfg = NocConfig::paper_4x4();
-//! let route = SourceRoute::xy(cfg.mesh, NodeId(0), NodeId(3));
+//! let route = SourceRoute::xy(cfg.topology, NodeId(0), NodeId(3)).unwrap();
 //! let mut noc = SmartNoc::new(&cfg, &[(FlowId(0), route)]);
 //! noc.network_mut().offer(Packet {
 //!     id: PacketId(0),

@@ -49,7 +49,7 @@ impl SmartNoc {
     /// Compile `routes` and bring up the network with presets applied.
     #[must_use]
     pub fn new(cfg: &NocConfig, routes: &[(FlowId, SourceRoute)]) -> Self {
-        SmartNoc::from_compiled(cfg, compile(cfg.mesh, cfg.hpc_max, routes))
+        SmartNoc::from_compiled(cfg, compile(cfg.topology, cfg.hpc_max, routes))
     }
 
     /// Bring up the network from an already-compiled application —
@@ -97,7 +97,7 @@ impl MeshNoc {
     /// Bring up the baseline (every router stops; ST and LT separate).
     #[must_use]
     pub fn new(cfg: &NocConfig, routes: &[(FlowId, SourceRoute)]) -> Self {
-        MeshNoc::from_table(cfg, FlowTable::mesh_baseline(cfg.mesh, routes))
+        MeshNoc::from_table(cfg, FlowTable::mesh_baseline(cfg.topology, routes))
     }
 
     /// Bring up the baseline from an already-built flow table (the
@@ -146,7 +146,7 @@ impl Design {
                     .map(|(f, r)| DedicatedFlow {
                         flow: *f,
                         src: r.source(),
-                        dst: r.destination(cfg.mesh),
+                        dst: r.destination(cfg.topology),
                     })
                     .collect();
                 Design::Dedicated(DedicatedNoc::new(cfg, &flows))
@@ -261,8 +261,11 @@ mod tests {
     fn routes() -> Vec<(FlowId, SourceRoute)> {
         let m = Mesh::paper_4x4();
         vec![
-            (FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(m, NodeId(12), NodeId(15))),
+            (FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(3)).unwrap()),
+            (
+                FlowId(1),
+                SourceRoute::xy(m, NodeId(12), NodeId(15)).unwrap(),
+            ),
         ]
     }
 

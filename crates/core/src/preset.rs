@@ -6,7 +6,7 @@
 //! each router", memory-mapped so reconfiguration is a handful of store
 //! instructions (Section V).
 
-use smart_sim::{Direction, Mesh, NodeId};
+use smart_sim::{Direction, NodeId, Topology};
 use std::fmt;
 
 /// Per-input bypass mux setting (Fig 6): the crossbar input port is fed
@@ -181,23 +181,24 @@ pub struct StoreOp {
 /// The presets of every router in the mesh for one application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeshPresets {
-    mesh: Mesh,
+    mesh: Topology,
     routers: Vec<RouterPreset>,
 }
 
 impl MeshPresets {
     /// All-idle presets for `mesh`.
     #[must_use]
-    pub fn idle(mesh: Mesh) -> Self {
+    pub fn idle(topo: impl Into<Topology>) -> Self {
+        let mesh = topo.into();
         MeshPresets {
             mesh,
             routers: vec![RouterPreset::idle(); mesh.len()],
         }
     }
 
-    /// The mesh these presets configure.
+    /// The topology these presets configure.
     #[must_use]
-    pub fn mesh(&self) -> Mesh {
+    pub fn mesh(&self) -> Topology {
         self.mesh
     }
 
@@ -241,7 +242,12 @@ impl MeshPresets {
     /// Panics if the sequence does not cover exactly the mesh's
     /// registers at `base_addr`.
     #[must_use]
-    pub fn from_store_sequence(mesh: Mesh, base_addr: u64, stores: &[StoreOp]) -> Self {
+    pub fn from_store_sequence(
+        topo: impl Into<Topology>,
+        base_addr: u64,
+        stores: &[StoreOp],
+    ) -> Self {
+        let mesh = topo.into();
         assert_eq!(stores.len(), mesh.len(), "one store per router required");
         let mut routers = vec![RouterPreset::idle(); mesh.len()];
         for s in stores {
@@ -310,7 +316,7 @@ mod tests {
 
     #[test]
     fn store_sequence_is_one_per_router() {
-        let mesh = Mesh::paper_4x4();
+        let mesh = smart_sim::Mesh::paper_4x4();
         let mut presets = MeshPresets::idle(mesh);
         *presets.router_mut(NodeId(5)) = sample();
         let stores = presets.store_sequence(0x4000_0000);
@@ -331,7 +337,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one store per router")]
     fn short_sequence_rejected() {
-        let mesh = Mesh::paper_4x4();
+        let mesh = smart_sim::Mesh::paper_4x4();
         let _ = MeshPresets::from_store_sequence(mesh, 0, &[]);
     }
 }

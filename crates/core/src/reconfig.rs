@@ -152,12 +152,15 @@ mod tests {
 
     fn routes_row() -> Vec<(FlowId, SourceRoute)> {
         let m = Mesh::paper_4x4();
-        vec![(FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(3)))]
+        vec![(FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(3)).unwrap())]
     }
 
     fn routes_col() -> Vec<(FlowId, SourceRoute)> {
         let m = Mesh::paper_4x4();
-        vec![(FlowId(0), SourceRoute::xy(m, NodeId(0), NodeId(12)))]
+        vec![(
+            FlowId(0),
+            SourceRoute::xy(m, NodeId(0), NodeId(12)).unwrap(),
+        )]
     }
 
     #[test]

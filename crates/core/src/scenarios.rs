@@ -1,7 +1,7 @@
 //! Worked scenarios from the paper's figures, reusable by examples,
 //! tests and benches.
 
-use smart_sim::{FlowId, Mesh, NodeId, SourceRoute};
+use smart_sim::{FlowId, Mesh, NodeId, SourceRoute, Topology};
 
 /// The four flows of **Fig 7** ("SMART NoC in action"): green and purple
 /// fly source-NIC to destination-NIC in one cycle; red and blue share
@@ -9,7 +9,8 @@ use smart_sim::{FlowId, Mesh, NodeId, SourceRoute};
 ///
 /// Returns `(flow, route, expected_zero_load_latency)`.
 #[must_use]
-pub fn fig7_flows(mesh: Mesh) -> Vec<(FlowId, SourceRoute, u64)> {
+pub fn fig7_flows(topo: impl Into<Topology>) -> Vec<(FlowId, SourceRoute, u64)> {
+    let mesh = topo.into();
     let path = |p: &[u16]| {
         let nodes: Vec<NodeId> = p.iter().map(|n| NodeId(*n)).collect();
         SourceRoute::from_router_path(mesh, &nodes)
@@ -32,7 +33,10 @@ pub fn fig7_flows(mesh: Mesh) -> Vec<(FlowId, SourceRoute, u64)> {
 /// live in `smart-taskgraph` + `smart-mapping`.)
 #[must_use]
 pub fn fig1_sketch_apps(mesh: Mesh) -> Vec<(&'static str, Vec<(FlowId, SourceRoute)>)> {
-    let xy = |f: u32, s: u16, d: u16| (FlowId(f), SourceRoute::xy(mesh, NodeId(s), NodeId(d)));
+    let xy = |f: u32, s: u16, d: u16| {
+        let r = SourceRoute::xy(mesh, NodeId(s), NodeId(d)).expect("distinct endpoints");
+        (FlowId(f), r)
+    };
     vec![
         ("WLAN", vec![xy(0, 0, 3), xy(1, 4, 7), xy(2, 8, 11)]),
         ("H264", vec![xy(0, 0, 15), xy(1, 3, 12), xy(2, 5, 10)]),

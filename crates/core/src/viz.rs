@@ -7,14 +7,15 @@
 //! stops (buffers + arbitrates) are bracketed.
 
 use crate::compile::CompiledApp;
-use smart_sim::{Direction, LinkId, Mesh, NodeId};
+use smart_sim::{Direction, LinkId, NodeId, Topology};
 use std::collections::HashSet;
 
 /// Render the virtual topology of `app` over `mesh`.
 ///
 /// Rows print north (high y) first, matching the paper's figures.
 #[must_use]
-pub fn render_topology(mesh: Mesh, app: &CompiledApp) -> String {
+pub fn render_topology(topo: impl Into<Topology>, app: &CompiledApp) -> String {
+    let mesh = topo.into();
     // Links used by any leg (either direction renders the segment bold).
     let mut used: HashSet<LinkId> = HashSet::new();
     for plan in app.flows.iter() {
@@ -75,7 +76,8 @@ pub fn render_topology(mesh: Mesh, app: &CompiledApp) -> String {
 /// One-line summary of the virtual topology: bold links, stop routers,
 /// bypass fraction.
 #[must_use]
-pub fn topology_summary(mesh: Mesh, app: &CompiledApp) -> String {
+pub fn topology_summary(topo: impl Into<Topology>, app: &CompiledApp) -> String {
+    let mesh = topo.into();
     let mut used: HashSet<LinkId> = HashSet::new();
     for plan in app.flows.iter() {
         for leg in &plan.legs {
@@ -97,13 +99,13 @@ mod tests {
     use crate::compile::compile;
     use smart_sim::{FlowId, SourceRoute};
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     #[test]
     fn bold_links_follow_the_flows() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap();
         let app = compile(mesh(), 8, &[(FlowId(0), route)]);
         let r = render_topology(mesh(), &app);
         // The bottom row (printed last) is the path 0-1-2-3: all bold.
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn summary_counts() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap();
         let app = compile(mesh(), 8, &[(FlowId(0), route)]);
         let s = topology_summary(mesh(), &app);
         assert!(s.contains("3 bold links"), "{s}");
@@ -148,7 +150,7 @@ mod tests {
 
     #[test]
     fn grid_dimensions() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(15)).unwrap();
         let app = compile(mesh(), 8, &[(FlowId(0), route)]);
         let r = render_topology(mesh(), &app);
         // 4 node rows + 3 vertical-link rows.

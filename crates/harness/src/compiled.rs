@@ -61,11 +61,11 @@ impl CompiledDesign {
     /// share one routed form across designs skip re-materialization).
     #[must_use]
     pub fn from_routed(cfg: &NocConfig, kind: DesignKind, routed: RoutedWorkload) -> Self {
-        let table = FlowTable::mesh_baseline(cfg.mesh, &routed.routes);
+        let table = FlowTable::mesh_baseline(cfg.topology, &routed.routes);
         let artifact = match kind {
             DesignKind::Mesh => DesignArtifact::Mesh,
             DesignKind::Smart => {
-                DesignArtifact::Smart(compile(cfg.mesh, cfg.hpc_max, &routed.routes))
+                DesignArtifact::Smart(compile(cfg.topology, cfg.hpc_max, &routed.routes))
             }
             DesignKind::Dedicated => DesignArtifact::Dedicated(
                 routed
@@ -74,7 +74,7 @@ impl CompiledDesign {
                     .map(|(f, r)| DedicatedFlow {
                         flow: *f,
                         src: r.source(),
-                        dst: r.destination(cfg.mesh),
+                        dst: r.destination(cfg.topology),
                     })
                     .collect(),
             ),
@@ -266,6 +266,14 @@ mod tests {
         assert_ne!(
             base,
             config_key(&NocConfig::scaled(8), DesignKind::Smart, &w)
+        );
+        // Same dimensions, different topology: a 4x4 torus must never
+        // share a cache entry with the 4x4 mesh.
+        let torus = NocConfig::scaled_torus(4);
+        let mesh = NocConfig::scaled(4);
+        assert_ne!(
+            config_key(&torus, DesignKind::Smart, &w),
+            config_key(&mesh, DesignKind::Smart, &w)
         );
     }
 

@@ -8,7 +8,7 @@ use smart_power::{breakdown, EnergyModel, GatingPolicy, PowerBreakdown};
 use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{BernoulliTraffic, FlowId, FlowTable, Mesh, NodeId, ScriptedTraffic};
+use smart_sim::{BernoulliTraffic, FlowId, FlowTable, NodeId, ScriptedTraffic, Topology};
 use smart_traffic::{
     ModulatedTraffic, PhaseOutcome, TemporalModel, TraceFile, TraceRecorder, TraceTraffic,
 };
@@ -84,8 +84,8 @@ pub struct TrafficContext<'a> {
     pub rates: &'a [(FlowId, f64)],
     /// Flow table resolving each flow's endpoints.
     pub flows: &'a FlowTable,
-    /// The mesh being driven.
-    pub mesh: Mesh,
+    /// The topology being driven.
+    pub topology: Topology,
     /// Flits per packet.
     pub flits_per_packet: u8,
     /// Traffic RNG seed (from the [`RunPlan`]).
@@ -167,7 +167,7 @@ impl Drive {
                 model,
                 ctx.rates,
                 ctx.flows,
-                ctx.mesh,
+                ctx.topology,
                 ctx.flits_per_packet,
                 ctx.seed,
             ))
@@ -177,7 +177,7 @@ impl Drive {
                 TemporalModel::Steady => Box::new(BernoulliTraffic::new(
                     ctx.rates,
                     ctx.flows,
-                    ctx.mesh,
+                    ctx.topology,
                     ctx.flits_per_packet,
                     ctx.seed,
                 )),
@@ -188,9 +188,9 @@ impl Drive {
                 events.clone(),
                 ctx.flits_per_packet,
                 ctx.flows,
-                ctx.mesh,
+                ctx.topology,
             )),
-            Drive::Trace(trace) => Box::new(TraceTraffic::new(trace, ctx.flows, ctx.mesh)),
+            Drive::Trace(trace) => Box::new(TraceTraffic::new(trace, ctx.flows, ctx.topology)),
             Drive::Custom(factory) => factory.build(ctx),
         }
     }
@@ -216,10 +216,14 @@ impl CompileMetrics {
     /// Metrics of a compiled application serving `routed` — the single
     /// extraction path shared by [`Experiment`] and the multi-app
     /// schedule runner.
-    pub(crate) fn from_compiled(app: &CompiledApp, routed: &RoutedWorkload, mesh: Mesh) -> Self {
+    pub(crate) fn from_compiled(
+        app: &CompiledApp,
+        routed: &RoutedWorkload,
+        topo: Topology,
+    ) -> Self {
         CompileMetrics {
             avg_stops: app.avg_stops(),
-            bypass_fraction: app.bypass_fraction(mesh),
+            bypass_fraction: app.bypass_fraction(topo),
             stops: app.stops.iter().map(|(f, s)| (*f, s.clone())).collect(),
             zero_load_latency: routed
                 .routes
@@ -240,8 +244,10 @@ pub struct ExperimentReport {
     pub design: DesignKind,
     /// Workload name (`fig7`, an application, `uniform<n>@<rate>`, …).
     pub workload: String,
-    /// Mesh dimensions of the design point.
+    /// Grid dimensions of the design point.
     pub mesh: (u16, u16),
+    /// Fabric shape label (`"mesh"` or `"torus"`).
+    pub topology: String,
     /// `true` if the network went quiescent within the drain budget.
     pub drained: bool,
     /// Total cycles the simulated network had advanced when the report
@@ -316,7 +322,8 @@ impl ExperimentReport {
         ExperimentReport {
             design,
             workload: workload.to_owned(),
-            mesh: (cfg.mesh.width(), cfg.mesh.height()),
+            mesh: (cfg.topology.width(), cfg.topology.height()),
+            topology: cfg.topology.label().to_owned(),
             drained,
             total_cycles,
             packets_injected: counters.packets_injected,
@@ -382,11 +389,12 @@ impl fmt::Display for ExperimentReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} on {} ({}x{} mesh){}",
+            "{} on {} ({}x{} {}){}",
             self.workload,
             self.design.label(),
             self.mesh.0,
             self.mesh.1,
+            self.topology,
             if self.drained { "" } else { "  [NOT DRAINED]" }
         )?;
         writeln!(
@@ -525,7 +533,7 @@ impl Experiment {
     /// materialize each workload once across designs).
     #[must_use]
     pub fn run_routed(&self, routed: &RoutedWorkload) -> ExperimentReport {
-        let table = FlowTable::mesh_baseline(self.cfg.mesh, &routed.routes);
+        let table = FlowTable::mesh_baseline(self.cfg.topology, &routed.routes);
         let mut traffic = self.drive.build(&self.traffic_ctx(routed, &table));
         let mut design = Design::build(self.design, &self.cfg, &routed.routes);
         self.execute(&mut design, routed, traffic.as_mut())
@@ -548,9 +556,9 @@ impl Experiment {
             "compiled handle serves a different design"
         );
         assert_eq!(
-            compiled.config().mesh,
-            self.cfg.mesh,
-            "compiled handle serves a different mesh"
+            compiled.config().topology,
+            self.cfg.topology,
+            "compiled handle serves a different topology"
         );
         let routed = compiled.routed();
         let mut traffic = self
@@ -571,7 +579,7 @@ impl Experiment {
     #[must_use]
     pub fn run_recorded(&self) -> (ExperimentReport, TraceFile) {
         let routed = self.workload.materialize(&self.cfg);
-        let table = FlowTable::mesh_baseline(self.cfg.mesh, &routed.routes);
+        let table = FlowTable::mesh_baseline(self.cfg.topology, &routed.routes);
         let inner = self.drive.build(&self.traffic_ctx(&routed, &table));
         let mut recorder = TraceRecorder::new(inner, self.cfg.flits_per_packet());
         let mut design = Design::build(self.design, &self.cfg, &routed.routes);
@@ -588,7 +596,7 @@ impl Experiment {
         TrafficContext {
             rates: &routed.rates,
             flows: table,
-            mesh: self.cfg.mesh,
+            topology: self.cfg.topology,
             flits_per_packet: self.cfg.flits_per_packet(),
             seed: self.plan.seed,
             temporal: routed.temporal,
@@ -616,7 +624,7 @@ impl Experiment {
             Design::Smart(smart) => Some(CompileMetrics::from_compiled(
                 smart.compiled(),
                 routed,
-                cfg.mesh,
+                cfg.topology,
             )),
             _ => None,
         };

@@ -478,7 +478,7 @@ impl MultiAppExperiment {
             let mut traffic = phase.drive.build(&TrafficContext {
                 rates: &r.rates,
                 flows: noc.network().flows(),
-                mesh: cfg.mesh,
+                topology: cfg.topology,
                 flits_per_packet: cfg.flits_per_packet(),
                 seed: plan.seed,
                 temporal: r.temporal,
@@ -500,7 +500,7 @@ impl MultiAppExperiment {
         }
         Ok(ScheduleReport {
             design: self.design,
-            mesh: (cfg.mesh.width(), cfg.mesh.height()),
+            mesh: (cfg.topology.width(), cfg.topology.height()),
             phases,
             transitions,
         })
@@ -527,7 +527,11 @@ impl MultiAppExperiment {
                 counters: *noc.network().counters(),
                 stats: noc.network().stats(),
             },
-            Some(CompileMetrics::from_compiled(noc.compiled(), r, cfg.mesh)),
+            Some(CompileMetrics::from_compiled(
+                noc.compiled(),
+                r,
+                cfg.topology,
+            )),
             self.power,
         )
     }
@@ -561,7 +565,7 @@ impl MultiAppExperiment {
         }
         ScheduleReport {
             design: self.design,
-            mesh: (self.cfg.mesh.width(), self.cfg.mesh.height()),
+            mesh: (self.cfg.topology.width(), self.cfg.topology.height()),
             phases,
             transitions,
         }

@@ -165,7 +165,7 @@ impl RoutedWorkload {
     /// gently so bypass behaviour dominates.
     #[must_use]
     pub fn fig7(cfg: &NocConfig) -> Self {
-        let routes: Vec<(FlowId, SourceRoute)> = fig7_flows(cfg.mesh)
+        let routes: Vec<(FlowId, SourceRoute)> = fig7_flows(cfg.topology)
             .into_iter()
             .map(|(f, r, _)| (f, r))
             .collect();
@@ -200,7 +200,7 @@ impl RoutedWorkload {
     #[must_use]
     pub fn uniform(cfg: &NocConfig, flows: usize, rate: f64, seed: u64) -> Self {
         assert!(flows > 0, "need at least one flow");
-        let n = cfg.mesh.len() as u16;
+        let n = cfg.topology.len() as u16;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut routes = Vec::with_capacity(flows);
         for i in 0..flows {
@@ -211,7 +211,11 @@ impl RoutedWorkload {
                     break d;
                 }
             };
-            routes.push((FlowId(i as u32), SourceRoute::xy(cfg.mesh, src, dst)));
+            routes.push((
+                FlowId(i as u32),
+                SourceRoute::xy(cfg.topology, src, dst)
+                    .expect("the rejection loop above never draws src == dst"),
+            ));
         }
         let rates = routes.iter().map(|(f, _)| (*f, rate)).collect();
         RoutedWorkload {
@@ -236,7 +240,7 @@ impl RoutedWorkload {
         temporal: TemporalModel,
         rate: f64,
     ) -> Self {
-        let (routes, rates) = pattern.routed(cfg.mesh, rate);
+        let (routes, rates) = pattern.routed(cfg.topology, rate);
         RoutedWorkload {
             name: format!("{}@{rate}{}", pattern.label(), temporal.suffix()),
             routes,
@@ -310,7 +314,7 @@ mod tests {
         for seed in 0..20 {
             let s = RoutedWorkload::uniform(&cfg, 12, 0.01, seed);
             for (_, r) in &s.routes {
-                assert_ne!(r.source(), r.destination(cfg.mesh));
+                assert_ne!(r.source(), r.destination(cfg.topology));
             }
         }
     }

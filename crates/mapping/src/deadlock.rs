@@ -6,7 +6,7 @@
 //! per directed link; one edge per consecutive link pair used by any
 //! route) and check it is acyclic (Dally & Towles, the paper's reference \[11\]).
 
-use smart_sim::{LinkId, Mesh, SourceRoute};
+use smart_sim::{LinkId, SourceRoute, Topology};
 use std::collections::{HashMap, HashSet};
 
 /// Result of a deadlock check.
@@ -26,9 +26,12 @@ impl DeadlockCheck {
     }
 }
 
-/// Check a set of routes for channel-dependency cycles.
+/// Check a set of routes for channel-dependency cycles. Works on any
+/// topology: on a torus, wrap-around routes that close a ring show up
+/// as ordinary link-dependency cycles here.
 #[must_use]
-pub fn check(mesh: Mesh, routes: &[SourceRoute]) -> DeadlockCheck {
+pub fn check(topo: impl Into<Topology>, routes: &[SourceRoute]) -> DeadlockCheck {
+    let mesh = topo.into();
     // Build adjacency: link -> links that may be waited on next.
     let mut adj: HashMap<LinkId, HashSet<LinkId>> = HashMap::new();
     for r in routes {
@@ -108,8 +111,8 @@ mod tests {
     use super::*;
     use smart_sim::NodeId;
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     #[test]
@@ -120,7 +123,7 @@ mod tests {
         for s in 0..16u16 {
             for d in 0..16u16 {
                 if s != d {
-                    routes.push(SourceRoute::xy(mesh(), NodeId(s), NodeId(d)));
+                    routes.push(SourceRoute::xy(mesh(), NodeId(s), NodeId(d)).unwrap());
                 }
             }
         }
@@ -152,15 +155,15 @@ mod tests {
     #[test]
     fn empty_and_single_route_are_free() {
         assert!(check(mesh(), &[]).is_free());
-        let r = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        let r = SourceRoute::xy(mesh(), NodeId(0), NodeId(15)).unwrap();
         assert!(check(mesh(), &[r]).is_free());
     }
 
     #[test]
     fn disjoint_straight_routes_are_free() {
         let routes = vec![
-            SourceRoute::xy(mesh(), NodeId(0), NodeId(3)),
-            SourceRoute::xy(mesh(), NodeId(15), NodeId(12)),
+            SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap(),
+            SourceRoute::xy(mesh(), NodeId(15), NodeId(12)).unwrap(),
         ];
         assert!(check(mesh(), &routes).is_free());
     }

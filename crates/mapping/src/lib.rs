@@ -51,7 +51,7 @@ impl MappedApp {
     /// Map `graph` onto `cfg`'s mesh and derive injection rates.
     #[must_use]
     pub fn from_graph(cfg: &NocConfig, graph: &TaskGraph) -> Self {
-        let (placement, routes) = place_and_route(cfg.mesh, graph);
+        let (placement, routes) = place_and_route(cfg.topology, graph);
         MappedApp::assemble(cfg, graph, placement, routes)
     }
 
@@ -60,7 +60,7 @@ impl MappedApp {
     #[must_use]
     pub fn with_placement(cfg: &NocConfig, graph: &TaskGraph, placement: Placement) -> Self {
         let flows = routable_flows(graph, &placement);
-        let routes = select_routes(cfg.mesh, &flows);
+        let routes = select_routes(cfg.topology, &flows);
         MappedApp::assemble(cfg, graph, placement, routes)
     }
 
@@ -69,9 +69,9 @@ impl MappedApp {
     /// future-work mode).
     #[must_use]
     pub fn from_graph_with_routing(cfg: &NocConfig, graph: &TaskGraph, opts: RouteOptions) -> Self {
-        let placement = place(cfg.mesh, graph);
+        let placement = place(cfg.topology, graph);
         let flows = routable_flows(graph, &placement);
-        let routes = select_routes_with(cfg.mesh, &flows, opts);
+        let routes = select_routes_with(cfg.topology, &flows, opts);
         MappedApp::assemble(cfg, graph, placement, routes)
     }
 
@@ -127,7 +127,7 @@ mod tests {
             assert!(app.avg_hops() >= 1.0);
             // Routes are deadlock-free by construction.
             let rs: Vec<SourceRoute> = app.routes.iter().map(|(_, r)| r.clone()).collect();
-            assert!(deadlock::check(cfg.mesh, &rs).is_free(), "{}", g.name());
+            assert!(deadlock::check(cfg.topology, &rs).is_free(), "{}", g.name());
         }
     }
 

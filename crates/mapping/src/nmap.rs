@@ -15,7 +15,7 @@
 //! against the routes committed so far (plus hop count to break ties).
 
 use crate::routes::{candidates, route_cost, RoutableFlow};
-use smart_sim::{FlowId, LinkId, Mesh, NodeId, SourceRoute};
+use smart_sim::{FlowId, LinkId, NodeId, SourceRoute, Topology};
 use smart_taskgraph::{TaskGraph, TaskId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -63,7 +63,8 @@ impl Placement {
 ///
 /// Panics if the graph has more tasks than the mesh has cores.
 #[must_use]
-pub fn place(mesh: Mesh, graph: &TaskGraph) -> Placement {
+pub fn place(topo: impl Into<Topology>, graph: &TaskGraph) -> Placement {
+    let mesh = topo.into();
     assert!(
         graph.num_tasks() <= mesh.len(),
         "{}: {} tasks exceed {} cores",
@@ -192,7 +193,8 @@ pub fn place(mesh: Mesh, graph: &TaskGraph) -> Placement {
 ///
 /// Panics if the graph has more tasks than the mesh has cores.
 #[must_use]
-pub fn place_random(mesh: Mesh, graph: &TaskGraph, seed: u64) -> Placement {
+pub fn place_random(topo: impl Into<Topology>, graph: &TaskGraph, seed: u64) -> Placement {
+    let mesh = topo.into();
     assert!(
         graph.num_tasks() <= mesh.len(),
         "{}: {} tasks exceed {} cores",
@@ -251,7 +253,11 @@ pub fn routable_flows(graph: &TaskGraph, placement: &Placement) -> Vec<RoutableF
 /// Convenience: place, route and return `(flow, route)` pairs plus the
 /// placement.
 #[must_use]
-pub fn place_and_route(mesh: Mesh, graph: &TaskGraph) -> (Placement, Vec<(FlowId, SourceRoute)>) {
+pub fn place_and_route(
+    topo: impl Into<Topology>,
+    graph: &TaskGraph,
+) -> (Placement, Vec<(FlowId, SourceRoute)>) {
+    let mesh = topo.into();
     let placement = place(mesh, graph);
     let flows = routable_flows(graph, &placement);
     let routes = crate::routes::select_routes(mesh, &flows);
@@ -263,8 +269,8 @@ mod tests {
     use super::*;
     use smart_taskgraph::apps;
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! all-XY (provably acyclic) if the mix ever creates a cycle.
 
 use crate::deadlock::{check, DeadlockCheck};
-use smart_sim::{FlowId, LinkId, Mesh, NodeId, SourceRoute};
+use smart_sim::{FlowId, LinkId, NodeId, SourceRoute, Topology};
 use std::collections::HashMap;
 
 /// A flow to be routed: `(flow, src node, dst node, bandwidth MB/s)`.
@@ -24,13 +24,16 @@ pub struct RoutableFlow {
     pub bandwidth_mbs: f64,
 }
 
-/// The YX (Y-then-X) dimension-ordered minimal route.
+/// The YX (Y-then-X) dimension-ordered route on the unwrapped grid.
+/// On a torus this is the non-wrapping alternative candidate; the
+/// wrap-aware shortest routes come from [`SourceRoute::xy`].
 ///
 /// # Panics
 ///
 /// Panics if `src == dst`.
 #[must_use]
-pub fn yx(mesh: Mesh, src: NodeId, dst: NodeId) -> SourceRoute {
+pub fn yx(topo: impl Into<Topology>, src: NodeId, dst: NodeId) -> SourceRoute {
+    let mesh = topo.into();
     assert_ne!(src, dst, "no route from a node to itself");
     let (cs, cd) = (mesh.coord(src), mesh.coord(dst));
     let mut routers = vec![src];
@@ -49,8 +52,9 @@ pub fn yx(mesh: Mesh, src: NodeId, dst: NodeId) -> SourceRoute {
 /// Minimal route candidates between two nodes (XY, plus YX when they
 /// differ).
 #[must_use]
-pub fn candidates(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<SourceRoute> {
-    let a = SourceRoute::xy(mesh, src, dst);
+pub fn candidates(topo: impl Into<Topology>, src: NodeId, dst: NodeId) -> Vec<SourceRoute> {
+    let mesh = topo.into();
+    let a = SourceRoute::xy(mesh, src, dst).expect("distinct endpoints");
     let b = yx(mesh, src, dst);
     if a == b {
         vec![a]
@@ -67,14 +71,20 @@ pub fn candidates(mesh: Mesh, src: NodeId, dst: NodeId) -> Vec<SourceRoute> {
 /// Composes XY(src→w) with YX(w→dst) and keeps only loop-free results;
 /// minimal candidates are always included first.
 #[must_use]
-pub fn detour_candidates(mesh: Mesh, src: NodeId, dst: NodeId, max_extra: u16) -> Vec<SourceRoute> {
+pub fn detour_candidates(
+    topo: impl Into<Topology>,
+    src: NodeId,
+    dst: NodeId,
+    max_extra: u16,
+) -> Vec<SourceRoute> {
+    let mesh = topo.into();
     let mut out = candidates(mesh, src, dst);
-    let min_hops = mesh.manhattan(src, dst);
+    let min_hops = mesh.distance(src, dst);
     for w in mesh.nodes() {
         if w == src || w == dst {
             continue;
         }
-        let total = mesh.manhattan(src, w) + mesh.manhattan(w, dst);
+        let total = mesh.distance(src, w) + mesh.distance(w, dst);
         if total > min_hops + max_extra {
             continue;
         }
@@ -131,11 +141,12 @@ impl RouteOptions {
 /// bandwidth-weighted sharing dominates; hop count breaks ties.
 #[must_use]
 pub fn route_cost(
-    mesh: Mesh,
+    topo: impl Into<Topology>,
     route: &SourceRoute,
     bandwidth: f64,
     link_load: &HashMap<LinkId, f64>,
 ) -> f64 {
+    let mesh = topo.into();
     let mut shared = 0.0;
     for l in route.links(mesh) {
         if let Some(other) = link_load.get(&l) {
@@ -151,17 +162,21 @@ pub fn route_cost(
 /// Greedily route `flows` (descending bandwidth), minimizing sharing.
 /// Returns deadlock-free routes.
 #[must_use]
-pub fn select_routes(mesh: Mesh, flows: &[RoutableFlow]) -> Vec<(FlowId, SourceRoute)> {
-    select_routes_with(mesh, flows, RouteOptions::default())
+pub fn select_routes(
+    topo: impl Into<Topology>,
+    flows: &[RoutableFlow],
+) -> Vec<(FlowId, SourceRoute)> {
+    select_routes_with(topo, flows, RouteOptions::default())
 }
 
 /// [`select_routes`] with an explicit policy (e.g. non-minimal detours).
 #[must_use]
 pub fn select_routes_with(
-    mesh: Mesh,
+    topo: impl Into<Topology>,
     flows: &[RoutableFlow],
     opts: RouteOptions,
 ) -> Vec<(FlowId, SourceRoute)> {
+    let mesh = topo.into();
     let mut order: Vec<&RoutableFlow> = flows.iter().collect();
     order.sort_by(|a, b| {
         b.bandwidth_mbs
@@ -198,7 +213,12 @@ pub fn select_routes_with(
     if let DeadlockCheck::Cyclic(_) = check(mesh, &just_routes) {
         return flows
             .iter()
-            .map(|f| (f.flow, SourceRoute::xy(mesh, f.src, f.dst)))
+            .map(|f| {
+                (
+                    f.flow,
+                    SourceRoute::xy(mesh, f.src, f.dst).expect("distinct endpoints"),
+                )
+            })
             .collect();
     }
     picked
@@ -208,19 +228,19 @@ pub fn select_routes_with(
 mod tests {
     use super::*;
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     #[test]
     fn yx_differs_from_xy_on_l_shapes() {
-        let a = SourceRoute::xy(mesh(), NodeId(0), NodeId(5));
+        let a = SourceRoute::xy(mesh(), NodeId(0), NodeId(5)).unwrap();
         let b = yx(mesh(), NodeId(0), NodeId(5));
         assert_ne!(a, b);
         assert_eq!(a.num_hops(), b.num_hops());
         // Straight lines coincide.
         assert_eq!(
-            SourceRoute::xy(mesh(), NodeId(0), NodeId(3)),
+            SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap(),
             yx(mesh(), NodeId(0), NodeId(3))
         );
         assert_eq!(candidates(mesh(), NodeId(0), NodeId(3)).len(), 1);

@@ -67,8 +67,8 @@ impl GenParams {
     #[must_use]
     pub fn from_config(cfg: &NocConfig) -> Self {
         GenParams {
-            mesh_width: cfg.mesh.width(),
-            mesh_height: cfg.mesh.height(),
+            mesh_width: cfg.topology.width(),
+            mesh_height: cfg.topology.height(),
             flit_bits: cfg.channel_bits,
             credit_bits: cfg.credit_bits,
             num_vcs: cfg.vcs_per_port,

@@ -21,7 +21,9 @@
 //! results would be a correctness bug, not a speedup.
 
 use smart_bench::perf::{peak_rss_kb, to_json, PerfResult};
-use smart_server::{Client, PlanSpec, Request, ResponseEvent, Server, ServiceConfig, WorkloadSpec};
+use smart_server::{
+    Client, PlanSpec, Request, ResponseEvent, Server, ServiceConfig, TopologySpec, WorkloadSpec,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -73,6 +75,7 @@ fn main() {
     let request = |id: &str| Request::Matrix {
         id: id.to_owned(),
         mesh,
+        topology: TopologySpec::Mesh,
         designs: smart_core::noc::DesignKind::ALL.to_vec(),
         workloads: smart_taskgraph::apps::all()
             .iter()

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p smart-server --bin smart_search -- \
-//!     [--mesh 4] [--designs mesh,smart,dedicated] \
+//!     [--mesh 4] [--topology mesh|torus] [--designs mesh,smart,dedicated] \
 //!     [--workloads fig7,app:PIP] [--hpc 1,2,4,8] \
 //!     [--strategy exhaustive|greedy] [--threads N] \
 //!     [--warmup 0] [--measure 20000] [--drain 20000] [--seed 12648430]
@@ -19,7 +19,7 @@
 //! the search golden locks.
 
 use smart_server::{
-    CandidateScore, DesignCache, PlanSpec, SearchSpace, SearchStrategy, WorkloadSpec,
+    CandidateScore, DesignCache, PlanSpec, SearchSpace, SearchStrategy, TopologySpec, WorkloadSpec,
 };
 
 fn main() {
@@ -36,6 +36,9 @@ fn main() {
         })
     };
     let mesh = parse_u64("--mesh", 4) as u16;
+    let topology = flag("--topology").map_or(TopologySpec::Mesh, |t| {
+        TopologySpec::parse(&t).unwrap_or_else(|e| panic!("--topology: {e}"))
+    });
     let designs: Vec<_> = flag("--designs")
         .unwrap_or_else(|| "mesh,smart,dedicated".to_owned())
         .split(',')
@@ -60,6 +63,7 @@ fn main() {
     );
     let space = SearchSpace {
         mesh,
+        topology,
         designs,
         workloads,
         hpc,

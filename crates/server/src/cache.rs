@@ -160,6 +160,19 @@ mod tests {
     }
 
     #[test]
+    fn torus_and_mesh_of_equal_size_miss_separately() {
+        let cache = DesignCache::new(8);
+        let w = Workload::fig7();
+        let (mesh_handle, _) = cache.design(&NocConfig::scaled(4), DesignKind::Smart, &w);
+        let (torus_handle, hit) = cache.design(&NocConfig::scaled_torus(4), DesignKind::Smart, &w);
+        assert!(
+            !hit,
+            "a torus must never be served the mesh's compiled design"
+        );
+        assert!(!Arc::ptr_eq(&mesh_handle, &torus_handle));
+    }
+
+    #[test]
     fn designs_share_one_routed_workload() {
         let cache = DesignCache::new(8);
         let cfg = NocConfig::paper_4x4();

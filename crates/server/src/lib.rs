@@ -63,7 +63,7 @@ pub mod service;
 pub use cache::DesignCache;
 pub use protocol::{
     parse_design, PlanSpec, ProtocolError, Request, RequestHeader, ResponseEvent, SearchStrategy,
-    WorkloadSpec, REQUEST_SCHEMA, RESPONSE_SCHEMA,
+    TopologySpec, WorkloadSpec, REQUEST_SCHEMA, RESPONSE_SCHEMA,
 };
 pub use search::{CandidateScore, SearchOutcome, SearchSpace};
 pub use server::{Client, Server, ServerHandle};

@@ -214,6 +214,73 @@ fn pattern_by_name(name: &str) -> Option<SpatialPattern> {
     }
 }
 
+/// Fabric shape on the wire. The `"topology"` field is optional in
+/// every run request: **absent means mesh**, so every
+/// `smart-server/req-v1` document written before the torus existed
+/// parses (and re-renders) byte-identically. Rendering emits the field
+/// only for the torus for the same reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologySpec {
+    /// `k × k` mesh (the wire default).
+    #[default]
+    Mesh,
+    /// `k × k` torus: same grid plus wraparound links on every row and
+    /// column.
+    Torus,
+}
+
+impl TopologySpec {
+    /// Protocol name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologySpec::Mesh => "mesh",
+            TopologySpec::Torus => "torus",
+        }
+    }
+
+    /// Parse a protocol name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the accepted set.
+    pub fn parse(name: &str) -> Result<TopologySpec, String> {
+        match name {
+            "mesh" => Ok(TopologySpec::Mesh),
+            "torus" => Ok(TopologySpec::Torus),
+            _ => Err(format!(
+                "unknown topology {name:?} (expected mesh or torus)"
+            )),
+        }
+    }
+
+    /// The scaled `k × k` config this spec selects.
+    #[must_use]
+    pub fn config(self, k: u16) -> smart_core::config::NocConfig {
+        match self {
+            TopologySpec::Mesh => smart_core::config::NocConfig::scaled(k),
+            TopologySpec::Torus => smart_core::config::NocConfig::scaled_torus(k),
+        }
+    }
+
+    /// The `,"topology":…` body-line fragment: empty for the mesh so
+    /// pre-torus documents render byte-identically.
+    fn render_field(self) -> &'static str {
+        match self {
+            TopologySpec::Mesh => "",
+            TopologySpec::Torus => ",\"topology\":\"torus\"",
+        }
+    }
+}
+
+/// Extract the optional `"topology"` field; absent defaults to mesh.
+fn topology_field(line: &str, line_no: usize) -> Result<TopologySpec, ProtocolError> {
+    match json::str_field(line, "topology") {
+        None => Ok(TopologySpec::Mesh),
+        Some(raw) => TopologySpec::parse(raw).map_err(|m| ProtocolError::new(line_no, m)),
+    }
+}
+
 /// Render a design kind in the protocol's lowercase grammar.
 #[must_use]
 pub fn design_name(kind: DesignKind) -> &'static str {
@@ -374,6 +441,8 @@ pub enum Request {
         id: String,
         /// Mesh edge (`k × k`).
         mesh: u16,
+        /// Fabric shape (absent on the wire ⇒ mesh).
+        topology: TopologySpec,
         /// Design to build.
         design: DesignKind,
         /// Workload to offer.
@@ -388,6 +457,8 @@ pub enum Request {
         id: String,
         /// Mesh edge.
         mesh: u16,
+        /// Fabric shape (absent on the wire ⇒ mesh).
+        topology: TopologySpec,
         /// Design axis (non-empty).
         designs: Vec<DesignKind>,
         /// Workload axis (non-empty).
@@ -401,6 +472,8 @@ pub enum Request {
         id: String,
         /// Mesh edge.
         mesh: u16,
+        /// Fabric shape (absent on the wire ⇒ mesh).
+        topology: TopologySpec,
         /// Design axis (non-empty); one cell per design.
         designs: Vec<ScheduleDesign>,
         /// Transition drain budget, cycles.
@@ -414,6 +487,8 @@ pub enum Request {
         id: String,
         /// Mesh edge.
         mesh: u16,
+        /// Fabric shape (absent on the wire ⇒ mesh).
+        topology: TopologySpec,
         /// How to walk the space.
         strategy: SearchStrategy,
         /// Design axis (non-empty).
@@ -431,6 +506,8 @@ pub enum Request {
         id: String,
         /// Mesh edge.
         mesh: u16,
+        /// Fabric shape (absent on the wire ⇒ mesh).
+        topology: TopologySpec,
         /// Baseline design.
         baseline: DesignKind,
         /// Candidate design.
@@ -503,24 +580,28 @@ impl Request {
         match self {
             Request::Experiment {
                 mesh,
+                topology,
                 design,
                 workload,
                 plan,
                 ..
             } => vec![format!(
-                "{{\"mesh\":{mesh},\"design\":\"{}\",\"workload\":\"{}\",{}}}",
+                "{{\"mesh\":{mesh}{},\"design\":\"{}\",\"workload\":\"{}\",{}}}",
+                topology.render_field(),
                 design_name(*design),
                 workload.render(),
                 plan.render_fields()
             )],
             Request::Matrix {
                 mesh,
+                topology,
                 designs,
                 workloads,
                 plan,
                 ..
             } => vec![format!(
-                "{{\"mesh\":{mesh},\"designs\":\"{}\",\"workloads\":\"{}\",{}}}",
+                "{{\"mesh\":{mesh}{},\"designs\":\"{}\",\"workloads\":\"{}\",{}}}",
+                topology.render_field(),
                 designs
                     .iter()
                     .map(|d| design_name(*d))
@@ -531,13 +612,15 @@ impl Request {
             )],
             Request::Schedule {
                 mesh,
+                topology,
                 designs,
                 drain_budget,
                 phases,
                 ..
             } => {
                 let mut lines = vec![format!(
-                    "{{\"mesh\":{mesh},\"designs\":\"{}\",\"drain_budget\":{drain_budget}}}",
+                    "{{\"mesh\":{mesh}{},\"designs\":\"{}\",\"drain_budget\":{drain_budget}}}",
+                    topology.render_field(),
                     designs
                         .iter()
                         .map(|d| schedule_design_name(*d))
@@ -551,6 +634,7 @@ impl Request {
             }
             Request::Search {
                 mesh,
+                topology,
                 strategy,
                 designs,
                 workloads,
@@ -559,8 +643,9 @@ impl Request {
                 ..
             } => {
                 vec![format!(
-                "{{\"mesh\":{mesh},\"strategy\":\"{}\",\"designs\":\"{}\",\"workloads\":\"{}\",\
+                "{{\"mesh\":{mesh}{},\"strategy\":\"{}\",\"designs\":\"{}\",\"workloads\":\"{}\",\
                  \"hpc\":\"{}\",{}}}",
+                topology.render_field(),
                 strategy.name(),
                 designs.iter().map(|d| design_name(*d)).collect::<Vec<_>>().join(" "),
                 specs(workloads),
@@ -570,6 +655,7 @@ impl Request {
             }
             Request::TraceDiff {
                 mesh,
+                topology,
                 baseline,
                 candidate,
                 workload,
@@ -578,8 +664,9 @@ impl Request {
                 ..
             } => {
                 let mut lines = vec![format!(
-                    "{{\"mesh\":{mesh},\"baseline\":\"{}\",\"candidate\":\"{}\",\
+                    "{{\"mesh\":{mesh}{},\"baseline\":\"{}\",\"candidate\":\"{}\",\
                      \"workload\":\"{}\",\"flits_per_packet\":{},\"events\":{},{}}}",
+                    topology.render_field(),
                     design_name(*baseline),
                     design_name(*candidate),
                     workload.render(),
@@ -677,6 +764,7 @@ impl Request {
                 Ok(Request::Experiment {
                     id,
                     mesh: mesh_field(line, 2)?,
+                    topology: topology_field(line, 2)?,
                     design: str_then(line, "design", 2, parse_design)?,
                     workload: str_then(line, "workload", 2, WorkloadSpec::parse)?,
                     plan: PlanSpec::from_line(line, 2)?,
@@ -687,6 +775,7 @@ impl Request {
                 Ok(Request::Matrix {
                     id,
                     mesh: mesh_field(line, 2)?,
+                    topology: topology_field(line, 2)?,
                     designs: list_then(line, "designs", 2, parse_design)?,
                     workloads: list_then(line, "workloads", 2, WorkloadSpec::parse)?,
                     plan: PlanSpec::from_line(line, 2)?,
@@ -711,6 +800,7 @@ impl Request {
                 Ok(Request::Schedule {
                     id,
                     mesh: mesh_field(line, 2)?,
+                    topology: topology_field(line, 2)?,
                     designs,
                     drain_budget,
                     phases,
@@ -731,6 +821,7 @@ impl Request {
                 Ok(Request::Search {
                     id,
                     mesh: mesh_field(line, 2)?,
+                    topology: topology_field(line, 2)?,
                     strategy: str_then(line, "strategy", 2, SearchStrategy::parse)?,
                     designs: list_then(line, "designs", 2, parse_design)?,
                     workloads: list_then(line, "workloads", 2, WorkloadSpec::parse)?,
@@ -768,6 +859,7 @@ impl Request {
                 Ok(Request::TraceDiff {
                     id,
                     mesh: mesh_field(line, 2)?,
+                    topology: topology_field(line, 2)?,
                     baseline: str_then(line, "baseline", 2, parse_design)?,
                     candidate: str_then(line, "candidate", 2, parse_design)?,
                     workload: str_then(line, "workload", 2, WorkloadSpec::parse)?,
@@ -1335,6 +1427,7 @@ mod tests {
         let req = Request::Matrix {
             id: "job-1".into(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             designs: vec![DesignKind::Mesh, DesignKind::Smart],
             workloads: vec![
                 WorkloadSpec::Fig7,
@@ -1361,6 +1454,7 @@ mod tests {
             Request::Experiment {
                 id: "e".into(),
                 mesh: 8,
+                topology: TopologySpec::Mesh,
                 design: DesignKind::Dedicated,
                 workload: WorkloadSpec::Pattern {
                     name: "transpose".into(),
@@ -1371,6 +1465,7 @@ mod tests {
             Request::Schedule {
                 id: "s".into(),
                 mesh: 4,
+                topology: TopologySpec::Mesh,
                 designs: vec![ScheduleDesign::Smart, ScheduleDesign::Reconfigurable],
                 drain_budget: 50_000,
                 phases: vec![
@@ -1381,6 +1476,7 @@ mod tests {
             Request::Search {
                 id: "q".into(),
                 mesh: 4,
+                topology: TopologySpec::Mesh,
                 strategy: SearchStrategy::Greedy,
                 designs: vec![DesignKind::Smart],
                 workloads: vec![WorkloadSpec::Fig7],
@@ -1390,6 +1486,7 @@ mod tests {
             Request::TraceDiff {
                 id: "d".into(),
                 mesh: 4,
+                topology: TopologySpec::Mesh,
                 baseline: DesignKind::Mesh,
                 candidate: DesignKind::Smart,
                 workload: WorkloadSpec::Fig7,
@@ -1410,6 +1507,43 @@ mod tests {
             let text = req.to_jsonl();
             assert_eq!(Request::parse(&text), Ok(req), "{text}");
         }
+    }
+
+    #[test]
+    fn torus_requests_round_trip_and_mesh_stays_bare() {
+        let torus = Request::Experiment {
+            id: "t".into(),
+            mesh: 8,
+            topology: TopologySpec::Torus,
+            design: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: plan(),
+        };
+        let text = torus.to_jsonl();
+        assert!(text.contains("\"topology\":\"torus\""), "{text}");
+        assert_eq!(Request::parse(&text), Ok(torus));
+        // The mesh default renders without the field, exactly as the
+        // pre-torus protocol did.
+        let mesh = Request::Experiment {
+            id: "t".into(),
+            mesh: 8,
+            topology: TopologySpec::Mesh,
+            design: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: plan(),
+        };
+        let text = mesh.to_jsonl();
+        assert!(!text.contains("topology"), "{text}");
+        assert_eq!(Request::parse(&text), Ok(mesh));
+    }
+
+    #[test]
+    fn unknown_topology_value_is_rejected() {
+        let text = "{\"schema\":\"smart-server/req-v1\",\"id\":\"a\",\"kind\":\"experiment\",\
+                    \"lines\":1}\n{\"mesh\":4,\"topology\":\"klein-bottle\",\"design\":\"smart\",\
+                    \"workload\":\"fig7\",\"warmup\":0,\"measure\":100,\"drain\":100,\"seed\":1}\n";
+        let err = Request::parse(text).expect_err("bad topology");
+        assert!(err.message.contains("klein-bottle"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! point, evaluating only visited neighborhoods.
 
 use crate::cache::DesignCache;
-use crate::protocol::{PlanSpec, SearchStrategy, WorkloadSpec};
+use crate::protocol::{PlanSpec, SearchStrategy, TopologySpec, WorkloadSpec};
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_harness::{run_cells_observed, CompiledDesign, Experiment, Workload};
@@ -38,6 +38,8 @@ const SMART_XBAR_PER_HOP: f64 = 0.04;
 pub struct SearchSpace {
     /// Mesh edge (`k × k`).
     pub mesh: u16,
+    /// Fabric shape the edge scales.
+    pub topology: TopologySpec,
     /// Design axis.
     pub designs: Vec<DesignKind>,
     /// Mapping axis.
@@ -225,7 +227,7 @@ fn score_candidate(
 ) -> CandidateScore {
     let design = space.designs[di];
     let hpc = space.hpc[hi];
-    let mut cfg = NocConfig::scaled(space.mesh);
+    let mut cfg = space.topology.config(space.mesh);
     cfg.hpc_max = hpc as usize;
     let (handle, _) = cache.design(&cfg, design, &workload);
     let report = Experiment::new(cfg.clone())
@@ -349,9 +351,9 @@ fn finish(
 /// double-spaced pitch.
 #[must_use]
 pub fn area_mm2(cfg: &NocConfig, design: DesignKind, handle: &CompiledDesign) -> f64 {
-    let n = cfg.mesh.len() as f64;
-    let w = f64::from(cfg.mesh.width());
-    let h = f64::from(cfg.mesh.height());
+    let n = cfg.topology.len() as f64;
+    let w = f64::from(cfg.topology.width());
+    let h = f64::from(cfg.topology.height());
     let flit_bits = f64::from(cfg.flit_bits);
     let ports = f64::from(cfg.router_ports);
     let buffer_um2 =
@@ -398,6 +400,7 @@ mod tests {
     fn small_space() -> SearchSpace {
         SearchSpace {
             mesh: 4,
+            topology: TopologySpec::Mesh,
             designs: vec![DesignKind::Mesh, DesignKind::Smart],
             workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("PIP".into())],
             hpc: vec![1, 8],

@@ -137,6 +137,7 @@ impl Service {
         match request {
             Request::Experiment {
                 mesh,
+                topology,
                 design,
                 workload,
                 plan,
@@ -150,7 +151,7 @@ impl Service {
                     };
                     let outcome = self.run_matrix(
                         &job,
-                        *mesh,
+                        topology.config(*mesh),
                         &[*design],
                         std::slice::from_ref(workload),
                         *plan,
@@ -168,6 +169,7 @@ impl Service {
             },
             Request::Matrix {
                 mesh,
+                topology,
                 designs,
                 workloads,
                 plan,
@@ -179,7 +181,8 @@ impl Service {
                         cancel: Some(&cancel),
                         sink,
                     };
-                    let outcome = self.run_matrix(&job, *mesh, designs, workloads, *plan);
+                    let outcome =
+                        self.run_matrix(&job, topology.config(*mesh), designs, workloads, *plan);
                     drop(guard);
                     match outcome {
                         Ok((cells, hits)) => {
@@ -193,6 +196,7 @@ impl Service {
             },
             Request::Schedule {
                 mesh,
+                topology,
                 designs,
                 drain_budget,
                 phases,
@@ -204,7 +208,13 @@ impl Service {
                         cancel: Some(&cancel),
                         sink,
                     };
-                    let outcome = self.run_schedule(&job, *mesh, designs, *drain_budget, phases);
+                    let outcome = self.run_schedule(
+                        &job,
+                        topology.config(*mesh),
+                        designs,
+                        *drain_budget,
+                        phases,
+                    );
                     drop(guard);
                     match outcome {
                         Ok(cells) => {
@@ -218,6 +228,7 @@ impl Service {
             },
             Request::Search {
                 mesh,
+                topology,
                 strategy,
                 designs,
                 workloads,
@@ -228,6 +239,7 @@ impl Service {
                 self.jobs_run.fetch_add(1, Ordering::Relaxed);
                 let space = SearchSpace {
                     mesh: *mesh,
+                    topology: *topology,
                     designs: designs.clone(),
                     workloads: workloads.clone(),
                     hpc: hpc.clone(),
@@ -264,6 +276,7 @@ impl Service {
             }
             Request::TraceDiff {
                 mesh,
+                topology,
                 baseline,
                 candidate,
                 workload,
@@ -279,7 +292,7 @@ impl Service {
                 };
                 match self.run_trace_diff(
                     &job,
-                    *mesh,
+                    topology.config(*mesh),
                     (*baseline, *candidate),
                     workload,
                     *plan,
@@ -351,12 +364,11 @@ impl Service {
     fn run_matrix(
         &self,
         job: &Job<'_>,
-        mesh: u16,
+        cfg: NocConfig,
         designs: &[DesignKind],
         workloads: &[WorkloadSpec],
         plan: PlanSpec,
     ) -> Result<(u64, u64), String> {
-        let cfg = NocConfig::scaled(mesh);
         let mut cells: Vec<(DesignKind, Workload, Arc<CompiledDesign>, bool)> =
             Vec::with_capacity(designs.len() * workloads.len());
         for spec in workloads {
@@ -415,12 +427,11 @@ impl Service {
     fn run_schedule(
         &self,
         job: &Job<'_>,
-        mesh: u16,
+        cfg: NocConfig,
         designs: &[ScheduleDesign],
         drain_budget: u64,
         phases: &[(WorkloadSpec, PlanSpec)],
     ) -> Result<u64, String> {
-        let cfg = NocConfig::scaled(mesh);
         let mut schedule = AppSchedule::new().drain_budget(drain_budget);
         for (spec, plan) in phases {
             schedule = schedule.then(spec.to_workload()?, plan.to_plan());
@@ -469,13 +480,12 @@ impl Service {
     fn run_trace_diff(
         &self,
         job: &Job<'_>,
-        mesh: u16,
+        cfg: NocConfig,
         (baseline, candidate): (DesignKind, DesignKind),
         workload: &WorkloadSpec,
         plan: PlanSpec,
         trace: &TraceFile,
     ) -> Result<u64, String> {
-        let cfg = NocConfig::scaled(mesh);
         let workload = workload.to_workload()?;
         job.sink.emit(&ResponseEvent::Accepted {
             id: job.id.to_owned(),
@@ -517,7 +527,7 @@ impl Service {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::SearchStrategy;
+    use crate::protocol::{SearchStrategy, TopologySpec};
     use smart_harness::{ExperimentMatrix, RunPlan};
 
     fn collect(service: &Service, request: &Request) -> Vec<ResponseEvent> {
@@ -547,6 +557,7 @@ mod tests {
         Request::Matrix {
             id: id.into(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             designs: vec![DesignKind::Mesh, DesignKind::Smart, DesignKind::Dedicated],
             workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("PIP".into())],
             plan: PlanSpec::from(RunPlan::smoke()),
@@ -600,6 +611,7 @@ mod tests {
         let request = Request::Schedule {
             id: "s1".into(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             designs: vec![ScheduleDesign::Smart, ScheduleDesign::Reconfigurable],
             drain_budget: 50_000,
             phases: vec![
@@ -630,6 +642,7 @@ mod tests {
         let request = Request::Search {
             id: "q1".into(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             strategy: SearchStrategy::Exhaustive,
             designs: vec![DesignKind::Mesh, DesignKind::Smart],
             workloads: vec![WorkloadSpec::Fig7],
@@ -656,6 +669,7 @@ mod tests {
         let request = Request::TraceDiff {
             id: "d1".into(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             baseline: DesignKind::Mesh,
             candidate: DesignKind::Smart,
             workload: WorkloadSpec::Fig7,
@@ -700,6 +714,7 @@ mod tests {
         let request = Request::Experiment {
             id: "e1".into(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             design: DesignKind::Mesh,
             workload: WorkloadSpec::App("DOOM".into()),
             plan: PlanSpec::from(RunPlan::smoke()),

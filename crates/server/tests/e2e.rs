@@ -10,7 +10,8 @@ use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_harness::{ExperimentMatrix, RunPlan, Workload};
 use smart_server::{
-    Client, PlanSpec, Request, ResponseEvent, SearchStrategy, Server, ServiceConfig, WorkloadSpec,
+    Client, PlanSpec, Request, ResponseEvent, SearchStrategy, Server, ServiceConfig, TopologySpec,
+    WorkloadSpec,
 };
 use smart_traffic::TraceFile;
 
@@ -32,6 +33,7 @@ fn matrix_request(id: &str) -> Request {
     Request::Matrix {
         id: id.to_owned(),
         mesh: 4,
+        topology: TopologySpec::Mesh,
         designs: DESIGNS.to_vec(),
         workloads: workload_specs(),
         plan: PlanSpec::from(RunPlan::smoke()),
@@ -120,11 +122,53 @@ fn served_requests_are_bit_exact_cached_and_searchable() {
     );
     assert_eq!(done_hits(&warm), reference.len() as u64);
 
+    // 2b. A torus matrix over the same workloads runs end-to-end,
+    // matches the direct torus harness run, and never shares cache
+    // entries with the mesh (its cells are all cold despite the warm
+    // mesh cache).
+    let torus_req = Request::Matrix {
+        id: "torus".to_owned(),
+        mesh: 4,
+        topology: TopologySpec::Torus,
+        designs: DESIGNS.to_vec(),
+        workloads: workload_specs(),
+        plan: PlanSpec::from(RunPlan::smoke()),
+    };
+    let torus = client.submit(&torus_req).expect("torus matrix");
+    let torus_cells = cells_of(&torus);
+    let torus_reference: Vec<String> = ExperimentMatrix::new(NocConfig::scaled_torus(4))
+        .designs(&DESIGNS)
+        .workloads(vec![
+            Workload::fig7(),
+            Workload::app("PIP"),
+            Workload::uniform(6, 0.02, 9),
+        ])
+        .plan(RunPlan::smoke())
+        .threads(1)
+        .run()
+        .iter()
+        .map(smart_harness::ExperimentReport::snapshot_line)
+        .collect();
+    assert_eq!(
+        torus_cells
+            .iter()
+            .map(|(l, _)| l.clone())
+            .collect::<Vec<_>>(),
+        torus_reference,
+        "served torus matrix diverged from the direct run"
+    );
+    assert_eq!(
+        done_hits(&torus),
+        0,
+        "the torus must not be served mesh cache entries"
+    );
+
     // 3. A search streams one candidate per point plus a winner.
     let search = client
         .submit(&Request::Search {
             id: "search".to_owned(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             strategy: SearchStrategy::Exhaustive,
             designs: vec![DesignKind::Mesh, DesignKind::Smart],
             workloads: vec![WorkloadSpec::Fig7],
@@ -159,6 +203,7 @@ fn served_requests_are_bit_exact_cached_and_searchable() {
         .submit(&Request::TraceDiff {
             id: "diff".to_owned(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             baseline: DesignKind::Mesh,
             candidate: DesignKind::Smart,
             workload: WorkloadSpec::Fig7,
@@ -198,7 +243,7 @@ fn served_requests_are_bit_exact_cached_and_searchable() {
             _ => None,
         })
         .expect("stats event");
-    assert_eq!(jobs, 4, "matrix x2 + search + diff");
+    assert_eq!(jobs, 5, "matrix x2 + torus matrix + search + diff");
     assert!(hits >= reference.len() as u64, "warm matrix hit the cache");
 
     // 6. A malformed body poisons only its request; the connection and
@@ -207,6 +252,7 @@ fn served_requests_are_bit_exact_cached_and_searchable() {
         .submit(&Request::Matrix {
             id: "bad".to_owned(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             designs: vec![DesignKind::Mesh],
             workloads: vec![WorkloadSpec::App("NO_SUCH_APP".to_owned())],
             plan: PlanSpec::from(RunPlan::smoke()),

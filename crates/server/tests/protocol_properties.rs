@@ -7,7 +7,9 @@ use proptest::prelude::*;
 use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_harness::{config_key, ScheduleDesign, Workload};
-use smart_server::{PlanSpec, Request, RequestHeader, ResponseEvent, SearchStrategy, WorkloadSpec};
+use smart_server::{
+    PlanSpec, Request, RequestHeader, ResponseEvent, SearchStrategy, TopologySpec, WorkloadSpec,
+};
 use smart_traffic::TraceFile;
 
 const APPS: [&str; 8] = [
@@ -41,6 +43,14 @@ fn plan_spec(warmup: u64, measure: u64, drain: u64, seed: u64) -> PlanSpec {
         measure,
         drain,
         seed,
+    }
+}
+
+fn topology_spec(sel: u64) -> TopologySpec {
+    if sel.is_multiple_of(2) {
+        TopologySpec::Mesh
+    } else {
+        TopologySpec::Torus
     }
 }
 
@@ -81,6 +91,7 @@ proptest! {
         let experiment = Request::Experiment {
             id: id.clone(),
             mesh: mesh as u16,
+            topology: topology_spec(seed),
             design,
             workload: workload_spec(sel, flows, rate, seed),
             plan,
@@ -89,6 +100,7 @@ proptest! {
         let matrix = Request::Matrix {
             id,
             mesh: mesh as u16,
+            topology: topology_spec(seed + 1),
             designs: DesignKind::ALL[..=design_sel].to_vec(),
             workloads: (0..4).map(|s| workload_spec(s, flows, rate, seed + s as u64)).collect(),
             plan,
@@ -110,6 +122,7 @@ proptest! {
         let schedule = Request::Schedule {
             id: id.clone(),
             mesh: 4,
+            topology: topology_spec(seed),
             designs: vec![ScheduleDesign::Smart, ScheduleDesign::Reconfigurable],
             drain_budget: drain + 1,
             phases: phases
@@ -121,6 +134,7 @@ proptest! {
         let search = Request::Search {
             id: id.clone(),
             mesh: 4,
+            topology: topology_spec(seed + 1),
             strategy: if seed % 2 == 0 { SearchStrategy::Exhaustive } else { SearchStrategy::Greedy },
             designs: DesignKind::ALL.to_vec(),
             workloads: phases
@@ -134,6 +148,7 @@ proptest! {
         let diff = Request::TraceDiff {
             id,
             mesh: 4,
+            topology: topology_spec(seed),
             baseline: DesignKind::Mesh,
             candidate: DesignKind::Smart,
             workload: WorkloadSpec::Fig7,
@@ -147,6 +162,35 @@ proptest! {
             },
         };
         prop_assert_eq!(Request::parse(&diff.to_jsonl()), Ok(diff));
+    }
+
+    #[test]
+    fn topology_field_is_optional_and_defaults_to_mesh(
+        id_idx in prop::collection::vec(0usize..64, 1..12),
+        parts in (0usize..4, 1u64..50, 0.0f64..0.5, 0u64..1000),
+        mesh in 2u64..17
+    ) {
+        let (sel, flows, rate, seed) = parts;
+        let id = id_from(&id_idx);
+        let build = |topology: TopologySpec| Request::Experiment {
+            id: id.clone(),
+            mesh: mesh as u16,
+            topology,
+            design: DesignKind::Smart,
+            workload: workload_spec(sel, flows, rate, seed),
+            plan: plan_spec(0, 2000, 2000, seed),
+        };
+        // Mesh requests never mention the field: pre-torus documents
+        // and their renders stay byte-identical.
+        let mesh_text = build(TopologySpec::Mesh).to_jsonl();
+        prop_assert!(!mesh_text.contains("topology"), "{}", mesh_text);
+        // A torus document with the field stripped parses as the mesh
+        // request (absent ⇒ mesh).
+        let torus_text = build(TopologySpec::Torus).to_jsonl();
+        prop_assert!(torus_text.contains("\"topology\":\"torus\""), "{}", torus_text);
+        let stripped = torus_text.replace(",\"topology\":\"torus\"", "");
+        prop_assert_eq!(Request::parse(&stripped), Ok(build(TopologySpec::Mesh)));
+        prop_assert_eq!(stripped, mesh_text);
     }
 
     #[test]
@@ -171,6 +215,7 @@ proptest! {
         let request = Request::Matrix {
             id: "trunc".to_owned(),
             mesh: 4,
+            topology: TopologySpec::Mesh,
             designs: DesignKind::ALL.to_vec(),
             workloads: vec![workload_spec(sel, flows, rate, seed)],
             plan: plan_spec(0, 2000, 2000, seed),
@@ -272,5 +317,13 @@ proptest! {
             base,
             config_key(&cfg, design, &Workload::uniform(flows as usize, rate, seed + 1))
         );
+        // Topology: a torus of the same dimensions must key differently
+        // from the mesh (the wrap links change every compiled route).
+        let mut torus = cfg.clone();
+        torus.topology = smart_sim::Topology::Torus(smart_sim::Torus::new(
+            cfg.topology.width(),
+            cfg.topology.height(),
+        ));
+        prop_assert_ne!(base, config_key(&torus, design, &w));
     }
 }

@@ -13,7 +13,7 @@
 //! a ~64-byte struct cloned on every hop.
 
 use crate::route::SourceRoute;
-use crate::topology::{Mesh, NodeId};
+use crate::topology::{NodeId, Topology};
 use std::fmt;
 
 /// Globally unique packet identifier (simulation-side bookkeeping).
@@ -255,7 +255,7 @@ impl PacketArena {
     }
 }
 
-/// Bit-level header layout for a given mesh / VC configuration,
+/// Bit-level header layout for a given topology / VC configuration,
 /// reproducing Table II's 20-bit head and 4-bit body/tail headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeaderLayout {
@@ -268,15 +268,18 @@ pub struct HeaderLayout {
 }
 
 impl HeaderLayout {
-    /// Layout for `mesh` with `vcs` virtual channels per port.
+    /// Layout for `topo` with `vcs` virtual channels per port. The
+    /// route field is sized by the fabric's longest minimal route, so a
+    /// torus (whose wrap links halve the diameter) gets a *narrower*
+    /// header than the mesh of the same dimensions.
     ///
     /// # Panics
     ///
     /// Panics if `vcs` is zero.
     #[must_use]
-    pub fn for_config(mesh: Mesh, vcs: usize) -> Self {
+    pub fn for_config(topo: impl Into<Topology>, vcs: usize) -> Self {
         assert!(vcs > 0, "need at least one virtual channel");
-        let max_hops = usize::from(mesh.width() - 1 + mesh.height() - 1);
+        let max_hops = topo.into().max_route_hops();
         HeaderLayout {
             route_bits: SourceRoute::header_bits(max_hops),
             vc_bits: bits_for(vcs),
@@ -377,7 +380,7 @@ mod tests {
     fn paper_header_widths() {
         // Table II: header width 20 bits (head), 4 bits (body, tail) for
         // a 4x4 mesh with 2 VCs.
-        let l = HeaderLayout::for_config(Mesh::paper_4x4(), 2);
+        let l = HeaderLayout::for_config(crate::topology::Mesh::paper_4x4(), 2);
         assert_eq!(l.route_bits, 14);
         assert_eq!(l.vc_bits, 1);
         assert_eq!(l.type_bits, 3);

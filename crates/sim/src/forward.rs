@@ -21,7 +21,7 @@
 
 use crate::flit::FlowId;
 use crate::route::SourceRoute;
-use crate::topology::{Direction, LinkId, Mesh, NodeId, PORTS};
+use crate::topology::{Direction, LinkId, NodeId, Topology, PORTS};
 use std::collections::HashMap;
 
 /// The party that launches flits onto a leg (and owns the free-VC queue
@@ -119,8 +119,8 @@ impl FlowPlan {
 
     /// The destination node.
     #[must_use]
-    pub fn destination(&self, mesh: Mesh) -> NodeId {
-        self.route.destination(mesh)
+    pub fn destination(&self, topo: impl Into<Topology>) -> NodeId {
+        self.route.destination(topo)
     }
 
     /// Validate internal consistency: legs chain (each leg's endpoint is
@@ -130,7 +130,8 @@ impl FlowPlan {
     /// # Panics
     ///
     /// Panics with a description of the first violation found.
-    pub fn validate(&self, mesh: Mesh) {
+    pub fn validate(&self, topo: impl Into<Topology>) {
+        let mesh = topo.into();
         assert!(!self.legs.is_empty(), "{}: plan has no legs", self.flow);
         assert_eq!(
             self.legs[0].sender,
@@ -186,7 +187,8 @@ impl FlowTable {
     ///
     /// Panics if the plan is inconsistent or a plan for the flow already
     /// exists.
-    pub fn insert(&mut self, mesh: Mesh, plan: FlowPlan) {
+    pub fn insert(&mut self, topo: impl Into<Topology>, plan: FlowPlan) {
+        let mesh = topo.into();
         plan.validate(mesh);
         let flow = plan.flow;
         assert!(!self.plans.contains_key(&flow), "{flow}: duplicate plan");
@@ -287,7 +289,8 @@ impl FlowTable {
     /// router on the route is a stop, `ST` and `LT` are separate cycles
     /// (the paper's 3-cycle router + 1-cycle link).
     #[must_use]
-    pub fn mesh_baseline(mesh: Mesh, routes: &[(FlowId, SourceRoute)]) -> Self {
+    pub fn mesh_baseline(topo: impl Into<Topology>, routes: &[(FlowId, SourceRoute)]) -> Self {
+        let mesh = topo.into();
         let mut table = FlowTable::new();
         for (flow, route) in routes {
             table.insert(mesh, mesh_plan_for(mesh, *flow, route.clone()));
@@ -501,7 +504,8 @@ impl LegLut {
 
 /// The baseline plan for one routed flow (every router a stop).
 #[must_use]
-pub fn mesh_plan_for(mesh: Mesh, flow: FlowId, route: SourceRoute) -> FlowPlan {
+pub fn mesh_plan_for(topo: impl Into<Topology>, flow: FlowId, route: SourceRoute) -> FlowPlan {
+    let mesh = topo.into();
     let routers = route.routers(mesh);
     let src = route.source();
     let mut legs = Vec::with_capacity(routers.len() + 1);
@@ -547,6 +551,7 @@ pub fn mesh_plan_for(mesh: Mesh, flow: FlowId, route: SourceRoute) -> FlowPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh;
 
     fn mesh() -> Mesh {
         Mesh::paper_4x4()
@@ -554,7 +559,7 @@ mod tests {
 
     #[test]
     fn mesh_plan_stops_everywhere() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(15)).unwrap();
         let plan = mesh_plan_for(mesh(), FlowId(0), route);
         plan.validate(mesh());
         // 6 hops -> 7 routers; legs = inject + 6 links + eject = 8.
@@ -568,14 +573,14 @@ mod tests {
 
     #[test]
     fn one_hop_mesh_latency_is_eight() {
-        let route = SourceRoute::xy(mesh(), NodeId(9), NodeId(10));
+        let route = SourceRoute::xy(mesh(), NodeId(9), NodeId(10)).unwrap();
         let plan = mesh_plan_for(mesh(), FlowId(1), route);
         assert_eq!(plan.zero_load_latency(), 8);
     }
 
     #[test]
     fn crossbar_and_mm_accounting() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2)).unwrap();
         let plan = mesh_plan_for(mesh(), FlowId(0), route);
         let xbars: u32 = plan.legs.iter().map(Segment::crossbars).sum();
         let mm: f64 = plan.legs.iter().map(Segment::link_mm).sum();
@@ -586,7 +591,7 @@ mod tests {
 
     #[test]
     fn flow_table_leg_lookup() {
-        let r0 = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let r0 = SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap();
         let table = FlowTable::mesh_baseline(mesh(), &[(FlowId(7), r0)]);
         let leg = table.leg_from(FlowId(7), NodeId(1));
         assert_eq!(leg.sender, Sender::RouterOutput(NodeId(1), Direction::East));
@@ -603,9 +608,18 @@ mod tests {
     #[test]
     fn sender_endpoint_map_is_consistent_for_mesh() {
         let flows = vec![
-            (FlowId(0), SourceRoute::xy(mesh(), NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(mesh(), NodeId(4), NodeId(3))),
-            (FlowId(2), SourceRoute::xy(mesh(), NodeId(0), NodeId(12))),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(1),
+                SourceRoute::xy(mesh(), NodeId(4), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(2),
+                SourceRoute::xy(mesh(), NodeId(0), NodeId(12)).unwrap(),
+            ),
         ];
         let table = FlowTable::mesh_baseline(mesh(), &flows);
         let map = table.sender_endpoints();
@@ -625,9 +639,18 @@ mod tests {
         // Sparse, shuffled flow ids exercise both the direct index and
         // the per-flow router tables.
         let flows = vec![
-            (FlowId(7), SourceRoute::xy(mesh(), NodeId(0), NodeId(3))),
-            (FlowId(0), SourceRoute::xy(mesh(), NodeId(4), NodeId(6))),
-            (FlowId(3), SourceRoute::xy(mesh(), NodeId(12), NodeId(0))),
+            (
+                FlowId(7),
+                SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh(), NodeId(4), NodeId(6)).unwrap(),
+            ),
+            (
+                FlowId(3),
+                SourceRoute::xy(mesh(), NodeId(12), NodeId(0)).unwrap(),
+            ),
         ];
         let table = FlowTable::mesh_baseline(mesh(), &flows);
         let lut = LegLut::new(&table);
@@ -646,7 +669,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not stop at")]
     fn leg_lut_rejects_non_stop_router() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap();
         let table = FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)]);
         let lut = LegLut::new(&table);
         let _ = lut.leg_from(FlowId(0), NodeId(12));
@@ -655,7 +678,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no plan for")]
     fn leg_lut_rejects_unknown_flow() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(3)).unwrap();
         let table = FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)]);
         let lut = LegLut::new(&table);
         let _ = lut.first_leg(FlowId(99));
@@ -665,7 +688,7 @@ mod tests {
     #[should_panic(expected = "duplicate plan")]
     fn duplicate_flow_rejected() {
         let mut t = FlowTable::new();
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(1));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(1)).unwrap();
         t.insert(mesh(), mesh_plan_for(mesh(), FlowId(0), route.clone()));
         t.insert(mesh(), mesh_plan_for(mesh(), FlowId(0), route));
     }
@@ -673,7 +696,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "leg links do not cover the route")]
     fn truncated_plan_rejected() {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2)).unwrap();
         let mut plan = mesh_plan_for(mesh(), FlowId(0), route);
         // Drop one link from a middle leg.
         plan.legs[1].links.clear();

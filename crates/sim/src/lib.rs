@@ -1,7 +1,8 @@
 //! Cycle-accurate network-on-chip simulation substrate for the SMART
 //! reproduction (DATE 2013).
 //!
-//! This crate provides the generic machinery — mesh [`topology`], flits
+//! This crate provides the generic machinery — the [`topology`] layer
+//! (mesh and torus fabrics), flits
 //! and source [`route`]s, VC buffers and the 3-stage [`router`] pipeline,
 //! virtual-cut-through credits, [`nic`]s, [`traffic`] generators, the
 //! synchronous [`network`] engine, and activity [`counters`] — on which
@@ -22,8 +23,8 @@
 //!
 //! // One flow across the 4x4 mesh on the baseline 3-cycle router.
 //! let cfg = SimConfig::paper_4x4();
-//! let route = SourceRoute::xy(cfg.mesh, NodeId(0), NodeId(3));
-//! let flows = FlowTable::mesh_baseline(cfg.mesh, &[(FlowId(0), route)]);
+//! let route = SourceRoute::xy(cfg.topology, NodeId(0), NodeId(3)).unwrap();
+//! let flows = FlowTable::mesh_baseline(cfg.topology, &[(FlowId(0), route)]);
 //! let mut net = Network::new(cfg, flows);
 //! net.offer(Packet {
 //!     id: PacketId(0),
@@ -60,9 +61,9 @@ pub use flit::{
 pub use forward::{Endpoint, FlowPlan, FlowTable, LegLut, Segment, Sender};
 pub use network::{Network, SimConfig};
 pub use patterns::Pattern;
-pub use route::SourceRoute;
+pub use route::{RouteError, SourceRoute};
 pub use router::{CreditRelease, Router, RouterBank, RouterDeparture};
 pub use stats::SimStats;
-pub use topology::{Coord, Direction, LinkId, Mesh, NodeId, Turn};
+pub use topology::{Coord, Direction, LinkId, Mesh, NodeId, Topology, TopologyOps, Torus, Turn};
 pub use trace::{ReplayCounts, TraceKind, TraceRecord, Tracer};
 pub use traffic::{mbps_to_packet_rate, BernoulliTraffic, ScriptedTraffic, TrafficSource};

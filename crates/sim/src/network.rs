@@ -20,7 +20,7 @@ use crate::forward::{Endpoint, FlowTable, LegLut, Sender};
 use crate::nic::{Nic, RxEvent};
 use crate::router::{CreditRelease, RouterBank, RouterDeparture};
 use crate::stats::SimStats;
-use crate::topology::{Direction, LinkId, Mesh, NodeId, PORTS};
+use crate::topology::{Direction, LinkId, NodeId, Topology, PORTS};
 use crate::trace::{TraceKind, TraceRecord, Tracer};
 use crate::traffic::TrafficSource;
 
@@ -28,8 +28,8 @@ use crate::traffic::TrafficSource;
 /// [`SimConfig::paper_4x4`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Mesh dimensions.
-    pub mesh: Mesh,
+    /// Fabric shape (mesh or torus) and dimensions.
+    pub topology: Topology,
     /// Virtual channels per input port.
     pub vcs_per_port: usize,
     /// Flits of buffering per VC.
@@ -44,7 +44,7 @@ impl SimConfig {
     #[must_use]
     pub fn paper_4x4() -> Self {
         SimConfig {
-            mesh: Mesh::paper_4x4(),
+            topology: crate::topology::Mesh::paper_4x4().into(),
             vcs_per_port: 2,
             vc_depth: 10,
             flits_per_packet: 8,
@@ -197,10 +197,10 @@ impl Network {
     #[must_use]
     pub fn new(cfg: SimConfig, flows: FlowTable) -> Self {
         cfg.validate();
-        let n = cfg.mesh.len();
+        let n = cfg.topology.len();
         let mut bank = RouterBank::new(n, cfg.vcs_per_port, cfg.vc_depth);
         let nics: Vec<Nic> = cfg
-            .mesh
+            .topology
             .nodes()
             .map(|id| Nic::new(id, cfg.vcs_per_port))
             .collect();
@@ -218,9 +218,9 @@ impl Network {
                 for link in &leg.links {
                     bank.enable_output(link.from.0 as usize, link.dir);
                     let to = cfg
-                        .mesh
+                        .topology
                         .neighbor(link.from, link.dir)
-                        .unwrap_or_else(|| panic!("{link} leaves the mesh"));
+                        .unwrap_or_else(|| panic!("{link} leaves the fabric"));
                     bank.enable_input(to.0 as usize, link.dir.opposite());
                 }
                 let path = Some(CreditPath {
@@ -292,10 +292,10 @@ impl Network {
         self.cfg
     }
 
-    /// The mesh being simulated.
+    /// The topology being simulated.
     #[must_use]
-    pub fn mesh(&self) -> Mesh {
-        self.cfg.mesh
+    pub fn topology(&self) -> Topology {
+        self.cfg.topology
     }
 
     /// The flow table in use.
@@ -367,7 +367,7 @@ impl Network {
         assert_eq!(packet.src, plan.route.source(), "packet src mismatch");
         assert_eq!(
             packet.dst,
-            plan.route.destination(self.cfg.mesh),
+            plan.route.destination(self.cfg.topology),
             "packet dst mismatch"
         );
         let src = packet.src.0 as usize;
@@ -724,8 +724,8 @@ mod tests {
     fn one_flow_net(src: u16, dst: u16) -> (Network, FlowId) {
         let cfg = SimConfig::paper_4x4();
         let flow = FlowId(0);
-        let route = SourceRoute::xy(cfg.mesh, NodeId(src), NodeId(dst));
-        let table = FlowTable::mesh_baseline(cfg.mesh, &[(flow, route)]);
+        let route = SourceRoute::xy(cfg.topology, NodeId(src), NodeId(dst)).unwrap();
+        let table = FlowTable::mesh_baseline(cfg.topology, &[(flow, route)]);
         (Network::new(cfg, table), flow)
     }
 
@@ -783,7 +783,7 @@ mod tests {
             vec![(0, flow), (1, flow), (2, flow)],
             8,
             net.flows(),
-            net.mesh(),
+            net.topology(),
         );
         net.run_with(&mut traffic, 300);
         assert_eq!(net.counters().packets_delivered, 3);

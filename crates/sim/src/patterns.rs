@@ -6,7 +6,7 @@
 //! SMART preset compiler accepts *any* flow set, so even adversarial
 //! all-to-all patterns must simulate correctly (they simply stop more).
 
-use crate::topology::{Coord, Mesh, NodeId};
+use crate::topology::{Coord, NodeId, Topology};
 
 /// A synthetic communication pattern over the mesh nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,10 +27,13 @@ pub enum Pattern {
 }
 
 impl Pattern {
-    /// The `(src, dst)` pairs this pattern induces on `mesh`
-    /// (self-pairs are dropped).
+    /// The `(src, dst)` pairs this pattern induces on `topo`
+    /// (self-pairs are dropped). Patterns are defined on the coordinate
+    /// grid, so the pair set is the same for a mesh and a torus of equal
+    /// dimensions — only the routes differ.
     #[must_use]
-    pub fn pairs(self, mesh: Mesh) -> Vec<(NodeId, NodeId)> {
+    pub fn pairs(self, topo: impl Into<Topology>) -> Vec<(NodeId, NodeId)> {
+        let mesh = topo.into();
         let mut out = Vec::new();
         match self {
             Pattern::UniformAllToAll => {
@@ -101,6 +104,7 @@ impl Pattern {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh;
 
     fn mesh() -> Mesh {
         Mesh::paper_4x4()

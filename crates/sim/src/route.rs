@@ -6,8 +6,39 @@
 //! bits correspond to Left, Right, Straight and Core", relative to the
 //! flit's travelling direction. Deadlock freedom is enforced by the route
 //! *generator* (a turn model — see `smart-mapping`), not by the encoding.
+//!
+//! The encoding is topology-agnostic: crossing a torus wrap link
+//! preserves the travelling direction (East across the seam is still
+//! East), so the same relative turns steer a flit on either fabric.
+//! [`SourceRoute::dimension_order`] is the generic minimal generator —
+//! classic XY on a mesh, per-axis shorter-way-around on a torus.
 
-use crate::topology::{Direction, LinkId, Mesh, NodeId, Turn};
+use crate::topology::{Direction, LinkId, NodeId, Topology, Turn};
+use std::fmt;
+
+/// Why a route could not be generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The source and destination are the same node: the paper's route
+    /// encoding has no zero-hop form (the first field is an absolute
+    /// output port, so every route crosses at least one link). Flow
+    /// generators must filter self-pairs before routing.
+    SelfRoute(NodeId),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SelfRoute(node) => write!(
+                f,
+                "no route from {node} to itself: the 2-bit route encoding \
+                 has no zero-hop form"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// A static source route: the absolute output direction at the source
 /// router, followed by one relative turn per subsequent router, ending
@@ -51,50 +82,108 @@ impl SourceRoute {
     ///
     /// # Panics
     ///
-    /// Panics if consecutive routers are not mesh neighbours or fewer
-    /// than two routers are given.
+    /// Panics if consecutive routers are not neighbours on `topo` or
+    /// fewer than two routers are given.
     #[must_use]
-    pub fn from_router_path(mesh: Mesh, routers: &[NodeId]) -> Self {
+    pub fn from_router_path(topo: impl Into<Topology>, routers: &[NodeId]) -> Self {
+        let topo = topo.into();
         assert!(routers.len() >= 2, "a route needs at least two routers");
         let mut dirs = Vec::with_capacity(routers.len() - 1);
         for w in routers.windows(2) {
             let dir = Direction::MESH
                 .iter()
                 .copied()
-                .find(|d| mesh.neighbor(w[0], *d) == Some(w[1]))
+                .find(|d| topo.neighbor(w[0], *d) == Some(w[1]))
                 .unwrap_or_else(|| panic!("{} and {} are not neighbours", w[0], w[1]));
             dirs.push(dir);
         }
+        SourceRoute::from_directions(routers[0], &dirs)
+    }
+
+    /// Build the route that leaves `src` and takes `dirs` in order
+    /// (≥ 1 of them), ejecting to the core after the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirs` is empty, contains `Core`, or reverses
+    /// direction between consecutive hops (U-turns are not encodable).
+    #[must_use]
+    pub fn from_directions(src: NodeId, dirs: &[Direction]) -> Self {
+        assert!(!dirs.is_empty(), "a route needs at least one hop");
         let first = dirs[0];
         let mut turns = Vec::with_capacity(dirs.len());
         for w in dirs.windows(2) {
             turns.push(w[0].turn_to(w[1]));
         }
         turns.push(Turn::Core);
-        SourceRoute::new(routers[0], first, turns)
+        SourceRoute::new(src, first, turns)
     }
 
-    /// Dimension-ordered (X-then-Y) minimal route from `src` to `dst` —
-    /// the classic deadlock-free baseline.
+    /// Dimension-ordered (X-then-Y) minimal route from `src` to `dst`.
+    /// On a mesh this is the classic deadlock-free XY baseline; on a
+    /// torus each axis independently takes the direction with fewer
+    /// hops, wrapping across the seam when that is shorter (ties — an
+    /// even ring crossed exactly half-way — break toward East/North for
+    /// determinism).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `src == dst`.
-    #[must_use]
-    pub fn xy(mesh: Mesh, src: NodeId, dst: NodeId) -> Self {
-        assert_ne!(src, dst, "no route from a node to itself");
-        let mut routers = vec![src];
-        let (cs, cd) = (mesh.coord(src), mesh.coord(dst));
-        let mut cur = cs;
-        while cur.x != cd.x {
-            cur.x = if cd.x > cur.x { cur.x + 1 } else { cur.x - 1 };
-            routers.push(mesh.node_at(cur));
+    /// Returns [`RouteError::SelfRoute`] when `src == dst` — the route
+    /// encoding has no zero-hop form, so self-flows must be filtered by
+    /// the caller.
+    pub fn dimension_order(
+        topo: impl Into<Topology>,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Self, RouteError> {
+        let topo = topo.into();
+        if src == dst {
+            return Err(RouteError::SelfRoute(src));
         }
-        while cur.y != cd.y {
-            cur.y = if cd.y > cur.y { cur.y + 1 } else { cur.y - 1 };
-            routers.push(mesh.node_at(cur));
-        }
-        SourceRoute::from_router_path(mesh, &routers)
+        let (cs, cd) = (topo.coord(src), topo.coord(dst));
+        let mut dirs = Vec::with_capacity(topo.distance(src, dst) as usize);
+        let mut axis = |from: u16, to: u16, size: u16, pos: Direction, neg: Direction| {
+            let (dir, hops) = match topo {
+                Topology::Mesh(_) => {
+                    if to >= from {
+                        (pos, to - from)
+                    } else {
+                        (neg, from - to)
+                    }
+                }
+                Topology::Torus(_) => {
+                    let fwd = (to + size - from) % size;
+                    let bwd = size - fwd;
+                    // fwd == 0 contributes no hops; on a tie take the
+                    // positive direction.
+                    if fwd == 0 || fwd <= bwd {
+                        (pos, fwd)
+                    } else {
+                        (neg, bwd)
+                    }
+                }
+            };
+            dirs.extend(std::iter::repeat_n(dir, usize::from(hops)));
+        };
+        axis(cs.x, cd.x, topo.width(), Direction::East, Direction::West);
+        axis(
+            cs.y,
+            cd.y,
+            topo.height(),
+            Direction::North,
+            Direction::South,
+        );
+        Ok(SourceRoute::from_directions(src, &dirs))
+    }
+
+    /// The historical name for [`SourceRoute::dimension_order`] —
+    /// X-then-Y on a mesh, wrap-aware on a torus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::SelfRoute`] when `src == dst`.
+    pub fn xy(topo: impl Into<Topology>, src: NodeId, dst: NodeId) -> Result<Self, RouteError> {
+        SourceRoute::dimension_order(topo, src, dst)
     }
 
     /// Source node of the route.
@@ -126,20 +215,21 @@ impl SourceRoute {
     ///
     /// # Panics
     ///
-    /// Panics if the route walks off the mesh edge.
+    /// Panics if the route walks off a fabric edge.
     #[must_use]
-    pub fn routers(&self, mesh: Mesh) -> Vec<NodeId> {
+    pub fn routers(&self, topo: impl Into<Topology>) -> Vec<NodeId> {
+        let topo = topo.into();
         let mut out = vec![self.src];
         let mut travel = self.first;
-        let mut at = mesh
+        let mut at = topo
             .neighbor(self.src, travel)
-            .unwrap_or_else(|| panic!("route leaves the mesh at {}", self.src));
+            .unwrap_or_else(|| panic!("route leaves the fabric at {}", self.src));
         out.push(at);
         for t in &self.turns[..self.turns.len() - 1] {
             travel = travel.apply_turn(*t);
-            at = mesh
+            at = topo
                 .neighbor(at, travel)
-                .unwrap_or_else(|| panic!("route leaves the mesh at {at}"));
+                .unwrap_or_else(|| panic!("route leaves the fabric at {at}"));
             out.push(at);
         }
         out
@@ -147,8 +237,8 @@ impl SourceRoute {
 
     /// The destination node.
     #[must_use]
-    pub fn destination(&self, mesh: Mesh) -> NodeId {
-        *self.routers(mesh).last().expect("routes are nonempty")
+    pub fn destination(&self, topo: impl Into<Topology>) -> NodeId {
+        *self.routers(topo).last().expect("routes are nonempty")
     }
 
     /// Output direction at each visited router, ending with `Core`
@@ -170,8 +260,8 @@ impl SourceRoute {
 
     /// The directed links traversed, in order.
     #[must_use]
-    pub fn links(&self, mesh: Mesh) -> Vec<LinkId> {
-        let routers = self.routers(mesh);
+    pub fn links(&self, topo: impl Into<Topology>) -> Vec<LinkId> {
+        let routers = self.routers(topo);
         let outputs = self.outputs();
         routers
             .iter()
@@ -224,6 +314,7 @@ impl SourceRoute {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{Mesh, TopologyOps, Torus};
 
     fn mesh() -> Mesh {
         Mesh::paper_4x4()
@@ -231,7 +322,7 @@ mod tests {
 
     #[test]
     fn xy_route_shape() {
-        let r = SourceRoute::xy(mesh(), NodeId(0), NodeId(15));
+        let r = SourceRoute::xy(mesh(), NodeId(0), NodeId(15)).unwrap();
         assert_eq!(r.num_hops(), 6);
         assert_eq!(
             r.routers(mesh()),
@@ -254,7 +345,7 @@ mod tests {
 
     #[test]
     fn single_hop_route() {
-        let r = SourceRoute::xy(mesh(), NodeId(9), NodeId(10));
+        let r = SourceRoute::xy(mesh(), NodeId(9), NodeId(10)).unwrap();
         assert_eq!(r.num_hops(), 1);
         assert_eq!(r.turns(), &[Turn::Core]);
         assert_eq!(r.links(mesh()).len(), 1);
@@ -282,7 +373,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         for (s, d) in [(0u16, 15u16), (9, 10), (3, 12), (14, 1), (5, 6)] {
-            let r = SourceRoute::xy(mesh(), NodeId(s), NodeId(d));
+            let r = SourceRoute::xy(mesh(), NodeId(s), NodeId(d)).unwrap();
             let bits = r.encode();
             let back = SourceRoute::decode(NodeId(s), bits, r.num_hops());
             assert_eq!(back, r, "route {s}->{d}");
@@ -298,7 +389,7 @@ mod tests {
 
     #[test]
     fn links_match_hops() {
-        let r = SourceRoute::xy(mesh(), NodeId(12), NodeId(3));
+        let r = SourceRoute::xy(mesh(), NodeId(12), NodeId(3)).unwrap();
         assert_eq!(r.links(mesh()).len(), r.num_hops());
         assert_eq!(r.num_hops(), 6);
     }
@@ -310,9 +401,80 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no route from a node to itself")]
-    fn self_route_rejected() {
-        let _ = SourceRoute::xy(mesh(), NodeId(3), NodeId(3));
+    fn self_route_is_a_typed_error() {
+        let err = SourceRoute::xy(mesh(), NodeId(3), NodeId(3)).expect_err("self route");
+        assert_eq!(err, RouteError::SelfRoute(NodeId(3)));
+        assert!(err.to_string().contains("no route from n3 to itself"));
+        let torus_err = SourceRoute::dimension_order(Torus::new(4, 4), NodeId(0), NodeId(0))
+            .expect_err("self route");
+        assert_eq!(torus_err, RouteError::SelfRoute(NodeId(0)));
+    }
+
+    #[test]
+    fn torus_route_wraps_the_short_way() {
+        let t = Torus::new(4, 4);
+        // 0 -> 3: one West wrap hop instead of three East hops.
+        let r = SourceRoute::dimension_order(t, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(r.num_hops(), 1);
+        assert_eq!(r.first_direction(), Direction::West);
+        assert_eq!(r.routers(t), vec![NodeId(0), NodeId(3)]);
+        // 0 -> 15: West wrap then South wrap, 2 hops total.
+        let r = SourceRoute::dimension_order(t, NodeId(0), NodeId(15)).unwrap();
+        assert_eq!(r.num_hops(), 2);
+        assert_eq!(r.routers(t), vec![NodeId(0), NodeId(3), NodeId(15)]);
+        assert_eq!(r.destination(t), NodeId(15));
+        // The same pair on the mesh needs 6 hops.
+        let m = SourceRoute::dimension_order(mesh(), NodeId(0), NodeId(15)).unwrap();
+        assert_eq!(m.num_hops(), 6);
+    }
+
+    #[test]
+    fn torus_half_way_tie_breaks_east_and_north() {
+        let t = Torus::new(4, 4);
+        // x: 0 -> 2 is 2 hops either way; the tie goes East.
+        let r = SourceRoute::dimension_order(t, NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(r.first_direction(), Direction::East);
+        assert_eq!(r.num_hops(), 2);
+        // y: 0 -> 8 is 2 hops either way; the tie goes North.
+        let r = SourceRoute::dimension_order(t, NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(r.first_direction(), Direction::North);
+    }
+
+    #[test]
+    fn torus_route_length_matches_distance() {
+        let t = Torus::new(4, 4);
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                if s == d {
+                    continue;
+                }
+                let r = SourceRoute::dimension_order(t, NodeId(s), NodeId(d)).unwrap();
+                assert_eq!(
+                    r.num_hops() as u16,
+                    t.distance(NodeId(s), NodeId(d)),
+                    "{s}->{d}"
+                );
+                assert_eq!(r.destination(t), NodeId(d), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_encode_and_decode_like_mesh_routes() {
+        let t = Torus::new(8, 8);
+        let r = SourceRoute::dimension_order(t, NodeId(0), NodeId(63)).unwrap();
+        let back = SourceRoute::decode(NodeId(0), r.encode(), r.num_hops());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn mesh_routes_on_wrapped_grid_still_work() {
+        // A mesh route threaded through a same-size torus visits the
+        // same routers: non-wrap links are identical in both fabrics.
+        let m = mesh();
+        let t = Torus::new(4, 4);
+        let r = SourceRoute::dimension_order(m, NodeId(1), NodeId(14)).unwrap();
+        assert_eq!(r.routers(m), r.routers(t));
     }
 
     #[test]

@@ -786,7 +786,7 @@ mod tests {
 
     /// A flow table with a single 2-hop flow 0 -> 2 (baseline plan).
     fn table() -> FlowTable {
-        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2));
+        let route = SourceRoute::xy(mesh(), NodeId(0), NodeId(2)).unwrap();
         FlowTable::mesh_baseline(mesh(), &[(FlowId(0), route)])
     }
 
@@ -896,8 +896,8 @@ mod tests {
         // Two flows, both crossing East, on different VCs: packets must
         // not interleave on the East output.
         let mesh = mesh();
-        let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2));
-        let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(3));
+        let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2)).unwrap();
+        let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(3)).unwrap();
         let flows = FlowTable::mesh_baseline(mesh, &[(FlowId(0), r0), (FlowId(1), r1)]);
         let mut r = prepared_router();
         let mut c = ActivityCounters::new();
@@ -932,8 +932,8 @@ mod tests {
         // stream's tail has passed.
         let mesh = Mesh::paper_4x4();
         // Flow 0: 0 -> 2 (East at router 0); flow 1: 0 -> 4 (North).
-        let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2));
-        let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(4));
+        let r0 = SourceRoute::xy(mesh, NodeId(0), NodeId(2)).unwrap();
+        let r1 = SourceRoute::xy(mesh, NodeId(0), NodeId(4)).unwrap();
         let flows = FlowTable::mesh_baseline(mesh, &[(FlowId(0), r0), (FlowId(1), r1)]);
         let mut r = Router::new(NodeId(0), 2, 10);
         r.enable_input(Direction::Core);

@@ -9,7 +9,7 @@
 //! waveform of per-router activity for external viewers.
 
 use crate::flit::{FlowId, PacketId};
-use crate::topology::{Direction, Mesh, NodeId};
+use crate::topology::{Direction, NodeId, Topology};
 use std::fmt::Write as _;
 
 /// One traced event.
@@ -184,8 +184,8 @@ impl Tracer {
     /// high on cycles with any event there), with the cycle as the VCD
     /// timescale unit.
     #[must_use]
-    pub fn to_vcd(&self, mesh: Mesh, module: &str) -> String {
-        let n = mesh.len();
+    pub fn to_vcd(&self, topo: impl Into<Topology>, module: &str) -> String {
+        let n = topo.into().len();
         let mut s = String::new();
         writeln!(s, "$date smart-noc trace $end").expect("infallible");
         writeln!(s, "$timescale 500ps $end").expect("infallible");
@@ -377,7 +377,7 @@ mod tests {
 
     #[test]
     fn vcd_structure() {
-        let mesh = Mesh::paper_4x4();
+        let mesh = crate::topology::Mesh::paper_4x4();
         let mut t = Tracer::with_capacity(10);
         t.record(rec(
             0,

@@ -10,7 +10,7 @@
 
 use crate::flit::{FlowId, Packet, PacketId};
 use crate::forward::FlowTable;
-use crate::topology::{Mesh, NodeId};
+use crate::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -41,10 +41,11 @@ impl BernoulliTraffic {
     pub fn new(
         rates: &[(FlowId, f64)],
         flows: &FlowTable,
-        mesh: Mesh,
+        topo: impl Into<Topology>,
         flits_per_packet: u8,
         seed: u64,
     ) -> Self {
+        let topo = topo.into();
         let specs = rates
             .iter()
             .map(|(flow, rate)| {
@@ -56,7 +57,7 @@ impl BernoulliTraffic {
                 (
                     *flow,
                     plan.route.source(),
-                    plan.route.destination(mesh),
+                    plan.route.destination(topo),
                     *rate,
                 )
             })
@@ -145,14 +146,15 @@ impl ScriptedTraffic {
         mut events: Vec<(u64, FlowId)>,
         flits_per_packet: u8,
         flows: &FlowTable,
-        mesh: Mesh,
+        topo: impl Into<Topology>,
     ) -> Self {
+        let topo = topo.into();
         events.sort_by_key(|(c, _)| *c);
         let endpoints = events
             .iter()
             .map(|(_, f)| {
                 let plan = flows.plan(*f);
-                (*f, (plan.route.source(), plan.route.destination(mesh)))
+                (*f, (plan.route.source(), plan.route.destination(topo)))
             })
             .collect();
         ScriptedTraffic {
@@ -211,12 +213,19 @@ pub fn mbps_to_packet_rate(
 mod tests {
     use super::*;
     use crate::route::SourceRoute;
+    use crate::topology::Mesh;
 
     fn table() -> (FlowTable, Mesh) {
         let mesh = Mesh::paper_4x4();
         let routes = vec![
-            (FlowId(0), SourceRoute::xy(mesh, NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(mesh, NodeId(12), NodeId(15))),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh, NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(1),
+                SourceRoute::xy(mesh, NodeId(12), NodeId(15)).unwrap(),
+            ),
         ];
         (FlowTable::mesh_baseline(mesh, &routes), mesh)
     }

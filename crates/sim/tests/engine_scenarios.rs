@@ -27,8 +27,8 @@ fn vc_backpressure_stalls_and_recovers() {
     // at most 2 packets' worth of flits committed toward any endpoint
     // at once. All must still arrive, strictly in order.
     let cfg = SimConfig::paper_4x4();
-    let route = SourceRoute::xy(cfg.mesh, NodeId(0), NodeId(3));
-    let flows = FlowTable::mesh_baseline(cfg.mesh, &[(FlowId(0), route)]);
+    let route = SourceRoute::xy(cfg.topology, NodeId(0), NodeId(3)).unwrap();
+    let flows = FlowTable::mesh_baseline(cfg.topology, &[(FlowId(0), route)]);
     let mut net = Network::new(cfg, flows);
     for i in 0..6 {
         net.offer(packet(i, 0, 0, 3, 0));
@@ -56,8 +56,14 @@ fn round_robin_shares_a_merging_output_fairly() {
     let mesh = Mesh::paper_4x4();
     let cfg = SimConfig::paper_4x4();
     let routes = vec![
-        (FlowId(0), SourceRoute::xy(mesh, NodeId(0), NodeId(3))),
-        (FlowId(1), SourceRoute::xy(mesh, NodeId(4), NodeId(3))),
+        (
+            FlowId(0),
+            SourceRoute::xy(mesh, NodeId(0), NodeId(3)).unwrap(),
+        ),
+        (
+            FlowId(1),
+            SourceRoute::xy(mesh, NodeId(4), NodeId(3)).unwrap(),
+        ),
     ];
     let flows = FlowTable::mesh_baseline(mesh, &routes);
     let mut net = Network::new(cfg, flows);
@@ -79,7 +85,7 @@ fn transpose_pattern_conserves_packets_on_the_baseline() {
     let routes: Vec<(FlowId, SourceRoute)> = pairs
         .iter()
         .enumerate()
-        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(mesh, *s, *d)))
+        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(mesh, *s, *d).unwrap()))
         .collect();
     let flows = FlowTable::mesh_baseline(mesh, &routes);
     let mut net = Network::new(cfg, flows);
@@ -107,7 +113,7 @@ fn hotspot_saturates_gracefully_not_fatally() {
     let routes: Vec<(FlowId, SourceRoute)> = pairs
         .iter()
         .enumerate()
-        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(mesh, *s, *d)))
+        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(mesh, *s, *d).unwrap()))
         .collect();
     let flows = FlowTable::mesh_baseline(mesh, &routes);
     let mut net = Network::new(cfg, flows);
@@ -136,7 +142,10 @@ fn single_flit_packets_work() {
         flits_per_packet: 1,
         ..SimConfig::paper_4x4()
     };
-    let routes = vec![(FlowId(0), SourceRoute::xy(mesh, NodeId(2), NodeId(13)))];
+    let routes = vec![(
+        FlowId(0),
+        SourceRoute::xy(mesh, NodeId(2), NodeId(13)).unwrap(),
+    )];
     let flows = FlowTable::mesh_baseline(mesh, &routes);
     let mut net = Network::new(cfg, flows);
     let mut traffic = ScriptedTraffic::new(
@@ -157,11 +166,11 @@ fn single_flit_packets_work() {
 fn deep_mesh_16x16_zero_load_formula_still_holds() {
     let mesh = Mesh::new(16, 16);
     let cfg = SimConfig {
-        mesh,
+        topology: mesh.into(),
         ..SimConfig::paper_4x4()
     };
     // Corner to corner: 30 hops.
-    let route = SourceRoute::xy(mesh, NodeId(0), NodeId(255));
+    let route = SourceRoute::xy(mesh, NodeId(0), NodeId(255)).unwrap();
     let flows = FlowTable::mesh_baseline(mesh, &[(FlowId(0), route)]);
     let mut net = Network::new(cfg, flows);
     net.offer(packet(0, 0, 0, 255, 0));

@@ -33,7 +33,7 @@ pub use smart_sim::{arbiter, counters, forward, route, stats, topology, trace, t
 use proptest::prelude::*;
 use smart_sim::forward::FlowTable;
 use smart_sim::route::SourceRoute;
-use smart_sim::topology::{LinkId, Mesh};
+use smart_sim::topology::{LinkId, Topology};
 use smart_sim::{BernoulliTraffic, FlowId, Network, Pattern, SimConfig};
 use std::collections::HashMap;
 
@@ -41,12 +41,12 @@ use std::collections::HashMap;
 type Routes = Vec<(FlowId, SourceRoute)>;
 
 /// Transpose routes + a uniform per-flow rate on the 4×4 paper mesh.
-fn transpose_workload(mesh: Mesh, rate: f64) -> (Routes, Vec<(FlowId, f64)>) {
+fn transpose_workload(mesh: Topology, rate: f64) -> (Routes, Vec<(FlowId, f64)>) {
     let routes: Routes = Pattern::Transpose
         .pairs(mesh)
         .into_iter()
         .enumerate()
-        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(mesh, s, d)))
+        .map(|(i, (s, d))| (FlowId(i as u32), SourceRoute::xy(mesh, s, d).unwrap()))
         .collect();
     let rates = routes.iter().map(|(f, _)| (*f, rate)).collect();
     (routes, rates)
@@ -57,7 +57,7 @@ fn transpose_workload(mesh: Mesh, rate: f64) -> (Routes, Vec<(FlowId, f64)>) {
 /// externally observable quantity matches.
 fn assert_engines_agree(rate: f64, seed: u64, cycles: u64) {
     let cfg = SimConfig::paper_4x4();
-    let mesh = cfg.mesh;
+    let mesh = cfg.topology;
     let (routes, rates) = transpose_workload(mesh, rate);
 
     let flows_new = FlowTable::mesh_baseline(mesh, &routes);
@@ -67,7 +67,7 @@ fn assert_engines_agree(rate: f64, seed: u64, cycles: u64) {
 
     let mut live = Network::new(cfg, flows_new);
     let legacy_cfg = network::SimConfig {
-        mesh,
+        mesh: mesh.as_mesh().expect("paper config is a mesh"),
         vcs_per_port: cfg.vcs_per_port,
         vc_depth: cfg.vc_depth,
         flits_per_packet: cfg.flits_per_packet,

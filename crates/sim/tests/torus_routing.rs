@@ -1,0 +1,95 @@
+//! Property tests for wrap-aware dimension-order routing on the torus:
+//! every route is minimal (each axis independently takes the shorter
+//! way around its ring, ties breaking East/North), terminates at its
+//! destination, and is never longer than the same pair's mesh route.
+
+use proptest::prelude::*;
+use smart_sim::{Direction, Mesh, NodeId, SourceRoute, Topology, Torus};
+
+/// Per-axis hop counts the shorter-way rule demands, as
+/// `(east, west, north, south)`.
+fn expected_steps(topo: Topology, src: NodeId, dst: NodeId) -> (u16, u16, u16, u16) {
+    let (cs, cd) = (topo.coord(src), topo.coord(dst));
+    let axis = |from: u16, to: u16, size: u16| -> (u16, u16) {
+        let fwd = (to + size - from) % size;
+        let bwd = size - fwd;
+        if fwd == 0 || fwd <= bwd {
+            (fwd, 0)
+        } else {
+            (0, bwd)
+        }
+    };
+    let (east, west) = axis(cs.x, cd.x, topo.width());
+    let (north, south) = axis(cs.y, cd.y, topo.height());
+    (east, west, north, south)
+}
+
+/// Count the route's steps per direction by walking its links.
+fn taken_steps(route: &SourceRoute, topo: Topology) -> (u16, u16, u16, u16) {
+    let mut counts = (0u16, 0u16, 0u16, 0u16);
+    for link in route.links(topo) {
+        match link.dir {
+            Direction::East => counts.0 += 1,
+            Direction::West => counts.1 += 1,
+            Direction::North => counts.2 += 1,
+            Direction::South => counts.3 += 1,
+            Direction::Core => panic!("a route never uses the core port"),
+        }
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Each axis independently takes the direction with fewer hops
+    /// around its ring; an exact half-way tie goes East/North.
+    #[test]
+    fn torus_routes_take_the_shorter_wrap_direction(
+        w in 2u16..10,
+        h in 2u16..10,
+        src in 0u16..100,
+        dst in 0u16..100,
+    ) {
+        let topo = Topology::from(Torus::new(w, h));
+        let n = topo.len() as u16;
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        prop_assume!(src != dst);
+        let route = SourceRoute::dimension_order(topo, src, dst).expect("distinct endpoints");
+        prop_assert_eq!(taken_steps(&route, topo), expected_steps(topo, src, dst));
+        // Minimality follows: the step counts sum to the wrap-aware
+        // distance.
+        prop_assert_eq!(route.num_hops() as u16, topo.distance(src, dst));
+        prop_assert_eq!(route.destination(topo), dst);
+    }
+
+    /// On `2^k × 2^k` fabrics the torus route for any pair is at most
+    /// as long as the mesh route (the wrap links can only help), and
+    /// both fit the torus header budget `⌊w/2⌋ + ⌊h/2⌋`.
+    #[test]
+    fn torus_route_never_longer_than_mesh_route_on_pow2(
+        k in 1u32..5,
+        src in 0u16..1000,
+        dst in 0u16..1000,
+    ) {
+        let edge = 2u16.pow(k);
+        let torus = Topology::from(Torus::new(edge, edge));
+        let mesh = Topology::from(Mesh::new(edge, edge));
+        let n = torus.len() as u16;
+        let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+        prop_assume!(src != dst);
+        let on_torus = SourceRoute::dimension_order(torus, src, dst).expect("distinct endpoints");
+        let on_mesh = SourceRoute::dimension_order(mesh, src, dst).expect("distinct endpoints");
+        prop_assert!(on_torus.num_hops() <= on_mesh.num_hops());
+        prop_assert!(on_torus.num_hops() <= torus.max_route_hops());
+    }
+
+    /// Self-routes are a typed error on every topology, never a panic.
+    #[test]
+    fn self_routes_fail_identically_on_mesh_and_torus(node in 0u16..64) {
+        let node = NodeId(node);
+        let mesh_err = SourceRoute::dimension_order(Mesh::new(8, 8), node, node);
+        let torus_err = SourceRoute::dimension_order(Torus::new(8, 8), node, node);
+        prop_assert_eq!(mesh_err.unwrap_err(), torus_err.unwrap_err());
+    }
+}

@@ -174,13 +174,16 @@ impl Conformance {
     #[must_use]
     pub fn run_case(&self, design: DesignUnderTest, scenario: &Scenario) -> CaseReport {
         let ctx = format!("{}/{}", design.label(), scenario.name);
-        let table = FlowTable::mesh_baseline(self.cfg.mesh, &scenario.routes);
+        let table = FlowTable::mesh_baseline(self.cfg.topology, &scenario.routes);
 
         // --- Invariant 2 (structural): Section IV stop rules. ---
         let compiled = match design {
             DesignUnderTest::Smart | DesignUnderTest::Reconfigurable => {
-                let app =
-                    smart_core::compile::compile(self.cfg.mesh, self.cfg.hpc_max, &scenario.routes);
+                let app = smart_core::compile::compile(
+                    self.cfg.topology,
+                    self.cfg.hpc_max,
+                    &scenario.routes,
+                );
                 check_link_exclusivity(&ctx, &self.cfg, scenario, &app);
                 Some(app)
             }
@@ -198,7 +201,7 @@ impl Conformance {
                 let mut traffic = BernoulliTraffic::new(
                     &scenario.rates,
                     &table,
-                    self.cfg.mesh,
+                    self.cfg.topology,
                     self.cfg.flits_per_packet(),
                     self.seed,
                 );
@@ -315,11 +318,11 @@ impl Conformance {
                     // Private sink: NIC-to-NIC in one cycle. Shared
                     // sink: the paper serializes flows into the
                     // destination NIC through a stop router (+3).
-                    let dst = route.destination(self.cfg.mesh);
+                    let dst = route.destination(self.cfg.topology);
                     let shared = scenario
                         .routes
                         .iter()
-                        .any(|(f, r)| f != flow && r.destination(self.cfg.mesh) == dst);
+                        .any(|(f, r)| f != flow && r.destination(self.cfg.topology) == dst);
                     if shared {
                         4.0
                     } else {
@@ -337,7 +340,7 @@ impl Conformance {
                         vec![(0, *flow)],
                         self.cfg.flits_per_packet(),
                         table,
-                        self.cfg.mesh,
+                        self.cfg.topology,
                     );
                     let mut r = ReconfigurableNoc::new(self.cfg.clone(), PRESET_BASE_ADDR);
                     r.load_app(&scenario.name, &scenario.routes, self.drain_budget)
@@ -388,7 +391,7 @@ struct RoutePorts {
 }
 
 fn route_ports(cfg: &NocConfig, flow: FlowId, route: &SourceRoute) -> RoutePorts {
-    let routers = route.routers(cfg.mesh);
+    let routers = route.routers(cfg.topology);
     let outputs = route.outputs();
     let mut inputs = Vec::with_capacity(routers.len());
     inputs.push(Direction::Core);
@@ -400,7 +403,7 @@ fn route_ports(cfg: &NocConfig, flow: FlowId, route: &SourceRoute) -> RoutePorts
         routers,
         inputs,
         outputs,
-        links: route.links(cfg.mesh),
+        links: route.links(cfg.topology),
     }
 }
 
@@ -408,7 +411,7 @@ fn route_ports(cfg: &NocConfig, flow: FlowId, route: &SourceRoute) -> RoutePorts
 fn count_shared_links(cfg: &NocConfig, routes: &[(FlowId, SourceRoute)]) -> usize {
     let mut users: BTreeMap<LinkId, usize> = BTreeMap::new();
     for (_, route) in routes {
-        for link in route.links(cfg.mesh) {
+        for link in route.links(cfg.topology) {
             *users.entry(link).or_default() += 1;
         }
     }

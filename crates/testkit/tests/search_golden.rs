@@ -9,13 +9,14 @@
 
 use smart_core::noc::DesignKind;
 use smart_server::{
-    DesignCache, PlanSpec, SearchOutcome, SearchSpace, SearchStrategy, WorkloadSpec,
+    DesignCache, PlanSpec, SearchOutcome, SearchSpace, SearchStrategy, TopologySpec, WorkloadSpec,
 };
 use std::sync::OnceLock;
 
 fn space() -> SearchSpace {
     SearchSpace {
         mesh: 4,
+        topology: TopologySpec::Mesh,
         designs: vec![DesignKind::Mesh, DesignKind::Smart],
         workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("PIP".to_owned())],
         hpc: vec![1, 2, 4, 8],

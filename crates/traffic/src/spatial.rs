@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smart_sim::route::SourceRoute;
-use smart_sim::topology::{Coord, Mesh, NodeId};
+use smart_sim::topology::{Coord, NodeId, Topology};
 use smart_sim::FlowId;
 
 /// A pattern routed onto a mesh: XY `(FlowId, SourceRoute)` routes plus
@@ -147,7 +147,8 @@ impl SpatialPattern {
     /// structured patterns plus a single-target center hotspot — every
     /// entry valid on any square power-of-two mesh.
     #[must_use]
-    pub fn battery(mesh: Mesh) -> Vec<SpatialPattern> {
+    pub fn battery(topo: impl Into<Topology>) -> Vec<SpatialPattern> {
+        let mesh = topo.into();
         let center = mesh.node_at(Coord {
             x: mesh.width() / 2,
             y: mesh.height() / 2,
@@ -196,7 +197,8 @@ impl SpatialPattern {
     /// needs a square mesh; the bit patterns need a power-of-two node
     /// count.
     #[must_use]
-    pub fn destination(&self, mesh: Mesh, node: NodeId) -> Option<NodeId> {
+    pub fn destination(&self, topo: impl Into<Topology>, node: NodeId) -> Option<NodeId> {
+        let mesh = topo.into();
         let c = mesh.coord(node);
         match self {
             SpatialPattern::Uniform { .. }
@@ -258,7 +260,8 @@ impl SpatialPattern {
     /// Panics if the pattern's structural requirement fails (see
     /// [`SpatialPattern::destination`]) or a hotspot target is off-mesh.
     #[must_use]
-    pub fn flows(&self, mesh: Mesh) -> Vec<PatternFlow> {
+    pub fn flows(&self, topo: impl Into<Topology>) -> Vec<PatternFlow> {
+        let mesh = topo.into();
         let mut out = Vec::new();
         match self {
             SpatialPattern::Uniform { flows, seed } => {
@@ -414,7 +417,8 @@ impl SpatialPattern {
     /// Panics if the pattern induces no flows on `mesh` or a structural
     /// requirement fails.
     #[must_use]
-    pub fn routed(&self, mesh: Mesh, rate: f64) -> RoutedPattern {
+    pub fn routed(&self, topo: impl Into<Topology>, rate: f64) -> RoutedPattern {
+        let mesh = topo.into();
         let flows = self.flows(mesh);
         assert!(
             !flows.is_empty(),
@@ -426,7 +430,12 @@ impl SpatialPattern {
         let routes: Vec<(FlowId, SourceRoute)> = flows
             .iter()
             .enumerate()
-            .map(|(i, f)| (FlowId(i as u32), SourceRoute::xy(mesh, f.src, f.dst)))
+            .map(|(i, f)| {
+                let route = SourceRoute::xy(mesh, f.src, f.dst).unwrap_or_else(|e| {
+                    panic!("pattern {} produced a self-flow: {e}", self.label())
+                });
+                (FlowId(i as u32), route)
+            })
             .collect();
         let rates = flows
             .iter()
@@ -442,7 +451,7 @@ impl SpatialPattern {
 /// # Panics
 ///
 /// Panics if the node count is not a power of two.
-fn index_bits(mesh: Mesh) -> u32 {
+fn index_bits(mesh: Topology) -> u32 {
     let n = mesh.len();
     assert!(
         n.is_power_of_two() && n > 1,
@@ -454,9 +463,10 @@ fn index_bits(mesh: Mesh) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smart_sim::Mesh;
 
-    fn mesh() -> Mesh {
-        Mesh::paper_4x4()
+    fn mesh() -> smart_sim::Mesh {
+        smart_sim::Mesh::paper_4x4()
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smart_sim::forward::FlowTable;
-use smart_sim::topology::{Mesh, NodeId};
+use smart_sim::topology::{NodeId, Topology};
 use smart_sim::{FlowId, Packet, PacketId, TrafficSource};
 
 /// An injection-process modulator layered on per-flow Bernoulli rates.
@@ -174,11 +174,12 @@ impl ModulatedTraffic {
         model: TemporalModel,
         rates: &[(FlowId, f64)],
         flows: &FlowTable,
-        mesh: Mesh,
+        topo: impl Into<Topology>,
         flits_per_packet: u8,
         seed: u64,
     ) -> Self {
         model.validate();
+        let topo = topo.into();
         let specs = rates
             .iter()
             .map(|(flow, rate)| {
@@ -190,7 +191,7 @@ impl ModulatedTraffic {
                 FlowState {
                     flow: *flow,
                     src: plan.route.source(),
-                    dst: plan.route.destination(mesh),
+                    dst: plan.route.destination(topo),
                     rate: *rate,
                     on: true,
                 }
@@ -277,11 +278,17 @@ mod tests {
     use smart_sim::route::SourceRoute;
     use smart_sim::BernoulliTraffic;
 
-    fn table() -> (FlowTable, Mesh) {
-        let mesh = Mesh::paper_4x4();
+    fn table() -> (FlowTable, smart_sim::Mesh) {
+        let mesh = smart_sim::Mesh::paper_4x4();
         let routes = vec![
-            (FlowId(0), SourceRoute::xy(mesh, NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(mesh, NodeId(12), NodeId(15))),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh, NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(1),
+                SourceRoute::xy(mesh, NodeId(12), NodeId(15)).unwrap(),
+            ),
         ];
         (FlowTable::mesh_baseline(mesh, &routes), mesh)
     }

@@ -11,7 +11,7 @@
 //! input.
 
 use smart_sim::forward::FlowTable;
-use smart_sim::topology::Mesh;
+use smart_sim::topology::Topology;
 use smart_sim::{FlowId, Packet, ScriptedTraffic, TrafficSource};
 use std::fmt;
 
@@ -234,15 +234,15 @@ pub struct TraceTraffic {
 }
 
 impl TraceTraffic {
-    /// Build a replay source for `trace` against `flows` on `mesh`.
+    /// Build a replay source for `trace` against `flows` on `topo`.
     ///
     /// # Panics
     ///
     /// Panics if the trace references a flow the table does not know.
     #[must_use]
-    pub fn new(trace: &TraceFile, flows: &FlowTable, mesh: Mesh) -> Self {
+    pub fn new(trace: &TraceFile, flows: &FlowTable, topo: impl Into<Topology>) -> Self {
         TraceTraffic {
-            inner: ScriptedTraffic::new(trace.events.clone(), trace.flits_per_packet, flows, mesh),
+            inner: ScriptedTraffic::new(trace.events.clone(), trace.flits_per_packet, flows, topo),
         }
     }
 
@@ -266,11 +266,17 @@ mod tests {
     use smart_sim::route::SourceRoute;
     use smart_sim::topology::NodeId;
 
-    fn table() -> (FlowTable, Mesh) {
-        let mesh = Mesh::paper_4x4();
+    fn table() -> (FlowTable, smart_sim::Mesh) {
+        let mesh = smart_sim::Mesh::paper_4x4();
         let routes = vec![
-            (FlowId(0), SourceRoute::xy(mesh, NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(mesh, NodeId(12), NodeId(15))),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh, NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(1),
+                SourceRoute::xy(mesh, NodeId(12), NodeId(15)).unwrap(),
+            ),
         ];
         (FlowTable::mesh_baseline(mesh, &routes), mesh)
     }
@@ -370,10 +376,16 @@ mod tests {
         // Two flows sharing one source NIC, rates listed in descending
         // flow-id order: the recorded per-cycle order (1 before 0)
         // dictates NIC queue order, and replay must preserve it.
-        let mesh = Mesh::paper_4x4();
+        let mesh = smart_sim::Mesh::paper_4x4();
         let routes = vec![
-            (FlowId(0), SourceRoute::xy(mesh, NodeId(0), NodeId(3))),
-            (FlowId(1), SourceRoute::xy(mesh, NodeId(0), NodeId(12))),
+            (
+                FlowId(0),
+                SourceRoute::xy(mesh, NodeId(0), NodeId(3)).unwrap(),
+            ),
+            (
+                FlowId(1),
+                SourceRoute::xy(mesh, NodeId(0), NodeId(12)).unwrap(),
+            ),
         ];
         let flows = FlowTable::mesh_baseline(mesh, &routes);
         let rates = [(FlowId(1), 0.5), (FlowId(0), 0.5)];

@@ -204,7 +204,10 @@ fn battery_routes_on_large_meshes() {
         let (routes, _) = pattern.routed(mesh, 0.01);
         assert!(!routes.is_empty(), "{}", pattern.label());
         for (f, r) in &routes {
-            let _ = (f, SourceRoute::xy(mesh, r.source(), r.destination(mesh)));
+            let _ = (
+                f,
+                SourceRoute::xy(mesh, r.source(), r.destination(mesh)).unwrap(),
+            );
         }
     }
 }

@@ -35,7 +35,7 @@ fn main() {
             );
             cfg.hpc_max = link.max_hops_per_cycle(Gbps(clock)) as usize;
 
-            let placement = place_random(cfg.mesh, &graph, 2013);
+            let placement = place_random(cfg.topology, &graph, 2013);
             let mapped = MappedApp::with_placement(&cfg, &graph, placement);
             let reports = ExperimentMatrix::new(cfg.clone())
                 .designs(&[DesignKind::Mesh, DesignKind::Smart])

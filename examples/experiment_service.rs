@@ -12,7 +12,8 @@
 //! `cargo run -p smart-server --bin smart_server` daemon.
 
 use smart_server::{
-    Client, PlanSpec, Request, ResponseEvent, SearchStrategy, Server, ServiceConfig, WorkloadSpec,
+    Client, PlanSpec, Request, ResponseEvent, SearchStrategy, Server, ServiceConfig, TopologySpec,
+    WorkloadSpec,
 };
 
 fn main() {
@@ -27,6 +28,7 @@ fn main() {
     let matrix = |id: &str| Request::Matrix {
         id: id.to_owned(),
         mesh: 4,
+        topology: TopologySpec::Mesh,
         designs: smart_core::noc::DesignKind::ALL.to_vec(),
         workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("VOPD".to_owned())],
         plan: PlanSpec {
@@ -50,6 +52,7 @@ fn main() {
     let search = Request::Search {
         id: "sweep".to_owned(),
         mesh: 4,
+        topology: TopologySpec::Mesh,
         strategy: SearchStrategy::Exhaustive,
         designs: vec![
             smart_core::noc::DesignKind::Mesh,

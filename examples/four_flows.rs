@@ -15,7 +15,7 @@ use smart_noc::prelude::*;
 
 fn main() {
     let cfg = NocConfig::paper_4x4();
-    let flows = fig7_flows(cfg.mesh);
+    let flows = fig7_flows(cfg.topology);
     let names = ["green", "purple", "red", "blue"];
 
     // Inject one packet per flow, staggered so each sees an idle
@@ -44,7 +44,7 @@ fn main() {
             .1;
         println!(
             "{name:<7} {:?}  stops {:?}  predicted latency {expected}",
-            route.routers(cfg.mesh),
+            route.routers(cfg.topology),
             stops
         );
     }

@@ -14,7 +14,7 @@ use std::fs;
 
 fn main() -> std::io::Result<()> {
     let cfg = NocConfig::paper_4x4();
-    let flows = fig7_flows(cfg.mesh);
+    let flows = fig7_flows(cfg.topology);
     let routes: Vec<(FlowId, SourceRoute)> =
         flows.iter().map(|(f, r, _)| (*f, r.clone())).collect();
     let mut noc = SmartNoc::new(&cfg, &routes);
@@ -26,7 +26,7 @@ fn main() -> std::io::Result<()> {
         vec![(0, blue)],
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     noc.network_mut().run_with(&mut traffic, 60);
 
@@ -39,7 +39,7 @@ fn main() -> std::io::Result<()> {
         tracer.dropped()
     );
 
-    let vcd = tracer.to_vcd(cfg.mesh, "smart_mesh_4x4");
+    let vcd = tracer.to_vcd(cfg.topology, "smart_mesh_4x4");
     let path = "target/generated/activity.vcd";
     fs::create_dir_all("target/generated")?;
     fs::write(path, &vcd)?;

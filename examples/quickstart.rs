@@ -13,8 +13,8 @@ fn main() {
     let cfg = NocConfig::paper_4x4();
     println!(
         "SMART NoC: {}x{} mesh at {} GHz, HPC_max = {} hops/cycle",
-        cfg.mesh.width(),
-        cfg.mesh.height(),
+        cfg.topology.width(),
+        cfg.topology.height(),
         cfg.clock_ghz,
         cfg.hpc_max
     );

@@ -33,7 +33,7 @@ fn main() {
         let live = noc.noc_mut().expect("app loaded");
         println!(
             "   bypass fraction {:.0}%, enabled ports {}/160",
-            live.compiled().bypass_fraction(cfg.mesh) * 100.0,
+            live.compiled().bypass_fraction(cfg.topology) * 100.0,
             live.presets().enabled_ports()
         );
         // A couple of interesting registers, as the memory map sees them.
@@ -44,7 +44,7 @@ fn main() {
         let mut traffic = BernoulliTraffic::new(
             &mapped.rates,
             live.network().flows(),
-            cfg.mesh,
+            cfg.topology,
             cfg.flits_per_packet(),
             99,
         );
@@ -59,6 +59,6 @@ fn main() {
     println!(
         "Reconfigured {} times; each switch cost {} store instructions.",
         noc.reconfig_count(),
-        cfg.mesh.len()
+        cfg.topology.len()
     );
 }

@@ -14,7 +14,7 @@ fn main() {
     // 1. Pattern × design mini-matrix: seven patterns, three designs,
     // one ExperimentMatrix — cells run on scoped threads and come back
     // in deterministic order.
-    let patterns = SpatialPattern::battery(cfg.mesh);
+    let patterns = SpatialPattern::battery(cfg.topology);
     let workloads: Vec<Workload> = patterns
         .iter()
         .map(|p| Workload::patterned(p.clone(), 0.02))

@@ -20,10 +20,15 @@ fn legacy_run(
     rates: &[(FlowId, f64)],
     plan: RunPlan,
 ) -> (u64, u64, f64, f64) {
-    let table = FlowTable::mesh_baseline(cfg.mesh, routes);
+    let table = FlowTable::mesh_baseline(cfg.topology, routes);
     let mut design = Design::build(kind, cfg, routes);
-    let mut traffic =
-        BernoulliTraffic::new(rates, &table, cfg.mesh, cfg.flits_per_packet(), plan.seed);
+    let mut traffic = BernoulliTraffic::new(
+        rates,
+        &table,
+        cfg.topology,
+        cfg.flits_per_packet(),
+        plan.seed,
+    );
     design.set_stats_from(plan.warmup);
     design.run_with(&mut traffic, plan.warmup);
     design.reset_counters();
@@ -90,7 +95,7 @@ fn matrix_runs_12x12_on_multiple_threads_deterministically() {
     // Past the paper's 4×4 point: a 12×12 mesh (144 routers), six
     // cells, fanned out over scoped threads.
     let cfg = NocConfig::scaled(12);
-    assert_eq!(cfg.mesh.len(), 144);
+    assert_eq!(cfg.topology.len(), 144);
     let matrix = ExperimentMatrix::new(cfg)
         .designs(&[DesignKind::Mesh, DesignKind::Smart])
         .workloads(vec![
@@ -137,7 +142,7 @@ fn matrix_runs_12x12_on_multiple_threads_deterministically() {
 #[test]
 fn single_experiment_runs_16x16() {
     let cfg = NocConfig::scaled(16);
-    assert_eq!(cfg.mesh.len(), 256);
+    assert_eq!(cfg.topology.len(), 256);
     let report = Experiment::new(cfg)
         .design(DesignKind::Smart)
         .workload(Workload::uniform(16, 0.004, 0xB16))

@@ -9,7 +9,7 @@ use smart_noc::sim::{FlowId, NodeId, ScriptedTraffic, SourceRoute};
 
 fn routes() -> (NocConfig, Vec<(FlowId, SourceRoute, u64)>) {
     let cfg = NocConfig::paper_4x4();
-    (cfg.clone(), fig7_flows(cfg.mesh))
+    (cfg.clone(), fig7_flows(cfg.topology))
 }
 
 #[test]
@@ -29,7 +29,7 @@ fn traversal_times_match_the_figure() {
         events,
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     noc.network_mut().run_with(&mut traffic, 400);
     assert!(noc.network().is_quiescent());
@@ -73,7 +73,7 @@ fn credit_path_returns_vcs_for_repeated_packets() {
         events,
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     noc.network_mut().run_with(&mut traffic, 2_000);
     assert!(noc.network().is_quiescent(), "train must drain");
@@ -92,7 +92,7 @@ fn simultaneous_arrival_serializes_per_footnote_7() {
         events,
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     noc.network_mut().run_with(&mut traffic, 300);
     let red = noc.network().stats().flow(flows[2].0).expect("red");

@@ -15,7 +15,7 @@ use smart_noc::sim::{FlowId, NodeId, ScriptedTraffic, SourceRoute};
 #[test]
 fn credit_mesh_sustains_full_throughput_across_six_hops() {
     let cfg = NocConfig::paper_4x4();
-    let route = SourceRoute::xy(cfg.mesh, NodeId(0), NodeId(15)); // 6 hops
+    let route = SourceRoute::xy(cfg.topology, NodeId(0), NodeId(15)).unwrap(); // 6 hops
     let routes = vec![(FlowId(0), route)];
     let mut noc = SmartNoc::new(&cfg, &routes);
     assert!(
@@ -28,7 +28,7 @@ fn credit_mesh_sustains_full_throughput_across_six_hops() {
         events,
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     let horizon = n_packets * 8 + 200;
     noc.network_mut().run_with(&mut traffic, horizon);
@@ -54,11 +54,17 @@ fn stops_cost_latency_not_bandwidth() {
     let routes = vec![
         (
             FlowId(0),
-            SourceRoute::from_router_path(cfg.mesh, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+            SourceRoute::from_router_path(
+                cfg.topology,
+                &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            ),
         ),
         (
             FlowId(1),
-            SourceRoute::from_router_path(cfg.mesh, &[NodeId(4), NodeId(0), NodeId(1), NodeId(5)]),
+            SourceRoute::from_router_path(
+                cfg.topology,
+                &[NodeId(4), NodeId(0), NodeId(1), NodeId(5)],
+            ),
         ),
     ];
     let mut noc = SmartNoc::new(&cfg, &routes);
@@ -73,7 +79,7 @@ fn stops_cost_latency_not_bandwidth() {
         events,
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     noc.network_mut()
         .run_with(&mut traffic, n_packets * 8 + 300);
@@ -94,7 +100,7 @@ fn stops_cost_latency_not_bandwidth() {
 fn one_vc_halves_train_throughput() {
     let mut cfg = NocConfig::paper_4x4();
     cfg.vcs_per_port = 1;
-    let route = SourceRoute::xy(cfg.mesh, NodeId(0), NodeId(15));
+    let route = SourceRoute::xy(cfg.topology, NodeId(0), NodeId(15)).unwrap();
     let routes = vec![(FlowId(0), route)];
     let mut noc = SmartNoc::new(&cfg, &routes);
     let n_packets = 50u64;
@@ -103,7 +109,7 @@ fn one_vc_halves_train_throughput() {
         events,
         cfg.flits_per_packet(),
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
     );
     noc.network_mut().run_with(&mut traffic, 3_000);
     assert!(noc.network_mut().drain(2_000));

@@ -27,7 +27,7 @@ fn routed(pairs: &[(u16, u16)]) -> Vec<(FlowId, SourceRoute)> {
         .map(|(i, (s, d))| {
             (
                 FlowId(i as u32),
-                SourceRoute::xy(mesh, NodeId(*s), NodeId(*d)),
+                SourceRoute::xy(mesh, NodeId(*s), NodeId(*d)).unwrap(),
             )
         })
         .collect()
@@ -71,7 +71,7 @@ proptest! {
             events,
             cfg.flits_per_packet(),
             &flows_table,
-            cfg.mesh,
+            cfg.topology,
         );
         design.run_with(&mut traffic, 4_000);
         prop_assert!(design.drain(4_000), "network must drain");
@@ -92,12 +92,12 @@ proptest! {
         let cfg = NocConfig::paper_4x4();
         let routes = routed(&[(src, dst)]);
         let mut design = Design::build(kind, &cfg, &routes);
-        let flows_table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &routes);
+        let flows_table = smart_noc::sim::FlowTable::mesh_baseline(cfg.topology, &routes);
         let mut traffic = ScriptedTraffic::new(
             vec![(0, FlowId(0))],
             cfg.flits_per_packet(),
             &flows_table,
-            cfg.mesh,
+            cfg.topology,
         );
         design.run_with(&mut traffic, 200);
         prop_assert!(design.drain(200));
@@ -108,7 +108,7 @@ proptest! {
                 f64::from(4 * hops + 4)
             }
             DesignKind::Smart => {
-                let app = compile(cfg.mesh, cfg.hpc_max, &routes);
+                let app = compile(cfg.topology, cfg.hpc_max, &routes);
                 app.flows.plan(FlowId(0)).zero_load_latency() as f64
             }
             DesignKind::Dedicated => unreachable!("not sampled"),
@@ -120,7 +120,7 @@ proptest! {
     fn smart_zero_load_latency_is_one_plus_three_stops(pairs in arb_flows(8)) {
         let cfg = NocConfig::paper_4x4();
         let routes = routed(&pairs);
-        let app = compile(cfg.mesh, cfg.hpc_max, &routes);
+        let app = compile(cfg.topology, cfg.hpc_max, &routes);
         for (flow, _) in &routes {
             let plan = app.flows.plan(*flow);
             prop_assert_eq!(
@@ -134,7 +134,7 @@ proptest! {
     fn route_encoding_round_trips(src in 0u16..16, dst in 0u16..16) {
         prop_assume!(src != dst);
         let mesh = Mesh::paper_4x4();
-        let r = SourceRoute::xy(mesh, NodeId(src), NodeId(dst));
+        let r = SourceRoute::xy(mesh, NodeId(src), NodeId(dst)).unwrap();
         let bits = r.encode();
         let back = SourceRoute::decode(NodeId(src), bits, r.num_hops());
         prop_assert_eq!(back, r);
@@ -160,11 +160,12 @@ fn mesh_and_smart_agree_on_packet_counts_under_suite_traffic() {
     let mut counts = Vec::new();
     for kind in [DesignKind::Mesh, DesignKind::Smart] {
         let mut design = Design::build(kind, &cfg, &routes);
-        let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.mesh, &routes);
+        let table = smart_noc::sim::FlowTable::mesh_baseline(cfg.topology, &routes);
         let events: Vec<(u64, FlowId)> = (0..50u64)
             .map(|i| (i * 3, FlowId((i % 5) as u32)))
             .collect();
-        let mut traffic = ScriptedTraffic::new(events, cfg.flits_per_packet(), &table, cfg.mesh);
+        let mut traffic =
+            ScriptedTraffic::new(events, cfg.flits_per_packet(), &table, cfg.topology);
         design.run_with(&mut traffic, 2_000);
         assert!(design.drain(2_000));
         counts.push(design.counters().packets_delivered);

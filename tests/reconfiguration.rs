@@ -20,7 +20,7 @@ fn presets_survive_the_register_file_for_every_app() {
         let presets = noc.presets();
         let stores = presets.store_sequence(0x8000_0000);
         assert_eq!(stores.len(), 16, "{}", graph.name());
-        let back = MeshPresets::from_store_sequence(cfg.mesh, 0x8000_0000, &stores);
+        let back = MeshPresets::from_store_sequence(cfg.topology, 0x8000_0000, &stores);
         assert_eq!(&back, presets, "{}: register round-trip", graph.name());
     }
 }
@@ -40,7 +40,7 @@ fn rotating_through_all_eight_apps() {
         let mut traffic = BernoulliTraffic::new(
             &mapped.rates,
             live.network().flows(),
-            cfg.mesh,
+            cfg.topology,
             cfg.flits_per_packet(),
             5,
         );

@@ -18,8 +18,8 @@ fn rtl_config_register_layout_matches_architectural_encoding() {
     // the RTL would perform.
     let cfg = NocConfig::paper_4x4();
     let mapped = MappedApp::from_graph(&cfg, &apps::vopd());
-    let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
-    for node in cfg.mesh.nodes() {
+    let app = compile(cfg.topology, cfg.hpc_max, &mapped.routes);
+    for node in cfg.topology.nodes() {
         let p = app.presets.router(node);
         let w = p.encode();
         let input_mux = w & 0x3FF;
@@ -39,9 +39,9 @@ fn testbench_exists_for_every_bypassing_router_of_every_app() {
     let params = GenParams::from_config(&cfg);
     for graph in apps::all() {
         let mapped = MappedApp::from_graph(&cfg, &graph);
-        let app = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+        let app = compile(cfg.topology, cfg.hpc_max, &mapped.routes);
         let mut total_checks = 0;
-        for node in cfg.mesh.nodes() {
+        for node in cfg.topology.nodes() {
             let tb = router_tb(&params, app.presets.router(node));
             total_checks += tb.checks;
             // The config word in the TB is this router's register value.

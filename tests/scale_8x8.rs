@@ -10,9 +10,9 @@ use smart_noc::prelude::*;
 fn suite_runs_on_8x8_with_random_placement() {
     let cfg = NocConfig::scaled(8);
     for graph in [apps::h264(), apps::vopd(), apps::wlan()] {
-        let placement = place_random(cfg.mesh, &graph, 2026);
+        let placement = place_random(cfg.topology, &graph, 2026);
         let mapped = MappedApp::with_placement(&cfg, &graph, placement);
-        let compiled = compile(cfg.mesh, cfg.hpc_max, &mapped.routes);
+        let compiled = compile(cfg.topology, cfg.hpc_max, &mapped.routes);
 
         // Long routes must still fit single segments (mesh diameter 14
         // > HPC_max 8, so splits may appear) and every leg obeys the
@@ -52,7 +52,7 @@ fn suite_runs_on_8x8_with_random_placement() {
 fn smart_still_wins_at_8x8_scale() {
     let cfg = NocConfig::scaled(8);
     let graph = apps::vopd();
-    let placement = place_random(cfg.mesh, &graph, 7);
+    let placement = place_random(cfg.topology, &graph, 7);
     let mapped = MappedApp::with_placement(&cfg, &graph, placement);
     let lat: Vec<f64> = ExperimentMatrix::new(cfg)
         .designs(&[DesignKind::Mesh, DesignKind::Smart])

@@ -17,7 +17,7 @@ fn replayed_trace_matches_live_counters() {
     let mut traffic = BernoulliTraffic::new(
         &mapped.rates,
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
         cfg.flits_per_packet(),
         17,
     );
@@ -48,7 +48,7 @@ fn vcd_dump_is_wellformed_for_real_traffic() {
     let mut traffic = BernoulliTraffic::new(
         &mapped.rates,
         noc.network().flows(),
-        cfg.mesh,
+        cfg.topology,
         cfg.flits_per_packet(),
         3,
     );
@@ -57,7 +57,7 @@ fn vcd_dump_is_wellformed_for_real_traffic() {
         .network()
         .tracer()
         .expect("enabled")
-        .to_vcd(cfg.mesh, "pip");
+        .to_vcd(cfg.topology, "pip");
     assert_eq!(vcd.matches("$var wire 1").count(), 16);
     assert!(vcd.matches('#').count() > 10, "timestamps present");
     // Every value-change line references a declared identifier.

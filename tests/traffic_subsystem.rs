@@ -179,7 +179,7 @@ fn custom_drive_plugs_any_boxed_source() {
             TemporalModel::Steady,
             ctx.rates,
             ctx.flows,
-            ctx.mesh,
+            ctx.topology,
             ctx.flits_per_packet,
             ctx.seed,
         ))
