@@ -127,6 +127,34 @@ pub fn run_scorecard(scale: f64) -> Vec<PerfResult> {
         measures(&r)
     }));
 
+    // 32×32 uniform on the baseline mesh: the big-fabric serial
+    // reference the sharded conformance battery locks, timed here so
+    // large-mesh per-cycle cost is regression-gated on its own.
+    out.push(time_cell("uniform_32x32", || {
+        let r = Experiment::new(NocConfig::scaled(32))
+            .design(DesignKind::Mesh)
+            .workload(Workload::uniform(128, 0.02, 0x5EED))
+            .plan(RunPlan::measure_all(cycles(40_000), 10_000, 0xC0FFEE))
+            .run();
+        measures(&r)
+    }));
+
+    // 64×64 uniform, the same cell on the serial engine and on the
+    // 4-shard engine: the pair that tracks what row-band sharding buys
+    // (or costs) on this host. Results are bit-identical by
+    // construction — compare the delivered counts — so the only
+    // difference is wall clock.
+    let big_64x64 = || {
+        Experiment::new(NocConfig::scaled(64))
+            .design(DesignKind::Mesh)
+            .workload(Workload::uniform(256, 0.02, 0x5EED))
+            .plan(RunPlan::measure_all(cycles(20_000), 10_000, 0xC0FFEE))
+    };
+    out.push(time_cell("uniform_64x64", || measures(&big_64x64().run())));
+    out.push(time_cell("sharded_64x64", || {
+        measures(&big_64x64().sharded(4).run())
+    }));
+
     // The 8-application reconfiguration schedule on the live design:
     // repeated build/drain/store-replay transitions (Fig 1, Section V).
     out.push(time_cell("reconfig_8apps", || {

@@ -32,6 +32,10 @@ pub struct NocConfig {
     pub hop_mm: f64,
     /// Maximum hops traversable in one cycle, from the link model.
     pub hpc_max: usize,
+    /// Row-band shards the cycle engine runs on (1 = serial). Sharding
+    /// is an execution strategy, not a design point: results are
+    /// bit-identical for every value.
+    pub shards: usize,
 }
 
 impl NocConfig {
@@ -60,6 +64,27 @@ impl NocConfig {
             flit_bits: 32,
             hop_mm: 1.0,
             hpc_max: link.max_hops_per_cycle(Gbps(clock_ghz)) as usize,
+            shards: 1,
+        }
+    }
+
+    /// This design point with the cycle engine split across `n`
+    /// row-band shards (clamped to the fabric height at build time).
+    /// Purely an execution strategy: results are bit-identical to the
+    /// serial engine.
+    #[must_use]
+    pub fn sharded(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// The shard plan derived from this configuration.
+    #[must_use]
+    pub fn shard_plan(&self) -> smart_sim::ShardPlan {
+        if self.shards <= 1 {
+            smart_sim::ShardPlan::serial()
+        } else {
+            smart_sim::ShardPlan::banded(self.shards)
         }
     }
 

@@ -10,7 +10,7 @@ use crate::preset::MeshPresets;
 use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{FlowId, FlowTable, Network, Packet, SourceRoute};
+use smart_sim::{Engine, FlowId, FlowTable, Packet, SourceRoute};
 
 /// Which of the paper's three designs (Section VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -42,7 +42,7 @@ impl DesignKind {
 #[derive(Debug)]
 pub struct SmartNoc {
     app: CompiledApp,
-    net: Network,
+    net: Engine,
 }
 
 impl SmartNoc {
@@ -59,7 +59,7 @@ impl SmartNoc {
     /// (the `smart-server` compiled-design cache's fast path).
     #[must_use]
     pub fn from_compiled(cfg: &NocConfig, app: CompiledApp) -> Self {
-        let net = Network::new(cfg.sim_config(), app.flows.clone());
+        let net = Engine::new(cfg.sim_config(), app.flows.clone(), cfg.shard_plan());
         SmartNoc { app, net }
     }
 
@@ -75,14 +75,14 @@ impl SmartNoc {
         &self.app.presets
     }
 
-    /// The underlying cycle-accurate network.
+    /// The underlying cycle-accurate engine (serial or sharded).
     #[must_use]
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &Engine {
         &self.net
     }
 
-    /// Mutable access to the underlying network.
-    pub fn network_mut(&mut self) -> &mut Network {
+    /// Mutable access to the underlying engine.
+    pub fn network_mut(&mut self) -> &mut Engine {
         &mut self.net
     }
 }
@@ -90,7 +90,7 @@ impl SmartNoc {
 /// The baseline mesh for the same routed flows.
 #[derive(Debug)]
 pub struct MeshNoc {
-    net: Network,
+    net: Engine,
 }
 
 impl MeshNoc {
@@ -105,18 +105,18 @@ impl MeshNoc {
     #[must_use]
     pub fn from_table(cfg: &NocConfig, flows: FlowTable) -> Self {
         MeshNoc {
-            net: Network::new(cfg.sim_config(), flows),
+            net: Engine::new(cfg.sim_config(), flows, cfg.shard_plan()),
         }
     }
 
-    /// The underlying network.
+    /// The underlying cycle-accurate engine (serial or sharded).
     #[must_use]
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &Engine {
         &self.net
     }
 
-    /// Mutable access to the underlying network.
-    pub fn network_mut(&mut self) -> &mut Network {
+    /// Mutable access to the underlying engine.
+    pub fn network_mut(&mut self) -> &mut Engine {
         &mut self.net
     }
 }

@@ -93,16 +93,22 @@ impl CompiledDesign {
     /// indistinguishable from [`Design::build`] on the same inputs.
     #[must_use]
     pub fn instantiate(&self) -> Design {
+        self.instantiate_sharded(self.cfg.shards)
+    }
+
+    /// Like [`CompiledDesign::instantiate`], but with the cycle engine
+    /// split across `shards` row bands. The compiled artifact is
+    /// shard-agnostic (serial and sharded runs share cache entries), so
+    /// the shard count of the *requesting* run — not of whichever run
+    /// compiled the handle first — picks the engine.
+    #[must_use]
+    pub fn instantiate_sharded(&self, shards: usize) -> Design {
+        let mut cfg = self.cfg.clone();
+        cfg.shards = shards;
         match &self.artifact {
-            DesignArtifact::Mesh => {
-                Design::Mesh(MeshNoc::from_table(&self.cfg, self.table.clone()))
-            }
-            DesignArtifact::Smart(app) => {
-                Design::Smart(SmartNoc::from_compiled(&self.cfg, app.clone()))
-            }
-            DesignArtifact::Dedicated(flows) => {
-                Design::Dedicated(DedicatedNoc::new(&self.cfg, flows))
-            }
+            DesignArtifact::Mesh => Design::Mesh(MeshNoc::from_table(&cfg, self.table.clone())),
+            DesignArtifact::Smart(app) => Design::Smart(SmartNoc::from_compiled(&cfg, app.clone())),
+            DesignArtifact::Dedicated(flows) => Design::Dedicated(DedicatedNoc::new(&cfg, flows)),
         }
     }
 
@@ -172,9 +178,15 @@ pub fn stable_hash64(bytes: &[u8]) -> u64 {
 /// The canonical encoding [`config_key`] hashes: every [`NocConfig`]
 /// field (via the derived `Debug`, which prints them all, floats in
 /// shortest-round-trip form), the design kind, and the full workload
-/// spec. Two inputs encode equal iff every field is equal.
+/// spec — except `shards`, which is normalized to 1 first: sharding is
+/// an execution strategy with bit-identical results, so serial and
+/// sharded runs of one design point share a cache entry (the compiled
+/// artifact is shard-agnostic). Two inputs encode equal iff every
+/// design-relevant field is equal.
 #[must_use]
 pub fn config_encoding(cfg: &NocConfig, kind: DesignKind, workload: &Workload) -> String {
+    let mut cfg = cfg.clone();
+    cfg.shards = 1;
     format!("{cfg:?}|{kind:?}|{workload:?}")
 }
 
@@ -193,6 +205,8 @@ pub fn config_key(cfg: &NocConfig, kind: DesignKind, workload: &Workload) -> u64
 /// [`crate::ExperimentMatrix`] does serially).
 #[must_use]
 pub fn workload_key(cfg: &NocConfig, workload: &Workload) -> u64 {
+    let mut cfg = cfg.clone();
+    cfg.shards = 1;
     stable_hash64(format!("{cfg:?}|{workload:?}").as_bytes())
 }
 

@@ -499,6 +499,16 @@ impl Experiment {
         self
     }
 
+    /// Run the cycle engine split across `n` row-band shards (threads).
+    /// Purely an execution strategy: reports are bit-identical to the
+    /// serial engine, and compiled-design cache entries are shared with
+    /// serial runs of the same design point.
+    #[must_use]
+    pub fn sharded(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
     /// The design point this experiment runs at.
     #[must_use]
     pub fn config(&self) -> &NocConfig {
@@ -564,7 +574,7 @@ impl Experiment {
         let mut traffic = self
             .drive
             .build(&self.traffic_ctx(routed, compiled.flow_table()));
-        let mut design = compiled.instantiate();
+        let mut design = compiled.instantiate_sharded(self.cfg.shards);
         self.execute(&mut design, routed, traffic.as_mut())
     }
 

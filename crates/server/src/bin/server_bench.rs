@@ -76,6 +76,7 @@ fn main() {
         id: id.to_owned(),
         mesh,
         topology: TopologySpec::Mesh,
+        shards: 1,
         designs: smart_core::noc::DesignKind::ALL.to_vec(),
         workloads: smart_taskgraph::apps::all()
             .iter()

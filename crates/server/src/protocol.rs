@@ -281,6 +281,31 @@ fn topology_field(line: &str, line_no: usize) -> Result<TopologySpec, ProtocolEr
     }
 }
 
+/// The `,"shards":…` body-line fragment: empty for the serial engine so
+/// pre-sharding documents render byte-identically.
+fn render_shards(shards: usize) -> String {
+    if shards <= 1 {
+        String::new()
+    } else {
+        format!(",\"shards\":{shards}")
+    }
+}
+
+/// Extract the optional `"shards"` field; absent defaults to serial (1).
+/// Sharding is an execution strategy with bit-identical results, so a
+/// request without the field is exactly the pre-sharding protocol.
+fn shards_field(line: &str, line_no: usize) -> Result<usize, ProtocolError> {
+    match json::u64_field(line, "shards") {
+        None => Ok(1),
+        Some(0) => Err(ProtocolError::new(line_no, "shards must be at least 1")),
+        Some(n) if n > MAX_MESH => Err(ProtocolError::new(
+            line_no,
+            format!("shards {n} outside 1..={MAX_MESH}"),
+        )),
+        Some(n) => Ok(n as usize),
+    }
+}
+
 /// Render a design kind in the protocol's lowercase grammar.
 #[must_use]
 pub fn design_name(kind: DesignKind) -> &'static str {
@@ -443,6 +468,9 @@ pub enum Request {
         mesh: u16,
         /// Fabric shape (absent on the wire ⇒ mesh).
         topology: TopologySpec,
+        /// Row-band shards for the cycle engine (absent on the wire ⇒
+        /// serial). Bit-identical results for every value.
+        shards: usize,
         /// Design to build.
         design: DesignKind,
         /// Workload to offer.
@@ -459,6 +487,9 @@ pub enum Request {
         mesh: u16,
         /// Fabric shape (absent on the wire ⇒ mesh).
         topology: TopologySpec,
+        /// Row-band shards for the cycle engine (absent on the wire ⇒
+        /// serial). Bit-identical results for every value.
+        shards: usize,
         /// Design axis (non-empty).
         designs: Vec<DesignKind>,
         /// Workload axis (non-empty).
@@ -581,13 +612,15 @@ impl Request {
             Request::Experiment {
                 mesh,
                 topology,
+                shards,
                 design,
                 workload,
                 plan,
                 ..
             } => vec![format!(
-                "{{\"mesh\":{mesh}{},\"design\":\"{}\",\"workload\":\"{}\",{}}}",
+                "{{\"mesh\":{mesh}{}{},\"design\":\"{}\",\"workload\":\"{}\",{}}}",
                 topology.render_field(),
+                render_shards(*shards),
                 design_name(*design),
                 workload.render(),
                 plan.render_fields()
@@ -595,13 +628,15 @@ impl Request {
             Request::Matrix {
                 mesh,
                 topology,
+                shards,
                 designs,
                 workloads,
                 plan,
                 ..
             } => vec![format!(
-                "{{\"mesh\":{mesh}{},\"designs\":\"{}\",\"workloads\":\"{}\",{}}}",
+                "{{\"mesh\":{mesh}{}{},\"designs\":\"{}\",\"workloads\":\"{}\",{}}}",
                 topology.render_field(),
+                render_shards(*shards),
                 designs
                     .iter()
                     .map(|d| design_name(*d))
@@ -765,6 +800,7 @@ impl Request {
                     id,
                     mesh: mesh_field(line, 2)?,
                     topology: topology_field(line, 2)?,
+                    shards: shards_field(line, 2)?,
                     design: str_then(line, "design", 2, parse_design)?,
                     workload: str_then(line, "workload", 2, WorkloadSpec::parse)?,
                     plan: PlanSpec::from_line(line, 2)?,
@@ -776,6 +812,7 @@ impl Request {
                     id,
                     mesh: mesh_field(line, 2)?,
                     topology: topology_field(line, 2)?,
+                    shards: shards_field(line, 2)?,
                     designs: list_then(line, "designs", 2, parse_design)?,
                     workloads: list_then(line, "workloads", 2, WorkloadSpec::parse)?,
                     plan: PlanSpec::from_line(line, 2)?,
@@ -1428,6 +1465,7 @@ mod tests {
             id: "job-1".into(),
             mesh: 4,
             topology: TopologySpec::Mesh,
+            shards: 1,
             designs: vec![DesignKind::Mesh, DesignKind::Smart],
             workloads: vec![
                 WorkloadSpec::Fig7,
@@ -1455,6 +1493,7 @@ mod tests {
                 id: "e".into(),
                 mesh: 8,
                 topology: TopologySpec::Mesh,
+                shards: 4,
                 design: DesignKind::Dedicated,
                 workload: WorkloadSpec::Pattern {
                     name: "transpose".into(),
@@ -1515,6 +1554,7 @@ mod tests {
             id: "t".into(),
             mesh: 8,
             topology: TopologySpec::Torus,
+            shards: 1,
             design: DesignKind::Smart,
             workload: WorkloadSpec::Fig7,
             plan: plan(),
@@ -1528,6 +1568,7 @@ mod tests {
             id: "t".into(),
             mesh: 8,
             topology: TopologySpec::Mesh,
+            shards: 1,
             design: DesignKind::Smart,
             workload: WorkloadSpec::Fig7,
             plan: plan(),
@@ -1535,6 +1576,45 @@ mod tests {
         let text = mesh.to_jsonl();
         assert!(!text.contains("topology"), "{text}");
         assert_eq!(Request::parse(&text), Ok(mesh));
+    }
+
+    #[test]
+    fn sharded_requests_round_trip_and_serial_stays_bare() {
+        let sharded = Request::Matrix {
+            id: "sh".into(),
+            mesh: 32,
+            topology: TopologySpec::Torus,
+            shards: 4,
+            designs: vec![DesignKind::Smart],
+            workloads: vec![WorkloadSpec::Fig7],
+            plan: plan(),
+        };
+        let text = sharded.to_jsonl();
+        assert!(text.contains("\"shards\":4"), "{text}");
+        assert_eq!(Request::parse(&text), Ok(sharded));
+        // The serial default renders without the field, exactly as the
+        // pre-sharding protocol did.
+        let serial = Request::Experiment {
+            id: "sh".into(),
+            mesh: 32,
+            topology: TopologySpec::Mesh,
+            shards: 1,
+            design: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: plan(),
+        };
+        let text = serial.to_jsonl();
+        assert!(!text.contains("shards"), "{text}");
+        assert_eq!(Request::parse(&text), Ok(serial));
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let text = "{\"schema\":\"smart-server/req-v1\",\"id\":\"a\",\"kind\":\"experiment\",\
+                    \"lines\":1}\n{\"mesh\":4,\"shards\":0,\"design\":\"smart\",\
+                    \"workload\":\"fig7\",\"warmup\":0,\"measure\":100,\"drain\":100,\"seed\":1}\n";
+        let err = Request::parse(text).expect_err("zero shards");
+        assert!(err.message.contains("at least 1"), "{err}");
     }
 
     #[test]

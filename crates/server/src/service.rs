@@ -138,6 +138,7 @@ impl Service {
             Request::Experiment {
                 mesh,
                 topology,
+                shards,
                 design,
                 workload,
                 plan,
@@ -151,7 +152,7 @@ impl Service {
                     };
                     let outcome = self.run_matrix(
                         &job,
-                        topology.config(*mesh),
+                        topology.config(*mesh).sharded(*shards),
                         &[*design],
                         std::slice::from_ref(workload),
                         *plan,
@@ -170,6 +171,7 @@ impl Service {
             Request::Matrix {
                 mesh,
                 topology,
+                shards,
                 designs,
                 workloads,
                 plan,
@@ -181,8 +183,13 @@ impl Service {
                         cancel: Some(&cancel),
                         sink,
                     };
-                    let outcome =
-                        self.run_matrix(&job, topology.config(*mesh), designs, workloads, *plan);
+                    let outcome = self.run_matrix(
+                        &job,
+                        topology.config(*mesh).sharded(*shards),
+                        designs,
+                        workloads,
+                        *plan,
+                    );
                     drop(guard);
                     match outcome {
                         Ok((cells, hits)) => {
@@ -558,6 +565,7 @@ mod tests {
             id: id.into(),
             mesh: 4,
             topology: TopologySpec::Mesh,
+            shards: 1,
             designs: vec![DesignKind::Mesh, DesignKind::Smart, DesignKind::Dedicated],
             workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("PIP".into())],
             plan: PlanSpec::from(RunPlan::smoke()),
@@ -600,6 +608,39 @@ mod tests {
         };
         assert_eq!(hits(&cold), 0);
         assert_eq!(hits(&warm), 6, "every warm cell comes from cache");
+    }
+
+    #[test]
+    fn sharded_request_matches_serial_and_shares_the_cache() {
+        let service = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        let request = |id: &str, shards: usize| Request::Matrix {
+            id: id.into(),
+            mesh: 8,
+            topology: TopologySpec::Mesh,
+            shards,
+            designs: vec![DesignKind::Mesh, DesignKind::Smart],
+            workloads: vec![WorkloadSpec::Uniform {
+                flows: 24,
+                rate: 0.02,
+                seed: 7,
+            }],
+            plan: PlanSpec::from(RunPlan::smoke()),
+        };
+        let serial = collect(&service, &request("s", 1));
+        let sharded = collect(&service, &request("p", 4));
+        // Bit-identical cells: sharding is an execution strategy.
+        assert_eq!(cell_lines(&serial), cell_lines(&sharded));
+        // And one cache entry: the sharded run replays the compiled
+        // artifacts the serial run populated.
+        let hits = |events: &[ResponseEvent]| match events.last() {
+            Some(ResponseEvent::Done { cache_hits, .. }) => *cache_hits,
+            other => panic!("no done event: {other:?}"),
+        };
+        assert_eq!(hits(&serial), 0);
+        assert_eq!(hits(&sharded), 2, "serial and sharded share entries");
     }
 
     #[test]
@@ -715,6 +756,7 @@ mod tests {
             id: "e1".into(),
             mesh: 4,
             topology: TopologySpec::Mesh,
+            shards: 1,
             design: DesignKind::Mesh,
             workload: WorkloadSpec::App("DOOM".into()),
             plan: PlanSpec::from(RunPlan::smoke()),

@@ -34,6 +34,7 @@ fn matrix_request(id: &str) -> Request {
         id: id.to_owned(),
         mesh: 4,
         topology: TopologySpec::Mesh,
+        shards: 1,
         designs: DESIGNS.to_vec(),
         workloads: workload_specs(),
         plan: PlanSpec::from(RunPlan::smoke()),
@@ -130,6 +131,7 @@ fn served_requests_are_bit_exact_cached_and_searchable() {
         id: "torus".to_owned(),
         mesh: 4,
         topology: TopologySpec::Torus,
+        shards: 1,
         designs: DESIGNS.to_vec(),
         workloads: workload_specs(),
         plan: PlanSpec::from(RunPlan::smoke()),
@@ -253,6 +255,7 @@ fn served_requests_are_bit_exact_cached_and_searchable() {
             id: "bad".to_owned(),
             mesh: 4,
             topology: TopologySpec::Mesh,
+            shards: 1,
             designs: vec![DesignKind::Mesh],
             workloads: vec![WorkloadSpec::App("NO_SUCH_APP".to_owned())],
             plan: PlanSpec::from(RunPlan::smoke()),

@@ -92,6 +92,7 @@ proptest! {
             id: id.clone(),
             mesh: mesh as u16,
             topology: topology_spec(seed),
+            shards: 1 + seed as usize % 8,
             design,
             workload: workload_spec(sel, flows, rate, seed),
             plan,
@@ -101,6 +102,7 @@ proptest! {
             id,
             mesh: mesh as u16,
             topology: topology_spec(seed + 1),
+            shards: 1 + (seed + 1) as usize % 8,
             designs: DesignKind::ALL[..=design_sel].to_vec(),
             workloads: (0..4).map(|s| workload_spec(s, flows, rate, seed + s as u64)).collect(),
             plan,
@@ -176,6 +178,7 @@ proptest! {
             id: id.clone(),
             mesh: mesh as u16,
             topology,
+            shards: 1,
             design: DesignKind::Smart,
             workload: workload_spec(sel, flows, rate, seed),
             plan: plan_spec(0, 2000, 2000, seed),
@@ -191,6 +194,38 @@ proptest! {
         let stripped = torus_text.replace(",\"topology\":\"torus\"", "");
         prop_assert_eq!(Request::parse(&stripped), Ok(build(TopologySpec::Mesh)));
         prop_assert_eq!(stripped, mesh_text);
+    }
+
+    #[test]
+    fn shards_field_is_optional_and_defaults_to_serial(
+        id_idx in prop::collection::vec(0usize..64, 1..12),
+        parts in (0usize..4, 1u64..50, 0.0f64..0.5, 0u64..1000),
+        shape in (2u64..17, 2usize..9)
+    ) {
+        let (sel, flows, rate, seed) = parts;
+        let (mesh, shards) = shape;
+        let id = id_from(&id_idx);
+        let build = |shards: usize| Request::Matrix {
+            id: id.clone(),
+            mesh: mesh as u16,
+            topology: topology_spec(seed),
+            shards,
+            designs: DesignKind::ALL.to_vec(),
+            workloads: vec![workload_spec(sel, flows, rate, seed)],
+            plan: plan_spec(0, 2000, 2000, seed),
+        };
+        // Serial requests never mention the field: pre-sharding
+        // documents and their renders stay byte-identical.
+        let serial_text = build(1).to_jsonl();
+        prop_assert!(!serial_text.contains("shards"), "{}", serial_text);
+        // A sharded document with the field stripped parses as the
+        // serial request (absent ⇒ serial).
+        let sharded_text = build(shards).to_jsonl();
+        let field = format!(",\"shards\":{shards}");
+        prop_assert!(sharded_text.contains(&field), "{}", sharded_text);
+        let stripped = sharded_text.replace(&field, "");
+        prop_assert_eq!(Request::parse(&stripped), Ok(build(1)));
+        prop_assert_eq!(stripped, serial_text);
     }
 
     #[test]
@@ -216,6 +251,7 @@ proptest! {
             id: "trunc".to_owned(),
             mesh: 4,
             topology: TopologySpec::Mesh,
+            shards: 1,
             designs: DesignKind::ALL.to_vec(),
             workloads: vec![workload_spec(sel, flows, rate, seed)],
             plan: plan_spec(0, 2000, 2000, seed),
@@ -316,6 +352,13 @@ proptest! {
         prop_assert_ne!(
             base,
             config_key(&cfg, design, &Workload::uniform(flows as usize, rate, seed + 1))
+        );
+        // Insensitivity: the shard count is an execution strategy with
+        // bit-identical results, so serial and sharded runs of one
+        // design point must share a cache entry.
+        prop_assert_eq!(
+            base,
+            config_key(&cfg.clone().sharded(2 + seed as usize % 7), design, &w)
         );
         // Topology: a torus of the same dimensions must key differently
         // from the mesh (the wrap links change every compiled route).

@@ -220,6 +220,29 @@ impl PacketArena {
         }
     }
 
+    /// Intern already-built metadata verbatim (including its
+    /// `inject_cycle` stamp), returning its slot. This is how a packet
+    /// crosses between engine shards: the receiving shard re-interns
+    /// the sender's metadata so latency accounting survives the move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metadata has zero flits.
+    pub fn intern_meta(&mut self, meta: PacketMeta) -> PacketSlot {
+        assert!(meta.num_flits > 0, "a packet needs at least one flit");
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = meta;
+                PacketSlot(i)
+            }
+            None => {
+                self.slots.push(meta);
+                PacketSlot((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
     /// The metadata at `slot`.
     ///
     /// # Panics

@@ -49,6 +49,7 @@ pub mod nic;
 pub mod patterns;
 pub mod route;
 pub mod router;
+pub mod shard;
 pub mod stats;
 pub mod topology;
 pub mod trace;
@@ -63,6 +64,7 @@ pub use network::{Network, SimConfig};
 pub use patterns::Pattern;
 pub use route::{RouteError, SourceRoute};
 pub use router::{CreditRelease, Router, RouterBank, RouterDeparture};
+pub use shard::{Engine, ShardPlan, ShardedNetwork};
 pub use stats::SimStats;
 pub use topology::{Coord, Direction, LinkId, Mesh, NodeId, Topology, TopologyOps, Torus, Turn};
 pub use trace::{ReplayCounts, TraceKind, TraceRecord, Tracer};

@@ -67,16 +67,16 @@ impl SimConfig {
 }
 
 /// Ring-buffer depth for scheduled events (max lookahead is 4 cycles).
-const RING: usize = 16;
+pub(crate) const RING: usize = 16;
 
 /// The precomputed reverse path of a credit: which sender's free-VC
 /// queue gets the freed VC back, and the leg cost charged to the credit
 /// network.
 #[derive(Debug, Clone, Copy)]
-struct CreditPath {
-    sender: Sender,
-    crossbars: u32,
-    mm: f64,
+pub(crate) struct CreditPath {
+    pub(crate) sender: Sender,
+    pub(crate) crossbars: u32,
+    pub(crate) mm: f64,
 }
 
 /// The single-cycle link-exclusivity guard as a two-plane bitset: one

@@ -284,6 +284,13 @@ impl RouterBank {
         NodeId(self.base_node + r as u16)
     }
 
+    /// Set the node id of bank slot 0, so diagnostics from a bank that
+    /// covers nodes `[base, base + n)` (a shard's region) name the real
+    /// router instead of a region-relative index.
+    pub fn set_base_node(&mut self, base: NodeId) {
+        self.base_node = base.0;
+    }
+
     /// Front entry of input-VC ring `qi` (caller checks non-empty).
     #[inline]
     fn q_front(&self, qi: usize) -> &(Flit, u32) {

@@ -104,6 +104,25 @@ impl SimStats {
         f.packet_latency_sum += packet_latency;
     }
 
+    /// Fold another statistics object into this one. Sums and packet
+    /// counts add, extrema combine, histogram buckets add — so merging
+    /// per-shard statistics yields exactly what a single serial run
+    /// would have recorded (all accumulators are order-independent).
+    pub fn merge(&mut self, other: &SimStats) {
+        for (flow, theirs) in &other.flows {
+            let ours = self.flow_entry(*flow);
+            ours.packets += theirs.packets;
+            ours.head_latency_sum += theirs.head_latency_sum;
+            ours.packet_latency_sum += theirs.packet_latency_sum;
+            ours.source_queue_sum += theirs.source_queue_sum;
+            ours.head_latency_max = ours.head_latency_max.max(theirs.head_latency_max);
+            ours.head_latency_min = ours.head_latency_min.min(theirs.head_latency_min);
+        }
+        for (bucket, n) in &other.histogram {
+            *self.histogram.entry(*bucket).or_insert(0) += n;
+        }
+    }
+
     /// Per-flow statistics, ordered by flow id.
     #[must_use]
     pub fn flows(&self) -> &BTreeMap<FlowId, FlowStats> {

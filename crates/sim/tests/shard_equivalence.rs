@@ -1,0 +1,140 @@
+//! Equivalence net for the sharded cycle engine: a row-band sharded run
+//! must be *bit-identical* to the serial engine — same drain cycle,
+//! same per-flow latency statistics, same activity counters (including
+//! the float link-millimeter accumulators), same per-link flit counts —
+//! at every shard count, on the mesh and on the torus (whose wrap links
+//! carry flits across the outermost band boundary in one hop), from
+//! light load to deep saturation.
+//!
+//! The serial engine is the reference: it predates sharding and is
+//! itself locked against the pre-refactor engine by
+//! `legacy_equivalence.rs`, so this net transitively anchors the
+//! sharded engine to the original semantics.
+
+use proptest::prelude::*;
+use smart_sim::route::SourceRoute;
+use smart_sim::topology::{LinkId, Mesh, Topology, Torus};
+use smart_sim::{BernoulliTraffic, Engine, FlowId, FlowTable, ShardPlan, SimConfig};
+use std::collections::HashMap;
+
+/// Transpose routes + a uniform per-flow rate: `(x, y) → (y, x)` flows
+/// cross every row-band boundary, and on the torus the long vertical
+/// legs take the wrap seam — exactly the traffic that exercises
+/// cross-shard handoff (mesh) and seam handoff (torus).
+fn transpose_workload(topo: Topology, rate: f64) -> (FlowTable, Vec<(FlowId, f64)>) {
+    let routes: Vec<(FlowId, SourceRoute)> = topo
+        .nodes()
+        .filter_map(|src| {
+            let c = topo.coord(src);
+            let dst = topo.node_at(smart_sim::topology::Coord { x: c.y, y: c.x });
+            SourceRoute::xy(topo, src, dst).ok().map(|r| (src, r))
+        })
+        .enumerate()
+        .map(|(i, (_, r))| (FlowId(i as u32), r))
+        .collect();
+    let rates = routes.iter().map(|(f, _)| (*f, rate)).collect();
+    (FlowTable::mesh_baseline(topo, &routes), rates)
+}
+
+/// Run one engine over a fresh, identically seeded Bernoulli stream.
+fn run(engine: &mut Engine, cfg: SimConfig, rates: &[(FlowId, f64)], seed: u64, cycles: u64) {
+    let mut traffic = BernoulliTraffic::new(
+        rates,
+        engine.flows(),
+        cfg.topology,
+        cfg.flits_per_packet,
+        seed,
+    );
+    engine.run_with(&mut traffic, cycles);
+    assert!(engine.drain(100_000), "engine failed to drain");
+}
+
+/// Drive the serial engine and the sharded engine at every shard count
+/// in {2, 4, 8} over the same traffic, then assert every externally
+/// observable quantity matches bit-for-bit.
+fn assert_shards_agree(topo: Topology, rate: f64, seed: u64, cycles: u64) {
+    let cfg = SimConfig {
+        topology: topo,
+        ..SimConfig::paper_4x4()
+    };
+    let (flows, rates) = transpose_workload(topo, rate);
+
+    let mut serial = Engine::serial(cfg, flows.clone());
+    run(&mut serial, cfg, &rates, seed, cycles);
+    let serial_links: HashMap<LinkId, u64> = serial.link_flit_counts().collect();
+
+    for k in [2usize, 4, 8] {
+        let mut sharded = Engine::new(cfg, flows.clone(), ShardPlan::banded(k));
+        assert_eq!(sharded.shards(), k.min(usize::from(topo.height())));
+        run(&mut sharded, cfg, &rates, seed, cycles);
+
+        // Same wall clock: quiescence was reached on the same cycle.
+        assert_eq!(serial.cycle(), sharded.cycle(), "k={k}: drain cycle");
+        // Per-flow latency statistics — the delivered-packet multiset.
+        assert_eq!(serial.stats(), sharded.stats(), "k={k}: stats");
+        // Every activity counter, including the float link-millimeter
+        // accumulators (bit-identical accumulation by construction).
+        assert_eq!(serial.counters(), sharded.counters(), "k={k}: counters");
+        // Per-link flit counts: the same flits crossed the same wires.
+        let sharded_links: HashMap<LinkId, u64> = sharded.link_flit_counts().collect();
+        assert_eq!(serial_links, sharded_links, "k={k}: link utilization");
+    }
+}
+
+proptest! {
+    // Each case is four full simulations (serial + three shard counts);
+    // keep the case count low but the coverage wide: rates span light
+    // load to ~3x the transpose saturation point.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mesh_shards_agree_from_light_load_to_saturation(
+        seed in 0u64..1_000_000,
+        rate_milli in prop::sample::select(vec![10u32, 40, 80, 150, 300]),
+    ) {
+        assert_shards_agree(
+            Mesh::new(8, 8).into(),
+            f64::from(rate_milli) / 1_000.0,
+            seed,
+            1_000,
+        );
+    }
+
+    #[test]
+    fn torus_shards_agree_across_the_wrap_seam(
+        seed in 0u64..1_000_000,
+        rate_milli in prop::sample::select(vec![10u32, 80, 300]),
+    ) {
+        assert_shards_agree(
+            Torus::new(8, 8).into(),
+            f64::from(rate_milli) / 1_000.0,
+            seed,
+            1_000,
+        );
+    }
+}
+
+/// Deterministic anchor well past saturation on the mesh: transpose on
+/// 8×8 admits nowhere near 0.3 packets/cycle/flow, so the run spends
+/// ~all its cycles with full VCs, live switch holds, and credit stalls
+/// — the regime where a boundary-exchange ordering bug would surface.
+#[test]
+fn deep_saturation_anchor_mesh() {
+    assert_shards_agree(Mesh::new(8, 8).into(), 0.3, 0xD1E7, 2_000);
+}
+
+/// The torus twin: wrap routes put band-0 ↔ band-(k−1) traffic on the
+/// seam links, so the outermost shards exchange flits directly — the
+/// one adjacency a mesh run never exercises.
+#[test]
+fn deep_saturation_anchor_torus() {
+    assert_shards_agree(Torus::new(8, 8).into(), 0.3, 0x5EA1, 2_000);
+}
+
+/// Shard counts that do not divide the height produce uneven bands;
+/// identity must not depend on divisibility. 6 rows across 4 shards
+/// gives bands of 1 and 2 rows.
+#[test]
+fn uneven_bands_agree() {
+    assert_shards_agree(Mesh::new(6, 6).into(), 0.08, 0xBADBA2D, 1_000);
+}

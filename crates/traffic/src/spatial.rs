@@ -349,8 +349,13 @@ impl SpatialPattern {
                 // source (each source additionally excludes itself when
                 // drawing).
                 let pool: Vec<NodeId> = mesh.nodes().filter(|n| !targets.contains(n)).collect();
-                let mut rng = StdRng::seed_from_u64(*seed);
                 for src in mesh.nodes() {
+                    // Each source draws from its own stream keyed on
+                    // (seed, src): its picks are a pure function of the
+                    // pair, never of how many draws earlier sources
+                    // consumed (rejection sampling makes that count
+                    // data-dependent).
+                    let mut rng = StdRng::seed_from_u64(per_source_seed(*seed, src));
                     let avail = pool.len() - usize::from(!targets.contains(&src));
                     let k = (*background).min(avail);
                     // With no background destination drawable, the
@@ -444,6 +449,17 @@ impl SpatialPattern {
             .collect();
         (routes, rates)
     }
+}
+
+/// The RNG seed of one source's background draw: a SplitMix64-style mix
+/// of the pattern seed and the node index. Keying the stream on the
+/// pair makes every source's sample independent of iteration order and
+/// of every other source's draw count.
+fn per_source_seed(seed: u64, src: NodeId) -> u64 {
+    let mut z = seed ^ u64::from(src.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Number of index bits of a power-of-two mesh.
@@ -610,6 +626,54 @@ mod tests {
         let p = |seed| SpatialPattern::hotspot_sampled(vec![NodeId(0)], 0.5, 4, seed);
         assert_eq!(p(1).flows(m), p(1).flows(m));
         assert_ne!(p(1).flows(m), p(2).flows(m));
+    }
+
+    #[test]
+    fn sampled_hotspot_background_depends_only_on_seed_and_source() {
+        // Regression lock: each source's background picks are a pure
+        // function of (seed, source). The sampler once threaded one RNG
+        // through every source, so a source's picks shifted with how
+        // many rejection draws its predecessors consumed; this pins the
+        // per-source flow set of a 4x4 / 1-target / k=2 / seed=9 draw.
+        let flows = SpatialPattern::hotspot_sampled(vec![NodeId(5)], 0.5, 2, 9).flows(mesh());
+        let expected: [(u16, [u16; 2]); 16] = [
+            (0, [1, 15]),
+            (1, [7, 15]),
+            (2, [12, 1]),
+            (3, [9, 14]),
+            (4, [3, 11]),
+            (5, [6, 10]),
+            (6, [14, 4]),
+            (7, [4, 0]),
+            (8, [0, 14]),
+            (9, [6, 0]),
+            (10, [3, 0]),
+            (11, [13, 14]),
+            (12, [2, 15]),
+            (13, [6, 0]),
+            (14, [6, 4]),
+            (15, [9, 3]),
+        ];
+        for (src, picks) in expected {
+            let bg: Vec<u16> = flows
+                .iter()
+                .filter(|f| f.src == NodeId(src) && f.dst != NodeId(5))
+                .map(|f| f.dst.0)
+                .collect();
+            assert_eq!(bg, picks, "source {src}");
+        }
+        // The mechanism: a late source's picks replay from its own
+        // stream, untouched by every draw that came before it.
+        let mut rng = StdRng::seed_from_u64(per_source_seed(9, NodeId(15)));
+        let pool: Vec<NodeId> = mesh().nodes().filter(|n| *n != NodeId(5)).collect();
+        let mut standalone = Vec::new();
+        while standalone.len() < 2 {
+            let d = pool[rng.gen_range(0..pool.len())];
+            if d != NodeId(15) && !standalone.contains(&d.0) {
+                standalone.push(d.0);
+            }
+        }
+        assert_eq!(standalone, vec![9, 3]);
     }
 
     #[test]

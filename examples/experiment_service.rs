@@ -29,6 +29,7 @@ fn main() {
         id: id.to_owned(),
         mesh: 4,
         topology: TopologySpec::Mesh,
+        shards: 1,
         designs: smart_core::noc::DesignKind::ALL.to_vec(),
         workloads: vec![WorkloadSpec::Fig7, WorkloadSpec::App("VOPD".to_owned())],
         plan: PlanSpec {
