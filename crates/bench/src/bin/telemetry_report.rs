@@ -1,0 +1,71 @@
+//! Dynamic-behavior report from the telemetry layer: drive a saturated
+//! uniform-random load on the 8×8 SMART mesh with metrics collection
+//! enabled and render the achieved-bypass-length histogram and the
+//! link-utilization heatmap over time.
+//!
+//! ```text
+//! cargo run --release -p smart-bench --bin telemetry_report -- [--quick]
+//! ```
+//!
+//! The histogram is the paper's central dynamic claim made visible: how
+//! far short of `HPC_max` real traffic stops once contention bites. The
+//! heatmap shows *where* and *when* that contention concentrates. The
+//! bin self-checks the invariants the series must satisfy — no achieved
+//! bypass exceeds `HPC_max`, and a saturated fabric records premature
+//! stops — and exits nonzero if either fails, so CI can run it as a
+//! telemetry smoke test.
+
+use smart_bench::{Experiment, RunPlan, Workload};
+use smart_core::config::NocConfig;
+use smart_core::noc::DesignKind;
+use smart_core::viz;
+use smart_sim::TelemetryConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = NocConfig::scaled(8);
+    // Well past uniform-random saturation on an 8×8 mesh: enough offered
+    // load that SSR denials (premature stops) are guaranteed.
+    let workload = Workload::uniform(128, 0.02, 0xBEEF);
+    let (measure, window) = if quick {
+        (20_000, 2_000)
+    } else {
+        (120_000, 8_000)
+    };
+    let plan = RunPlan::measure_all(measure, 10_000, 0xC0FFEE);
+
+    println!(
+        "telemetry report — uniform@saturation, 8x8 SMART, {measure} cycles, {window}-cycle windows"
+    );
+    let report = Experiment::new(cfg.clone())
+        .design(DesignKind::Smart)
+        .workload(workload)
+        .plan(plan)
+        .with_telemetry(TelemetryConfig::windowed(window))
+        .run();
+    let series = report.telemetry.as_ref().expect("telemetry enabled");
+
+    println!("\n{}", viz::bypass_histogram(series, cfg.hpc_max));
+    println!("{}", viz::link_heatmap_over_time(series, cfg.topology));
+    println!("{}", report.snapshot_line());
+
+    // Self-check: the series must respect the physical ceiling, and a
+    // saturated fabric must record contention.
+    let max = series.max_bypass().unwrap_or(0);
+    if max > cfg.hpc_max {
+        eprintln!(
+            "FAIL: achieved bypass {max} exceeds HPC_max {}",
+            cfg.hpc_max
+        );
+        std::process::exit(1);
+    }
+    if series.premature_stops() == 0 {
+        eprintln!("FAIL: saturated run recorded no premature stops");
+        std::process::exit(1);
+    }
+    println!(
+        "ok: max achieved bypass {max} <= HPC_max {}, {} premature stops",
+        cfg.hpc_max,
+        series.premature_stops()
+    );
+}

@@ -10,7 +10,7 @@ use crate::preset::MeshPresets;
 use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{Engine, FlowId, FlowTable, Packet, SourceRoute};
+use smart_sim::{Engine, FlowId, FlowTable, Packet, SourceRoute, TelemetryConfig, TelemetrySeries};
 
 /// Which of the paper's three designs (Section VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -245,6 +245,27 @@ impl Design {
             Design::Mesh(m) => m.net.cycle(),
             Design::Smart(s) => s.net.cycle(),
             Design::Dedicated(d) => d.cycle(),
+        }
+    }
+
+    /// Start collecting windowed telemetry on the underlying cycle
+    /// engine. The Dedicated yardstick has no routers, links, or SSRs to
+    /// observe, so it ignores the request (and [`Design::take_telemetry`]
+    /// returns `None`).
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        match self {
+            Design::Mesh(m) => m.net.set_telemetry(cfg),
+            Design::Smart(s) => s.net.set_telemetry(cfg),
+            Design::Dedicated(_) => {}
+        }
+    }
+
+    /// Detach the telemetry series, if telemetry was enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySeries> {
+        match self {
+            Design::Mesh(m) => m.net.take_telemetry(),
+            Design::Smart(s) => s.net.take_telemetry(),
+            Design::Dedicated(_) => None,
         }
     }
 }

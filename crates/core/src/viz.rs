@@ -1,13 +1,18 @@
-//! ASCII rendering of the reconfigured topology (Fig 1).
+//! ASCII rendering of the reconfigured topology (Fig 1) and of
+//! telemetry time-series (bypass histogram, link-utilization heatmap).
 //!
 //! The paper's Fig 1 draws the same physical mesh three times — once per
 //! application — with the preset single-cycle paths in bold. This module
 //! renders that view: links carrying configured flows are drawn bold
 //! (`═`/`║`), idle links thin (`─`/`│`), and routers where some flow
-//! stops (buffers + arbitrates) are bracketed.
+//! stops (buffers + arbitrates) are bracketed. The telemetry renderers
+//! turn a [`TelemetrySeries`] into the paper's dynamic-behavior views:
+//! how many hops SMART actually covers per launch, and where link
+//! traffic concentrates over time.
 
 use crate::compile::CompiledApp;
-use smart_sim::{Direction, LinkId, NodeId, Topology};
+use smart_sim::topology::PORTS;
+use smart_sim::{Direction, LinkId, NodeId, TelemetrySeries, Topology};
 use std::collections::HashSet;
 
 /// Render the virtual topology of `app` over `mesh`.
@@ -93,6 +98,85 @@ pub fn topology_summary(topo: impl Into<Topology>, app: &CompiledApp) -> String 
     )
 }
 
+/// Render the achieved-bypass-length histogram of `series` as ASCII
+/// bars: one row per length (0 = local/ejection legs, then 1..=the
+/// longest achieved bypass), each counting flit launches whose leg
+/// crossed exactly that many links in one cycle. `hpc_max` marks the
+/// configured ceiling — the paper's central curve is how far short of
+/// `HPC_max` real traffic stops.
+#[must_use]
+pub fn bypass_histogram(series: &TelemetrySeries, hpc_max: usize) -> String {
+    const WIDTH: usize = 40;
+    let totals = series.bypass_totals();
+    // Always draw out to the configured ceiling so the HPC_max marker
+    // shows even when no launch reached it.
+    let top = series
+        .max_bypass()
+        .unwrap_or(0)
+        .max(hpc_max.min(totals.len() - 1));
+    let peak = totals.iter().copied().max().unwrap_or(0).max(1);
+    let launches: u64 = totals.iter().sum();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "bypass length (links/cycle) over {} launches, HPC_max = {}\n",
+        launches, hpc_max
+    ));
+    for (len, &count) in totals.iter().enumerate().take(top + 1) {
+        let bar = (count as usize * WIDTH).div_ceil(peak as usize);
+        let marker = if len == hpc_max { " <- HPC_max" } else { "" };
+        let tag = if len == 0 { " (eject)" } else { "" };
+        s.push_str(&format!(
+            "{len:>3}{tag:<8} {count:>9} {}{marker}\n",
+            "#".repeat(bar)
+        ));
+    }
+    s.push_str(&format!(
+        "ssr: {} setups, {} grants, {} premature stops\n",
+        series.ssr_setups(),
+        series.ssr_grants(),
+        series.premature_stops()
+    ));
+    s
+}
+
+/// Render per-router link utilization over time as an ASCII heatmap:
+/// one row per telemetry window, one column per router, shaded by that
+/// router's outgoing-link flits in the window relative to the series
+/// peak (` ` idle through `@` peak).
+#[must_use]
+pub fn link_heatmap_over_time(series: &TelemetrySeries, topo: impl Into<Topology>) -> String {
+    const SHADES: [char; 6] = [' ', '.', ':', '=', '#', '@'];
+    let mesh = topo.into();
+    let n = mesh.len();
+    // Outgoing flits per router per window.
+    let rows: Vec<Vec<u64>> = series
+        .windows
+        .iter()
+        .map(|w| {
+            (0..n)
+                .map(|r| w.link_flits[r * PORTS..(r + 1) * PORTS].iter().sum())
+                .collect()
+        })
+        .collect();
+    let peak = rows.iter().flatten().copied().max().unwrap_or(0).max(1);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "link flits per router per {}-cycle window (columns: router 0..{}, peak {} flits)\n",
+        series.window,
+        n - 1,
+        peak
+    ));
+    for (w, row) in series.windows.iter().zip(rows.iter()) {
+        s.push_str(&format!("c{:>8} |", w.end));
+        for &flits in row {
+            let shade = (flits as usize * (SHADES.len() - 1)).div_ceil(peak as usize);
+            s.push(SHADES[shade.min(SHADES.len() - 1)]);
+        }
+        s.push_str(&format!("| {:>9} in flight\n", w.in_flight()));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +230,41 @@ mod tests {
         assert!(s.contains("3 bold links"), "{s}");
         assert!(s.contains("0 stop routers"), "{s}");
         assert!(s.contains("100% of router visits bypassed"), "{s}");
+    }
+
+    #[test]
+    fn telemetry_renderers_shape_real_series() {
+        use crate::config::NocConfig;
+        use crate::noc::SmartNoc;
+        use smart_sim::{ScriptedTraffic, TelemetryConfig};
+
+        let cfg = NocConfig::paper_4x4();
+        let route = SourceRoute::xy(cfg.topology, NodeId(0), NodeId(3)).unwrap();
+        let mut noc = SmartNoc::new(&cfg, &[(FlowId(0), route)]);
+        noc.network_mut()
+            .set_telemetry(TelemetryConfig::windowed(16));
+        let mut traffic = ScriptedTraffic::new(
+            vec![(0, FlowId(0)), (5, FlowId(0))],
+            cfg.flits_per_packet(),
+            noc.network().flows(),
+            cfg.topology,
+        );
+        noc.network_mut().run_with(&mut traffic, 40);
+        let series = noc.network_mut().take_telemetry().expect("enabled");
+
+        let hist = bypass_histogram(&series, cfg.hpc_max);
+        assert!(hist.contains("HPC_max = 8"), "{hist}");
+        // Full 3-link bypass on the 0->3 flow: bucket 3 populated.
+        assert!(hist.contains("\n  3"), "{hist}");
+        assert!(hist.contains("<- HPC_max"), "{hist}");
+
+        let heat = link_heatmap_over_time(&series, cfg.topology);
+        // One row per window, 16 router columns between the pipes.
+        for line in heat.lines().skip(1) {
+            let cols = line.split('|').nth(1).expect("pipes").chars().count();
+            assert_eq!(cols, 16, "{line}");
+        }
+        assert!(heat.lines().count() >= 2, "{heat}");
     }
 
     #[test]

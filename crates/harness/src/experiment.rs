@@ -8,7 +8,10 @@ use smart_power::{breakdown, EnergyModel, GatingPolicy, PowerBreakdown};
 use smart_sim::counters::ActivityCounters;
 use smart_sim::stats::SimStats;
 use smart_sim::traffic::TrafficSource;
-use smart_sim::{BernoulliTraffic, FlowId, FlowTable, NodeId, ScriptedTraffic, Topology};
+use smart_sim::{
+    BernoulliTraffic, FlowId, FlowTable, NodeId, ScriptedTraffic, TelemetryConfig, TelemetrySeries,
+    Topology,
+};
 use smart_traffic::{
     ModulatedTraffic, PhaseOutcome, TemporalModel, TraceFile, TraceRecorder, TraceTraffic,
 };
@@ -278,6 +281,10 @@ pub struct ExperimentReport {
     /// Fig 10b power breakdown (when requested via
     /// [`Experiment::measure_power`]).
     pub power: Option<PowerBreakdown>,
+    /// Windowed telemetry over the measured cycles (when requested via
+    /// [`Experiment::with_telemetry`]; always `None` for the Dedicated
+    /// yardstick, which has no routers or SSRs to observe).
+    pub telemetry: Option<TelemetrySeries>,
 }
 
 /// Raw measurements of one finished run, before report assembly.
@@ -341,6 +348,7 @@ impl ExperimentReport {
             counters,
             compile,
             power,
+            telemetry: None,
         }
     }
 
@@ -436,6 +444,7 @@ pub struct Experiment {
     plan: RunPlan,
     drive: Drive,
     power: bool,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Experiment {
@@ -450,6 +459,7 @@ impl Experiment {
             plan: RunPlan::default(),
             drive: Drive::Bernoulli,
             power: false,
+            telemetry: None,
         }
     }
 
@@ -496,6 +506,19 @@ impl Experiment {
     #[must_use]
     pub fn measure_power(mut self) -> Self {
         self.power = true;
+        self
+    }
+
+    /// Collect windowed telemetry over the measured cycles and attach
+    /// the series to [`ExperimentReport::telemetry`]. The collector
+    /// attaches after warm-up (alongside the counter reset), so the
+    /// series covers exactly the measured + drain cycles. Telemetry is
+    /// observation only: latency statistics, counters and goldens are
+    /// bit-identical with or without it, on both the serial and the
+    /// sharded engine.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -627,6 +650,9 @@ impl Experiment {
         design.set_stats_from(self.plan.warmup);
         design.run_with(traffic, self.plan.warmup);
         design.reset_counters();
+        if let Some(tc) = self.telemetry {
+            design.set_telemetry(tc);
+        }
         design.run_with(traffic, self.plan.measure);
         let drained = design.drain(self.plan.drain);
 
@@ -638,7 +664,7 @@ impl Experiment {
             )),
             _ => None,
         };
-        ExperimentReport::assemble(
+        let mut report = ExperimentReport::assemble(
             self.design,
             cfg,
             &routed.name,
@@ -650,7 +676,9 @@ impl Experiment {
             },
             compile,
             self.power,
-        )
+        );
+        report.telemetry = design.take_telemetry();
+        report
     }
 }
 
@@ -718,5 +746,40 @@ mod tests {
         let (a, b) = (exp.run(), exp.run());
         assert_eq!(a.snapshot_line(), b.snapshot_line());
         assert_eq!(a.flow_latencies, b.flow_latencies);
+    }
+
+    #[test]
+    fn telemetry_series_covers_the_measured_window() {
+        let base = Experiment::new(NocConfig::paper_4x4()).plan(RunPlan::smoke());
+        let plain = base.run();
+        let r = base.with_telemetry(TelemetryConfig::windowed(500)).run();
+        let t = r.telemetry.as_ref().expect("requested");
+        // smoke measures 2000 cycles: at least four 500-cycle windows.
+        assert!(t.windows.len() >= 4, "{} windows", t.windows.len());
+        // Fig 7's red/blue flows stop twice, so SSRs were granted.
+        assert!(t.ssr_grants() > 0);
+        // Cumulative packet counts in the final window agree with the
+        // report's counters (both cover measure + drain).
+        let last = t.windows.last().expect("windows");
+        assert_eq!(last.delivered, r.packets_delivered);
+        assert_eq!(last.injected, r.packets_injected);
+        // Telemetry is observation only: the measurements agree with a
+        // run that never attached a collector.
+        assert_eq!(plain.snapshot_line(), r.snapshot_line());
+        assert_eq!(plain.flow_latencies, r.flow_latencies);
+    }
+
+    #[test]
+    fn telemetry_absent_unless_requested_and_none_for_dedicated() {
+        let r = Experiment::new(NocConfig::paper_4x4())
+            .plan(RunPlan::smoke())
+            .run();
+        assert!(r.telemetry.is_none());
+        let d = Experiment::new(NocConfig::paper_4x4())
+            .design(DesignKind::Dedicated)
+            .plan(RunPlan::smoke())
+            .with_telemetry(TelemetryConfig::default())
+            .run();
+        assert!(d.telemetry.is_none(), "no routers to observe");
     }
 }

@@ -67,6 +67,11 @@ pub use schedule::{
 };
 pub use workload::{RoutedWorkload, Workload};
 
+// The telemetry types threaded through [`Experiment::with_telemetry`],
+// re-exported so downstream users (bench, server, examples) need no
+// direct smart-sim dependency to configure or consume a series.
+pub use smart_sim::{TelemetryConfig, TelemetrySeries};
+
 // The traffic subsystem the drives are built from, re-exported so
 // downstream users (bench, examples) need no extra dependency.
 pub use smart_traffic::{

@@ -25,11 +25,18 @@ use crate::workload::{RoutedWorkload, Workload};
 use smart_core::config::NocConfig;
 use smart_core::noc::{DesignKind, SmartNoc};
 use smart_core::reconfig::{ReconfigError, ReconfigurableNoc};
+use smart_sim::{TelemetryConfig, TelemetrySeries};
 use smart_taskgraph::apps;
 use std::fmt;
 
 /// Default drain budget for the transition between two phases.
 const DEFAULT_DRAIN_BUDGET: u64 = 50_000;
+
+/// The phase-transition marker carried in a phase's telemetry-series
+/// label (and thus its metrics-v1 JSONL header).
+fn phase_label(index: usize, app: &str) -> String {
+    format!("phase{index}:{app}")
+}
 
 /// Default base address of the memory-mapped preset registers
 /// (Section V; the value itself is arbitrary).
@@ -262,6 +269,19 @@ impl ScheduleReport {
         self.phases.iter().map(|p| p.packets_delivered).sum()
     }
 
+    /// Per-phase telemetry series in schedule order (empty unless the
+    /// run requested [`MultiAppExperiment::with_telemetry`]). Each
+    /// series carries its `phase<i>:<app>` label, so rendering the
+    /// sequence shows the fabric's behavior across application
+    /// switches with explicit transition markers.
+    #[must_use]
+    pub fn phase_telemetry(&self) -> Vec<&TelemetrySeries> {
+        self.phases
+            .iter()
+            .filter_map(|p| p.telemetry.as_ref())
+            .collect()
+    }
+
     /// Packet-weighted average head-flit network latency across the
     /// whole schedule (`NaN` if no phase measured a packet).
     #[must_use]
@@ -360,6 +380,7 @@ pub struct MultiAppExperiment {
     design: ScheduleDesign,
     schedule: AppSchedule,
     power: bool,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl MultiAppExperiment {
@@ -372,6 +393,7 @@ impl MultiAppExperiment {
             design: ScheduleDesign::Reconfigurable,
             schedule,
             power: false,
+            telemetry: None,
         }
     }
 
@@ -386,6 +408,20 @@ impl MultiAppExperiment {
     #[must_use]
     pub fn measure_power(mut self) -> Self {
         self.power = true;
+        self
+    }
+
+    /// Collect windowed telemetry for every phase. Each phase's series
+    /// lands in its [`ExperimentReport::telemetry`], labeled
+    /// `phase<i>:<app>` — the label is the phase-transition marker in
+    /// the metrics-v1 header, so concatenated per-phase JSONL documents
+    /// show exactly where one application hands the fabric to the next.
+    /// On the live [`ScheduleDesign::Reconfigurable`] design a phase's
+    /// series also covers the transition drain that empties its
+    /// in-flight traffic, mirroring how its counters are credited.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -448,7 +484,8 @@ impl MultiAppExperiment {
                 let before = noc.network().cycle();
                 let emptied = noc.network_mut().drain(self.schedule.drain_budget);
                 drain_cycles = noc.network().cycle() - before;
-                phases.push(self.live_phase_report(noc, prev_r, prev_drained));
+                let idx = phases.len();
+                phases.push(self.live_phase_report(noc, prev_r, prev_drained, idx));
                 if !emptied {
                     return Err(ScheduleError {
                         phase: i,
@@ -487,6 +524,9 @@ impl MultiAppExperiment {
             net.set_stats_from(plan.warmup);
             net.run_with(traffic.as_mut(), plan.warmup);
             net.reset_counters();
+            if let Some(tc) = self.telemetry {
+                net.set_telemetry(tc);
+            }
             net.run_with(traffic.as_mut(), plan.measure);
             // The phase's own drain window; a zero budget deliberately
             // leaves traffic in flight for the next transition, Fig 1
@@ -496,7 +536,8 @@ impl MultiAppExperiment {
         }
         if let Some((last_r, last_drained)) = pending.take() {
             let noc = rnoc.noc_mut().expect("last phase loaded");
-            phases.push(self.live_phase_report(noc, last_r, last_drained));
+            let idx = phases.len();
+            phases.push(self.live_phase_report(noc, last_r, last_drained, idx));
         }
         Ok(ScheduleReport {
             design: self.design,
@@ -512,12 +553,13 @@ impl MultiAppExperiment {
     /// phase's counters and stats).
     fn live_phase_report(
         &self,
-        noc: &SmartNoc,
+        noc: &mut SmartNoc,
         r: &RoutedWorkload,
         drained: bool,
+        phase_index: usize,
     ) -> ExperimentReport {
         let cfg = &self.cfg;
-        ExperimentReport::assemble(
+        let mut report = ExperimentReport::assemble(
             DesignKind::Smart,
             cfg,
             &r.name,
@@ -533,7 +575,12 @@ impl MultiAppExperiment {
                 cfg.topology,
             )),
             self.power,
-        )
+        );
+        report.telemetry = noc.network_mut().take_telemetry().map(|mut s| {
+            s.label = Some(phase_label(phase_index, &r.name));
+            s
+        });
+        report
     }
 
     /// Offline reconfiguration: every phase gets a freshly built
@@ -545,7 +592,7 @@ impl MultiAppExperiment {
         let mut phases = Vec::with_capacity(routed.len());
         let mut transitions = Vec::with_capacity(routed.len());
         let mut prev: Option<String> = None;
-        for (phase, r) in self.schedule.phases.iter().zip(routed) {
+        for (i, (phase, r)) in self.schedule.phases.iter().zip(routed).enumerate() {
             let mut e = Experiment::new(self.cfg.clone())
                 .design(kind)
                 .plan(phase.plan)
@@ -553,7 +600,13 @@ impl MultiAppExperiment {
             if self.power {
                 e = e.measure_power();
             }
-            let report = e.run_routed(r);
+            if let Some(tc) = self.telemetry {
+                e = e.with_telemetry(tc);
+            }
+            let mut report = e.run_routed(r);
+            if let Some(s) = report.telemetry.as_mut() {
+                s.label = Some(phase_label(i, &r.name));
+            }
             let store_count = report.compile.as_ref().map_or(0, |c| c.preset_stores);
             transitions.push(PhaseTransition {
                 from: prev.replace(r.name.clone()),
@@ -745,6 +798,27 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(lines(&live), lines(&rebuilt));
+    }
+
+    #[test]
+    fn schedule_telemetry_labels_each_phase() {
+        use smart_sim::TelemetryConfig;
+        for design in [ScheduleDesign::Reconfigurable, ScheduleDesign::Smart] {
+            let r = MultiAppExperiment::new(NocConfig::paper_4x4(), two_apps(RunPlan::smoke()))
+                .design(design)
+                .with_telemetry(TelemetryConfig::windowed(500))
+                .run()
+                .expect("smoke phases drain");
+            let series = r.phase_telemetry();
+            assert_eq!(series.len(), 2, "{design:?}");
+            assert_eq!(series[0].label.as_deref(), Some("phase0:WLAN"));
+            assert_eq!(series[1].label.as_deref(), Some("phase1:H264"));
+            // The transition markers survive the JSONL round trip.
+            for s in &series {
+                let parsed = smart_sim::TelemetrySeries::parse(&s.to_jsonl()).expect("round trip");
+                assert_eq!(parsed.label, s.label);
+            }
+        }
     }
 
     #[test]

@@ -478,6 +478,29 @@ pub enum Request {
         /// Run schedule.
         plan: PlanSpec,
     },
+    /// Run one telemetry-enabled experiment cell, streaming a
+    /// [`ResponseEvent::Metric`] per closed telemetry window before the
+    /// final [`ResponseEvent::Cell`].
+    Watch {
+        /// Job id.
+        id: String,
+        /// Mesh edge (`k × k`).
+        mesh: u16,
+        /// Fabric shape (absent on the wire ⇒ mesh).
+        topology: TopologySpec,
+        /// Row-band shards for the cycle engine (absent on the wire ⇒
+        /// serial). Bit-identical results — including the streamed
+        /// metric windows — for every value.
+        shards: usize,
+        /// Design to build.
+        design: DesignKind,
+        /// Workload to offer.
+        workload: WorkloadSpec,
+        /// Run schedule.
+        plan: PlanSpec,
+        /// Telemetry window width, cycles (≥ 1).
+        window: u64,
+    },
     /// Run a designs × workloads matrix (workload-major, design-minor
     /// cell order, exactly like `ExperimentMatrix`).
     Matrix {
@@ -575,6 +598,7 @@ impl Request {
     pub fn id(&self) -> &str {
         match self {
             Request::Experiment { id, .. }
+            | Request::Watch { id, .. }
             | Request::Matrix { id, .. }
             | Request::Schedule { id, .. }
             | Request::Search { id, .. }
@@ -590,6 +614,7 @@ impl Request {
     pub fn kind(&self) -> &'static str {
         match self {
             Request::Experiment { .. } => "experiment",
+            Request::Watch { .. } => "watch",
             Request::Matrix { .. } => "matrix",
             Request::Schedule { .. } => "schedule",
             Request::Search { .. } => "search",
@@ -619,6 +644,24 @@ impl Request {
                 ..
             } => vec![format!(
                 "{{\"mesh\":{mesh}{}{},\"design\":\"{}\",\"workload\":\"{}\",{}}}",
+                topology.render_field(),
+                render_shards(*shards),
+                design_name(*design),
+                workload.render(),
+                plan.render_fields()
+            )],
+            Request::Watch {
+                mesh,
+                topology,
+                shards,
+                design,
+                workload,
+                plan,
+                window,
+                ..
+            } => vec![format!(
+                "{{\"mesh\":{mesh}{}{},\"design\":\"{}\",\"workload\":\"{}\",\
+                 \"window\":{window},{}}}",
                 topology.render_field(),
                 render_shards(*shards),
                 design_name(*design),
@@ -804,6 +847,24 @@ impl Request {
                     design: str_then(line, "design", 2, parse_design)?,
                     workload: str_then(line, "workload", 2, WorkloadSpec::parse)?,
                     plan: PlanSpec::from_line(line, 2)?,
+                })
+            }
+            "watch" => {
+                let line = one_body()?;
+                let window = json::u64_field(line, "window")
+                    .ok_or_else(|| ProtocolError::new(2, "missing field \"window\""))?;
+                if window == 0 {
+                    return Err(ProtocolError::new(2, "window must be at least 1 cycle"));
+                }
+                Ok(Request::Watch {
+                    id,
+                    mesh: mesh_field(line, 2)?,
+                    topology: topology_field(line, 2)?,
+                    shards: shards_field(line, 2)?,
+                    design: str_then(line, "design", 2, parse_design)?,
+                    workload: str_then(line, "workload", 2, WorkloadSpec::parse)?,
+                    plan: PlanSpec::from_line(line, 2)?,
+                    window,
                 })
             }
             "matrix" => {
@@ -1144,6 +1205,29 @@ pub enum ResponseEvent {
         /// `candidate − baseline` average latency, cycles.
         latency_delta: f64,
     },
+    /// One closed telemetry window of a watch job, streamed in window
+    /// order before the job's final [`ResponseEvent::Cell`].
+    Metric {
+        /// Window index within the series (0-based).
+        index: u64,
+        /// Cycle at which the window closed.
+        end: u64,
+        /// SSR setup requests raised in the window.
+        setups: u64,
+        /// SSR setups granted end-to-end in the window.
+        grants: u64,
+        /// Premature stops (setups − grants) in the window.
+        premature: u64,
+        /// Cumulative packets injected since telemetry attached.
+        injected: u64,
+        /// Cumulative packets delivered since telemetry attached.
+        delivered: u64,
+        /// Flits buffered fabric-wide when the window closed.
+        buffered: u64,
+        /// Sparse achieved-bypass histogram of the window, metrics-v1
+        /// `"len:count"` form (empty ⇒ no launches).
+        bypass: String,
+    },
     /// Service statistics (stats jobs).
     Stats {
         /// Run-type jobs handled since start.
@@ -1154,6 +1238,13 @@ pub enum ResponseEvent {
         cache_misses: u64,
         /// Compiled designs currently cached.
         cached_designs: u64,
+        /// Jobs registered in the live job table when the snapshot was
+        /// taken (absent on the wire ⇒ 0, keeping pre-watch documents
+        /// byte-identical).
+        active_jobs: u64,
+        /// Cumulative wall-clock milliseconds spent executing run-type
+        /// jobs (absent on the wire ⇒ 0).
+        busy_ms: u64,
     },
     /// Terminal: the job finished. `cells` counts completed cells (less
     /// than Accepted's count if the job was cancelled mid-run).
@@ -1269,14 +1360,37 @@ impl ResponseEvent {
                  \"flit_delta\":{flit_delta},\"latency_delta\":{}}}",
                 json::fmt_f64(*latency_delta)
             ),
+            ResponseEvent::Metric {
+                index,
+                end,
+                setups,
+                grants,
+                premature,
+                injected,
+                delivered,
+                buffered,
+                bypass,
+            } => format!(
+                "{{\"event\":\"metric\",\"index\":{index},\"end\":{end},\"setups\":{setups},\
+                 \"grants\":{grants},\"premature\":{premature},\"injected\":{injected},\
+                 \"delivered\":{delivered},\"buffered\":{buffered},\"bypass\":\"{}\"}}",
+                json::escape_str(bypass)
+            ),
+            // The queue-depth and wall-time fields render only when
+            // nonzero, so documents from before they existed stay
+            // byte-identical (absent on parse ⇒ 0).
             ResponseEvent::Stats {
                 jobs,
                 cache_hits,
                 cache_misses,
                 cached_designs,
+                active_jobs,
+                busy_ms,
             } => format!(
                 "{{\"event\":\"stats\",\"jobs\":{jobs},\"cache_hits\":{cache_hits},\
-                 \"cache_misses\":{cache_misses},\"cached_designs\":{cached_designs}}}"
+                 \"cache_misses\":{cache_misses},\"cached_designs\":{cached_designs}{}{}}}",
+                opt_u64_field("active_jobs", *active_jobs),
+                opt_u64_field("busy_ms", *busy_ms)
             ),
             ResponseEvent::Done {
                 id,
@@ -1415,11 +1529,24 @@ impl ResponseEvent {
                 flit_delta: i("flit_delta")?,
                 latency_delta: f("latency_delta")?,
             }),
+            "metric" => Ok(ResponseEvent::Metric {
+                index: u("index")?,
+                end: u("end")?,
+                setups: u("setups")?,
+                grants: u("grants")?,
+                premature: u("premature")?,
+                injected: u("injected")?,
+                delivered: u("delivered")?,
+                buffered: u("buffered")?,
+                bypass: json::unescape_str(&s("bypass")?),
+            }),
             "stats" => Ok(ResponseEvent::Stats {
                 jobs: u("jobs")?,
                 cache_hits: u("cache_hits")?,
                 cache_misses: u("cache_misses")?,
                 cached_designs: u("cached_designs")?,
+                active_jobs: json::u64_field(line, "active_jobs").unwrap_or(0),
+                busy_ms: json::u64_field(line, "busy_ms").unwrap_or(0),
             }),
             "done" => Ok(ResponseEvent::Done {
                 id: s("id")?,
@@ -1432,6 +1559,16 @@ impl ResponseEvent {
             }),
             other => Err(format!("unknown response event {other:?}")),
         }
+    }
+}
+
+/// Render an optional numeric field: empty when zero (the default), so
+/// documents written before the field existed stay byte-identical.
+fn opt_u64_field(key: &str, value: u64) -> String {
+    if value == 0 {
+        String::new()
+    } else {
+        format!(",\"{key}\":{value}")
     }
 }
 
@@ -1726,11 +1863,32 @@ mod tests {
                 flit_delta: -16,
                 latency_delta: -15.0,
             },
+            ResponseEvent::Metric {
+                index: 3,
+                end: 4096,
+                setups: 40,
+                grants: 32,
+                premature: 8,
+                injected: 120,
+                delivered: 117,
+                buffered: 24,
+                bypass: "0:9 3:14 8:2".into(),
+            },
             ResponseEvent::Stats {
                 jobs: 5,
                 cache_hits: 9,
                 cache_misses: 3,
                 cached_designs: 3,
+                active_jobs: 2,
+                busy_ms: 1375,
+            },
+            ResponseEvent::Stats {
+                jobs: 5,
+                cache_hits: 9,
+                cache_misses: 3,
+                cached_designs: 3,
+                active_jobs: 0,
+                busy_ms: 0,
             },
             ResponseEvent::Done {
                 id: "j".into(),
@@ -1746,6 +1904,47 @@ mod tests {
             let line = ev.to_line();
             assert_eq!(ResponseEvent::parse(&line), Ok(ev), "{line}");
         }
+    }
+
+    #[test]
+    fn stats_optional_fields_stay_absent_at_zero() {
+        // A snapshot with no live jobs and no accumulated wall time
+        // renders exactly the pre-watch document.
+        let old = ResponseEvent::Stats {
+            jobs: 5,
+            cache_hits: 9,
+            cache_misses: 3,
+            cached_designs: 3,
+            active_jobs: 0,
+            busy_ms: 0,
+        };
+        assert_eq!(
+            old.to_line(),
+            "{\"event\":\"stats\",\"jobs\":5,\"cache_hits\":9,\"cache_misses\":3,\
+             \"cached_designs\":3}"
+        );
+        assert_eq!(ResponseEvent::parse(&old.to_line()), Ok(old));
+    }
+
+    #[test]
+    fn watch_request_round_trips_and_rejects_zero_window() {
+        let req = Request::Watch {
+            id: "w1".into(),
+            mesh: 4,
+            topology: TopologySpec::Mesh,
+            shards: 2,
+            design: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: plan(),
+            window: 512,
+        };
+        let text = req.to_jsonl();
+        assert!(text.contains("\"kind\":\"watch\""), "{text}");
+        assert!(text.contains("\"window\":512"), "{text}");
+        assert_eq!(Request::parse(&text), Ok(req));
+        let zero = text.replace("\"window\":512", "\"window\":0");
+        let err = Request::parse(&zero).expect_err("zero window");
+        assert!(err.to_string().contains("window"), "{err}");
     }
 
     #[test]

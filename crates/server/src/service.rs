@@ -18,7 +18,7 @@ use smart_core::config::NocConfig;
 use smart_core::noc::DesignKind;
 use smart_harness::{
     run_cells_observed, AppSchedule, CompiledDesign, Drive, Experiment, MultiAppExperiment,
-    ScheduleDesign, TraceDiffReport, TraceFile, Workload,
+    ScheduleDesign, TelemetryConfig, TraceDiffReport, TraceFile, Workload,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,6 +61,9 @@ pub struct Service {
     cache: DesignCache,
     jobs: Mutex<HashMap<String, Arc<AtomicBool>>>,
     jobs_run: AtomicU64,
+    /// Cumulative wall-clock milliseconds spent executing run-type
+    /// jobs, surfaced by [`crate::protocol::ResponseEvent::Stats`].
+    busy_ms: AtomicU64,
 }
 
 /// Deregisters a job id when the handler leaves (including by panic, so
@@ -100,6 +103,7 @@ impl Service {
             },
             cache: DesignCache::new(cfg.cache_capacity),
             jobs_run: AtomicU64::new(0),
+            busy_ms: AtomicU64::new(0),
             jobs: Mutex::new(HashMap::new()),
         }
     }
@@ -134,7 +138,14 @@ impl Service {
             });
             false
         };
-        match request {
+        // Run-type jobs (everything that simulates) accumulate into the
+        // busy_ms wall-clock the stats event reports.
+        let run_type = !matches!(
+            request,
+            Request::Cancel { .. } | Request::Stats { .. } | Request::Shutdown { .. }
+        );
+        let started = std::time::Instant::now();
+        let shutdown = match request {
             Request::Experiment {
                 mesh,
                 topology,
@@ -161,6 +172,41 @@ impl Service {
                     match outcome {
                         Ok((cells, hits)) => {
                             sink.emit(&done(cells, hits));
+                            false
+                        }
+                        Err(m) => fail(m),
+                    }
+                }
+                Err(m) => fail(m),
+            },
+            Request::Watch {
+                mesh,
+                topology,
+                shards,
+                design,
+                workload,
+                plan,
+                window,
+                ..
+            } => match self.register(&id) {
+                Ok((guard, _cancel)) => {
+                    let job = Job {
+                        id: &id,
+                        cancel: None,
+                        sink,
+                    };
+                    let outcome = self.run_watch(
+                        &job,
+                        topology.config(*mesh).sharded(*shards),
+                        *design,
+                        workload,
+                        *plan,
+                        *window,
+                    );
+                    drop(guard);
+                    match outcome {
+                        Ok(hits) => {
+                            sink.emit(&done(1, hits));
                             false
                         }
                         Err(m) => fail(m),
@@ -334,6 +380,8 @@ impl Service {
                     cache_hits: self.cache.hits(),
                     cache_misses: self.cache.misses(),
                     cached_designs: self.cache.len() as u64,
+                    active_jobs: self.jobs.lock().expect("unpoisoned job table").len() as u64,
+                    busy_ms: self.busy_ms.load(Ordering::Relaxed),
                 });
                 sink.emit(&done(0, 0));
                 false
@@ -342,7 +390,12 @@ impl Service {
                 sink.emit(&done(0, 0));
                 true
             }
+        };
+        if run_type {
+            let elapsed = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            self.busy_ms.fetch_add(elapsed, Ordering::Relaxed);
         }
+        shutdown
     }
 
     /// Register a cancellable job, refusing duplicate live ids.
@@ -424,6 +477,65 @@ impl Service {
             .filter(|(i, s)| s.is_some() && cells[*i].3)
             .count();
         Ok((completed as u64, hits as u64))
+    }
+
+    /// The watch engine: one telemetry-enabled experiment cell through
+    /// the compiled-design cache, streaming one [`ResponseEvent::Metric`]
+    /// per closed window (in window order) before the final
+    /// [`ResponseEvent::Cell`]. Returns the cache hits (0 or 1).
+    fn run_watch(
+        &self,
+        job: &Job<'_>,
+        cfg: NocConfig,
+        design: DesignKind,
+        workload: &WorkloadSpec,
+        plan: PlanSpec,
+        window: u64,
+    ) -> Result<u64, String> {
+        if window == 0 {
+            return Err("watch window must be at least 1 cycle".to_owned());
+        }
+        let workload = workload.to_workload()?;
+        let (handle, cached) = self.cache.design(&cfg, design, &workload);
+        job.sink.emit(&ResponseEvent::Accepted {
+            id: job.id.to_owned(),
+            cells: 1,
+        });
+        let report = Experiment::new(cfg)
+            .design(design)
+            .workload(workload)
+            .plan(plan.to_plan())
+            .with_telemetry(TelemetryConfig::windowed(window))
+            .run_compiled(&handle);
+        // The Dedicated yardstick has no telemetry: zero metric events.
+        if let Some(series) = &report.telemetry {
+            for (i, w) in series.windows.iter().enumerate() {
+                job.sink.emit(&ResponseEvent::Metric {
+                    index: i as u64,
+                    end: w.end,
+                    setups: w.ssr_setups,
+                    grants: w.ssr_grants,
+                    premature: w.premature_stops(),
+                    injected: w.injected,
+                    delivered: w.delivered,
+                    buffered: w.buffered,
+                    bypass: w.bypass_sparse(),
+                });
+            }
+        }
+        job.sink.emit(&ResponseEvent::Cell {
+            index: 0,
+            design: report.design.label().to_owned(),
+            workload: report.workload.clone(),
+            injected: report.packets_injected,
+            delivered: report.packets_delivered,
+            flits: report.flits_delivered,
+            latency: report.avg_network_latency,
+            measured: report.measured_packets,
+            cycles: report.total_cycles,
+            cached,
+        });
+        Ok(u64::from(cached))
     }
 
     /// The schedule engine: one cell per schedule design, each running
@@ -780,13 +892,101 @@ mod tests {
                 cache_hits,
                 cache_misses,
                 cached_designs,
+                active_jobs,
+                ..
             }) => {
                 assert_eq!(*jobs, 2);
                 assert_eq!(*cache_misses, 6);
                 assert_eq!(*cache_hits, 6);
                 assert_eq!(*cached_designs, 6);
+                assert_eq!(*active_jobs, 0, "both jobs deregistered");
             }
             other => panic!("expected stats first: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_busy_ms_accumulates_run_wall_time() {
+        let service = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        let before = match collect(&service, &Request::Stats { id: "s0".into() }).first() {
+            Some(ResponseEvent::Stats { busy_ms, .. }) => *busy_ms,
+            other => panic!("expected stats: {other:?}"),
+        };
+        assert_eq!(before, 0, "nothing has run yet");
+        // A deliberately long cell so the wall clock registers ≥ 1 ms.
+        let request = Request::Experiment {
+            id: "slow".into(),
+            mesh: 4,
+            topology: TopologySpec::Mesh,
+            shards: 1,
+            design: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: PlanSpec::from(RunPlan::quick()),
+        };
+        collect(&service, &request);
+        let after = match collect(&service, &Request::Stats { id: "s1".into() }).first() {
+            Some(ResponseEvent::Stats { busy_ms, .. }) => *busy_ms,
+            other => panic!("expected stats: {other:?}"),
+        };
+        assert!(after > 0, "a 27k-cycle run takes measurable wall time");
+    }
+
+    #[test]
+    fn watch_streams_metric_windows_matching_a_direct_run() {
+        let service = Service::new(ServiceConfig {
+            threads: 1,
+            cache_capacity: 16,
+        });
+        let request = Request::Watch {
+            id: "w1".into(),
+            mesh: 4,
+            topology: TopologySpec::Mesh,
+            shards: 1,
+            design: DesignKind::Smart,
+            workload: WorkloadSpec::Fig7,
+            plan: PlanSpec::from(RunPlan::smoke()),
+            window: 500,
+        };
+        let events = collect(&service, &request);
+        let metrics: Vec<&ResponseEvent> = events
+            .iter()
+            .filter(|e| matches!(e, ResponseEvent::Metric { .. }))
+            .collect();
+        // The direct harness run is the reference.
+        let report = Experiment::new(NocConfig::paper_4x4())
+            .workload(Workload::fig7())
+            .plan(RunPlan::smoke())
+            .with_telemetry(TelemetryConfig::windowed(500))
+            .run();
+        let series = report.telemetry.as_ref().expect("telemetry requested");
+        assert_eq!(metrics.len(), series.windows.len());
+        for (event, w) in metrics.iter().zip(&series.windows) {
+            match event {
+                ResponseEvent::Metric {
+                    end,
+                    setups,
+                    grants,
+                    premature,
+                    bypass,
+                    ..
+                } => {
+                    assert_eq!(*end, w.end);
+                    assert_eq!(*setups, w.ssr_setups);
+                    assert_eq!(*grants, w.ssr_grants);
+                    assert_eq!(*premature, w.premature_stops());
+                    assert_eq!(*bypass, w.bypass_sparse());
+                }
+                other => panic!("not a metric: {other:?}"),
+            }
+        }
+        // The terminal cell agrees with the direct report too.
+        let cell = events
+            .iter()
+            .find_map(ResponseEvent::snapshot_line)
+            .expect("cell event");
+        assert_eq!(cell, report.snapshot_line());
     }
 }

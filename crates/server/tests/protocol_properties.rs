@@ -229,6 +229,65 @@ proptest! {
     }
 
     #[test]
+    fn stats_optional_fields_default_and_stay_byte_identical(
+        counts in (0u64..1000, 0u64..1000, 1u64..1000, 1u64..100_000)
+    ) {
+        let (jobs, hits, active, busy) = counts;
+        let old = ResponseEvent::Stats {
+            jobs,
+            cache_hits: hits,
+            cache_misses: jobs,
+            cached_designs: hits,
+            active_jobs: 0,
+            busy_ms: 0,
+        };
+        // Default values never appear on the wire: pre-existing stats
+        // documents and their renders stay byte-identical.
+        let old_line = old.to_line();
+        prop_assert!(!old_line.contains("active_jobs"), "{}", old_line);
+        prop_assert!(!old_line.contains("busy_ms"), "{}", old_line);
+        prop_assert_eq!(ResponseEvent::parse(&old_line), Ok(old.clone()));
+        // A new document with the fields stripped parses as the old
+        // snapshot (absent ⇒ 0).
+        let new = ResponseEvent::Stats {
+            jobs,
+            cache_hits: hits,
+            cache_misses: jobs,
+            cached_designs: hits,
+            active_jobs: active,
+            busy_ms: busy,
+        };
+        let new_line = new.to_line();
+        prop_assert_eq!(ResponseEvent::parse(&new_line), Ok(new));
+        let stripped = new_line
+            .replace(&format!(",\"active_jobs\":{active}"), "")
+            .replace(&format!(",\"busy_ms\":{busy}"), "");
+        prop_assert_eq!(&stripped, &old_line);
+        prop_assert_eq!(ResponseEvent::parse(&stripped), Ok(old));
+    }
+
+    #[test]
+    fn watch_requests_round_trip(
+        id_idx in prop::collection::vec(0usize..64, 1..12),
+        parts in (0usize..4, 1u64..50, 0.0f64..0.5, 0u64..1000),
+        shape in (2u64..17, 0usize..3, 1u64..100_000)
+    ) {
+        let (sel, flows, rate, seed) = parts;
+        let (mesh, design_sel, window) = shape;
+        let watch = Request::Watch {
+            id: id_from(&id_idx),
+            mesh: mesh as u16,
+            topology: topology_spec(seed),
+            shards: 1 + seed as usize % 8,
+            design: DesignKind::ALL[design_sel],
+            workload: workload_spec(sel, flows, rate, seed),
+            plan: plan_spec(0, 2000, 2000, seed),
+            window,
+        };
+        prop_assert_eq!(Request::parse(&watch.to_jsonl()), Ok(watch));
+    }
+
+    #[test]
     fn arbitrary_bytes_never_panic_the_parsers(
         bytes in prop::collection::vec(0u8..=255, 0..300)
     ) {
@@ -299,11 +358,34 @@ proptest! {
             },
             ResponseEvent::Winner { index, score, evaluated: cells },
             ResponseEvent::FlowDiff { flow: index, baseline: latency, candidate: score },
+            ResponseEvent::Metric {
+                index,
+                end: cells * 512,
+                setups: cells,
+                grants: hits.min(cells),
+                premature: cells - hits.min(cells),
+                injected: cells * 3,
+                delivered: cells * 2,
+                buffered: hits,
+                bypass: if cells == 0 { String::new() } else { format!("0:{cells} 8:{hits}") },
+            },
+            // Both zero (optional fields absent on the wire) and
+            // nonzero (rendered) stats snapshots must round-trip.
             ResponseEvent::Stats {
                 jobs: cells,
                 cache_hits: hits,
                 cache_misses: cells,
                 cached_designs: hits,
+                active_jobs: 0,
+                busy_ms: 0,
+            },
+            ResponseEvent::Stats {
+                jobs: cells,
+                cache_hits: hits,
+                cache_misses: cells,
+                cached_designs: hits,
+                active_jobs: index,
+                busy_ms: cells,
             },
             ResponseEvent::Done { id: id.clone(), cells, cache_hits: hits },
             ResponseEvent::Error { id, message: format!("fail {score}: \"quoted\"\n{latency}") },

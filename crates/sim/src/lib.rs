@@ -51,6 +51,7 @@ pub mod route;
 pub mod router;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 pub mod traffic;
@@ -66,6 +67,10 @@ pub use route::{RouteError, SourceRoute};
 pub use router::{CreditRelease, Router, RouterBank, RouterDeparture};
 pub use shard::{Engine, ShardPlan, ShardedNetwork};
 pub use stats::SimStats;
+pub use telemetry::{
+    CycleView, MetricsCollector, MetricsParseError, MetricsWindow, NoProbe, Probe, StallCause,
+    TelemetryConfig, TelemetrySeries,
+};
 pub use topology::{Coord, Direction, LinkId, Mesh, NodeId, Topology, TopologyOps, Torus, Turn};
-pub use trace::{ReplayCounts, TraceKind, TraceRecord, Tracer};
+pub use trace::{ReplayCounts, TraceError, TraceKind, TraceRecord, Tracer};
 pub use traffic::{mbps_to_packet_rate, BernoulliTraffic, ScriptedTraffic, TrafficSource};

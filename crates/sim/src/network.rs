@@ -20,6 +20,9 @@ use crate::forward::{Endpoint, FlowTable, LegLut, Sender};
 use crate::nic::{Nic, RxEvent};
 use crate::router::{CreditRelease, RouterBank, RouterDeparture};
 use crate::stats::SimStats;
+use crate::telemetry::{
+    CycleView, MetricsCollector, NoProbe, Probe, TelemetryConfig, TelemetrySeries,
+};
 use crate::topology::{Direction, LinkId, NodeId, Topology, PORTS};
 use crate::trace::{TraceKind, TraceRecord, Tracer};
 use crate::traffic::TrafficSource;
@@ -173,6 +176,9 @@ pub struct Network {
     enabled_ports: u64,
     total_ports: u64,
     tracer: Option<Tracer>,
+    /// Windowed metrics collector; `None` selects the [`NoProbe`] step,
+    /// whose hooks the optimizer deletes (telemetry off is free).
+    telemetry: Option<Box<MetricsCollector>>,
     /// NICs with a nonzero injection backlog, ascending — the only
     /// NICs the per-cycle injection scan visits. Kept sorted so the
     /// scan order (and therefore every downstream event order) matches
@@ -265,6 +271,7 @@ impl Network {
             enabled_ports,
             total_ports,
             tracer: None,
+            telemetry: None,
             active_nics: Vec::new(),
             nic_active: vec![false; n],
             arrival_scratch: Vec::new(),
@@ -284,6 +291,30 @@ impl Network {
     #[must_use]
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Start collecting windowed telemetry (see [`crate::telemetry`]).
+    /// Windows are measured from the current cycle; per-link deltas are
+    /// measured from the current cumulative counts. Replaces any
+    /// collector already attached.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        let n = self.cfg.topology.len();
+        let mut collector = Box::new(MetricsCollector::attach(cfg, n, n * PORTS, self.cycle));
+        collector.seed_links(&self.flight.link_flits);
+        self.telemetry = Some(collector);
+    }
+
+    /// Detach the telemetry collector, flushing the trailing partial
+    /// window. `None` if telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySeries> {
+        let collector = self.telemetry.take()?;
+        Some(collector.finish(&CycleView {
+            cycle: self.cycle,
+            injected: self.counters.packets_injected,
+            delivered: self.counters.packets_delivered,
+            buffered: self.bank.total_buffered(),
+            link_flits: &self.flight.link_flits,
+        }))
     }
 
     /// The configuration in use.
@@ -332,6 +363,9 @@ impl Network {
     pub fn reset_counters(&mut self) {
         self.counters = ActivityCounters::new();
         self.flight.link_flits.fill(0);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.seed_links(&self.flight.link_flits);
+        }
     }
 
     /// Flits carried per link since the last counter reset — the
@@ -385,6 +419,19 @@ impl Network {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
+        // Monomorphized probe dispatch: the collector is moved out for
+        // the duration of the step (a pointer move), selecting the
+        // telemetry instantiation; without one the `NoProbe` step runs —
+        // the exact pre-telemetry hot path after const folding.
+        if let Some(mut t) = self.telemetry.take() {
+            self.step_probed(&mut *t);
+            self.telemetry = Some(t);
+        } else {
+            self.step_probed(&mut NoProbe);
+        }
+    }
+
+    fn step_probed<P: Probe>(&mut self, probe: &mut P) {
         let c = self.cycle;
         let slot = (c % RING as u64) as usize;
 
@@ -499,6 +546,7 @@ impl Network {
                         counters: &mut self.counters,
                         tracer: &mut self.tracer,
                     },
+                    probe,
                 );
             }
             if self.nics[i].backlog() > 0 {
@@ -538,6 +586,7 @@ impl Network {
                 &mut self.counters,
                 &mut deps,
                 &mut rels,
+                probe,
             );
         }
         for dep in deps.drain(..) {
@@ -558,6 +607,7 @@ impl Network {
                     counters: &mut self.counters,
                     tracer: &mut self.tracer,
                 },
+                probe,
             );
         }
         for rel in rels.drain(..) {
@@ -590,6 +640,15 @@ impl Network {
         self.counters.gated_port_cycles += self.total_ports - self.enabled_ports;
         self.counters.cycles += 1;
         self.cycle += 1;
+        if P::ENABLED {
+            probe.on_cycle_end(&CycleView {
+                cycle: self.cycle,
+                injected: self.counters.packets_injected,
+                delivered: self.counters.packets_delivered,
+                buffered: self.bank.total_buffered(),
+                link_flits: &self.flight.link_flits,
+            });
+        }
     }
 
     /// Run `cycles` cycles, pulling packets from `traffic` each cycle.
@@ -641,7 +700,15 @@ struct Sinks<'a> {
 
 /// Launch `flit` onto `leg`, with ST (and the whole link traversal)
 /// occurring during `st_cycle`.
-fn launch(lut: &LegLut, arena: &PacketArena, leg: u32, flit: Flit, st_cycle: u64, s: Sinks<'_>) {
+fn launch<P: Probe>(
+    lut: &LegLut,
+    arena: &PacketArena,
+    leg: u32,
+    flit: Flit,
+    st_cycle: u64,
+    s: Sinks<'_>,
+    probe: &mut P,
+) {
     let Sinks {
         flight,
         counters,
@@ -666,6 +733,10 @@ fn launch(lut: &LegLut, arena: &PacketArena, leg: u32, flit: Flit, st_cycle: u64
     counters.link_flit_mm += rec.mm;
     if rec.cycles == 2 {
         counters.pipeline_reg_writes += 1;
+    }
+    if P::ENABLED {
+        // Achieved bypass length: links this leg crosses in one cycle.
+        probe.on_launch(rec.n_links);
     }
     if let Some(t) = tracer.as_mut() {
         let from = match rec.sender {

@@ -30,6 +30,7 @@
 use crate::counters::ActivityCounters;
 use crate::flit::{Flit, FlowId, VcId};
 use crate::forward::FlowTable;
+use crate::telemetry::{NoProbe, Probe, StallCause};
 use crate::topology::{Direction, NodeId, PORTS};
 
 /// Sentinel in the reverse hold map: this input VC holds no output.
@@ -473,8 +474,17 @@ impl RouterBank {
     /// returning the leg index, the standalone [`Router`] a
     /// [`FlowTable`] one).
     ///
+    /// The probe observes SSR traffic (Section III): every head flit
+    /// presenting a request is a *setup*; a setup that wins its output,
+    /// keeps a free endpoint VC, and survives input-port conflict
+    /// resolution becomes a *grant* (a new multi-hop hold); every other
+    /// setup is a *deny* with a [`StallCause`] — a premature stop.
+    /// Streaming body/tail flits ride an established hold and are not
+    /// SSR traffic. Per window, `setups == grants + stalls` exactly.
+    ///
     /// [`LegLut`]: crate::forward::LegLut
-    pub fn allocate(
+    #[allow(clippy::too_many_arguments)]
+    pub fn allocate<P: Probe>(
         &mut self,
         r: usize,
         cycle: u64,
@@ -482,6 +492,7 @@ impl RouterBank {
         counters: &mut ActivityCounters,
         departures: &mut Vec<RouterDeparture>,
         credits: &mut Vec<CreditRelease>,
+        probe: &mut P,
     ) {
         // An empty router requests nothing and streams nothing, and a
         // granted-nothing arbiter does not rotate: skipping is
@@ -556,9 +567,26 @@ impl RouterBank {
                     winners[o] = (hp, hv, false);
                     win_mask |= 1 << o;
                 }
+                if P::ENABLED {
+                    // Heads wanting a held output presented setups that
+                    // are denied outright (the holder itself streams —
+                    // not SSR traffic).
+                    let denied = (out_req[o] & !(1u64 << pvh)).count_ones();
+                    if denied > 0 {
+                        let gr = u32::from(self.base_node) + r as u32;
+                        probe.on_ssr_setups(denied);
+                        probe.on_stall(gr, StallCause::HeldOutput, denied);
+                    }
+                }
                 continue;
             }
             if ost.free_vcs.is_empty() {
+                if P::ENABLED {
+                    let denied = out_req[o].count_ones();
+                    let gr = u32::from(self.base_node) + r as u32;
+                    probe.on_ssr_setups(denied);
+                    probe.on_stall(gr, StallCause::NoFreeVc, denied);
+                }
                 continue; // heads need a free endpoint VC to request
             }
             // Only heads can want a non-held output (bodies follow
@@ -566,6 +594,16 @@ impl RouterBank {
             // presented request is charged to the allocator.
             let req = out_req[o];
             counters.sa_requests += u64::from(req.count_ones());
+            if P::ENABLED {
+                // Every requester is a head presenting an SSR setup;
+                // round-robin losers stop prematurely in their buffers.
+                let n = req.count_ones();
+                probe.on_ssr_setups(n);
+                if n > 1 {
+                    let gr = u32::from(self.base_node) + r as u32;
+                    probe.on_stall(gr, StallCause::OutputArb, n - 1);
+                }
+            }
             // Round-robin grant, bit-compatible with
             // [`RoundRobin::grant_mask`]: first requester at or after
             // the rotating pointer wins and becomes lowest priority (a
@@ -598,6 +636,13 @@ impl RouterBank {
                     if is_new == new_head {
                         if port_taken & (1 << p) != 0 {
                             win_mask &= !ob;
+                            if P::ENABLED && is_new {
+                                // A setup that won arbitration but lost
+                                // the input port (a streaming loser is
+                                // not SSR traffic and stays uncounted).
+                                let gr = u32::from(self.base_node) + r as u32;
+                                probe.on_stall(gr, StallCause::PortConflict, 1);
+                            }
                         } else {
                             port_taken |= 1 << p;
                         }
@@ -628,6 +673,9 @@ impl RouterBank {
             counters.buffer_reads += 1;
             counters.sa_grants += 1;
             let (endpoint_vc, leg) = if is_new {
+                if P::ENABLED {
+                    probe.on_ssr_grant();
+                }
                 let vc = self.outs[oi]
                     .free_vcs
                     .pop()
@@ -774,6 +822,7 @@ impl Router {
             counters,
             &mut departures,
             &mut credits,
+            &mut NoProbe,
         );
         (departures, credits)
     }

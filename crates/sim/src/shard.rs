@@ -53,8 +53,11 @@ use crate::network::{CreditPath, Network, SimConfig, RING};
 use crate::nic::{Nic, RxEvent};
 use crate::router::{CreditRelease, RouterBank, RouterDeparture};
 use crate::stats::SimStats;
+use crate::telemetry::{
+    CycleView, MetricsCollector, NoProbe, Probe, TelemetryConfig, TelemetrySeries,
+};
 use crate::topology::{Direction, LinkId, NodeId, Topology, PORTS};
-use crate::trace::Tracer;
+use crate::trace::{TraceError, Tracer};
 use crate::traffic::TrafficSource;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -243,6 +246,10 @@ struct Shard {
     credit_scratch: Vec<(Sender, VcId)>,
     dep_scratch: Vec<RouterDeparture>,
     rel_scratch: Vec<CreditRelease>,
+    /// Per-shard telemetry collector, sized for the *full* fabric
+    /// (probe events carry global router/link indices); the per-shard
+    /// series merge to the serial series bit-exactly.
+    telemetry: Option<Box<MetricsCollector>>,
 }
 
 impl Shard {
@@ -275,8 +282,18 @@ impl Shard {
 
     /// The serial engine's `step`, restricted to this band. Launches and
     /// credits whose endpoint lies in a foreign band go to the outbox
-    /// instead of the local rings.
+    /// instead of the local rings. The probe dispatch mirrors the serial
+    /// engine's: no collector selects the const-folded `NoProbe` step.
     fn step(&mut self, c: u64, me: usize, ctx: &SharedCtx<'_>) {
+        if let Some(mut t) = self.telemetry.take() {
+            self.step_probed(c, me, ctx, &mut *t);
+            self.telemetry = Some(t);
+        } else {
+            self.step_probed(c, me, ctx, &mut NoProbe);
+        }
+    }
+
+    fn step_probed<P: Probe>(&mut self, c: u64, me: usize, ctx: &SharedCtx<'_>, probe: &mut P) {
         let slot = (c % RING as u64) as usize;
 
         // 1. Credits landing this cycle.
@@ -343,7 +360,7 @@ impl Shard {
                 debug_assert!(
                     matches!(ctx.lut.rec(leg).sender, Sender::Nic(n) if n.0 as usize == g)
                 );
-                self.launch(leg, flit, c, me, ctx);
+                self.launch(leg, flit, c, me, ctx, probe);
             }
             if self.nics[l].backlog() > 0 {
                 self.active_nics[kept] = self.active_nics[k];
@@ -375,6 +392,7 @@ impl Shard {
                 &mut self.counters,
                 &mut deps,
                 &mut rels,
+                probe,
             );
         }
         for dep in deps.drain(..) {
@@ -384,7 +402,7 @@ impl Shard {
                 "plan/grant mismatch on leg {}",
                 dep.leg
             );
-            self.launch(dep.leg, dep.flit, c + 1, me, ctx);
+            self.launch(dep.leg, dep.flit, c + 1, me, ctx, probe);
         }
         for rel in rels.drain(..) {
             let r = usize::from(rel.router);
@@ -405,11 +423,30 @@ impl Shard {
         self.counters.active_port_cycles += self.enabled_ports;
         self.counters.gated_port_cycles += self.total_ports - self.enabled_ports;
         self.counters.cycles += 1;
+        if P::ENABLED {
+            // Shards advance in lockstep, so every shard's windows close
+            // at the same global cycles — the merge precondition.
+            probe.on_cycle_end(&CycleView {
+                cycle: c + 1,
+                injected: self.counters.packets_injected,
+                delivered: self.counters.packets_delivered,
+                buffered: self.bank.total_buffered(),
+                link_flits: &self.link_flits,
+            });
+        }
     }
 
     /// The serial `launch`, with the link guard shared (atomic) and the
     /// arrival routed to the endpoint's owner.
-    fn launch(&mut self, leg: u32, flit: Flit, st_cycle: u64, me: usize, ctx: &SharedCtx<'_>) {
+    fn launch<P: Probe>(
+        &mut self,
+        leg: u32,
+        flit: Flit,
+        st_cycle: u64,
+        me: usize,
+        ctx: &SharedCtx<'_>,
+        probe: &mut P,
+    ) {
         let rec = *ctx.lut.rec(leg);
         let p = (st_cycle & 1) as usize;
         for &li in ctx.lut.rec_links(&rec) {
@@ -430,6 +467,9 @@ impl Shard {
         self.counters.link_flit_mm += rec.mm;
         if rec.cycles == 2 {
             self.counters.pipeline_reg_writes += 1;
+        }
+        if P::ENABLED {
+            probe.on_launch(rec.n_links);
         }
         let arrival = st_cycle + u64::from(rec.cycles) - 1;
         let dest = match rec.end {
@@ -629,6 +669,7 @@ impl ShardedNetwork {
                     credit_scratch: Vec::new(),
                     dep_scratch: Vec::new(),
                     rel_scratch: Vec::new(),
+                    telemetry: None,
                 }
             })
             .collect();
@@ -758,8 +799,55 @@ impl ShardedNetwork {
         for sh in &mut self.shards {
             sh.counters = ActivityCounters::new();
             sh.link_flits.fill(0);
+            if let Some(t) = sh.telemetry.as_mut() {
+                t.seed_links(&sh.link_flits);
+            }
         }
         self.refresh_merged();
+    }
+
+    /// Start collecting windowed telemetry: one full-fabric-sized
+    /// collector per shard, all windowed from the current (common)
+    /// cycle. Probe events carry global indices and each event fires in
+    /// exactly one shard, so the merged series equals the serial
+    /// engine's bit-exactly. Replaces any collectors already attached.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        let n = self.cfg.topology.len();
+        let cycle = self.cycle;
+        for sh in &mut self.shards {
+            let mut collector = Box::new(MetricsCollector::attach(cfg, n, n * PORTS, cycle));
+            collector.seed_links(&sh.link_flits);
+            sh.telemetry = Some(collector);
+        }
+    }
+
+    /// Detach and merge the per-shard collectors, flushing trailing
+    /// partial windows. `None` if telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySeries> {
+        let cycle = self.cycle;
+        let series: Vec<TelemetrySeries> = self
+            .shards
+            .iter_mut()
+            .filter_map(|sh| {
+                let collector = sh.telemetry.take()?;
+                Some(collector.finish(&CycleView {
+                    cycle,
+                    injected: sh.counters.packets_injected,
+                    delivered: sh.counters.packets_delivered,
+                    buffered: sh.bank.total_buffered(),
+                    link_flits: &sh.link_flits,
+                }))
+            })
+            .collect();
+        if series.is_empty() {
+            return None;
+        }
+        assert_eq!(
+            series.len(),
+            self.shards.len(),
+            "telemetry must be attached to every shard or none"
+        );
+        Some(TelemetrySeries::merge(&series))
     }
 
     /// Flits carried per link since the last counter reset, merged
@@ -1041,17 +1129,39 @@ impl Engine {
     /// Record micro-architectural events for journey logs, VCD dumps
     /// and counter cross-validation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a sharded engine — tracing captures a single global
-    /// event order and is a debugging tool; run with `shards: 1` to
-    /// trace.
-    pub fn enable_tracing(&mut self, capacity: usize) {
+    /// Returns a [`TraceError`] on a sharded engine — tracing captures a
+    /// single global event order, which concurrent shards cannot
+    /// produce. Rebuild with `shards = 1` to trace, or use windowed
+    /// telemetry ([`Engine::set_telemetry`]), which works on both
+    /// engines.
+    pub fn enable_tracing(&mut self, capacity: usize) -> Result<(), TraceError> {
         match self {
-            Engine::Serial(n) => n.enable_tracing(capacity),
-            Engine::Sharded(_) => {
-                panic!("tracing requires the serial engine; build with shards = 1")
+            Engine::Serial(n) => {
+                n.enable_tracing(capacity);
+                Ok(())
             }
+            Engine::Sharded(s) => Err(TraceError { shards: s.shards() }),
+        }
+    }
+
+    /// Start collecting windowed telemetry (see [`crate::telemetry`]).
+    /// Works on both engines; the sharded engine's merged series equals
+    /// the serial engine's bit-exactly.
+    pub fn set_telemetry(&mut self, cfg: TelemetryConfig) {
+        match self {
+            Engine::Serial(n) => n.set_telemetry(cfg),
+            Engine::Sharded(s) => s.set_telemetry(cfg),
+        }
+    }
+
+    /// Detach the telemetry collector(s), flushing the trailing partial
+    /// window. `None` if telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Option<TelemetrySeries> {
+        match self {
+            Engine::Serial(n) => n.take_telemetry(),
+            Engine::Sharded(s) => s.take_telemetry(),
         }
     }
 
@@ -1272,10 +1382,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "tracing requires the serial engine")]
-    fn sharded_engine_refuses_tracing() {
+    fn sharded_engine_refuses_tracing_with_typed_error() {
         let (cfg, flows, _) = crossing_flows(4);
-        let mut e = Engine::new(cfg, flows, ShardPlan::banded(2));
-        e.enable_tracing(16);
+        let mut e = Engine::new(cfg, flows.clone(), ShardPlan::banded(2));
+        let err = e.enable_tracing(16).expect_err("sharded engines refuse");
+        assert_eq!(err, TraceError { shards: 2 });
+        let msg = err.to_string();
+        assert!(msg.contains("tracing requires the serial engine"), "{msg}");
+        assert!(msg.contains("2 row-band shards"), "{msg}");
+        assert!(msg.contains("shards = 1"), "{msg}");
+        assert!(e.tracer().is_none());
+        // The serial engine still accepts.
+        let mut serial = Engine::serial(cfg, flows);
+        serial.enable_tracing(16).expect("serial engine traces");
+        assert!(serial.tracer().is_some());
     }
 }

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use smart_power::{breakdown, EnergyModel, GatingPolicy};
     pub use smart_sim::{
         BernoulliTraffic, FlowId, FlowTable, Mesh, NodeId, Packet, PacketId, ScriptedTraffic,
-        SourceRoute,
+        SourceRoute, TelemetryConfig, TelemetrySeries,
     };
     pub use smart_taskgraph::apps;
     pub use smart_traffic::{

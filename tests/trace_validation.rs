@@ -13,7 +13,9 @@ fn replayed_trace_matches_live_counters() {
     let cfg = NocConfig::paper_4x4();
     let mapped = MappedApp::from_graph(&cfg, &apps::vopd());
     let mut noc = SmartNoc::new(&cfg, &mapped.routes);
-    noc.network_mut().enable_tracing(1_000_000);
+    noc.network_mut()
+        .enable_tracing(1_000_000)
+        .expect("serial engine traces");
     let mut traffic = BernoulliTraffic::new(
         &mapped.rates,
         noc.network().flows(),
@@ -44,7 +46,9 @@ fn vcd_dump_is_wellformed_for_real_traffic() {
     let cfg = NocConfig::paper_4x4();
     let mapped = MappedApp::from_graph(&cfg, &apps::pip());
     let mut noc = SmartNoc::new(&cfg, &mapped.routes);
-    noc.network_mut().enable_tracing(100_000);
+    noc.network_mut()
+        .enable_tracing(100_000)
+        .expect("serial engine traces");
     let mut traffic = BernoulliTraffic::new(
         &mapped.rates,
         noc.network().flows(),
